@@ -1,0 +1,55 @@
+//! Ablation bench: eviction policies head-to-head on the same workload,
+//! and visit-order search strategies on the Theorem-2 reduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbp_core::{CostModel, Instance};
+use rbp_graph::Graph;
+use rbp_reductions::reduction_hampath;
+use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+use rbp_workloads::matmul;
+
+fn bench_eviction_policies(c: &mut Criterion) {
+    let mm = matmul::build(5);
+    let inst = Instance::new(mm.dag.clone(), 10, CostModel::oneshot());
+    let mut group = c.benchmark_group("ablation_eviction_matmul5");
+    for eviction in [
+        EvictionPolicy::MinUses,
+        EvictionPolicy::Lru,
+        EvictionPolicy::Fifo,
+    ] {
+        group.bench_function(format!("{eviction}"), |b| {
+            b.iter(|| {
+                let rep = solve_greedy_with(
+                    &inst,
+                    GreedyConfig {
+                        rule: SelectionRule::MostRedInputs,
+                        eviction,
+                    },
+                )
+                .unwrap();
+                black_box(rep.cost.transfers)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let g = Graph::gnp(7, 0.5, &mut rng);
+    let red = reduction_hampath::encode(g);
+    let mut group = c.benchmark_group("ablation_search_n7");
+    group.sample_size(10);
+    group.bench_function("exhaustive_bnb", |b| {
+        b.iter(|| black_box(red.solve(CostModel::oneshot()).unwrap().scaled))
+    });
+    group.bench_function("held_karp", |b| {
+        b.iter(|| black_box(red.solve_dp(CostModel::oneshot()).0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eviction_policies, bench_search_strategies);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure-1/2 bench: gadget construction and exact solving of the CD
+//! ladder, pyramid, and H2C gadget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbp_core::{CostModel, Instance};
+use rbp_gadgets::{cd, h2c, pyramid};
+use rbp_solvers::solve_exact;
+
+fn bench_gadget_builds(c: &mut Criterion) {
+    c.bench_function("fig1_build_cd_ladder_g8_h50", |b| {
+        b.iter(|| black_box(cd::build(8, 50).dag.n()))
+    });
+    c.bench_function("fig1_build_pyramid_h30", |b| {
+        b.iter(|| black_box(pyramid::build(30).dag.n()))
+    });
+}
+
+fn bench_gadget_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_exact");
+    group.sample_size(10);
+    let ladder = cd::build(2, 4);
+    group.bench_function("fig1_cd_starved", |b| {
+        let inst = Instance::new(
+            ladder.dag.clone(),
+            ladder.free_budget() - 1,
+            CostModel::oneshot(),
+        );
+        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+    });
+    let p = pyramid::build(4);
+    group.bench_function("fig1_pyramid_starved", |b| {
+        let inst = Instance::new(p.dag.clone(), 4, CostModel::oneshot());
+        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+    });
+    let dag = rbp_graph::DagBuilder::new(1).build().unwrap();
+    let h = h2c::attach(&dag, h2c::H2cConfig::standard(4));
+    group.bench_function("fig2_h2c_exact", |b| {
+        let inst = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
+        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gadget_builds, bench_gadget_exact);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure-8 / Theorem-4 bench: the greedy solver walking the grid trap
+//! and the diagonal-order scheduler, at growing sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_core::{engine, CostModel};
+use rbp_gadgets::grid::{self, GridConfig};
+use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_grid");
+    group.sample_size(10);
+    for (ell, kp) in [(3usize, 16usize), (4, 16), (5, 32)] {
+        let g = grid::build(GridConfig {
+            ell,
+            k_prime: kp,
+            mis: 2,
+        });
+        let id = format!("ell{ell}_kp{kp}");
+        group.bench_with_input(BenchmarkId::new("greedy", &id), &g, |b, g| {
+            let inst = g.instance(CostModel::oneshot());
+            b.iter(|| {
+                let rep = solve_greedy_with(
+                    &inst,
+                    GreedyConfig {
+                        rule: SelectionRule::MostRedInputs,
+                        eviction: EvictionPolicy::MinUses,
+                    },
+                )
+                .unwrap();
+                black_box(rep.cost.transfers)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("diagonal_emit", &id), &g, |b, g| {
+            let inst = g.instance(CostModel::oneshot());
+            let order = g.optimal_order();
+            b.iter(|| {
+                let trace = g.grouped.emit(&inst, &order).unwrap();
+                black_box(engine::simulate(&inst, &trace).unwrap().cost.transfers)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

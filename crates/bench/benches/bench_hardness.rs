@@ -1,0 +1,46 @@
+//! Figure-5 / Theorem-2 bench: encoding Hamiltonian Path instances and
+//! solving the reduction by exhaustive order search vs Held–Karp DP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbp_core::CostModel;
+use rbp_graph::Graph;
+use rbp_reductions::reduction_hampath;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = Graph::gnp(12, 0.4, &mut rng);
+    c.bench_function("fig5_encode_n12", |b| {
+        b.iter(|| black_box(reduction_hampath::encode(g.clone()).dag.n()))
+    });
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_solve");
+    group.sample_size(10);
+    for n in [6usize, 8] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = Graph::gnp(n, 0.5, &mut rng);
+        let red = reduction_hampath::encode(g);
+        group.bench_with_input(BenchmarkId::new("held_karp", n), &red, |b, red| {
+            b.iter(|| black_box(red.solve_dp(CostModel::oneshot()).0))
+        });
+        if n <= 6 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &red, |b, red| {
+                b.iter(|| black_box(red.solve(CostModel::oneshot()).unwrap().scaled))
+            });
+        }
+    }
+    // the DP scales far beyond the exhaustive search
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = Graph::gnp(14, 0.4, &mut rng);
+    let red = reduction_hampath::encode(g);
+    group.bench_function("held_karp_n14", |b| {
+        b.iter(|| black_box(red.solve_dp(CostModel::oneshot()).0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures-6/7 / Theorem-3 bench: encoding Vertex Cover instances into
+//! pebbling, solving the visit-order optimum, and decoding covers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbp_core::CostModel;
+use rbp_graph::Graph;
+use rbp_reductions::{reduction_vc, vertex_cover};
+use rbp_solvers::best_order;
+
+fn bench_encode(c: &mut Criterion) {
+    let g = Graph::cycle(6);
+    c.bench_function("fig67_encode_cycle6_k42", |b| {
+        b.iter(|| black_box(reduction_vc::encode(g.clone(), 42).dag.n()))
+    });
+}
+
+fn bench_solve_and_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig67_solve");
+    group.sample_size(10);
+    for (name, g) in [("path4", Graph::path(4)), ("cycle4", Graph::cycle(4))] {
+        let n = g.n();
+        let red = reduction_vc::encode(g, n * n + n);
+        group.bench_function(format!("best_order_{name}"), |b| {
+            let inst = red.instance(CostModel::oneshot());
+            b.iter(|| {
+                let best = best_order(&red.grouped, &inst).unwrap();
+                black_box(red.decode(&best.order).len())
+            })
+        });
+    }
+    group.finish();
+
+    let g = Graph::cycle(8);
+    c.bench_function("fig67_exact_vc_ground_truth_cycle8", |b| {
+        b.iter(|| black_box(vertex_cover::min_vertex_cover(&g).len()))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_solve_and_decode);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table-1 companion bench: engine move throughput per model — the cost
+//! of the innermost `State::apply` loop every solver sits on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbp_core::{CostModel, Instance, ModelKind, Move, State};
+use rbp_graph::generate;
+
+fn bench_engine_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_apply");
+    for kind in ModelKind::ALL {
+        let dag = generate::chain(64);
+        let inst = Instance::new(dag, 2, CostModel::of_kind(kind));
+        group.bench_function(format!("{kind}_chain64"), |b| {
+            b.iter(|| {
+                let mut s = State::initial(&inst);
+                let mut cost = rbp_core::Cost::ZERO;
+                for i in 0..64 {
+                    let v = rbp_graph::NodeId::new(i);
+                    cost += s.apply(Move::Compute(v), &inst).unwrap();
+                    if i >= 1 {
+                        let p = rbp_graph::NodeId::new(i - 1);
+                        cost += if inst.model().allows_delete() {
+                            s.apply(Move::Delete(p), &inst).unwrap()
+                        } else {
+                            s.apply(Move::Store(p), &inst).unwrap()
+                        };
+                    }
+                }
+                black_box(cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let dag = generate::chain(256);
+    let inst = Instance::new(dag, 2, CostModel::oneshot());
+    let trace = rbp_core::bounds::canonical_pebbling(&inst).unwrap();
+    c.bench_function("simulate_canonical_chain256", |b| {
+        b.iter(|| black_box(rbp_core::simulate(&inst, &trace).unwrap().cost))
+    });
+}
+
+criterion_group!(benches, bench_engine_apply, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Solver-kernel scaling: exact Dijkstra/A* on growing DAGs, greedy on
+//! large workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbp_core::{CostModel, Instance};
+use rbp_graph::generate;
+use rbp_solvers::{solve_exact, solve_exact_with, solve_greedy, ExactConfig};
+
+fn bench_exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    group.sample_size(10);
+    for n in [8usize, 10, 12] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = generate::gnp_dag(n, 0.3, 2, &mut rng);
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, CostModel::oneshot());
+        group.bench_with_input(BenchmarkId::new("astar_oneshot", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_exact(inst).unwrap().cost))
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra_oneshot", n), &inst, |b, inst| {
+            b.iter(|| {
+                let cfg = ExactConfig {
+                    astar: false,
+                    ..ExactConfig::default()
+                };
+                black_box(solve_exact_with(inst, cfg).unwrap().cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_solver");
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = generate::layered(n / 20, 20, 3, &mut rng);
+        let inst = Instance::new(dag, 8, CostModel::oneshot());
+        group.bench_with_input(BenchmarkId::new("layered", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_greedy(inst).unwrap().cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_scaling, bench_greedy_scaling);
+criterion_main!(benches);

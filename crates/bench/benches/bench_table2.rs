@@ -1,0 +1,27 @@
+//! Table-2 companion bench: the measurements behind the summary table —
+//! per-model exact solves on the random family and the grid ratio run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbp_core::{CostModel, Instance, ModelKind};
+use rbp_graph::generate;
+use rbp_solvers::solve_exact;
+
+fn bench_per_model_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_exact_per_model");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let dag = generate::layered(3, 3, 2, &mut rng);
+    let r = dag.max_indegree() + 1;
+    for kind in ModelKind::ALL {
+        let inst = Instance::new(dag.clone(), r, CostModel::of_kind(kind));
+        group.bench_function(format!("{kind}"), |b| {
+            b.iter(|| black_box(solve_exact(&inst).unwrap().cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_model_exact);
+criterion_main!(benches);

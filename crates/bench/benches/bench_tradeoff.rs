@@ -1,0 +1,43 @@
+//! Figure-4 bench: emitting and validating the tradeoff staircase
+//! strategy across the full budget range, plus the exact-solver check at
+//! small size.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbp_core::{engine, CostModel, Instance};
+use rbp_gadgets::tradeoff;
+use rbp_solvers::solve_exact;
+
+fn bench_staircase_emit(c: &mut Criterion) {
+    let t = tradeoff::build(6, 100);
+    c.bench_function("fig4_strategy_sweep_d6_n100", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for r in t.min_r()..=t.free_r() {
+                let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
+                let trace = t.strategy(&inst).unwrap();
+                total += engine::simulate(&inst, &trace).unwrap().cost.transfers;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_staircase_exact(c: &mut Criterion) {
+    let t = tradeoff::build(2, 3);
+    let mut group = c.benchmark_group("fig4_exact");
+    group.sample_size(10);
+    group.bench_function("d2_n3_full_range", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for r in t.min_r()..=t.free_r() {
+                let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
+                total += solve_exact(&inst).unwrap().cost.transfers;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_staircase_emit, bench_staircase_exact);
+criterion_main!(benches);

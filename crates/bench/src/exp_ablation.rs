@@ -1,0 +1,173 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. CD ladder vs pyramid (the paper's own gadget-design argument);
+//! 2. greedy eviction policies on realistic workloads;
+//! 3. visit-order search strategies (exhaustive B&B vs Held–Karp DP) on
+//!    the Theorem-2 reduction: same optimum, very different effort.
+
+use crate::report::Table;
+use rbp_core::{CostModel, Instance};
+use rbp_graph::Graph;
+use rbp_reductions::reduction_hampath;
+use rbp_solvers::{
+    solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule,
+};
+use rbp_workloads::{fft, matmul, stencil};
+use std::path::Path;
+use std::time::Instant;
+
+/// Runs all ablations.
+pub fn run(out: &Path) {
+    // --- eviction-policy ablation ---
+    let mut t = Table::new(
+        "Ablation — eviction policies across workloads (oneshot, most-red rule)",
+        &["workload", "R", "min-uses", "lru", "fifo", "random(7)"],
+    );
+    let mm = matmul::build(4);
+    let f = fft::build(4);
+    let st = stencil::build(8, 6, 1);
+    for (name, dag, r) in [
+        ("matmul(4)", &mm.dag, 8usize),
+        ("fft(16)", &f.dag, 8),
+        ("stencil(8x6)", &st.dag, 6),
+    ] {
+        let mut cells = vec![name.to_string(), r.to_string()];
+        for eviction in [
+            EvictionPolicy::MinUses,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Random(7),
+        ] {
+            let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+            let rep = solve_greedy_with(
+                &inst,
+                GreedyConfig {
+                    rule: SelectionRule::MostRedInputs,
+                    eviction,
+                },
+            )
+            .expect("feasible");
+            cells.push(rep.cost.transfers.to_string());
+        }
+        t.row_strings(cells);
+    }
+    t.print();
+    t.write_csv(out, "ablation_eviction").expect("write csv");
+
+    // --- selection-rule ablation ---
+    let mut t2 = Table::new(
+        "Ablation — selection rules across workloads (min-uses eviction)",
+        &["workload", "R", "most-red", "fewest-blue", "red-ratio"],
+    );
+    for (name, dag, r) in [
+        ("matmul(4)", &mm.dag, 8usize),
+        ("fft(16)", &f.dag, 8),
+        ("stencil(8x6)", &st.dag, 6),
+    ] {
+        let mut cells = vec![name.to_string(), r.to_string()];
+        for rule in SelectionRule::ALL {
+            let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+            let rep = solve_greedy_with(
+                &inst,
+                GreedyConfig {
+                    rule,
+                    eviction: EvictionPolicy::MinUses,
+                },
+            )
+            .expect("feasible");
+            cells.push(rep.cost.transfers.to_string());
+        }
+        t2.row_strings(cells);
+    }
+    t2.print();
+    t2.write_csv(out, "ablation_selection").expect("write csv");
+
+    // --- search-strategy ablation on the Theorem-2 reduction ---
+    let mut t3 = Table::new(
+        "Ablation — visit-order search strategies (HamPath reduction, oneshot)",
+        &["N", "exhaustive cost", "exhaustive ms", "held-karp cost", "held-karp ms"],
+    );
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for n in [5usize, 6, 7] {
+        let g = Graph::gnp(n, 0.5, &mut rng);
+        let red = reduction_hampath::encode(g);
+        let model = CostModel::oneshot();
+        let t0 = Instant::now();
+        let sol = red.solve(model).expect("solvable");
+        let exh_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (dp_cost, _) = red.solve_dp(model);
+        let dp_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(sol.scaled, dp_cost, "search strategies disagree");
+        t3.row_strings(vec![
+            n.to_string(),
+            sol.scaled.to_string(),
+            format!("{exh_ms:.2}"),
+            dp_cost.to_string(),
+            format!("{dp_ms:.3}"),
+        ]);
+    }
+    t3.print();
+    t3.write_csv(out, "ablation_search").expect("write csv");
+    println!("  (the DP scales to N ≈ 20 where exhaustive search stops at ~9)");
+
+    // --- beam-width ablation on the Theorem-4 grid: can width buy the
+    //     escape a fixed greedy rule cannot make? ---
+    let mut t4 = Table::new(
+        "Ablation — beam width vs the Theorem-4 trap (grid ell=3, k'=16, oneshot)",
+        &["solver", "cost", "vs diagonal-opt"],
+    );
+    let g = rbp_gadgets::grid::build(rbp_gadgets::grid::GridConfig {
+        ell: 3,
+        k_prime: 16,
+        mis: 2,
+    });
+    let inst = g.instance(CostModel::oneshot());
+    let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).expect("valid");
+    let opt = rbp_core::simulate(&inst, &opt_trace).expect("valid").cost.transfers;
+    let greedy = solve_greedy_with(
+        &inst,
+        GreedyConfig {
+            rule: SelectionRule::MostRedInputs,
+            eviction: EvictionPolicy::MinUses,
+        },
+    )
+    .expect("feasible");
+    t4.row_strings(vec![
+        "greedy (most-red)".into(),
+        greedy.cost.transfers.to_string(),
+        format!("{:.2}x", greedy.cost.transfers as f64 / opt.max(1) as f64),
+    ]);
+    for width in [1usize, 4, 16, 64] {
+        let rep = rbp_solvers::solve_beam(&inst, rbp_solvers::BeamConfig { width })
+            .expect("feasible");
+        t4.row_strings(vec![
+            format!("beam w={width}"),
+            rep.cost.transfers.to_string(),
+            format!("{:.2}x", rep.cost.transfers as f64 / opt.max(1) as f64),
+        ]);
+    }
+    t4.row_strings(vec![
+        "diagonal order".into(),
+        opt.to_string(),
+        "1.00x".into(),
+    ]);
+    t4.print();
+    t4.write_csv(out, "ablation_beam").expect("write csv");
+    println!("  (width buys global context a fixed rule lacks: already w=4 escapes the");
+    println!("   trap, and on small grids even beats the asymptotically-optimal diagonal");
+    println!("   order by chaining targets across passes. The Theorem-4 bound binds any");
+    println!("   strategy that scores nodes by current pebbles only — Section 8)");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_runs() {
+        let dir = std::env::temp_dir().join("rbp_ablation_test");
+        super::run(&dir);
+        assert!(dir.join("ablation_eviction.csv").exists());
+        assert!(dir.join("ablation_search.csv").exists());
+    }
+}

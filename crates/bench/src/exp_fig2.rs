@@ -1,0 +1,59 @@
+//! Figure 2: the hard-to-compute (H2C) gadget — computing a protected
+//! source costs exactly 4 transfers, and the save/reload/recompute
+//! margins (2 < 3 < 4+) that let the gadget disable recomputation.
+
+use crate::report::Table;
+use rbp_core::{CostModel, Instance, ModelKind};
+use rbp_gadgets::h2c::{self, H2cConfig};
+use rbp_graph::DagBuilder;
+use rbp_solvers::solve_exact;
+use std::path::Path;
+
+/// Regenerates the Figure-2 gadget measurements.
+pub fn run(out: &Path) {
+    let mut t = Table::new(
+        "Fig. 2 — H2C gadget: inherent cost of a protected source",
+        &["model", "R", "exact cost to pebble v", "paper"],
+    );
+    for kind in [ModelKind::Oneshot, ModelKind::Base, ModelKind::CompCost] {
+        for r in [4usize, 5] {
+            let dag = DagBuilder::new(1).build().unwrap();
+            let h = h2c::attach(&dag, H2cConfig::standard(r));
+            let model = CostModel::of_kind(kind);
+            let inst = Instance::new(h.dag.clone(), r, model);
+            let opt = solve_exact(&inst).expect("feasible");
+            t.row_strings(vec![
+                kind.to_string(),
+                r.to_string(),
+                opt.cost.transfers.to_string(),
+                "4".to_string(),
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(out, "fig2").expect("write csv");
+
+    // the margins table: once v is computed, what does each way of
+    // getting it back cost?
+    let mut m = Table::new(
+        "Fig. 2 — value-recovery margins after computing v (base model)",
+        &["strategy", "marginal transfers", "paper"],
+    );
+    m.row_strings(vec!["save v + reload v".into(), "2".into(), "2".into()]);
+    m.row_strings(vec!["reload 3 starters + recompute v".into(), "6".into(), ">= 3".into()]);
+    m.row_strings(vec!["recompute starters from scratch".into(), ">= 8".into(), ">= 4".into()]);
+    m.print();
+    m.write_csv(out, "fig2_margins").expect("write csv");
+    println!("  (margins measured by the explicit-trace tests in rbp-gadgets::h2c;");
+    println!("   conclusion: reasonable pebblings save v, never recompute it — Section 3)");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig2_runs() {
+        let dir = std::env::temp_dir().join("rbp_fig2_test");
+        super::run(&dir);
+        assert!(dir.join("fig2_margins.csv").exists());
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 1: the per-operation costs of the four models, measured by
+//! probing the live engine rather than read off the configuration — each
+//! cell is the cost delta the engine actually charges (or the rejection
+//! it raises).
+
+use crate::report::Table;
+use rbp_core::{CostModel, Instance, ModelKind, Move, State};
+use rbp_graph::DagBuilder;
+use std::path::Path;
+
+/// One engine probe: build the minimal state in which the operation is
+/// legal, apply it, report the charged cost (or the refusal).
+fn probe(kind: ModelKind, op: &str) -> String {
+    let model = CostModel::of_kind(kind);
+    // a single-edge DAG suffices for all four probes
+    let mut b = DagBuilder::new(2);
+    b.add_edge(0, 1);
+    let inst = Instance::new(b.build().unwrap(), 2, model);
+    let v = rbp_graph::NodeId::new(0);
+    let eps = model.epsilon();
+    let mut s = State::initial(&inst);
+    let outcome = match op {
+        "blue->red" => {
+            s.apply(Move::Compute(v), &inst).unwrap();
+            s.apply(Move::Store(v), &inst).unwrap();
+            s.apply(Move::Load(v), &inst)
+        }
+        "red->blue" => {
+            s.apply(Move::Compute(v), &inst).unwrap();
+            s.apply(Move::Store(v), &inst)
+        }
+        "compute" => s.apply(Move::Compute(v), &inst),
+        "recompute" => {
+            s.apply(Move::Compute(v), &inst).unwrap();
+            if model.allows_delete() {
+                s.apply(Move::Delete(v), &inst).unwrap();
+            } else {
+                s.apply(Move::Store(v), &inst).unwrap();
+            }
+            s.apply(Move::Compute(v), &inst)
+        }
+        "delete" => {
+            s.apply(Move::Compute(v), &inst).unwrap();
+            s.apply(Move::Delete(v), &inst)
+        }
+        _ => unreachable!(),
+    };
+    match outcome {
+        Ok(cost) => cost.total(eps).to_string(),
+        Err(_) => "forbidden".to_string(),
+    }
+}
+
+/// Regenerates Table 1.
+pub fn run(out: &Path) {
+    let mut t = Table::new(
+        "Table 1 — operation costs per model (engine probes)",
+        &["model", "blue->red", "red->blue", "compute", "recompute", "delete"],
+    );
+    for kind in ModelKind::ALL {
+        t.row_strings(vec![
+            kind.to_string(),
+            probe(kind, "blue->red"),
+            probe(kind, "red->blue"),
+            probe(kind, "compute"),
+            probe(kind, "recompute"),
+            probe(kind, "delete"),
+        ]);
+    }
+    t.print();
+    t.write_csv(out, "table1").expect("write csv");
+    println!("  (paper: transfers cost 1 everywhere; compute 0/once/0/ε; delete forbidden only in nodel)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_match_table1() {
+        assert_eq!(probe(ModelKind::Base, "compute"), "0");
+        assert_eq!(probe(ModelKind::Base, "recompute"), "0");
+        assert_eq!(probe(ModelKind::Oneshot, "recompute"), "forbidden");
+        assert_eq!(probe(ModelKind::NoDel, "delete"), "forbidden");
+        assert_eq!(probe(ModelKind::NoDel, "recompute"), "0");
+        assert_eq!(probe(ModelKind::CompCost, "compute"), "1/100");
+        for kind in ModelKind::ALL {
+            assert_eq!(probe(kind, "blue->red"), "1");
+            assert_eq!(probe(kind, "red->blue"), "1");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Table 2: per-model summary — measured optimum brackets on random
+//! DAGs, optimal-pebbling lengths against the Lemma-1 O(Δ·n) bound,
+//! complexity status (this repo's executable evidence vs. citations),
+//! and the greedy/optimum ratio realized on the Theorem-4 grid.
+
+use crate::report::Table;
+use rbp_core::{bounds, CostModel, Instance, ModelKind};
+use rbp_gadgets::grid::{self, GridConfig};
+use rbp_graph::generate;
+use rbp_solvers::{best_order, solve_exact, solve_greedy};
+use std::path::Path;
+
+/// Regenerates Table 2.
+pub fn run(out: &Path) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12345); // deterministic
+    // random instance family for the cost bracket / length columns
+    let dags: Vec<rbp_graph::Dag> = (0..6)
+        .map(|_| generate::layered(3, 3, 2, &mut rng))
+        .collect();
+
+    let mut t = Table::new(
+        "Table 2 — model properties (measured)",
+        &[
+            "model",
+            "opt bracket (lb..ub)",
+            "measured opt range",
+            "len / (2Δ+3)n bound",
+            "complexity (evidence)",
+            "greedy/opt on grid",
+        ],
+    );
+
+    for kind in ModelKind::ALL {
+        let model = CostModel::of_kind(kind);
+        let mut min_scaled = u128::MAX;
+        let mut max_scaled = 0u128;
+        let mut worst_len_ratio = 0.0f64;
+        let mut bracket = String::new();
+        for dag in &dags {
+            let r = dag.max_indegree() + 1;
+            let inst = Instance::new(dag.clone(), r, model);
+            let (lo, hi) = bounds::optimum_bracket(&inst);
+            bracket = format!("{lo}..{hi}");
+            let opt = solve_exact(&inst).expect("feasible");
+            let scaled = opt.cost.scaled(model.epsilon());
+            min_scaled = min_scaled.min(scaled);
+            max_scaled = max_scaled.max(scaled);
+            if let Some(bound) = bounds::lemma1_length_bound(&inst) {
+                worst_len_ratio = worst_len_ratio.max(opt.trace.len() as f64 / bound as f64);
+            } else {
+                // base: report against the same formula for scale only
+                let delta = dag.max_indegree() as u64;
+                let b = (2 * delta + 3) * dag.n() as u64;
+                worst_len_ratio = worst_len_ratio.max(opt.trace.len() as f64 / b as f64);
+            }
+        }
+
+        // greedy/opt ratio on the Theorem-4 grid (model-specific recipe);
+        // in base the plain grid is free either way (recomputation), so
+        // the H2C-augmented fig8 run is the meaningful measurement there
+        let ratio = if kind == ModelKind::Base {
+            "- (see fig8)".to_string()
+        } else {
+            let cfg = match kind {
+                ModelKind::Oneshot => GridConfig::oneshot_style(3, 12),
+                _ => GridConfig::constant_k(3),
+            };
+            let g = grid::build(cfg);
+            let inst = g.instance(model);
+            let greedy = solve_greedy(&inst).expect("feasible");
+            let best = best_order(&g.grouped, &inst).expect("feasible");
+            format!(
+                "{:.2}",
+                greedy.cost.scaled(model.epsilon()) as f64
+                    / best.cost.scaled(model.epsilon()).max(1) as f64
+            )
+        };
+
+        let complexity = match kind {
+            ModelKind::Base => "PSPACE-complete [6] (cited)",
+            ModelKind::Oneshot => "NP-c (Thm 2 verified here)",
+            ModelKind::NoDel => "NP-c [6] + Thm 2 verified",
+            ModelKind::CompCost => "NP-c (Thm 2 verified here)",
+        };
+
+        t.row_strings(vec![
+            kind.to_string(),
+            bracket,
+            format!("{min_scaled}..{max_scaled} (scaled)"),
+            format!("{worst_len_ratio:.3}"),
+            complexity.to_string(),
+            ratio,
+        ]);
+    }
+    t.print();
+    t.write_csv(out, "table2").expect("write csv");
+    println!("  (paper: cost ∈ [0,(2Δ+1)n] for base/oneshot, [n,·] nodel, [εn,·] compcost;");
+    println!("   optimal length O(Δn) except base; greedy ratio Ω̃(√n) oneshot, Θ(1) nodel/compcost)");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_runs() {
+        let dir = std::env::temp_dir().join("rbp_table2_test");
+        super::run(&dir);
+        assert!(dir.join("table2.csv").exists());
+    }
+}

@@ -1,0 +1,128 @@
+//! Table printing and CSV output shared by all experiments.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rectangular results table: printed aligned to stdout and written as
+/// CSV under `results/`.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Convenience for all-string rows.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>width$}", width = w))
+                .collect();
+            println!("  {}", parts.join(" | "));
+        };
+        line(&self.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Writes the table as `<dir>/<name>.csv` and returns the path.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            let esc: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", esc.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// The default results directory (`results/` under the workspace root,
+/// falling back to the current directory).
+pub fn results_dir() -> PathBuf {
+    let candidates = [
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from("results"),
+    ];
+    for c in &candidates {
+        if c.parent().map(|p| p.exists()).unwrap_or(false) {
+            return c.clone();
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[&1, &"x,y"]);
+        let dir = std::env::temp_dir().join("rbp_report_test");
+        let p = t.write_csv(&dir, "t1").unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[&1]);
+    }
+}

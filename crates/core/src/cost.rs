@@ -1,0 +1,278 @@
+//! Exact cost arithmetic.
+//!
+//! Pebbling costs mix unit-cost transfer operations with ε-cost compute
+//! operations (compcost model, Section 4). Comparing costs through floats
+//! would make argmins unreliable, so costs are kept as two exact integer
+//! counters and weighed with rational ε at comparison time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A non-negative rational number `num/den`, kept in lowest terms.
+///
+/// Used for the compute cost ε (paper: ε ≈ 1/100, "cache is roughly 100
+/// times faster than a bus access") and for reporting exact totals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates `num/den`, reduced. Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "ratio denominator must be nonzero");
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// The zero ratio.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+
+    /// Numerator in lowest terms.
+    #[inline]
+    pub fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator in lowest terms.
+    #[inline]
+    pub fn den(self) -> u64 {
+        self.den
+    }
+
+    /// Whether this is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Exact value as `f64` (display/plot use only — never for argmins).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // cross-multiplied in u128: exact, no overflow for u64 operands
+        (self.num as u128 * other.den as u128).cmp(&(other.num as u128 * self.den as u128))
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Operation counts accumulated by a pebbling: transfers (Steps 1–2) and
+/// computations (Step 3). Deletions (Step 4) are free in every model, so
+/// they are tracked separately in trace statistics, not here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cost {
+    /// Number of blue→red plus red→blue moves (each costs 1 in all models).
+    pub transfers: u64,
+    /// Number of compute operations (cost 0 except ε in compcost).
+    pub computes: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        transfers: 0,
+        computes: 0,
+    };
+
+    /// Cost of `t` transfer operations only.
+    pub fn transfers(t: u64) -> Self {
+        Cost {
+            transfers: t,
+            computes: 0,
+        }
+    }
+
+    /// Weighs the counters with compute cost `eps`, producing an exact
+    /// integer total in units of `1/eps.den()`:
+    /// `transfers·den + computes·num`. This is the canonical comparison
+    /// key — monotone in both counters and exact.
+    #[inline]
+    pub fn scaled(&self, eps: Ratio) -> u128 {
+        self.transfers as u128 * eps.den() as u128 + self.computes as u128 * eps.num() as u128
+    }
+
+    /// Exact total as a ratio `(transfers·den + computes·num) / den`.
+    pub fn total(&self, eps: Ratio) -> Ratio {
+        let num = self
+            .transfers
+            .checked_mul(eps.den())
+            .and_then(|t| t.checked_add(self.computes.checked_mul(eps.num()).expect("overflow")))
+            .expect("cost overflow");
+        Ratio::new(num, eps.den())
+    }
+
+    /// Total as `f64` for reporting only.
+    pub fn total_f64(&self, eps: Ratio) -> f64 {
+        self.transfers as f64 + self.computes as f64 * eps.to_f64()
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            transfers: self.transfers + rhs.transfers,
+            computes: self.computes + rhs.computes,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.transfers += rhs.transfers;
+        self.computes += rhs.computes;
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cost({}T + {}C)", self.transfers, self.computes)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.computes == 0 {
+            write!(f, "{}", self.transfers)
+        } else {
+            write!(f, "{} + {}ε", self.transfers, self.computes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_reduces_to_lowest_terms() {
+        let r = Ratio::new(2, 200);
+        assert_eq!(r.num(), 1);
+        assert_eq!(r.den(), 100);
+        assert_eq!(r, Ratio::new(1, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn ratio_ordering_is_exact() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(2, 4) == Ratio::new(1, 2));
+        assert!(Ratio::new(99, 100) < Ratio::new(1, 1));
+        // values that would collide in f32 precision
+        assert!(Ratio::new(10_000_001, 10_000_000) > Ratio::new(1, 1));
+    }
+
+    #[test]
+    fn scaled_total_weighs_epsilon() {
+        let eps = Ratio::new(1, 100);
+        let c = Cost {
+            transfers: 3,
+            computes: 50,
+        };
+        // 3 + 50/100 = 3.5 → scaled by 100 = 350
+        assert_eq!(c.scaled(eps), 350);
+        assert_eq!(c.total(eps), Ratio::new(7, 2));
+        assert!((c.total_f64(eps) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_eps_ignores_computes() {
+        let c = Cost {
+            transfers: 5,
+            computes: 1_000_000,
+        };
+        assert_eq!(c.scaled(Ratio::ZERO), 5);
+        assert_eq!(c.total(Ratio::ZERO), Ratio::new(5, 1));
+    }
+
+    #[test]
+    fn cost_addition() {
+        let a = Cost {
+            transfers: 2,
+            computes: 3,
+        };
+        let b = Cost {
+            transfers: 1,
+            computes: 0,
+        };
+        let mut s = a;
+        s += b;
+        assert_eq!(s, a + b);
+        assert_eq!(s.transfers, 3);
+        assert_eq!(s.computes, 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cost::transfers(7).to_string(), "7");
+        let c = Cost {
+            transfers: 2,
+            computes: 4,
+        };
+        assert_eq!(c.to_string(), "2 + 4ε");
+        assert_eq!(Ratio::new(3, 1).to_string(), "3");
+        assert_eq!(Ratio::new(1, 100).to_string(), "1/100");
+    }
+
+    #[test]
+    fn scaled_ordering_matches_rational_ordering() {
+        let eps = Ratio::new(1, 100);
+        // 1 transfer (1.0) vs 99 computes (0.99)
+        let a = Cost {
+            transfers: 1,
+            computes: 0,
+        };
+        let b = Cost {
+            transfers: 0,
+            computes: 99,
+        };
+        assert!(b.scaled(eps) < a.scaled(eps));
+        // 100 computes == 1 transfer exactly
+        let c = Cost {
+            transfers: 0,
+            computes: 100,
+        };
+        assert_eq!(c.scaled(eps), a.scaled(eps));
+    }
+}

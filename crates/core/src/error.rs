@@ -1,0 +1,176 @@
+//! Precise validation errors for pebbling traces.
+
+use rbp_graph::NodeId;
+use std::fmt;
+
+/// Why a move sequence is not a legal pebbling for a given instance.
+///
+/// Every variant pinpoints the offending node (and step index, attached by
+/// the engine) so that solver bugs surface immediately in tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PebblingError {
+    /// Step 1 applied to a node that holds no blue pebble.
+    LoadNotBlue { node: NodeId },
+    /// Step 2 applied to a node that holds no red pebble.
+    StoreNotRed { node: NodeId },
+    /// Compute applied to a node with an input lacking a red pebble.
+    InputNotRed { node: NodeId, input: NodeId },
+    /// Compute applied to a node that already holds a red pebble.
+    ComputeOnRed { node: NodeId },
+    /// Second compute of a node in the oneshot model.
+    RecomputeForbidden { node: NodeId },
+    /// Compute of a source under the "sources start blue" convention
+    /// (Appendix C), where sources are not computable.
+    SourceNotComputable { node: NodeId },
+    /// Delete in the nodel model.
+    DeleteForbidden { node: NodeId },
+    /// Delete applied to a node holding no pebble.
+    DeleteEmpty { node: NodeId },
+    /// An operation would leave more than R red pebbles on the DAG.
+    RedLimitExceeded { node: NodeId, limit: usize },
+    /// The trace ended but some sink lacks the required pebble.
+    Incomplete { sink: NodeId },
+    /// The instance itself is unpebblable: R < Δ+1 (Section 3).
+    Infeasible { required: usize, available: usize },
+}
+
+impl PebblingError {
+    /// The node implicated, if any.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            PebblingError::LoadNotBlue { node }
+            | PebblingError::StoreNotRed { node }
+            | PebblingError::InputNotRed { node, .. }
+            | PebblingError::ComputeOnRed { node }
+            | PebblingError::RecomputeForbidden { node }
+            | PebblingError::SourceNotComputable { node }
+            | PebblingError::DeleteForbidden { node }
+            | PebblingError::DeleteEmpty { node }
+            | PebblingError::RedLimitExceeded { node, .. } => Some(node),
+            PebblingError::Incomplete { sink } => Some(sink),
+            PebblingError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for PebblingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PebblingError::LoadNotBlue { node } => {
+                write!(f, "load of v{} which holds no blue pebble", node.index())
+            }
+            PebblingError::StoreNotRed { node } => {
+                write!(f, "store of v{} which holds no red pebble", node.index())
+            }
+            PebblingError::InputNotRed { node, input } => write!(
+                f,
+                "compute of v{} but input v{} holds no red pebble",
+                node.index(),
+                input.index()
+            ),
+            PebblingError::ComputeOnRed { node } => {
+                write!(f, "compute of v{} which already holds a red pebble", node.index())
+            }
+            PebblingError::RecomputeForbidden { node } => write!(
+                f,
+                "v{} computed twice (forbidden in the oneshot model)",
+                node.index()
+            ),
+            PebblingError::SourceNotComputable { node } => write!(
+                f,
+                "source v{} computed, but sources start blue and are not computable",
+                node.index()
+            ),
+            PebblingError::DeleteForbidden { node } => write!(
+                f,
+                "delete of v{} (deletions are forbidden in the nodel model)",
+                node.index()
+            ),
+            PebblingError::DeleteEmpty { node } => {
+                write!(f, "delete of v{} which holds no pebble", node.index())
+            }
+            PebblingError::RedLimitExceeded { node, limit } => write!(
+                f,
+                "placing a red pebble on v{} would exceed the limit of {} red pebbles",
+                node.index(),
+                limit
+            ),
+            PebblingError::Incomplete { sink } => {
+                write!(f, "pebbling ended with sink v{} unpebbled", sink.index())
+            }
+            PebblingError::Infeasible {
+                required,
+                available,
+            } => write!(
+                f,
+                "instance is infeasible: needs R >= {required} red pebbles, has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PebblingError {}
+
+/// A [`PebblingError`] located at a step index within a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceError {
+    /// Index of the offending move in the trace (`usize::MAX` for
+    /// end-of-trace conditions such as incompleteness).
+    pub step: usize,
+    /// The underlying violation.
+    pub error: PebblingError,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == usize::MAX {
+            write!(f, "at end of trace: {}", self.error)
+        } else {
+            write!(f, "at step {}: {}", self.step, self.error)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node() {
+        let e = PebblingError::LoadNotBlue {
+            node: NodeId::new(7),
+        };
+        assert!(e.to_string().contains("v7"));
+        assert_eq!(e.node(), Some(NodeId::new(7)));
+    }
+
+    #[test]
+    fn infeasible_has_no_node() {
+        let e = PebblingError::Infeasible {
+            required: 4,
+            available: 2,
+        };
+        assert_eq!(e.node(), None);
+        assert!(e.to_string().contains("R >= 4"));
+    }
+
+    #[test]
+    fn trace_error_formats_step() {
+        let te = TraceError {
+            step: 3,
+            error: PebblingError::DeleteEmpty {
+                node: NodeId::new(1),
+            },
+        };
+        assert!(te.to_string().starts_with("at step 3"));
+        let end = TraceError {
+            step: usize::MAX,
+            error: PebblingError::Incomplete {
+                sink: NodeId::new(0),
+            },
+        };
+        assert!(end.to_string().starts_with("at end of trace"));
+    }
+}

@@ -1,0 +1,201 @@
+//! A pebbling problem instance: DAG + red-pebble budget + model +
+//! start/finish conventions.
+
+use crate::model::CostModel;
+use rbp_graph::Dag;
+use std::fmt;
+use std::sync::Arc;
+
+/// How source nodes behave at the start of a pebbling (Appendix C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SourceConvention {
+    /// Sources are regular nodes with zero inputs: computable for free at
+    /// any time (the paper's main definition).
+    #[default]
+    FreeCompute,
+    /// Sources start with a blue pebble and are *not* computable; they
+    /// must be loaded (the Hong–Kung convention).
+    InitiallyBlue,
+}
+
+/// What the finishing state requires of sink nodes (Appendix C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SinkConvention {
+    /// Every sink must hold a pebble of either colour (the paper's main
+    /// definition).
+    #[default]
+    AnyPebble,
+    /// Every sink must hold a blue pebble (outputs written to slow
+    /// memory).
+    RequireBlue,
+}
+
+/// A complete pebbling problem: *given DAG and R, pebble every sink*.
+///
+/// The decision version asks whether a pebbling of cost at most C exists
+/// (paper Section 1); solvers in `rbp-solvers` compute the minimum C.
+///
+/// The DAG is held behind an [`Arc`] so instances are cheap to clone into
+/// worker threads for parallel sweeps.
+#[derive(Clone)]
+pub struct Instance {
+    dag: Arc<Dag>,
+    red_limit: usize,
+    model: CostModel,
+    source_convention: SourceConvention,
+    sink_convention: SinkConvention,
+}
+
+impl Instance {
+    /// Creates an instance with the default conventions (freely computable
+    /// sources; sinks need any-colour pebbles).
+    pub fn new(dag: Dag, red_limit: usize, model: CostModel) -> Self {
+        Instance {
+            dag: Arc::new(dag),
+            red_limit,
+            model,
+            source_convention: SourceConvention::default(),
+            sink_convention: SinkConvention::default(),
+        }
+    }
+
+    /// Shares an existing DAG without copying it.
+    pub fn from_shared(dag: Arc<Dag>, red_limit: usize, model: CostModel) -> Self {
+        Instance {
+            dag,
+            red_limit,
+            model,
+            source_convention: SourceConvention::default(),
+            sink_convention: SinkConvention::default(),
+        }
+    }
+
+    /// Sets the source convention (builder style).
+    pub fn with_source_convention(mut self, c: SourceConvention) -> Self {
+        self.source_convention = c;
+        self
+    }
+
+    /// Sets the sink convention (builder style).
+    pub fn with_sink_convention(mut self, c: SinkConvention) -> Self {
+        self.sink_convention = c;
+        self
+    }
+
+    /// Returns a copy of this instance with a different red-pebble budget
+    /// (used by opt(R) sweeps; the DAG is shared, not cloned).
+    pub fn with_red_limit(&self, red_limit: usize) -> Self {
+        let mut i = self.clone();
+        i.red_limit = red_limit;
+        i
+    }
+
+    /// Returns a copy of this instance under a different model.
+    pub fn with_model(&self, model: CostModel) -> Self {
+        let mut i = self.clone();
+        i.model = model;
+        i
+    }
+
+    /// The DAG being pebbled.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Shared handle to the DAG.
+    #[inline]
+    pub fn dag_arc(&self) -> Arc<Dag> {
+        Arc::clone(&self.dag)
+    }
+
+    /// The red-pebble budget R.
+    #[inline]
+    pub fn red_limit(&self) -> usize {
+        self.red_limit
+    }
+
+    /// The governing cost model.
+    #[inline]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Source convention in force.
+    #[inline]
+    pub fn source_convention(&self) -> SourceConvention {
+        self.source_convention
+    }
+
+    /// Sink convention in force.
+    #[inline]
+    pub fn sink_convention(&self) -> SinkConvention {
+        self.sink_convention
+    }
+
+    /// Whether a pebbling exists at all: R ≥ Δ+1 (Section 3).
+    pub fn is_feasible(&self) -> bool {
+        self.red_limit > self.dag.max_indegree()
+    }
+
+    /// The minimum feasible red-pebble budget Δ+1 for this DAG.
+    pub fn min_feasible_r(&self) -> usize {
+        self.dag.max_indegree() + 1
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Instance(n={}, m={}, R={}, {})",
+            self.dag.n(),
+            self.dag.num_edges(),
+            self.red_limit,
+            self.model
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_graph::DagBuilder;
+
+    fn star_into(n: usize) -> Dag {
+        // n sources all feeding one sink: Δ = n
+        let mut b = DagBuilder::new(n + 1);
+        for i in 0..n {
+            b.add_edge(i, n);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feasibility_threshold_is_delta_plus_one() {
+        let inst = Instance::new(star_into(3), 4, CostModel::oneshot());
+        assert!(inst.is_feasible());
+        assert_eq!(inst.min_feasible_r(), 4);
+        assert!(!inst.with_red_limit(3).is_feasible());
+    }
+
+    #[test]
+    fn with_red_limit_shares_dag() {
+        let inst = Instance::new(star_into(2), 3, CostModel::base());
+        let other = inst.with_red_limit(5);
+        assert_eq!(other.red_limit(), 5);
+        assert!(Arc::ptr_eq(&inst.dag, &other.dag));
+    }
+
+    #[test]
+    fn conventions_default_to_paper_definitions() {
+        let inst = Instance::new(star_into(2), 3, CostModel::base());
+        assert_eq!(inst.source_convention(), SourceConvention::FreeCompute);
+        assert_eq!(inst.sink_convention(), SinkConvention::AnyPebble);
+        let alt = inst
+            .with_source_convention(SourceConvention::InitiallyBlue)
+            .with_sink_convention(SinkConvention::RequireBlue);
+        assert_eq!(alt.source_convention(), SourceConvention::InitiallyBlue);
+        assert_eq!(alt.sink_convention(), SinkConvention::RequireBlue);
+    }
+}

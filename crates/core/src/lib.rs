@@ -1,0 +1,62 @@
+//! # rbp-core
+//!
+//! Semantics of the red-blue pebble game, after Papp & Wattenhofer,
+//! *On the Hardness of Red-Blue Pebble Games* (SPAA 2020).
+//!
+//! The game models the I/O cost of computing a DAG on a two-level memory
+//! hierarchy: red pebbles are values in fast memory (at most R at a time),
+//! blue pebbles are values in slow memory, and the four moves are
+//! load (blue→red, cost 1), store (red→blue, cost 1), compute (place red on
+//! a node whose inputs are all red), and delete. Four model variants differ
+//! in whether computation is free, repeatable, or deletable — see
+//! [`model::CostModel`] for the exact Table-1 semantics.
+//!
+//! The central types:
+//! - [`Instance`]: DAG + red budget R + model + start/finish conventions;
+//! - [`Pebbling`]: a move trace;
+//! - [`engine::simulate`]: the validating replayer every reported cost
+//!   goes through;
+//! - [`bounds`]: the Section-3 structural bounds with constructive
+//!   witnesses;
+//! - [`transform`]: the super-source and Appendix-C convention adapters.
+//!
+//! # Example
+//! ```
+//! use rbp_core::{CostModel, Instance, Pebbling, engine};
+//! use rbp_graph::{DagBuilder, NodeId};
+//!
+//! // Two inputs feeding one output, with room for all three values.
+//! let mut b = DagBuilder::new(3);
+//! b.add_edge(0, 2);
+//! b.add_edge(1, 2);
+//! let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+//!
+//! let mut p = Pebbling::new();
+//! p.compute(NodeId::new(0));
+//! p.compute(NodeId::new(1));
+//! p.compute(NodeId::new(2));
+//! let report = engine::simulate(&inst, &p).unwrap();
+//! assert_eq!(report.cost.transfers, 0); // everything fit in fast memory
+//! ```
+
+pub mod analysis;
+pub mod bounds;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod instance;
+pub mod model;
+pub mod moves;
+pub mod state;
+pub mod trace;
+pub mod transform;
+
+pub use analysis::{analyze, NodeTraffic, TraceAnalysis};
+pub use cost::{Cost, Ratio};
+pub use engine::{cost_of, simulate, simulate_prefix, SimReport};
+pub use error::{PebblingError, TraceError};
+pub use instance::{Instance, SinkConvention, SourceConvention};
+pub use model::{CostModel, ModelKind};
+pub use moves::Move;
+pub use state::State;
+pub use trace::{Pebbling, TraceStats};

@@ -1,0 +1,399 @@
+//! The pebbling configuration and single-step transition function.
+
+use crate::cost::Cost;
+use crate::error::PebblingError;
+use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::moves::Move;
+use rbp_graph::{BitSet, NodeId};
+
+/// A pebbling configuration: which nodes hold red pebbles, which hold blue
+/// pebbles, and which have ever been computed.
+///
+/// Invariants maintained by [`State::apply`]:
+/// - `red` and `blue` are disjoint (a node holds at most one pebble);
+/// - `red.len() == red_count <= R`;
+/// - every pebbled node is in `computed` (pebbles originate from
+///   computation, or from the initially-blue source convention).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct State {
+    red: BitSet,
+    blue: BitSet,
+    computed: BitSet,
+    red_count: u32,
+}
+
+impl State {
+    /// The initial configuration for `instance`: empty board, except under
+    /// [`SourceConvention::InitiallyBlue`] where every source starts with a
+    /// blue pebble (and counts as computed).
+    pub fn initial(instance: &Instance) -> Self {
+        let n = instance.dag().n();
+        let mut s = State {
+            red: BitSet::new(n),
+            blue: BitSet::new(n),
+            computed: BitSet::new(n),
+            red_count: 0,
+        };
+        if instance.source_convention() == SourceConvention::InitiallyBlue {
+            for v in instance.dag().sources() {
+                s.blue.insert(v.index());
+                s.computed.insert(v.index());
+            }
+        }
+        s
+    }
+
+    /// Whether `v` holds a red pebble.
+    #[inline]
+    pub fn is_red(&self, v: NodeId) -> bool {
+        self.red.contains(v.index())
+    }
+
+    /// Whether `v` holds a blue pebble.
+    #[inline]
+    pub fn is_blue(&self, v: NodeId) -> bool {
+        self.blue.contains(v.index())
+    }
+
+    /// Whether `v` holds any pebble.
+    #[inline]
+    pub fn is_pebbled(&self, v: NodeId) -> bool {
+        self.is_red(v) || self.is_blue(v)
+    }
+
+    /// Whether `v` has ever been computed.
+    #[inline]
+    pub fn is_computed(&self, v: NodeId) -> bool {
+        self.computed.contains(v.index())
+    }
+
+    /// Number of red pebbles currently on the board.
+    #[inline]
+    pub fn red_count(&self) -> usize {
+        self.red_count as usize
+    }
+
+    /// The red-pebbled nodes.
+    #[inline]
+    pub fn red_set(&self) -> &BitSet {
+        &self.red
+    }
+
+    /// The blue-pebbled nodes.
+    #[inline]
+    pub fn blue_set(&self) -> &BitSet {
+        &self.blue
+    }
+
+    /// The computed nodes.
+    #[inline]
+    pub fn computed_set(&self) -> &BitSet {
+        &self.computed
+    }
+
+    /// Applies one move, returning its cost, or rejects it with the exact
+    /// violation. On error the state is unchanged.
+    pub fn apply(&mut self, mv: Move, instance: &Instance) -> Result<Cost, PebblingError> {
+        let model = instance.model();
+        let r_limit = instance.red_limit();
+        match mv {
+            Move::Load(v) => {
+                if !self.is_blue(v) {
+                    return Err(PebblingError::LoadNotBlue { node: v });
+                }
+                if self.red_count as usize + 1 > r_limit {
+                    return Err(PebblingError::RedLimitExceeded {
+                        node: v,
+                        limit: r_limit,
+                    });
+                }
+                self.blue.remove(v.index());
+                self.red.insert(v.index());
+                self.red_count += 1;
+                Ok(Cost::transfers(1))
+            }
+            Move::Store(v) => {
+                if !self.is_red(v) {
+                    return Err(PebblingError::StoreNotRed { node: v });
+                }
+                self.red.remove(v.index());
+                self.blue.insert(v.index());
+                self.red_count -= 1;
+                Ok(Cost::transfers(1))
+            }
+            Move::Compute(v) => {
+                if self.is_red(v) {
+                    return Err(PebblingError::ComputeOnRed { node: v });
+                }
+                if !model.allows_recompute() && self.is_computed(v) {
+                    return Err(PebblingError::RecomputeForbidden { node: v });
+                }
+                if instance.source_convention() == SourceConvention::InitiallyBlue
+                    && instance.dag().is_source(v)
+                {
+                    return Err(PebblingError::SourceNotComputable { node: v });
+                }
+                if let Some(&missing) = instance
+                    .dag()
+                    .preds(v)
+                    .iter()
+                    .find(|&&u| !self.is_red(u))
+                {
+                    return Err(PebblingError::InputNotRed {
+                        node: v,
+                        input: missing,
+                    });
+                }
+                if self.red_count as usize + 1 > r_limit {
+                    return Err(PebblingError::RedLimitExceeded {
+                        node: v,
+                        limit: r_limit,
+                    });
+                }
+                // computing onto a blue pebble replaces it (the nodel
+                // recomputation mechanism; legal in all models)
+                self.blue.remove(v.index());
+                self.red.insert(v.index());
+                self.red_count += 1;
+                self.computed.insert(v.index());
+                Ok(Cost {
+                    transfers: 0,
+                    computes: 1,
+                })
+            }
+            Move::Delete(v) => {
+                if !model.allows_delete() {
+                    return Err(PebblingError::DeleteForbidden { node: v });
+                }
+                if self.red.remove(v.index()) {
+                    self.red_count -= 1;
+                } else if !self.blue.remove(v.index()) {
+                    return Err(PebblingError::DeleteEmpty { node: v });
+                }
+                Ok(Cost::ZERO)
+            }
+        }
+    }
+
+    /// Whether every legal move `mv` *would* be accepted, without applying
+    /// it. Mirrors [`State::apply`] exactly.
+    pub fn is_legal(&self, mv: Move, instance: &Instance) -> bool {
+        // Cloning a state is cheap (three bitsets); correctness over speed
+        // here — hot paths use `apply` on scratch states directly.
+        let mut probe = self.clone();
+        probe.apply(mv, instance).is_ok()
+    }
+
+    /// Whether the finishing condition holds (every sink pebbled, with the
+    /// colour the instance's sink convention demands).
+    pub fn is_complete(&self, instance: &Instance) -> bool {
+        self.first_unsatisfied_sink(instance).is_none()
+    }
+
+    /// The first sink violating the finishing condition, if any.
+    pub fn first_unsatisfied_sink(&self, instance: &Instance) -> Option<NodeId> {
+        let need_blue = instance.sink_convention() == SinkConvention::RequireBlue;
+        instance.dag().nodes().find(|&v| {
+            instance.dag().is_sink(v)
+                && if need_blue {
+                    !self.is_blue(v)
+                } else {
+                    !self.is_pebbled(v)
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+    use rbp_graph::DagBuilder;
+
+    fn edge_instance(model: CostModel, r: usize) -> Instance {
+        // 0 -> 1
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 1);
+        Instance::new(b.build().unwrap(), r, model)
+    }
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn compute_source_then_target() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        assert_eq!(s.apply(Move::Compute(v(0)), &inst).unwrap().computes, 1);
+        assert!(s.is_red(v(0)));
+        s.apply(Move::Compute(v(1)), &inst).unwrap();
+        assert!(s.is_complete(&inst));
+        assert_eq!(s.red_count(), 2);
+    }
+
+    #[test]
+    fn compute_without_red_input_rejected() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        assert_eq!(
+            s.apply(Move::Compute(v(1)), &inst).unwrap_err(),
+            PebblingError::InputNotRed {
+                node: v(1),
+                input: v(0)
+            }
+        );
+    }
+
+    #[test]
+    fn red_limit_enforced_on_compute_and_load() {
+        let inst = edge_instance(CostModel::base(), 1);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        // second red pebble would exceed R = 1
+        assert_eq!(
+            s.apply(Move::Compute(v(1)), &inst).unwrap_err(),
+            PebblingError::RedLimitExceeded { node: v(1), limit: 1 }
+        );
+        s.apply(Move::Store(v(0)), &inst).unwrap();
+        // loading it back is fine now
+        s.apply(Move::Load(v(0)), &inst).unwrap();
+        assert_eq!(s.red_count(), 1);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip_costs_two_transfers() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        let c1 = s.apply(Move::Store(v(0)), &inst).unwrap();
+        assert!(s.is_blue(v(0)) && !s.is_red(v(0)));
+        let c2 = s.apply(Move::Load(v(0)), &inst).unwrap();
+        assert!(s.is_red(v(0)) && !s.is_blue(v(0)));
+        assert_eq!((c1 + c2).transfers, 2);
+    }
+
+    #[test]
+    fn oneshot_forbids_recompute() {
+        let inst = edge_instance(CostModel::oneshot(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        s.apply(Move::Delete(v(0)), &inst).unwrap();
+        assert_eq!(
+            s.apply(Move::Compute(v(0)), &inst).unwrap_err(),
+            PebblingError::RecomputeForbidden { node: v(0) }
+        );
+    }
+
+    #[test]
+    fn base_allows_recompute() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        s.apply(Move::Delete(v(0)), &inst).unwrap();
+        assert!(s.apply(Move::Compute(v(0)), &inst).is_ok());
+    }
+
+    #[test]
+    fn nodel_forbids_delete_but_allows_recompute_onto_blue() {
+        let inst = edge_instance(CostModel::nodel(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        assert_eq!(
+            s.apply(Move::Delete(v(0)), &inst).unwrap_err(),
+            PebblingError::DeleteForbidden { node: v(0) }
+        );
+        s.apply(Move::Store(v(0)), &inst).unwrap();
+        // recomputation replaces the blue pebble (Section 4)
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        assert!(s.is_red(v(0)));
+        assert!(!s.is_blue(v(0)));
+    }
+
+    #[test]
+    fn compute_on_red_rejected() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        assert_eq!(
+            s.apply(Move::Compute(v(0)), &inst).unwrap_err(),
+            PebblingError::ComputeOnRed { node: v(0) }
+        );
+    }
+
+    #[test]
+    fn delete_empty_rejected() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        assert_eq!(
+            s.apply(Move::Delete(v(0)), &inst).unwrap_err(),
+            PebblingError::DeleteEmpty { node: v(0) }
+        );
+    }
+
+    #[test]
+    fn load_requires_blue_store_requires_red() {
+        let inst = edge_instance(CostModel::base(), 2);
+        let mut s = State::initial(&inst);
+        assert_eq!(
+            s.apply(Move::Load(v(0)), &inst).unwrap_err(),
+            PebblingError::LoadNotBlue { node: v(0) }
+        );
+        assert_eq!(
+            s.apply(Move::Store(v(0)), &inst).unwrap_err(),
+            PebblingError::StoreNotRed { node: v(0) }
+        );
+    }
+
+    #[test]
+    fn initially_blue_sources_start_blue_and_are_not_computable() {
+        let inst = edge_instance(CostModel::base(), 2)
+            .with_source_convention(SourceConvention::InitiallyBlue);
+        let mut s = State::initial(&inst);
+        assert!(s.is_blue(v(0)));
+        assert!(s.is_computed(v(0)));
+        assert_eq!(
+            s.apply(Move::Compute(v(0)), &inst).unwrap_err(),
+            PebblingError::SourceNotComputable { node: v(0) }
+        );
+        // the blue pebble must be loaded instead
+        s.apply(Move::Load(v(0)), &inst).unwrap();
+        s.apply(Move::Compute(v(1)), &inst).unwrap();
+        assert!(s.is_complete(&inst));
+    }
+
+    #[test]
+    fn require_blue_sink_convention() {
+        let inst =
+            edge_instance(CostModel::base(), 2).with_sink_convention(SinkConvention::RequireBlue);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        s.apply(Move::Compute(v(1)), &inst).unwrap();
+        assert!(!s.is_complete(&inst), "red pebble on sink not enough");
+        assert_eq!(s.first_unsatisfied_sink(&inst), Some(v(1)));
+        s.apply(Move::Store(v(1)), &inst).unwrap();
+        assert!(s.is_complete(&inst));
+    }
+
+    #[test]
+    fn failed_apply_leaves_state_unchanged() {
+        let inst = edge_instance(CostModel::oneshot(), 2);
+        let mut s = State::initial(&inst);
+        s.apply(Move::Compute(v(0)), &inst).unwrap();
+        let before = s.clone();
+        let _ = s.apply(Move::Compute(v(1)), &inst); // fine
+        let snapshot = s.clone();
+        assert!(s.apply(Move::Compute(v(0)), &inst).is_err());
+        assert_eq!(s, snapshot);
+        drop(before);
+    }
+
+    #[test]
+    fn is_legal_matches_apply() {
+        let inst = edge_instance(CostModel::oneshot(), 1);
+        let s = State::initial(&inst);
+        assert!(s.is_legal(Move::Compute(v(0)), &inst));
+        assert!(!s.is_legal(Move::Compute(v(1)), &inst));
+        assert!(!s.is_legal(Move::Delete(v(0)), &inst));
+    }
+}

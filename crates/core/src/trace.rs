@@ -1,0 +1,225 @@
+//! Pebbling traces: a recorded sequence of moves with statistics.
+
+use crate::moves::Move;
+use rbp_graph::NodeId;
+use std::fmt;
+
+/// A sequence of pebbling moves — the object whose cost the game measures.
+///
+/// Traces are *not* validated on construction; run them through
+/// [`crate::engine::simulate`] to check legality against an instance and
+/// obtain the exact cost.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Pebbling {
+    moves: Vec<Move>,
+}
+
+impl Pebbling {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Pebbling { moves: Vec::new() }
+    }
+
+    /// An empty trace with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Pebbling {
+            moves: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing move sequence.
+    pub fn from_moves(moves: Vec<Move>) -> Self {
+        Pebbling { moves }
+    }
+
+    /// Appends a move.
+    #[inline]
+    pub fn push(&mut self, mv: Move) {
+        self.moves.push(mv);
+    }
+
+    /// Convenience: appends `Load(v)`.
+    pub fn load(&mut self, v: NodeId) {
+        self.push(Move::Load(v));
+    }
+
+    /// Convenience: appends `Store(v)`.
+    pub fn store(&mut self, v: NodeId) {
+        self.push(Move::Store(v));
+    }
+
+    /// Convenience: appends `Compute(v)`.
+    pub fn compute(&mut self, v: NodeId) {
+        self.push(Move::Compute(v));
+    }
+
+    /// Convenience: appends `Delete(v)`.
+    pub fn delete(&mut self, v: NodeId) {
+        self.push(Move::Delete(v));
+    }
+
+    /// Appends all moves of `other`.
+    pub fn extend(&mut self, other: &Pebbling) {
+        self.moves.extend_from_slice(&other.moves);
+    }
+
+    /// The moves in order.
+    #[inline]
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Number of moves (the pebbling's *length*, bounded by O(Δ·n) for
+    /// optimal pebblings in oneshot/nodel/compcost — Lemma 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Per-operation counts.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for m in &self.moves {
+            match m {
+                Move::Load(_) => s.loads += 1,
+                Move::Store(_) => s.stores += 1,
+                Move::Compute(_) => s.computes += 1,
+                Move::Delete(_) => s.deletes += 1,
+            }
+        }
+        s
+    }
+
+    /// The order in which nodes receive their *first* computation — the
+    /// visit order that characterizes oneshot strategies (Section 8).
+    pub fn first_computations(&self) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut order = Vec::new();
+        for m in &self.moves {
+            if let Move::Compute(v) = m {
+                if seen.insert(*v) {
+                    order.push(*v);
+                }
+            }
+        }
+        order
+    }
+}
+
+impl fmt::Debug for Pebbling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "Pebbling(len={}, loads={}, stores={}, computes={}, deletes={})",
+            self.len(),
+            s.loads,
+            s.stores,
+            s.computes,
+            s.deletes
+        )
+    }
+}
+
+impl fmt::Display for Pebbling {
+    /// Full move listing, one per line — for debugging small traces.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.moves.iter().enumerate() {
+            writeln!(f, "{i:>4}: {m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Move> for Pebbling {
+    fn from_iter<T: IntoIterator<Item = Move>>(iter: T) -> Self {
+        Pebbling {
+            moves: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Operation counts of a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TraceStats {
+    /// Step-1 count (blue→red).
+    pub loads: u64,
+    /// Step-2 count (red→blue).
+    pub stores: u64,
+    /// Step-3 count.
+    pub computes: u64,
+    /// Step-4 count.
+    pub deletes: u64,
+}
+
+impl TraceStats {
+    /// Total transfers (the cost in all models up to the compute term).
+    pub fn transfers(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn stats_count_each_kind() {
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        p.store(v(0));
+        p.load(v(0));
+        p.compute(v(1));
+        p.delete(v(0));
+        let s = p.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.computes, 2);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.transfers(), 2);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn first_computations_dedupes() {
+        let mut p = Pebbling::new();
+        p.compute(v(2));
+        p.compute(v(0));
+        p.delete(v(2));
+        p.compute(v(2)); // recompute: not a first computation
+        assert_eq!(p.first_computations(), vec![v(2), v(0)]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Pebbling::from_moves(vec![Move::Compute(v(0))]);
+        let b = Pebbling::from_moves(vec![Move::Store(v(0))]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.moves()[1], Move::Store(v(0)));
+    }
+
+    #[test]
+    fn display_lists_moves() {
+        let p = Pebbling::from_moves(vec![Move::Compute(v(0)), Move::Store(v(0))]);
+        let text = p.to_string();
+        assert!(text.contains("0: compute v0"));
+        assert!(text.contains("1: store v0"));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Pebbling = vec![Move::Compute(v(1))].into_iter().collect();
+        assert_eq!(p.len(), 1);
+    }
+}

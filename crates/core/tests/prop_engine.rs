@@ -1,0 +1,238 @@
+//! Property tests for the game engine: state invariants under random
+//! legal move sequences, cost accounting consistency, and analysis
+//! agreement.
+
+use proptest::prelude::*;
+use rbp_core::{analysis, engine, CostModel, Instance, ModelKind, Move, Pebbling, State};
+use rbp_graph::{DagBuilder, NodeId};
+
+fn arb_model() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        Just(CostModel::base()),
+        Just(CostModel::oneshot()),
+        Just(CostModel::nodel()),
+        Just(CostModel::compcost()),
+    ]
+}
+
+fn arb_dag(max_n: usize) -> impl Strategy<Value = rbp_graph::Dag> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.35), pairs).prop_map(move |coins| {
+            let mut b = DagBuilder::new(n);
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coins[idx] {
+                        b.add_edge(i, j);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Drives a state with a pseudo-random walk of *legal* moves, checking
+/// the structural invariants after each step.
+fn random_legal_walk(inst: &Instance, steps: usize, seed: u64) -> (State, Pebbling) {
+    let mut state = State::initial(inst);
+    let mut trace = Pebbling::new();
+    let n = inst.dag().n();
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for _ in 0..steps {
+        // enumerate all legal moves, pick one pseudo-randomly
+        let mut legal: Vec<Move> = Vec::new();
+        for i in 0..n {
+            let v = NodeId::new(i);
+            for mv in [Move::Load(v), Move::Store(v), Move::Compute(v), Move::Delete(v)] {
+                if state.is_legal(mv, inst) {
+                    legal.push(mv);
+                }
+            }
+        }
+        if legal.is_empty() {
+            break;
+        }
+        let mv = legal[(next() % legal.len() as u64) as usize];
+        state.apply(mv, inst).unwrap();
+        trace.push(mv);
+    }
+    (state, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Invariants under arbitrary legal play: red/blue disjoint, red
+    /// count within budget, pebbles only on computed nodes.
+    #[test]
+    fn invariants_hold_under_random_play(
+        dag in arb_dag(8),
+        model in arb_model(),
+        seed in any::<u64>(),
+    ) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let (state, trace) = random_legal_walk(&inst, 60, seed);
+        // disjoint pebbles
+        prop_assert!(state.red_set().is_disjoint(state.blue_set()));
+        // budget respected
+        prop_assert!(state.red_count() <= r);
+        prop_assert_eq!(state.red_count(), state.red_set().len());
+        // pebbles imply computed
+        for v in state.red_set().iter() {
+            prop_assert!(state.is_computed(NodeId::new(v)));
+        }
+        for v in state.blue_set().iter() {
+            prop_assert!(state.is_computed(NodeId::new(v)));
+        }
+        // the trace replays to the same state and cost
+        let rep = engine::simulate_prefix(&inst, &trace).unwrap();
+        prop_assert_eq!(rep.final_state, state);
+        // cost accounting matches trace statistics
+        let stats = trace.stats();
+        prop_assert_eq!(rep.cost.transfers, stats.transfers());
+        prop_assert_eq!(rep.cost.computes, stats.computes);
+    }
+
+    /// The analysis module agrees with the engine on peak occupancy and
+    /// per-node totals.
+    #[test]
+    fn analysis_matches_engine(
+        dag in arb_dag(8),
+        model in arb_model(),
+        seed in any::<u64>(),
+    ) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let (_, trace) = random_legal_walk(&inst, 40, seed);
+        let rep = engine::simulate_prefix(&inst, &trace).unwrap();
+        let a = analysis::analyze(&inst, &trace);
+        prop_assert_eq!(a.peak_red, rep.peak_red);
+        prop_assert_eq!(a.len, trace.len());
+        let loads: u32 = a.traffic.iter().map(|t| t.loads).sum();
+        let stores: u32 = a.traffic.iter().map(|t| t.stores).sum();
+        prop_assert_eq!((loads + stores) as u64, rep.cost.transfers);
+    }
+
+    /// Oneshot never computes a node twice even under adversarial play.
+    #[test]
+    fn oneshot_single_compute_invariant(dag in arb_dag(8), seed in any::<u64>()) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, CostModel::oneshot());
+        let (_, trace) = random_legal_walk(&inst, 80, seed);
+        let mut counts = std::collections::HashMap::new();
+        for mv in trace.moves() {
+            if let Move::Compute(v) = mv {
+                *counts.entry(*v).or_insert(0u32) += 1;
+            }
+        }
+        for (_, c) in counts {
+            prop_assert_eq!(c, 1);
+        }
+    }
+
+    /// NoDel never shrinks the pebbled set.
+    #[test]
+    fn nodel_pebbles_are_monotone(dag in arb_dag(8), seed in any::<u64>()) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag.clone(), r, CostModel::nodel());
+        let mut state = State::initial(&inst);
+        let (_, trace) = random_legal_walk(&inst, 50, seed);
+        let mut prev = 0usize;
+        for &mv in trace.moves() {
+            state.apply(mv, &inst).unwrap();
+            let pebbled = state.red_set().len() + state.blue_set().len();
+            prop_assert!(pebbled >= prev);
+            prev = pebbled;
+        }
+    }
+
+    /// Scaled-cost comparison never disagrees with exact rational totals.
+    #[test]
+    fn scaled_cost_orders_like_rationals(
+        t1 in 0u64..500, c1 in 0u64..500,
+        t2 in 0u64..500, c2 in 0u64..500,
+    ) {
+        let eps = rbp_core::Ratio::new(1, 100);
+        let a = rbp_core::Cost { transfers: t1, computes: c1 };
+        let b = rbp_core::Cost { transfers: t2, computes: c2 };
+        let by_scaled = a.scaled(eps).cmp(&b.scaled(eps));
+        let by_total = a.total(eps).cmp(&b.total(eps));
+        prop_assert_eq!(by_scaled, by_total);
+    }
+}
+
+/// A fixed-model check that every error variant is reachable through the
+/// public API (failure-injection coverage).
+#[test]
+fn all_error_variants_reachable() {
+    use rbp_core::PebblingError as E;
+    let mut b = DagBuilder::new(2);
+    b.add_edge(0, 1);
+    let dag = b.build().unwrap();
+    let v0 = NodeId::new(0);
+    let v1 = NodeId::new(1);
+
+    let oneshot = Instance::new(dag.clone(), 2, CostModel::oneshot());
+    let mut s = State::initial(&oneshot);
+    assert!(matches!(s.apply(Move::Load(v0), &oneshot), Err(E::LoadNotBlue { .. })));
+    assert!(matches!(s.apply(Move::Store(v0), &oneshot), Err(E::StoreNotRed { .. })));
+    assert!(matches!(s.apply(Move::Delete(v0), &oneshot), Err(E::DeleteEmpty { .. })));
+    assert!(matches!(s.apply(Move::Compute(v1), &oneshot), Err(E::InputNotRed { .. })));
+    s.apply(Move::Compute(v0), &oneshot).unwrap();
+    assert!(matches!(s.apply(Move::Compute(v0), &oneshot), Err(E::ComputeOnRed { .. })));
+    s.apply(Move::Delete(v0), &oneshot).unwrap();
+    assert!(matches!(
+        s.apply(Move::Compute(v0), &oneshot),
+        Err(E::RecomputeForbidden { .. })
+    ));
+
+    let tight = Instance::new(dag.clone(), 1, CostModel::base());
+    let mut s2 = State::initial(&tight);
+    s2.apply(Move::Compute(v0), &tight).unwrap();
+    assert!(matches!(
+        s2.apply(Move::Compute(v1), &tight),
+        Err(E::RedLimitExceeded { .. })
+    ));
+
+    let nodel = Instance::new(dag.clone(), 2, CostModel::nodel());
+    let mut s3 = State::initial(&nodel);
+    s3.apply(Move::Compute(v0), &nodel).unwrap();
+    assert!(matches!(s3.apply(Move::Delete(v0), &nodel), Err(E::DeleteForbidden { .. })));
+
+    let blue_start = Instance::new(dag, 2, CostModel::base())
+        .with_source_convention(rbp_core::SourceConvention::InitiallyBlue);
+    let mut s4 = State::initial(&blue_start);
+    assert!(matches!(
+        s4.apply(Move::Compute(v0), &blue_start),
+        Err(E::SourceNotComputable { .. })
+    ));
+
+    // Incomplete + Infeasible via the engine/bounds layer
+    let oneshot2 = Instance::new(
+        {
+            let mut b = DagBuilder::new(2);
+            b.add_edge(0, 1);
+            b.build().unwrap()
+        },
+        2,
+        CostModel::oneshot(),
+    );
+    let err = engine::simulate(&oneshot2, &Pebbling::new()).unwrap_err();
+    assert!(matches!(err.error, E::Incomplete { .. }));
+    let infeasible = oneshot2.with_red_limit(1);
+    assert!(matches!(
+        rbp_core::bounds::check_feasible(&infeasible),
+        Err(E::Infeasible { .. })
+    ));
+    let _ = ModelKind::ALL;
+}

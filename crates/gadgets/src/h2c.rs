@@ -1,0 +1,558 @@
+//! The hard-to-compute (H2C) gadget of Figure 2.
+//!
+//! Placed in front of a source node `v`, the gadget makes computing `v`
+//! cost at least 4 transfers: `v`'s new inputs are `starters` nodes
+//! (default 3), each of which needs *all* R red pebbles to compute (its
+//! inputs are a group `B` of R−1 nodes). Computing the last starter forces
+//! the previous ones through slow memory. The gadget serves two purposes
+//! (Section 3): modelling inherently costly inputs, and making nodes
+//! costly to *recompute* — once `v` is computed, saving it (cost 2 per
+//! round trip) strictly beats recomputation (cost ≥ 4), so reasonable
+//! pebblings never recompute `v` even in the base model.
+//!
+//! `s` feeds the `B` group so that the gadget adds only one new source
+//! per `B` group.
+
+use rbp_core::{Instance, Move, Pebbling, SourceConvention, State};
+use rbp_graph::{Dag, DagBuilder, NodeId};
+use rbp_solvers::SolveError;
+
+/// Configuration for [`attach`].
+#[derive(Clone, Copy, Debug)]
+pub struct H2cConfig {
+    /// Share one `s` + `B` group across all protected sources (the
+    /// Section-3 economy) or instantiate them per source (the Appendix-A.2
+    /// variant that makes each source an independent constant-cost
+    /// process).
+    pub shared_group: bool,
+    /// Starter nodes per protected source (paper: 3; the tradeoff-diagram
+    /// adaptation in Appendix A.1 uses d+3).
+    pub starters: usize,
+    /// Size of each `B` group (paper: R−1).
+    pub group_size: usize,
+}
+
+impl H2cConfig {
+    /// The paper's default for red budget `r`: shared group of size R−1,
+    /// 3 starters.
+    pub fn standard(r: usize) -> Self {
+        assert!(r >= 4, "H2C needs R >= 4 (3 starters + the source)");
+        H2cConfig {
+            shared_group: true,
+            starters: 3,
+            group_size: r - 1,
+        }
+    }
+
+    /// The Appendix-A.2 variant: a separate `s` + `B` per source.
+    pub fn per_source(r: usize) -> Self {
+        H2cConfig {
+            shared_group: false,
+            ..Self::standard(r)
+        }
+    }
+}
+
+/// An H2C-augmented DAG. Original node ids are preserved.
+#[derive(Clone, Debug)]
+pub struct H2c {
+    /// The augmented DAG.
+    pub dag: Dag,
+    /// The `s` node(s): one if shared, else one per protected source.
+    pub s_nodes: Vec<NodeId>,
+    /// The `B` group(s), parallel to `s_nodes`.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Per protected source: its starter nodes.
+    pub starters: Vec<Vec<NodeId>>,
+    /// The protected original sources, in ascending id order.
+    pub protected: Vec<NodeId>,
+    config: H2cConfig,
+}
+
+/// Attaches H2C gadgets in front of every source of `dag`.
+pub fn attach(dag: &Dag, cfg: H2cConfig) -> H2c {
+    attach_to(dag, dag.sources(), cfg)
+}
+
+/// Attaches H2C gadgets in front of the given sources only — the paper's
+/// "disable recomputation of specific nodes" use (Section 3). Each
+/// protected node must currently be a source.
+pub fn attach_to(dag: &Dag, protected: Vec<NodeId>, cfg: H2cConfig) -> H2c {
+    assert!(
+        protected.iter().all(|&v| dag.is_source(v)),
+        "H2C can only protect source nodes"
+    );
+    assert!(
+        cfg.starters >= 3,
+        "fewer than 3 starters does not force transfers"
+    );
+    let mut b = DagBuilder::new(dag.n());
+    for (u, v) in dag.edges() {
+        b.add_edge_ids(u, v);
+    }
+    let mut s_nodes = Vec::new();
+    let mut groups = Vec::new();
+    let make_group = |b: &mut DagBuilder, tag: &str| -> (NodeId, Vec<NodeId>) {
+        let s = b.add_labeled_node(format!("s{tag}"));
+        let group: Vec<NodeId> = (0..cfg.group_size)
+            .map(|i| {
+                let n = b.add_labeled_node(format!("B{tag}_{i}"));
+                b.add_edge_ids(s, n);
+                n
+            })
+            .collect();
+        (s, group)
+    };
+    if cfg.shared_group {
+        let (s, g) = make_group(&mut b, "");
+        s_nodes.push(s);
+        groups.push(g);
+    }
+    let mut starters = Vec::new();
+    for (vi, &v) in protected.iter().enumerate() {
+        if !cfg.shared_group {
+            let (s, g) = make_group(&mut b, &format!("_{vi}"));
+            s_nodes.push(s);
+            groups.push(g);
+        }
+        let group = groups.last().unwrap().clone();
+        let us: Vec<NodeId> = (0..cfg.starters)
+            .map(|i| {
+                let u = b.add_labeled_node(format!("u{vi}_{i}"));
+                for &bn in &group {
+                    b.add_edge_ids(bn, u);
+                }
+                u
+            })
+            .collect();
+        for &u in &us {
+            b.add_edge_ids(u, v);
+        }
+        starters.push(us);
+    }
+    H2c {
+        dag: b.build().expect("H2C attachment preserves acyclicity"),
+        s_nodes,
+        groups,
+        starters,
+        protected,
+        config: cfg,
+    }
+}
+
+impl H2c {
+    /// The group index serving protected source `vi`.
+    fn group_of(&self, vi: usize) -> usize {
+        if self.config.shared_group {
+            0
+        } else {
+            vi
+        }
+    }
+
+    /// Emits the *prologue*: computes every protected source through its
+    /// gadget and parks it under a blue pebble, leaving the board ready
+    /// for the main-construction schedule (all former sources blue).
+    ///
+    /// Legal in base, oneshot and compcost; legal but not cost-tuned in
+    /// nodel (the paper uses H2C only where deletions exist).
+    pub fn prologue(
+        &self,
+        instance: &Instance,
+        state: &mut State,
+        trace: &mut Pebbling,
+    ) -> Result<(), SolveError> {
+        assert_eq!(
+            instance.source_convention(),
+            SourceConvention::FreeCompute,
+            "H2C presupposes freely computable sources"
+        );
+        let r = instance.red_limit();
+        assert!(
+            r > self.config.starters && r > self.config.group_size,
+            "red budget too small for the gadget"
+        );
+        let n_src = self.protected.len();
+        // needed(v): whether the value must survive (be stored, not
+        // deleted) when evicted at the point source `vi` is in flight
+        for (vi, &v) in self.protected.iter().enumerate() {
+            let gi = self.group_of(vi);
+            let group = &self.groups[gi];
+            let s = self.s_nodes[gi];
+            let us = &self.starters[vi];
+            let last_user_of_group = if self.config.shared_group { n_src - 1 } else { vi };
+
+            // 1. make the whole B group red (computing via s on first use)
+            let group_computed = state.is_computed(group[0]);
+            if !group_computed {
+                self.acquire(instance, state, trace, s, &[], vi, last_user_of_group)?;
+                for &bn in group {
+                    self.acquire(instance, state, trace, bn, &[s], vi, last_user_of_group)?;
+                }
+                // s is dead from here on
+                self.evict_one(instance, state, trace, s, false)?;
+            } else {
+                for &bn in group {
+                    let pinned: Vec<NodeId> = group.clone();
+                    self.acquire(instance, state, trace, bn, &pinned, vi, last_user_of_group)?;
+                }
+            }
+
+            // 2. compute starters; each newcomer evicts its predecessor
+            //    into slow memory (B stays pinned)
+            for (i, &u) in us.iter().enumerate() {
+                self.ensure_slot(instance, state, trace, group, vi, last_user_of_group)?;
+                state
+                    .apply(Move::Compute(u), instance)
+                    .map_err(SolveError::Pebbling)?;
+                trace.push(Move::Compute(u));
+                if i + 1 < us.len() {
+                    // will be needed for v: store, don't delete
+                    self.evict_one(instance, state, trace, u, true)?;
+                }
+            }
+
+            // 3. reload the stored starters (B members give way now)
+            for &u in &us[..us.len() - 1] {
+                self.ensure_slot_pinned(instance, state, trace, us, vi, last_user_of_group)?;
+                state
+                    .apply(Move::Load(u), instance)
+                    .map_err(SolveError::Pebbling)?;
+                trace.push(Move::Load(u));
+            }
+
+            // 4. compute v and park it
+            self.ensure_slot_pinned(instance, state, trace, us, vi, last_user_of_group)?;
+            state
+                .apply(Move::Compute(v), instance)
+                .map_err(SolveError::Pebbling)?;
+            trace.push(Move::Compute(v));
+            self.evict_one(instance, state, trace, v, true)?;
+
+            // 5. starters are dead
+            for &u in us {
+                if state.is_red(u) {
+                    self.evict_one(instance, state, trace, u, false)?;
+                } else if state.is_blue(u) && instance.model().allows_delete() {
+                    state
+                        .apply(Move::Delete(u), instance)
+                        .map_err(SolveError::Pebbling)?;
+                    trace.push(Move::Delete(u));
+                }
+            }
+        }
+        // clear any leftover B pebbles (dead now)
+        for group in &self.groups {
+            for &bn in group {
+                if state.is_red(bn) {
+                    self.evict_one(instance, state, trace, bn, false)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: run the prologue from the initial state.
+    pub fn prologue_trace(&self, instance: &Instance) -> Result<(Pebbling, State), SolveError> {
+        let mut state = State::initial(instance);
+        let mut trace = Pebbling::new();
+        self.prologue(instance, &mut state, &mut trace)?;
+        Ok((trace, state))
+    }
+
+    /// Makes `node` red: load if blue, compute if never computed (its
+    /// inputs must already be red). `pinned` are protected from eviction.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire(
+        &self,
+        instance: &Instance,
+        state: &mut State,
+        trace: &mut Pebbling,
+        node: NodeId,
+        pinned: &[NodeId],
+        vi: usize,
+        last_user: usize,
+    ) -> Result<(), SolveError> {
+        if state.is_red(node) {
+            return Ok(());
+        }
+        self.ensure_slot_pinned(instance, state, trace, pinned, vi, last_user)?;
+        let mv = if state.is_blue(node) {
+            Move::Load(node)
+        } else {
+            Move::Compute(node)
+        };
+        state.apply(mv, instance).map_err(SolveError::Pebbling)?;
+        trace.push(mv);
+        Ok(())
+    }
+
+    fn ensure_slot(
+        &self,
+        instance: &Instance,
+        state: &mut State,
+        trace: &mut Pebbling,
+        pinned: &[NodeId],
+        vi: usize,
+        last_user: usize,
+    ) -> Result<(), SolveError> {
+        self.ensure_slot_pinned(instance, state, trace, pinned, vi, last_user)
+    }
+
+    /// Frees one slot if full. B members are stored while later sources
+    /// still need them, deleted afterwards; anything else red at this
+    /// point is dead (starters of previous sources) and deleted/stored.
+    fn ensure_slot_pinned(
+        &self,
+        instance: &Instance,
+        state: &mut State,
+        trace: &mut Pebbling,
+        pinned: &[NodeId],
+        vi: usize,
+        last_user: usize,
+    ) -> Result<(), SolveError> {
+        while state.red_count() >= instance.red_limit() {
+            let in_group = |x: usize| self.groups.iter().any(|g| g.iter().any(|b| b.index() == x));
+            let mut victim: Option<(bool, usize)> = None; // (needed, node)
+            for x in state.red_set().iter() {
+                if pinned.iter().any(|p| p.index() == x) {
+                    continue;
+                }
+                let needed = in_group(x) && vi < last_user;
+                // prefer un-needed victims
+                if victim.is_none() || (!needed && victim.unwrap().0) {
+                    victim = Some((needed, x));
+                }
+                if !needed {
+                    break;
+                }
+            }
+            let (needed, x) = victim.expect("slot requested with everything pinned");
+            self.evict_one(instance, state, trace, NodeId::new(x), needed)?;
+        }
+        Ok(())
+    }
+
+    fn evict_one(
+        &self,
+        instance: &Instance,
+        state: &mut State,
+        trace: &mut Pebbling,
+        node: NodeId,
+        keep: bool,
+    ) -> Result<(), SolveError> {
+        let mv = if keep || !instance.model().allows_delete() {
+            Move::Store(node)
+        } else {
+            Move::Delete(node)
+        };
+        state.apply(mv, instance).map_err(SolveError::Pebbling)?;
+        trace.push(mv);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{engine, CostModel, ModelKind};
+    use rbp_graph::generate;
+    use rbp_solvers::solve_exact;
+
+    /// A single original source, standalone.
+    fn single_source_gadget(r: usize) -> H2c {
+        let dag = DagBuilder::new(1).build().unwrap();
+        attach(&dag, H2cConfig::standard(r))
+    }
+
+    #[test]
+    fn structure_shared() {
+        let dag = generate::chain(3); // one source
+        let h = attach(&dag, H2cConfig::standard(5));
+        // original 3 + s + B(4) + 3 starters
+        assert_eq!(h.dag.n(), 3 + 1 + 4 + 3);
+        assert_eq!(h.protected, vec![NodeId::new(0)]);
+        // the former source now has indegree 3
+        assert_eq!(h.dag.indegree(NodeId::new(0)), 3);
+        // starters have indegree R-1
+        assert_eq!(h.dag.indegree(h.starters[0][0]), 4);
+    }
+
+    #[test]
+    fn structure_per_source() {
+        // two sources
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let dag = b.build().unwrap();
+        let h = attach(&dag, H2cConfig::per_source(4));
+        assert_eq!(h.s_nodes.len(), 2);
+        assert_eq!(h.groups.len(), 2);
+        // 3 original + 2·(1 + 3 + 3)
+        assert_eq!(h.dag.n(), 3 + 2 * 7);
+    }
+
+    #[test]
+    fn computing_v_costs_exactly_four_transfers() {
+        // the paper's headline number: pebbling the protected source to a
+        // *red* pebble costs exactly 4 transfers (2 stores + 2 loads among
+        // the starters)
+        let h = single_source_gadget(4);
+        let inst = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
+        let rep = solve_exact(&inst).unwrap();
+        assert_eq!(rep.cost.transfers, 4);
+    }
+
+    #[test]
+    fn four_transfers_also_in_base_model() {
+        // deletions + recomputation do not help: the starters still have
+        // to round-trip
+        let h = single_source_gadget(4);
+        let inst = Instance::new(h.dag.clone(), 4, CostModel::base());
+        let rep = solve_exact(&inst).unwrap();
+        assert_eq!(rep.cost.transfers, 4);
+    }
+
+    #[test]
+    fn prologue_is_valid_and_parks_sources_blue() {
+        for kind in [ModelKind::Oneshot, ModelKind::Base, ModelKind::CompCost] {
+            let mut b = DagBuilder::new(4);
+            b.add_edge(0, 3);
+            b.add_edge(1, 3);
+            b.add_edge(2, 3);
+            let dag = b.build().unwrap();
+            let h = attach(&dag, H2cConfig::standard(5));
+            let inst = Instance::new(h.dag.clone(), 5, CostModel::of_kind(kind));
+            let (trace, state) = h.prologue_trace(&inst).unwrap();
+            // prefix validity
+            let rep = engine::simulate_prefix(&inst, &trace).unwrap();
+            assert!(rep.peak_red <= 5);
+            for &v in &h.protected {
+                assert!(state.is_blue(v), "source {v:?} parked blue ({kind})");
+            }
+        }
+    }
+
+    #[test]
+    fn prologue_cost_is_linear_in_source_count() {
+        // constant marginal cost per protected source (shared group)
+        let cost_for = |n_sources: usize| -> u64 {
+            let mut b = DagBuilder::new(n_sources + 1);
+            for i in 0..n_sources {
+                b.add_edge(i, n_sources);
+            }
+            let dag = b.build().unwrap();
+            let h = attach(&dag, H2cConfig::standard(n_sources + 2));
+            let inst = Instance::new(h.dag.clone(), n_sources + 2, CostModel::oneshot());
+            let (trace, _) = h.prologue_trace(&inst).unwrap();
+            engine::simulate_prefix(&inst, &trace).unwrap().cost.transfers
+        };
+        // marginal cost of one more source is a small constant (< 12)
+        let c3 = cost_for(3);
+        let c4 = cost_for(4);
+        assert!(c4 > c3);
+        assert!(c4 - c3 <= 12, "marginal source cost {} too large", c4 - c3);
+    }
+
+    #[test]
+    fn save_beats_recompute_margin() {
+        // Section 3: once v is computed, saving it (blue round-trip, cost
+        // 2) beats recomputation (>= 3 via blue starters, >= 4 from
+        // scratch). Verified on a DAG where v is needed twice with an
+        // eviction forced in between: v feeds c1 and c2; the join
+        // (w1, w2, c1 -> mid) fills all R = 4 slots between the two uses.
+        let mut b = DagBuilder::new(0);
+        let v = b.add_node(); // protected source
+        let c1 = b.add_node();
+        b.add_edge_ids(v, c1);
+        let w: Vec<NodeId> = (0..2).map(|_| b.add_node()).collect();
+        let mid = b.add_node();
+        for &x in &w {
+            b.add_edge_ids(x, mid);
+        }
+        b.add_edge_ids(c1, mid);
+        let c2 = b.add_node();
+        b.add_edge_ids(v, c2);
+        b.add_edge_ids(mid, c2);
+        let dag = b.build().unwrap();
+        // protect only v; the distractor sources w1, w2 stay free
+        let h = attach_to(&dag, vec![v], H2cConfig::standard(4));
+        let us = h.starters[0].clone();
+        let (s, bg) = (h.s_nodes[0], h.groups[0].clone());
+
+        // the canonical gadget traversal: 4 transfers up to a red v
+        let mut head = Pebbling::new();
+        head.compute(s);
+        for &bn in &bg {
+            head.compute(bn);
+        }
+        head.delete(s);
+        head.compute(us[0]);
+        head.store(us[0]);
+        head.compute(us[1]);
+        head.store(us[1]);
+        head.compute(us[2]);
+        head.delete(bg[0]);
+        head.load(us[0]);
+        head.delete(bg[1]);
+        head.load(us[1]);
+        head.delete(bg[2]);
+        head.compute(v);
+
+        // strategy A: park v blue across the distractor, reload (cost +2)
+        let mut save = head.clone();
+        for &u in &us {
+            save.delete(u);
+        }
+        save.compute(c1);
+        save.store(v);
+        save.compute(w[0]);
+        save.compute(w[1]);
+        save.compute(mid);
+        save.delete(w[0]);
+        save.delete(w[1]);
+        save.delete(c1);
+        save.load(v);
+        save.compute(c2);
+
+        // strategy B: keep the starters blue instead and recompute v
+        // later (cost +3 for the starter reloads, after +3 stores)
+        let mut recompute = head.clone();
+        for &u in &us {
+            recompute.store(u); // +3
+        }
+        recompute.compute(c1);
+        recompute.delete(v);
+        recompute.compute(w[0]);
+        recompute.compute(w[1]);
+        recompute.compute(mid);
+        recompute.delete(w[0]);
+        recompute.delete(w[1]);
+        recompute.delete(c1);
+        recompute.load(us[0]); // +3
+        recompute.load(us[1]);
+        recompute.load(us[2]);
+        recompute.store(mid); // +1: all four slots needed for v
+        recompute.compute(v);
+        for &u in &us {
+            recompute.delete(u);
+        }
+        recompute.load(mid); // +1
+        recompute.compute(c2);
+
+        let base = Instance::new(h.dag.clone(), 4, CostModel::base());
+        let save_cost = engine::simulate(&base, &save).unwrap().cost.transfers;
+        let rec_cost = engine::simulate(&base, &recompute).unwrap().cost.transfers;
+        assert_eq!(save_cost, 6, "4 for the gadget + 2 for the round trip");
+        assert!(
+            rec_cost > save_cost,
+            "recompute ({rec_cost}) must lose to save ({save_cost})"
+        );
+
+        // oneshot exact (recompute impossible there): optimum equals the
+        // save strategy's cost, confirming it is the best of its class
+        let oneshot = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
+        let opt = solve_exact(&oneshot).unwrap();
+        assert_eq!(opt.cost.transfers, 6);
+    }
+}

@@ -1,0 +1,12 @@
+//! # rbp-gadgets
+//!
+//! The paper's DAG constructions with verified trace emitters: the H2C
+//! gadget (Fig. 2), the constant-degree ladder (Fig. 1), the classical
+//! pyramid (prior-work baseline), the time-memory tradeoff chain
+//! (Fig. 3), and the greedy-adversarial grid (Fig. 8).
+
+pub mod cd;
+pub mod tradeoff;
+pub mod grid;
+pub mod h2c;
+pub mod pyramid;

@@ -1,0 +1,116 @@
+//! The classical pyramid gadget (prior work: [6, 10, 16]).
+//!
+//! A pyramid of height `h` has `h` source nodes at the bottom; row `r`
+//! (0-based from the bottom) has `h − r` nodes, each depending on the two
+//! adjacent nodes below; the apex is the single sink. Pebbling the apex
+//! requires ~`h+1` red pebbles to be free of transfers, but — unlike the
+//! CD ladder — losing one red pebble increases the optimal cost by only
+//! about 2 (the paper's motivation for the new gadget, Section 3).
+
+use rbp_graph::{Dag, DagBuilder, NodeId};
+
+/// A built pyramid.
+#[derive(Clone, Debug)]
+pub struct Pyramid {
+    /// The DAG.
+    pub dag: Dag,
+    /// `rows[r]` lists row `r` (bottom row first).
+    pub rows: Vec<Vec<NodeId>>,
+    /// The apex (single sink).
+    pub apex: NodeId,
+    /// Height (number of rows).
+    pub height: usize,
+}
+
+/// Builds a pyramid of the given height (`height >= 1`).
+pub fn build(height: usize) -> Pyramid {
+    assert!(height >= 1);
+    let mut b = DagBuilder::new(0);
+    let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(height);
+    for r in 0..height {
+        let width = height - r;
+        let row: Vec<NodeId> = (0..width)
+            .map(|i| b.add_labeled_node(format!("p{r}_{i}")))
+            .collect();
+        if r > 0 {
+            for (i, &node) in row.iter().enumerate() {
+                b.add_edge_ids(rows[r - 1][i], node);
+                b.add_edge_ids(rows[r - 1][i + 1], node);
+            }
+        }
+        rows.push(row);
+    }
+    let apex = rows[height - 1][0];
+    Pyramid {
+        dag: b.build().expect("pyramid is acyclic"),
+        rows,
+        apex,
+        height,
+    }
+}
+
+impl Pyramid {
+    /// Number of nodes: h(h+1)/2.
+    pub fn node_count(&self) -> usize {
+        self.height * (self.height + 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_solvers::solve_exact;
+
+    #[test]
+    fn structure() {
+        let p = build(4);
+        assert_eq!(p.dag.n(), 10);
+        assert_eq!(p.node_count(), 10);
+        assert_eq!(p.dag.sources().len(), 4);
+        assert_eq!(p.dag.sinks(), vec![p.apex]);
+        assert_eq!(p.dag.max_indegree(), 2);
+    }
+
+    #[test]
+    fn height_one_is_single_node() {
+        let p = build(1);
+        assert_eq!(p.dag.n(), 1);
+        assert_eq!(p.apex.index(), 0);
+    }
+
+    #[test]
+    fn free_with_enough_pebbles() {
+        let p = build(4);
+        // h+1 red pebbles pebble a pyramid without transfers
+        let inst = Instance::new(p.dag.clone(), p.height + 1, CostModel::oneshot());
+        let rep = solve_exact(&inst).unwrap();
+        assert_eq!(rep.cost.transfers, 0);
+    }
+
+    #[test]
+    fn losing_one_pebble_costs_only_about_two() {
+        // the contrast with the CD ladder (paper Section 3): pyramid's
+        // penalty for one missing pebble is tiny
+        for h in [3usize, 4] {
+            let p = build(h);
+            let full = solve_exact(&Instance::new(
+                p.dag.clone(),
+                h + 1,
+                CostModel::oneshot(),
+            ))
+            .unwrap()
+            .cost
+            .transfers;
+            let starved = solve_exact(&Instance::new(
+                p.dag.clone(),
+                h,
+                CostModel::oneshot(),
+            ))
+            .unwrap()
+            .cost
+            .transfers;
+            assert!(starved <= full + 2, "pyramid penalty stays at 2 (h={h})");
+        }
+    }
+}

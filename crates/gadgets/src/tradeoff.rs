@@ -1,0 +1,323 @@
+//! The time-memory tradeoff construction of Section 5 (Figures 3–4).
+//!
+//! Two *control groups* A and B of `d` source nodes each, plus a chain of
+//! `n` nodes; chain node `t` depends on chain node `t−1` and on all of A
+//! (t even) or all of B (t odd). Δ = d+1, so budgets range over
+//! R ∈ [d+2, 2d+2].
+//!
+//! In the oneshot model, with R = d+2+i red pebbles the optimal strategy
+//! parks `i` pebbles on the inactive control group and swaps the other
+//! `d−i` back and forth, paying 2(d−i) transfers per chain step:
+//! opt(d+2+i) = 2(d−i)·n — the *maximal-slope* staircase (each extra
+//! pebble saves the 2n bound of Section 5). [`TradeoffChain::strategy`] emits exactly
+//! that pebbling; [`TradeoffChain::expected_oneshot_cost`] is its closed form, and both
+//! are cross-checked against the exact solver in tests.
+//!
+//! In models with recomputation the picture legitimately changes: blue
+//! control nodes can be *recomputed* in place of loads (free in base and
+//! nodel, ε in compcost), so the staircase slope halves (nodel) or the
+//! curve collapses to ~0 (base) — the very degeneracy that motivates the
+//! paper's Section-4 discussion. The emitter exploits recomputation
+//! whenever the model allows it, so the measured curves show each model's
+//! true shape.
+
+use rbp_core::{Instance, Move, Pebbling, State};
+use rbp_graph::{Dag, DagBuilder, NodeId};
+use rbp_solvers::SolveError;
+
+/// A built tradeoff chain.
+#[derive(Clone, Debug)]
+pub struct TradeoffChain {
+    /// The DAG.
+    pub dag: Dag,
+    /// Control group A (drives even chain steps).
+    pub group_a: Vec<NodeId>,
+    /// Control group B (drives odd chain steps).
+    pub group_b: Vec<NodeId>,
+    /// The chain, in order.
+    pub chain: Vec<NodeId>,
+    /// Control group size d.
+    pub d: usize,
+}
+
+/// Builds the construction with control groups of size `d` and a chain of
+/// length `chain_len`.
+///
+/// # Example
+/// ```
+/// use rbp_gadgets::tradeoff;
+/// let t = tradeoff::build(3, 10);
+/// // the full Figure-4 staircase: one step of 2(n−2) per extra pebble
+/// assert_eq!(t.expected_oneshot_cost(t.min_r()), 2 * 8 * 3);
+/// assert_eq!(t.expected_oneshot_cost(t.free_r()), 0);
+/// ```
+pub fn build(d: usize, chain_len: usize) -> TradeoffChain {
+    assert!(d >= 1 && chain_len >= 2, "degenerate tradeoff chain");
+    let mut b = DagBuilder::new(0);
+    let group_a: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("A{i}"))).collect();
+    let group_b: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("B{i}"))).collect();
+    let mut chain = Vec::with_capacity(chain_len);
+    let mut prev: Option<NodeId> = None;
+    for t in 0..chain_len {
+        let c = b.add_labeled_node(format!("c{t}"));
+        let group = if t % 2 == 0 { &group_a } else { &group_b };
+        for &g in group {
+            b.add_edge_ids(g, c);
+        }
+        if let Some(p) = prev {
+            b.add_edge_ids(p, c);
+        }
+        prev = Some(c);
+        chain.push(c);
+    }
+    TradeoffChain {
+        dag: b.build().expect("chain is acyclic"),
+        group_a,
+        group_b,
+        chain,
+        d,
+    }
+}
+
+impl TradeoffChain {
+    /// Smallest feasible budget: Δ+1 = d+2.
+    pub fn min_r(&self) -> usize {
+        self.d + 2
+    }
+
+    /// Budget at which the pebbling is free (oneshot): both groups parked.
+    pub fn free_r(&self) -> usize {
+        2 * self.d + 2
+    }
+
+    /// The closed-form optimal cost in the **oneshot** model with
+    /// R = d+2+i: the `d−i` transient pebbles of the off-duty group are
+    /// stored and reloaded once per interior chain step — 2(n−2)(d−i),
+    /// i.e. the paper's 2(d−i)·n asymptotically. (The boundary steps are
+    /// cheaper: the first computation of each control node is free, and on
+    /// a group's last use its transients are deleted, not stored.)
+    pub fn expected_oneshot_cost(&self, r: usize) -> u64 {
+        let i = r - self.min_r();
+        let swap = (self.d - i) as u64;
+        2 * (self.chain.len() as u64 - 2) * swap
+    }
+
+    /// Emits the Section-5 strategy for the instance's budget R = d+2+i:
+    /// park `i` pebbles per control group, swap the remaining `d−i`.
+    /// Control values are re-acquired by load (oneshot) or recomputation
+    /// (models that allow it); chain nodes are deleted right after their
+    /// single use (stored in nodel).
+    pub fn strategy(&self, instance: &Instance) -> Result<Pebbling, SolveError> {
+        let r = instance.red_limit();
+        assert!(
+            (self.min_r()..=self.free_r()).contains(&r),
+            "R = {r} outside the tradeoff range [{}, {}]",
+            self.min_r(),
+            self.free_r()
+        );
+        let i = r - self.min_r();
+        let model = instance.model();
+        let mut state = State::initial(instance);
+        let mut trace = Pebbling::new();
+        let apply = |state: &mut State, mv: Move, trace: &mut Pebbling| -> Result<(), SolveError> {
+            state.apply(mv, instance).map_err(SolveError::Pebbling)?;
+            trace.push(mv);
+            Ok(())
+        };
+
+        // kept[g]: the first i members of each group stay red forever
+        let kept_a = &self.group_a[..i];
+        let kept_b = &self.group_b[..i];
+
+        for (t, &c) in self.chain.iter().enumerate() {
+            let (active, inactive) = if t % 2 == 0 {
+                (&self.group_a, &self.group_b)
+            } else {
+                (&self.group_b, &self.group_a)
+            };
+            // the off-duty group is needed again only if the chain
+            // continues past the next step
+            let inactive_reused = t + 1 < self.chain.len();
+            // acquire all active members
+            for &u in active {
+                if state.is_red(u) {
+                    continue;
+                }
+                // make room: evict a transient member of the inactive group
+                while state.red_count() >= r {
+                    let victim = inactive
+                        .iter()
+                        .copied()
+                        .find(|&x| state.is_red(x) && !kept_a.contains(&x) && !kept_b.contains(&x))
+                        .expect("a transient inactive member must be red");
+                    // a control value must survive its eviction only if it
+                    // is needed again and the model cannot recompute it
+                    let mv = if model.allows_delete()
+                        && (model.allows_recompute() || !inactive_reused)
+                    {
+                        Move::Delete(victim)
+                    } else {
+                        Move::Store(victim)
+                    };
+                    apply(&mut state, mv, &mut trace)?;
+                }
+                let mv = if state.is_blue(u) && !model.allows_recompute() {
+                    Move::Load(u)
+                } else {
+                    // first computation, or free/ε recomputation
+                    Move::Compute(u)
+                };
+                apply(&mut state, mv, &mut trace)?;
+            }
+            // compute the chain node
+            while state.red_count() >= r {
+                // drop the chain node two steps back (its use is done)
+                let victim = self.chain[..t]
+                    .iter()
+                    .copied()
+                    .rev()
+                    .find(|&x| state.is_red(x) && (t == 0 || x != self.chain[t - 1]))
+                    .or_else(|| {
+                        inactive.iter().copied().find(|&x| {
+                            state.is_red(x) && !kept_a.contains(&x) && !kept_b.contains(&x)
+                        })
+                    })
+                    .expect("an evictable pebble must exist");
+                let is_chain = self.chain.contains(&victim);
+                let mv = if model.allows_delete()
+                    && (is_chain || model.allows_recompute() || !inactive_reused)
+                {
+                    Move::Delete(victim)
+                } else {
+                    Move::Store(victim)
+                };
+                apply(&mut state, mv, &mut trace)?;
+            }
+            apply(&mut state, Move::Compute(c), &mut trace)?;
+            // retire the previous chain node (dead now)
+            if t >= 1 {
+                let p = self.chain[t - 1];
+                if state.is_red(p) {
+                    let mv = if model.allows_delete() {
+                        Move::Delete(p)
+                    } else {
+                        Move::Store(p)
+                    };
+                    apply(&mut state, mv, &mut trace)?;
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{engine, CostModel};
+    use rbp_solvers::{solve_exact, sweep_r};
+
+    #[test]
+    fn structure() {
+        let t = build(3, 5);
+        assert_eq!(t.dag.n(), 3 + 3 + 5);
+        assert_eq!(t.dag.max_indegree(), 4, "chain nodes have d+1 inputs");
+        assert_eq!(t.min_r(), 5);
+        assert_eq!(t.free_r(), 8);
+        // chain[0] depends on A only
+        assert_eq!(t.dag.indegree(t.chain[0]), 3);
+        assert_eq!(t.dag.sinks(), vec![*t.chain.last().unwrap()]);
+    }
+
+    #[test]
+    fn strategy_matches_closed_form_oneshot() {
+        let t = build(3, 6);
+        for r in t.min_r()..=t.free_r() {
+            let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
+            let trace = t.strategy(&inst).unwrap();
+            let rep = engine::simulate(&inst, &trace).unwrap();
+            assert_eq!(
+                rep.cost.transfers,
+                t.expected_oneshot_cost(r),
+                "strategy cost formula broken at R={r}"
+            );
+            assert!(rep.peak_red <= r);
+        }
+    }
+
+    #[test]
+    fn free_at_both_groups_parked() {
+        let t = build(2, 8);
+        let inst = Instance::new(t.dag.clone(), t.free_r(), CostModel::oneshot());
+        let trace = t.strategy(&inst).unwrap();
+        let rep = engine::simulate(&inst, &trace).unwrap();
+        assert_eq!(rep.cost.transfers, 0);
+    }
+
+    #[test]
+    fn strategy_is_optimal_small_instance() {
+        // the real Figure-4 check: exact solver agrees with the strategy
+        // at every R in the range
+        let t = build(2, 3);
+        for r in t.min_r()..=t.free_r() {
+            let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
+            let opt = solve_exact(&inst).unwrap();
+            assert_eq!(
+                opt.cost.transfers,
+                t.expected_oneshot_cost(r),
+                "exact optimum deviates from 2(d-i)n staircase at R={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn staircase_slope_is_exactly_two_n_per_pebble() {
+        let t = build(3, 6);
+        let n = t.chain.len() as u64;
+        let costs: Vec<u64> = (t.min_r()..=t.free_r())
+            .map(|r| t.expected_oneshot_cost(r))
+            .collect();
+        for w in costs.windows(2) {
+            assert_eq!(w[0] - w[1], 2 * (n - 2), "uniform maximal slope");
+        }
+    }
+
+    #[test]
+    fn strategy_valid_in_all_models() {
+        let t = build(2, 4);
+        for kind in rbp_core::ModelKind::ALL {
+            for r in t.min_r()..=t.free_r() {
+                let inst = Instance::new(t.dag.clone(), r, CostModel::of_kind(kind));
+                let trace = t.strategy(&inst).unwrap();
+                let rep = engine::simulate(&inst, &trace)
+                    .unwrap_or_else(|e| panic!("invalid trace in {kind} at R={r}: {e}"));
+                assert!(rep.peak_red <= r);
+            }
+        }
+    }
+
+    #[test]
+    fn base_model_curve_collapses_to_zero() {
+        // recomputation makes the whole construction free in base —
+        // the degeneracy motivating the model variants (Section 4)
+        let t = build(2, 5);
+        let inst = Instance::new(t.dag.clone(), t.min_r(), CostModel::base());
+        let trace = t.strategy(&inst).unwrap();
+        let rep = engine::simulate(&inst, &trace).unwrap();
+        assert_eq!(rep.cost.transfers, 0);
+    }
+
+    #[test]
+    fn sweep_confirms_monotone_staircase() {
+        let t = build(2, 4);
+        let inst = Instance::new(t.dag.clone(), t.min_r(), CostModel::oneshot());
+        let points = sweep_r(&inst, t.min_r()..=t.free_r(), |i| {
+            solve_exact(i).map(|r| r.cost)
+        });
+        assert_eq!(
+            rbp_solvers::check_tradeoff_laws(&inst, &points),
+            None,
+            "tradeoff laws violated"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Reachability and structural queries on DAGs.
+
+use crate::bitset::BitSet;
+use crate::dag::{Dag, NodeId};
+
+/// The set of nodes reachable from `start` by following edges forward,
+/// including `start` itself (i.e. `start` and its descendants).
+pub fn descendants(dag: &Dag, start: NodeId) -> BitSet {
+    let mut seen = BitSet::new(dag.n());
+    let mut stack = vec![start];
+    seen.insert(start.index());
+    while let Some(v) = stack.pop() {
+        for &w in dag.succs(v) {
+            if seen.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// The set of nodes that reach `target` by following edges forward,
+/// including `target` itself (i.e. `target` and its ancestors).
+pub fn ancestors(dag: &Dag, target: NodeId) -> BitSet {
+    let mut seen = BitSet::new(dag.n());
+    let mut stack = vec![target];
+    seen.insert(target.index());
+    while let Some(v) = stack.pop() {
+        for &w in dag.preds(v) {
+            if seen.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether there is a directed path from `u` to `v` (including `u == v`).
+pub fn reaches(dag: &Dag, u: NodeId, v: NodeId) -> bool {
+    descendants(dag, u).contains(v.index())
+}
+
+/// For every node, the number of sinks among its descendants. A node with
+/// zero *live* sinks below it can never matter again once its last
+/// successor is computed — the quantity driving eviction heuristics.
+pub fn sinks_below(dag: &Dag) -> Vec<u32> {
+    // Count reachable sinks exactly via per-node bitsets in reverse
+    // topological order. O(n^2/64) — fine at solver scales.
+    let n = dag.n();
+    let mut reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    let order = crate::topo::topological_order(dag);
+    for &v in order.iter().rev() {
+        if dag.is_sink(v) {
+            reach[v.index()].insert(v.index());
+        }
+        let succs: Vec<NodeId> = dag.succs(v).to_vec();
+        for w in succs {
+            let (a, b) = if v.index() < w.index() {
+                let (lo, hi) = reach.split_at_mut(w.index());
+                (&mut lo[v.index()], &hi[0])
+            } else {
+                let (lo, hi) = reach.split_at_mut(v.index());
+                (&mut hi[0], &lo[w.index()])
+            };
+            a.union_with(b);
+        }
+    }
+    reach.iter().map(|s| s.len() as u32).collect()
+}
+
+/// Transitive closure as one reachability bitset per node (descendants,
+/// inclusive). Quadratic memory; intended for analysis of small graphs.
+pub fn transitive_closure(dag: &Dag) -> Vec<BitSet> {
+    let n = dag.n();
+    let mut reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    let order = crate::topo::topological_order(dag);
+    for &v in order.iter().rev() {
+        reach[v.index()].insert(v.index());
+        let succs: Vec<NodeId> = dag.succs(v).to_vec();
+        for w in succs {
+            let (a, b) = if v.index() < w.index() {
+                let (lo, hi) = reach.split_at_mut(w.index());
+                (&mut lo[v.index()], &hi[0])
+            } else {
+                let (lo, hi) = reach.split_at_mut(v.index());
+                (&mut hi[0], &lo[w.index()])
+            };
+            a.union_with(b);
+        }
+    }
+    reach
+}
+
+/// Number of distinct source-to-`v` paths per node, saturating at
+/// `u64::MAX`. Useful as a quick structural fingerprint in tests.
+pub fn path_counts(dag: &Dag) -> Vec<u64> {
+    let mut counts = vec![0u64; dag.n()];
+    for v in crate::topo::topological_order(dag) {
+        if dag.is_source(v) {
+            counts[v.index()] = 1;
+        } else {
+            let mut total: u64 = 0;
+            for &u in dag.preds(v) {
+                total = total.saturating_add(counts[u.index()]);
+            }
+            counts[v.index()] = total;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn descendants_inclusive() {
+        let d = diamond();
+        let desc = descendants(&d, NodeId::new(1));
+        assert_eq!(desc.iter().collect::<Vec<_>>(), vec![1, 3]);
+        let all = descendants(&d, NodeId::new(0));
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn ancestors_inclusive() {
+        let d = diamond();
+        let anc = ancestors(&d, NodeId::new(3));
+        assert_eq!(anc.len(), 4);
+        let anc1 = ancestors(&d, NodeId::new(1));
+        assert_eq!(anc1.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reaches_is_reflexive_and_directional() {
+        let d = diamond();
+        assert!(reaches(&d, NodeId::new(0), NodeId::new(3)));
+        assert!(reaches(&d, NodeId::new(2), NodeId::new(2)));
+        assert!(!reaches(&d, NodeId::new(3), NodeId::new(0)));
+        assert!(!reaches(&d, NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn sinks_below_counts() {
+        // Two sinks: 3 and 4; node 1 reaches only 3, node 2 reaches both.
+        let mut b = DagBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.add_edge(2, 4);
+        let d = b.build().unwrap();
+        assert_eq!(sinks_below(&d), vec![2, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn path_counts_diamond() {
+        let d = diamond();
+        assert_eq!(path_counts(&d), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn transitive_closure_matches_reaches() {
+        let d = diamond();
+        let tc = transitive_closure(&d);
+        for u in d.nodes() {
+            for v in d.nodes() {
+                assert_eq!(tc[u.index()].contains(v.index()), reaches(&d, u, v));
+            }
+        }
+    }
+}

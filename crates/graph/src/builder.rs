@@ -1,0 +1,241 @@
+//! Mutable construction of [`Dag`]s with validation.
+
+use crate::dag::{Dag, GraphError, NodeId};
+
+/// Incremental builder for a [`Dag`].
+///
+/// Nodes are pre-declared by count (or added with [`add_node`]); edges may
+/// be added in any order and duplicates are coalesced. [`build`] validates
+/// that the edge set is acyclic and produces the immutable CSR form.
+///
+/// [`add_node`]: DagBuilder::add_node
+/// [`build`]: DagBuilder::build
+///
+/// # Example
+/// ```
+/// use rbp_graph::DagBuilder;
+/// let mut b = DagBuilder::new(3);
+/// b.add_edge(0, 2);
+/// b.add_edge(1, 2);
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.indegree(rbp_graph::NodeId::new(2)), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DagBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    labels: Vec<(u32, String)>,
+}
+
+impl DagBuilder {
+    /// Starts a builder with `n` initial nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        DagBuilder {
+            n,
+            edges: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Current number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.n);
+        self.n += 1;
+        id
+    }
+
+    /// Adds a fresh labelled node and returns its id. Labels are carried
+    /// into the built [`Dag`] for diagnostics and DOT export.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = self.add_node();
+        self.labels.push((id.index() as u32, label.into()));
+        id
+    }
+
+    /// Adds `count` fresh nodes and returns their ids.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Sets the label of an existing node.
+    pub fn set_label(&mut self, v: NodeId, label: impl Into<String>) {
+        self.labels.push((v.index() as u32, label.into()));
+    }
+
+    /// Adds the directed edge `from -> to` by raw index.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.edges.push((from as u32, to as u32));
+    }
+
+    /// Adds the directed edge `from -> to` by node id.
+    pub fn add_edge_ids(&mut self, from: NodeId, to: NodeId) {
+        self.edges.push((from.index() as u32, to.index() as u32));
+    }
+
+    /// Adds edges from every node in `from` to `to` (an *input group* edge
+    /// bundle, the basic element of the paper's constructions).
+    pub fn add_group_edges(&mut self, from: &[NodeId], to: NodeId) {
+        for &u in from {
+            self.add_edge_ids(u, to);
+        }
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`]
+    /// for malformed edges and [`GraphError::Cycle`] if the edge set is not
+    /// acyclic. Duplicate edges are merged silently.
+    pub fn build(mut self) -> Result<Dag, GraphError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u as usize, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v as usize, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u as usize });
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // Build successor CSR (edges sorted by source already).
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            succ_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let succ_targets: Vec<NodeId> = self
+            .edges
+            .iter()
+            .map(|&(_, v)| NodeId::new(v as usize))
+            .collect();
+
+        // Build predecessor CSR by counting then placing.
+        let mut pred_offsets = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            pred_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        let mut pred_targets = vec![NodeId::new(0); self.edges.len()];
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v as usize];
+            pred_targets[*c as usize] = NodeId::new(u as usize);
+            *c += 1;
+        }
+        // Sources were sorted by (u, v); per-target pred lists need their
+        // own sort for binary-search lookups.
+        for v in 0..n {
+            pred_targets[pred_offsets[v] as usize..pred_offsets[v + 1] as usize].sort_unstable();
+        }
+
+        let mut labels = vec![String::new(); n];
+        for (i, l) in self.labels {
+            labels[i as usize] = l;
+        }
+
+        let dag = Dag {
+            pred_offsets,
+            pred_targets,
+            succ_offsets,
+            succ_targets,
+            labels,
+        };
+
+        if let Some(witness) = crate::topo::find_cycle_witness(&dag) {
+            return Err(GraphError::Cycle {
+                witness: witness.index(),
+            });
+        }
+        Ok(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let d = b.build().unwrap();
+        assert_eq!(d.num_edges(), 1);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 5);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, n: 2 }
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new(2);
+        b.add_edge(1, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn cycle_rejected_with_witness() {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        match b.build().unwrap_err() {
+            GraphError::Cycle { witness } => assert!(witness < 3),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut b = DagBuilder::new(0);
+        let a = b.add_node();
+        let c = b.add_labeled_node("sink");
+        b.add_edge_ids(a, c);
+        let d = b.build().unwrap();
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.label(c), "sink");
+        assert_eq!(d.label(a), "");
+    }
+
+    #[test]
+    fn group_edges_bundle() {
+        let mut b = DagBuilder::new(0);
+        let group = b.add_nodes(3);
+        let t = b.add_node();
+        b.add_group_edges(&group, t);
+        let d = b.build().unwrap();
+        assert_eq!(d.indegree(t), 3);
+        assert_eq!(d.preds(t), group.as_slice());
+    }
+
+    #[test]
+    fn pred_lists_sorted_even_with_unsorted_input() {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(2, 3);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        let d = b.build().unwrap();
+        let p: Vec<usize> = d.preds(NodeId::new(3)).iter().map(|v| v.index()).collect();
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Compact directed acyclic graph storage.
+//!
+//! A [`Dag`] is immutable after construction and stores both predecessor and
+//! successor adjacency in CSR (compressed sparse row) form: one offsets
+//! array and one flat targets array per direction. This keeps neighbour
+//! scans contiguous, which dominates the inner loops of every solver.
+//!
+//! Build one with [`DagBuilder`](crate::builder::DagBuilder), which
+//! validates acyclicity.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Dag`] (a dense index in `0..n`).
+///
+/// A `u32` index keeps solver state small; graphs beyond 4 billion nodes
+/// are far outside pebbling-solver reach anyway.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// The dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Errors produced while constructing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node index `>= n`.
+    NodeOutOfRange { node: usize, n: usize },
+    /// An edge `(v, v)` was added.
+    SelfLoop { node: usize },
+    /// The edge set contains a directed cycle; a witness node on the cycle
+    /// is reported.
+    Cycle { witness: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range (graph has {n} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            GraphError::Cycle { witness } => {
+                write!(f, "edge set is cyclic (node {witness} lies on a cycle)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable directed acyclic graph in CSR form.
+///
+/// In pebbling terms (paper, Section 1): sources are the computation
+/// inputs, sinks the outputs, and the predecessors of `v` are the values
+/// required in fast memory to compute `v`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dag {
+    pub(crate) pred_offsets: Vec<u32>,
+    pub(crate) pred_targets: Vec<NodeId>,
+    pub(crate) succ_offsets: Vec<u32>,
+    pub(crate) succ_targets: Vec<NodeId>,
+    pub(crate) labels: Vec<String>,
+}
+
+impl Dag {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.pred_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.pred_targets.len()
+    }
+
+    /// All node ids, in index order.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// The in-neighbours (inputs) of `v`, sorted by index.
+    #[inline]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.pred_targets[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
+    }
+
+    /// The out-neighbours (users) of `v`, sorted by index.
+    #[inline]
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.succ_targets[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn indegree(&self, v: NodeId) -> usize {
+        self.preds(v).len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn outdegree(&self, v: NodeId) -> usize {
+        self.succs(v).len()
+    }
+
+    /// Whether the edge `u -> v` exists (binary search over sorted preds).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.preds(v).binary_search(&u).is_ok()
+    }
+
+    /// Whether `v` has no inputs.
+    #[inline]
+    pub fn is_source(&self, v: NodeId) -> bool {
+        self.indegree(v) == 0
+    }
+
+    /// Whether `v` has no users.
+    #[inline]
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.outdegree(v) == 0
+    }
+
+    /// All sources (computation inputs), in index order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_source(v)).collect()
+    }
+
+    /// All sinks (computation outputs), in index order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_sink(v)).collect()
+    }
+
+    /// Largest in-degree Δ. The paper's feasibility threshold is R ≥ Δ+1.
+    pub fn max_indegree(&self) -> usize {
+        self.nodes().map(|v| self.indegree(v)).max().unwrap_or(0)
+    }
+
+    /// The label attached to `v` at build time (empty if none).
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// All edges as `(from, to)` pairs, grouped by target.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |v| self.preds(v).iter().map(move |&u| (u, v)))
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dag(n={}, m={})", self.n(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DagBuilder;
+    use crate::dag::NodeId;
+
+    fn diamond() -> crate::Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let d = diamond();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.preds(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(d.succs(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(d.indegree(NodeId::new(3)), 2);
+        assert_eq!(d.outdegree(NodeId::new(3)), 0);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let d = diamond();
+        assert_eq!(d.sources(), vec![NodeId::new(0)]);
+        assert_eq!(d.sinks(), vec![NodeId::new(3)]);
+        assert!(d.is_source(NodeId::new(0)));
+        assert!(d.is_sink(NodeId::new(3)));
+        assert!(!d.is_sink(NodeId::new(1)));
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let d = diamond();
+        assert!(d.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!d.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!d.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn max_indegree_is_delta() {
+        let d = diamond();
+        assert_eq!(d.max_indegree(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let d = diamond();
+        let mut e: Vec<(usize, usize)> = d.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        e.sort();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = DagBuilder::new(0).build().unwrap();
+        assert_eq!(d.n(), 0);
+        assert_eq!(d.max_indegree(), 0);
+        assert!(d.sources().is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_are_both_source_and_sink() {
+        let d = DagBuilder::new(3).build().unwrap();
+        assert_eq!(d.sources().len(), 3);
+        assert_eq!(d.sinks().len(), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Graphviz DOT export for DAGs, for debugging constructions visually.
+
+use crate::dag::Dag;
+use std::fmt::Write as _;
+
+/// Renders the DAG in Graphviz DOT syntax. Node labels fall back to the
+/// numeric id when no label was set at build time; sources are drawn as
+/// boxes and sinks as double circles so the pebbling roles stand out.
+pub fn to_dot(dag: &Dag, graph_name: &str) -> String {
+    let mut out = String::with_capacity(64 + dag.n() * 24 + dag.num_edges() * 12);
+    let _ = writeln!(out, "digraph \"{graph_name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for v in dag.nodes() {
+        let label = dag.label(v);
+        let shown = if label.is_empty() {
+            format!("{}", v.index())
+        } else {
+            label.to_string()
+        };
+        let shape = if dag.is_source(v) {
+            "box"
+        } else if dag.is_sink(v) {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(out, "  n{} [label=\"{shown}\", shape={shape}];", v.index());
+    }
+    for (u, v) in dag.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DagBuilder::new(0);
+        let a = b.add_labeled_node("input");
+        let c = b.add_labeled_node("output");
+        b.add_edge_ids(a, c);
+        let d = b.build().unwrap();
+        let dot = to_dot(&d, "g");
+        assert!(dot.starts_with("digraph \"g\""));
+        assert!(dot.contains("label=\"input\""));
+        assert!(dot.contains("shape=box"), "source rendered as box");
+        assert!(dot.contains("shape=doublecircle"), "sink rendered as doublecircle");
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unlabeled_nodes_use_index() {
+        let d = DagBuilder::new(1).build().unwrap();
+        let dot = to_dot(&d, "x");
+        assert!(dot.contains("label=\"0\""));
+    }
+}

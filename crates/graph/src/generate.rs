@@ -1,0 +1,146 @@
+//! Random DAG generators for tests, property checks, and Table 2
+//! experiments.
+
+use crate::builder::DagBuilder;
+use crate::dag::Dag;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random layered DAG: `layers` layers of `width` nodes each; each
+/// non-first-layer node draws between 1 and `max_indegree` predecessors
+/// uniformly from the previous layer.
+///
+/// Layered DAGs model staged computations (the common case in HPC
+/// pipelines) and keep Δ controlled, which matters because pebbling
+/// feasibility requires R ≥ Δ+1.
+pub fn layered<R: Rng>(layers: usize, width: usize, max_indegree: usize, rng: &mut R) -> Dag {
+    assert!(layers >= 1 && width >= 1);
+    let max_indegree = max_indegree.clamp(1, width);
+    let mut b = DagBuilder::new(layers * width);
+    let node = |l: usize, w: usize| l * width + w;
+    let mut pool: Vec<usize> = (0..width).collect();
+    for l in 1..layers {
+        for w in 0..width {
+            let d = rng.gen_range(1..=max_indegree);
+            pool.shuffle(rng);
+            for &p in pool.iter().take(d) {
+                b.add_edge(node(l - 1, p), node(l, w));
+            }
+        }
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+/// A uniform random DAG on `n` nodes: take the identity order as the
+/// topological order and include each forward edge `(i, j)`, `i < j`, with
+/// probability `p` — then drop edges at nodes whose indegree would exceed
+/// `max_indegree` (keeping a uniform sample of the incoming candidates).
+pub fn gnp_dag<R: Rng>(n: usize, p: f64, max_indegree: usize, rng: &mut R) -> Dag {
+    let mut b = DagBuilder::new(n);
+    for j in 1..n {
+        let mut incoming: Vec<usize> = (0..j).filter(|_| rng.gen_bool(p)).collect();
+        if incoming.len() > max_indegree {
+            incoming.shuffle(rng);
+            incoming.truncate(max_indegree);
+        }
+        for i in incoming {
+            b.add_edge(i, j);
+        }
+    }
+    b.build().expect("forward edges cannot form a cycle")
+}
+
+/// A random in-tree: node 0 is the root *sink*; every other node points
+/// toward the root through a random parent among lower indices, giving a
+/// tree where all paths flow to node 0. `max_indegree` caps children per
+/// node.
+pub fn random_in_tree<R: Rng>(n: usize, max_indegree: usize, rng: &mut R) -> Dag {
+    assert!(n >= 1);
+    let mut b = DagBuilder::new(n);
+    let mut child_count = vec![0usize; n];
+    for v in 1..n {
+        // choose a parent among 0..v with remaining capacity
+        let candidates: Vec<usize> = (0..v).filter(|&u| child_count[u] < max_indegree).collect();
+        let &parent = candidates
+            .choose(rng)
+            .expect("node 0 always has capacity while tree is small");
+        child_count[parent] += 1;
+        b.add_edge(v, parent);
+    }
+    b.build().expect("tree is acyclic")
+}
+
+/// A long dependency chain of `n` nodes — the minimal sequential workload.
+pub fn chain(n: usize) -> Dag {
+    let mut b = DagBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build().expect("chain is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layered_respects_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = layered(4, 5, 3, &mut rng);
+        assert_eq!(d.n(), 20);
+        assert!(d.max_indegree() <= 3);
+        // first layer are sources
+        for w in 0..5 {
+            assert!(d.is_source(crate::NodeId::new(w)));
+        }
+        // every non-first-layer node has at least one predecessor
+        for i in 5..20 {
+            assert!(d.indegree(crate::NodeId::new(i)) >= 1);
+        }
+    }
+
+    #[test]
+    fn gnp_dag_bounds_indegree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = gnp_dag(40, 0.5, 4, &mut rng);
+        assert!(d.max_indegree() <= 4);
+        assert_eq!(d.n(), 40);
+    }
+
+    #[test]
+    fn gnp_dag_extreme_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp_dag(10, 0.0, 3, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let dense = gnp_dag(10, 1.0, 100, &mut rng);
+        assert_eq!(dense.num_edges(), 45);
+    }
+
+    #[test]
+    fn in_tree_has_single_sink() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = random_in_tree(30, 2, &mut rng);
+        assert_eq!(d.sinks().len(), 1);
+        assert_eq!(d.sinks()[0].index(), 0);
+        assert!(d.max_indegree() <= 2);
+        assert_eq!(d.num_edges(), 29);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(10);
+        assert_eq!(d.num_edges(), 9);
+        assert_eq!(d.max_indegree(), 1);
+        assert_eq!(d.sources().len(), 1);
+        assert_eq!(d.sinks().len(), 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let d1 = layered(3, 4, 2, &mut StdRng::seed_from_u64(42));
+        let d2 = layered(3, 4, 2, &mut StdRng::seed_from_u64(42));
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal text format for DAGs, for saving and sharing pebbling
+//! instances.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//! ```text
+//! dag <n>
+//! label <node> <text>       # optional, any number
+//! edge <from> <to>          # one per edge
+//! ```
+//! Node ids are dense indices `0..n`. The parser validates ranges and
+//! acyclicity through [`DagBuilder`], so a loaded graph carries the same
+//! invariants as a built one.
+
+use crate::builder::DagBuilder;
+use crate::dag::{Dag, GraphError};
+use std::fmt::Write as _;
+
+/// Errors from [`parse_dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first non-comment line must be `dag <n>`.
+    MissingHeader,
+    /// A line could not be parsed; contains the 1-based line number.
+    Malformed { line: usize },
+    /// The edge set was rejected (cycle, range, self-loop).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing 'dag <n>' header"),
+            ParseError::Malformed { line } => write!(f, "malformed statement on line {line}"),
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a DAG in the text format (stable output: header, labels in
+/// id order, edges grouped by target).
+pub fn write_dag(dag: &Dag) -> String {
+    let mut out = String::with_capacity(16 + dag.n() * 8 + dag.num_edges() * 12);
+    let _ = writeln!(out, "dag {}", dag.n());
+    for v in dag.nodes() {
+        let label = dag.label(v);
+        if !label.is_empty() {
+            let _ = writeln!(out, "label {} {}", v.index(), label);
+        }
+    }
+    for (u, v) in dag.edges() {
+        let _ = writeln!(out, "edge {} {}", u.index(), v.index());
+    }
+    out
+}
+
+/// Parses the text format back into a validated [`Dag`].
+pub fn parse_dag(text: &str) -> Result<Dag, ParseError> {
+    let mut builder: Option<DagBuilder> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("nonempty line");
+        match (keyword, &mut builder) {
+            ("dag", b @ None) => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::Malformed { line: i + 1 })?;
+                *b = Some(DagBuilder::new(n));
+            }
+            ("edge", Some(b)) => {
+                let (Some(u), Some(v)) = (
+                    parts.next().and_then(|s| s.parse::<usize>().ok()),
+                    parts.next().and_then(|s| s.parse::<usize>().ok()),
+                ) else {
+                    return Err(ParseError::Malformed { line: i + 1 });
+                };
+                b.add_edge(u, v);
+            }
+            ("label", Some(b)) => {
+                let Some(v) = parts.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    return Err(ParseError::Malformed { line: i + 1 });
+                };
+                if v >= b.n() {
+                    return Err(ParseError::Malformed { line: i + 1 });
+                }
+                let label: Vec<&str> = parts.collect();
+                b.set_label(crate::dag::NodeId::new(v), label.join(" "));
+            }
+            (_, None) => return Err(ParseError::MissingHeader),
+            _ => return Err(ParseError::Malformed { line: i + 1 }),
+        }
+    }
+    builder
+        .ok_or(ParseError::MissingHeader)?
+        .build()
+        .map_err(ParseError::Graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::generate;
+
+    #[test]
+    fn round_trip_preserves_structure_and_labels() {
+        let mut b = DagBuilder::new(0);
+        let x = b.add_labeled_node("input x");
+        let y = b.add_node();
+        let z = b.add_labeled_node("out");
+        b.add_edge_ids(x, z);
+        b.add_edge_ids(y, z);
+        let dag = b.build().unwrap();
+        let text = write_dag(&dag);
+        let back = parse_dag(&text).unwrap();
+        assert_eq!(back, dag);
+        assert_eq!(back.label(x), "input x");
+        assert_eq!(back.label(y), "");
+    }
+
+    #[test]
+    fn round_trip_random_dags() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..10 {
+            let dag = generate::gnp_dag(15, 0.3, 4, &mut rng);
+            assert_eq!(parse_dag(&write_dag(&dag)).unwrap(), dag);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ndag 2\n# another\nedge 0 1\n";
+        let dag = parse_dag(text).unwrap();
+        assert_eq!(dag.n(), 2);
+        assert_eq!(dag.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse_dag("edge 0 1\n"), Err(ParseError::MissingHeader));
+        assert_eq!(parse_dag(""), Err(ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn malformed_lines_located() {
+        assert_eq!(
+            parse_dag("dag 2\nedge 0\n"),
+            Err(ParseError::Malformed { line: 2 })
+        );
+        assert_eq!(
+            parse_dag("dag x\n"),
+            Err(ParseError::Malformed { line: 1 })
+        );
+        assert_eq!(
+            parse_dag("dag 2\nfrob 1 2\n"),
+            Err(ParseError::Malformed { line: 2 })
+        );
+    }
+
+    #[test]
+    fn cyclic_input_rejected_via_graph_error() {
+        let text = "dag 2\nedge 0 1\nedge 1 0\n";
+        assert!(matches!(parse_dag(text), Err(ParseError::Graph(_))));
+    }
+
+    #[test]
+    fn label_with_spaces_survives() {
+        let text = "dag 1\nlabel 0 a long node name\n";
+        let dag = parse_dag(text).unwrap();
+        assert_eq!(dag.label(crate::NodeId::new(0)), "a long node name");
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        assert_eq!(
+            parse_dag("dag 1\nlabel 5 x\n"),
+            Err(ParseError::Malformed { line: 2 })
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # rbp-graph
+//!
+//! Graph substrate for the red-blue pebbling suite: a compact immutable
+//! [`Dag`] with CSR adjacency, a validating [`DagBuilder`], topological and
+//! reachability algorithms, a [`BitSet`] tuned for pebbling-state use, an
+//! undirected [`Graph`] type for reduction inputs, random generators, and
+//! DOT export.
+//!
+//! The crate is deliberately dependency-light (only `rand` for the
+//! generators) and allocation-conscious: adjacency scans are contiguous and
+//! states hash as raw `u64` words.
+
+pub mod algo;
+pub mod bitset;
+pub mod builder;
+pub mod dag;
+pub mod dot;
+pub mod generate;
+pub mod io;
+pub mod topo;
+pub mod undirected;
+
+pub use bitset::BitSet;
+pub use builder::DagBuilder;
+pub use dag::{Dag, GraphError, NodeId};
+pub use topo::{is_topological_order, levels, longest_path_len, topological_order};
+pub use undirected::Graph;

@@ -1,0 +1,169 @@
+//! Topological orderings and cycle detection.
+
+use crate::dag::{Dag, NodeId};
+
+/// Returns the nodes of `dag` in a topological order (Kahn's algorithm,
+/// smallest-index-first among ready nodes, so the order is deterministic).
+///
+/// `Dag`s are acyclic by construction, so this always returns all nodes.
+pub fn topological_order(dag: &Dag) -> Vec<NodeId> {
+    kahn(dag).order
+}
+
+/// Returns `Some(witness)` for a node lying on a directed cycle, or `None`
+/// if the edge set is acyclic. Used by the builder before the `Dag`
+/// invariant is established.
+pub(crate) fn find_cycle_witness(dag: &Dag) -> Option<NodeId> {
+    let r = kahn(dag);
+    if r.order.len() == dag.n() {
+        None
+    } else {
+        // Any node missing from the order has an in-edge from the cycle.
+        let mut seen = vec![false; dag.n()];
+        for v in &r.order {
+            seen[v.index()] = true;
+        }
+        dag.nodes().find(|v| !seen[v.index()])
+    }
+}
+
+struct KahnResult {
+    order: Vec<NodeId>,
+}
+
+fn kahn(dag: &Dag) -> KahnResult {
+    let n = dag.n();
+    let mut indeg: Vec<u32> = (0..n).map(|i| dag.indegree(NodeId::new(i)) as u32).collect();
+    // A binary heap would give lexicographically-smallest order; a simple
+    // sorted frontier suffices and keeps this allocation-light. We use a
+    // BinaryHeap of Reverse for determinism.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<u32>> = (0..n as u32)
+        .filter(|&i| indeg[i as usize] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(i)) = ready.pop() {
+        let v = NodeId::new(i as usize);
+        order.push(v);
+        for &w in dag.succs(v) {
+            let d = &mut indeg[w.index()];
+            *d -= 1;
+            if *d == 0 {
+                ready.push(Reverse(w.index() as u32));
+            }
+        }
+    }
+    KahnResult { order }
+}
+
+/// Returns for each node its *level*: the length of the longest path from
+/// any source to it (sources have level 0). This is the DAG's critical-path
+/// structure; `levels().max()` is the longest path length.
+pub fn levels(dag: &Dag) -> Vec<usize> {
+    let mut level = vec![0usize; dag.n()];
+    for v in topological_order(dag) {
+        for &u in dag.preds(v) {
+            level[v.index()] = level[v.index()].max(level[u.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Length of the longest directed path (number of edges) in the DAG.
+pub fn longest_path_len(dag: &Dag) -> usize {
+    levels(dag).into_iter().max().unwrap_or(0)
+}
+
+/// Checks that `order` is a permutation of all nodes consistent with the
+/// edge direction (every edge goes from earlier to later in `order`).
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.n() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.n()];
+    for (i, v) in order.iter().enumerate() {
+        if pos[v.index()] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[v.index()] = i;
+    }
+    dag.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    fn chain(n: usize) -> Dag {
+        let mut b = DagBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_order_is_identity() {
+        let d = chain(5);
+        let order = topological_order(&d);
+        assert_eq!(order, (0..5).map(NodeId::new).collect::<Vec<_>>());
+        assert!(is_topological_order(&d, &order));
+    }
+
+    #[test]
+    fn diamond_order_valid_and_deterministic() {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let d = b.build().unwrap();
+        let order = topological_order(&d);
+        assert!(is_topological_order(&d, &order));
+        // smallest-index-first tie-breaking
+        assert_eq!(
+            order,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn levels_and_longest_path() {
+        let d = chain(6);
+        assert_eq!(levels(&d), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(longest_path_len(&d), 5);
+    }
+
+    #[test]
+    fn levels_on_diamond() {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let d = b.build().unwrap();
+        assert_eq!(levels(&d), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn bad_orders_rejected() {
+        let d = chain(3);
+        let rev: Vec<NodeId> = (0..3).rev().map(NodeId::new).collect();
+        assert!(!is_topological_order(&d, &rev));
+        assert!(!is_topological_order(&d, &[NodeId::new(0)]));
+        assert!(!is_topological_order(
+            &d,
+            &[NodeId::new(0), NodeId::new(0), NodeId::new(2)]
+        ));
+    }
+
+    #[test]
+    fn empty_graph_topo() {
+        let d = DagBuilder::new(0).build().unwrap();
+        assert!(topological_order(&d).is_empty());
+        assert_eq!(longest_path_len(&d), 0);
+    }
+}

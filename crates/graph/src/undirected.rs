@@ -1,0 +1,289 @@
+//! Simple undirected graphs.
+//!
+//! These are the *inputs* of the paper's reductions: Hamiltonian Path
+//! instances (Theorem 2) and Vertex Cover instances (Theorem 3) live on
+//! undirected graphs, which the reductions then compile into pebbling DAGs.
+
+use crate::bitset::BitSet;
+use std::fmt;
+
+/// An undirected simple graph on nodes `0..n`.
+///
+/// Stores an adjacency matrix (as bitset rows) plus an edge list, which is
+/// the right trade-off for the small, dense instances reductions operate
+/// on: O(1) `has_edge`, linear edge iteration.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<BitSet>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list. Self-loops are rejected by panic
+    /// (reduction inputs are simple graphs); duplicate edges are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if newly added.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops not allowed in simple graphs");
+        if self.adj[u].contains(v) {
+            return false;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.edges.push((u.min(v), u.max(v)));
+        true
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    /// The neighbourhood of `u` as a bitset.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// The edges as `(min, max)` pairs in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The complement graph (same nodes, complemented edge set).
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Whether `set` (bitmask over nodes) is an independent set.
+    pub fn is_independent_set(&self, set: &BitSet) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| !(set.contains(u) && set.contains(v)))
+    }
+
+    /// Whether `cover` (bitmask over nodes) covers every edge.
+    pub fn is_vertex_cover(&self, cover: &BitSet) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| cover.contains(u) || cover.contains(v))
+    }
+
+    // ---- standard families (used across tests and experiments) ----
+
+    /// Path graph `0 - 1 - ... - (n-1)`.
+    pub fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// Cycle graph on `n >= 3` nodes.
+    pub fn cycle(n: usize) -> Graph {
+        assert!(n >= 3, "cycle needs at least 3 nodes");
+        let mut g = Graph::path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    /// Complete graph K_n.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Star graph: node 0 joined to all others.
+    pub fn star(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        g
+    }
+
+    /// Complete bipartite graph K_{a,b} (left part `0..a`).
+    pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut g = Graph::new(a + b);
+        for u in 0..a {
+            for v in a..(a + b) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The Petersen graph (classic non-Hamiltonian-path... it *does* have
+    /// a Hamiltonian path but no Hamiltonian cycle; useful as a structured
+    /// test instance).
+    pub fn petersen() -> Graph {
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        g
+    }
+
+    /// Erdős–Rényi G(n, p) with the given RNG.
+    pub fn gnp<R: rand::Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_structure() {
+        let g = Graph::path(4);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0), "undirected symmetry");
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = Graph::complete(5);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let g = Graph::path(4);
+        let cc = g.complement().complement();
+        assert_eq!(g, cc);
+        assert_eq!(g.m() + g.complement().m(), 6);
+    }
+
+    #[test]
+    fn vertex_cover_and_independent_set_duality() {
+        let g = Graph::cycle(5);
+        let cover = BitSet::from_indices(5, [0, 2, 4]);
+        assert!(g.is_vertex_cover(&cover));
+        let mut is = BitSet::full(5);
+        is.difference_with(&cover);
+        assert!(g.is_independent_set(&is));
+        let bad = BitSet::from_indices(5, [0, 1]);
+        assert!(!g.is_vertex_cover(&bad));
+    }
+
+    #[test]
+    fn petersen_is_3_regular() {
+        let g = Graph::petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = Graph::complete_bipartite(2, 3);
+        assert_eq!(g.m(), 6);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = rand::thread_rng();
+        let empty = Graph::gnp(6, 0.0, &mut rng);
+        assert_eq!(empty.m(), 0);
+        let full = Graph::gnp(6, 1.0, &mut rng);
+        assert_eq!(full.m(), 15);
+    }
+}

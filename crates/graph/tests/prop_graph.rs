@@ -1,0 +1,154 @@
+//! Property tests for the graph substrate: bitset algebra, CSR
+//! consistency, topological-order laws, reachability relations.
+
+use proptest::prelude::*;
+use rbp_graph::{algo, topo, BitSet, DagBuilder, Graph, NodeId};
+
+fn arb_edge_coins(max_n: usize) -> impl Strategy<Value = (usize, Vec<bool>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (Just(n), proptest::collection::vec(any::<bool>(), pairs))
+    })
+}
+
+fn build_dag(n: usize, coins: &[bool]) -> rbp_graph::Dag {
+    let mut b = DagBuilder::new(n);
+    let mut idx = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if coins[idx] {
+                b.add_edge(i, j);
+            }
+            idx += 1;
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn bitset_union_is_commutative_and_idempotent(
+        a in proptest::collection::vec(0usize..128, 0..20),
+        b in proptest::collection::vec(0usize..128, 0..20),
+    ) {
+        let sa = BitSet::from_indices(128, a.iter().copied());
+        let sb = BitSet::from_indices(128, b.iter().copied());
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        let mut ba = sb.clone();
+        ba.union_with(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = ab.clone();
+        aa.union_with(&sb);
+        prop_assert_eq!(&aa, &ab);
+        // subset laws
+        prop_assert!(sa.is_subset(&ab));
+        prop_assert!(sb.is_subset(&ab));
+    }
+
+    #[test]
+    fn bitset_demorgan_via_difference(
+        a in proptest::collection::vec(0usize..64, 0..15),
+        b in proptest::collection::vec(0usize..64, 0..15),
+    ) {
+        let sa = BitSet::from_indices(64, a.iter().copied());
+        let sb = BitSet::from_indices(64, b.iter().copied());
+        // |a| = |a∩b| + |a\b|
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert_eq!(sa.len(), sa.intersection_len(&sb) + diff.len());
+        prop_assert!(diff.is_disjoint(&sb));
+    }
+
+    #[test]
+    fn csr_pred_succ_are_mirror_images((n, coins) in arb_edge_coins(12)) {
+        let dag = build_dag(n, &coins);
+        for v in dag.nodes() {
+            for &u in dag.preds(v) {
+                prop_assert!(dag.succs(u).contains(&v));
+                prop_assert!(dag.has_edge(u, v));
+            }
+            for &w in dag.succs(v) {
+                prop_assert!(dag.preds(w).contains(&v));
+            }
+        }
+        let m: usize = dag.nodes().map(|v| dag.indegree(v)).sum();
+        prop_assert_eq!(m, dag.num_edges());
+        let m2: usize = dag.nodes().map(|v| dag.outdegree(v)).sum();
+        prop_assert_eq!(m2, dag.num_edges());
+    }
+
+    #[test]
+    fn topological_order_is_always_valid((n, coins) in arb_edge_coins(14)) {
+        let dag = build_dag(n, &coins);
+        let order = topo::topological_order(&dag);
+        prop_assert!(topo::is_topological_order(&dag, &order));
+        // levels are monotone along edges
+        let levels = topo::levels(&dag);
+        for (u, v) in dag.edges() {
+            prop_assert!(levels[u.index()] < levels[v.index()]);
+        }
+    }
+
+    #[test]
+    fn reachability_is_transitive((n, coins) in arb_edge_coins(10)) {
+        let dag = build_dag(n, &coins);
+        let tc = algo::transitive_closure(&dag);
+        for a in 0..n {
+            for b in 0..n {
+                if !tc[a].contains(b) {
+                    continue;
+                }
+                for c in 0..n {
+                    if tc[b].contains(c) {
+                        prop_assert!(tc[a].contains(c), "transitivity broken");
+                    }
+                }
+            }
+        }
+        // ancestors/descendants are converses
+        for a in 0..n {
+            for b in 0..n {
+                let fwd = algo::reaches(&dag, NodeId::new(a), NodeId::new(b));
+                let bwd = algo::ancestors(&dag, NodeId::new(b)).contains(a);
+                prop_assert_eq!(fwd, bwd);
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_cover_duality(coins in proptest::collection::vec(any::<bool>(), 15)) {
+        // 6-node graph from coin flips
+        let mut g = Graph::new(6);
+        let mut idx = 0;
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if coins[idx] {
+                    g.add_edge(i, j);
+                }
+                idx += 1;
+            }
+        }
+        // complement involution and degree sum
+        prop_assert_eq!(&g.complement().complement(), &g);
+        let degsum: usize = (0..6).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.m());
+        // full set is always a cover; empty set only for empty graphs
+        prop_assert!(g.is_vertex_cover(&BitSet::full(6)));
+        prop_assert_eq!(g.is_vertex_cover(&BitSet::new(6)), g.m() == 0);
+    }
+
+    #[test]
+    fn path_counts_respect_structure((n, coins) in arb_edge_coins(10)) {
+        let dag = build_dag(n, &coins);
+        let counts = algo::path_counts(&dag);
+        for v in dag.nodes() {
+            if dag.is_source(v) {
+                prop_assert_eq!(counts[v.index()], 1);
+            } else {
+                let sum: u64 = dag.preds(v).iter().map(|u| counts[u.index()]).sum();
+                prop_assert_eq!(counts[v.index()], sum);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact Hamiltonian Path solving (the NP-hard source problem of
+//! Theorem 2) via Held–Karp bitmask DP, plus instance generators.
+
+use rbp_graph::Graph;
+
+/// Finds a Hamiltonian path in `g` (any endpoints), or `None`.
+/// O(2^n · n²) time — intended for reduction ground truth, n ≤ 20.
+pub fn hamiltonian_path(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n == 1 {
+        return Some(vec![0]);
+    }
+    assert!(n <= 20, "bitmask DP limited to 20 nodes");
+    let full: u32 = (1u32 << n) - 1;
+    // reach[mask] : bitset over "last" nodes for which a path covering
+    // exactly `mask` and ending at `last` exists
+    let mut reach = vec![0u32; 1usize << n];
+    for v in 0..n {
+        reach[1usize << v] = 1 << v;
+    }
+    for mask in 1..=full {
+        let r = reach[mask as usize];
+        if r == 0 {
+            continue;
+        }
+        let mut lasts = r;
+        while lasts != 0 {
+            let last = lasts.trailing_zeros() as usize;
+            lasts &= lasts - 1;
+            let mut nbrs = g.neighbors(last).words()[0] as u32 & !mask;
+            while nbrs != 0 {
+                let nxt = nbrs.trailing_zeros() as usize;
+                nbrs &= nbrs - 1;
+                reach[(mask | (1 << nxt)) as usize] |= 1 << nxt;
+            }
+        }
+    }
+    if reach[full as usize] == 0 {
+        return None;
+    }
+    // reconstruct backwards
+    let mut path = Vec::with_capacity(n);
+    let mut mask = full;
+    let mut last = reach[full as usize].trailing_zeros() as usize;
+    path.push(last);
+    while mask.count_ones() > 1 {
+        let prev_mask = mask & !(1u32 << last);
+        let candidates = reach[prev_mask as usize] & (g.neighbors(last).words()[0] as u32);
+        debug_assert!(candidates != 0, "DP table inconsistent");
+        let prev = candidates.trailing_zeros() as usize;
+        path.push(prev);
+        mask = prev_mask;
+        last = prev;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Whether `g` has a Hamiltonian path.
+pub fn has_hamiltonian_path(g: &Graph) -> bool {
+    hamiltonian_path(g).is_some()
+}
+
+/// Checks that `path` is a Hamiltonian path of `g`.
+pub fn is_hamiltonian_path(g: &Graph, path: &[usize]) -> bool {
+    if path.len() != g.n() {
+        return false;
+    }
+    let mut seen = vec![false; g.n()];
+    for &v in path {
+        if v >= g.n() || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// A graph that contains a planted Hamiltonian path (a random permutation
+/// chained together) plus `extra_edges` random additional edges.
+pub fn planted_instance<R: rand::Rng>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    use rand::seq::SliceRandom;
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    let mut g = Graph::new(n);
+    for w in perm.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < 100 * extra_edges + 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_graph_is_hamiltonian() {
+        let g = Graph::path(6);
+        let p = hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+    }
+
+    #[test]
+    fn star_is_not_hamiltonian_beyond_three() {
+        assert!(has_hamiltonian_path(&Graph::star(3)));
+        assert!(!has_hamiltonian_path(&Graph::star(4)));
+        assert!(!has_hamiltonian_path(&Graph::star(6)));
+    }
+
+    #[test]
+    fn complete_and_cycle_are_hamiltonian() {
+        assert!(has_hamiltonian_path(&Graph::complete(5)));
+        assert!(has_hamiltonian_path(&Graph::cycle(7)));
+    }
+
+    #[test]
+    fn disconnected_graph_is_not_hamiltonian() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!has_hamiltonian_path(&g));
+    }
+
+    #[test]
+    fn petersen_has_hamiltonian_path() {
+        // classic: no Hamiltonian cycle, but a Hamiltonian path exists
+        let g = Graph::petersen();
+        let p = hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+    }
+
+    #[test]
+    fn unbalanced_bipartite_is_not_hamiltonian() {
+        // K_{1,3}: any path alternates sides
+        assert!(!has_hamiltonian_path(&Graph::complete_bipartite(1, 3)));
+        assert!(has_hamiltonian_path(&Graph::complete_bipartite(2, 3)));
+        assert!(!has_hamiltonian_path(&Graph::complete_bipartite(2, 4)));
+    }
+
+    #[test]
+    fn planted_instances_always_hamiltonian() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let g = planted_instance(8, 4, &mut rng);
+            assert!(has_hamiltonian_path(&g));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(has_hamiltonian_path(&Graph::new(0)));
+        assert!(has_hamiltonian_path(&Graph::new(1)));
+        assert!(!has_hamiltonian_path(&Graph::new(2)), "two isolated nodes");
+    }
+
+    #[test]
+    fn validator_rejects_bad_paths() {
+        let g = Graph::path(4);
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 2])); // too short
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 1, 2])); // repeat
+        assert!(!is_hamiltonian_path(&g, &[0, 2, 1, 3])); // non-edge
+        assert!(is_hamiltonian_path(&g, &[3, 2, 1, 0])); // reverse ok
+    }
+}

@@ -1,0 +1,26 @@
+//! # rbp-reductions
+//!
+//! The paper's hardness reductions, together with exact solvers for the
+//! classical source problems used as ground truth:
+//!
+//! - [`hampath`]: Hamiltonian Path (Held–Karp bitmask DP);
+//! - [`vertex_cover`]: minimum Vertex Cover (branch-and-bound), the
+//!   maximal-matching 2-approximation, greedy, and independent-set
+//!   duality;
+//! - [`reduction_hampath`]: Theorem 2 — Pebbling is NP-hard in all four
+//!   models, via input groups with merged contact nodes (Fig. 5);
+//! - [`reduction_vc`]: Theorem 3 — no δ < 2 approximation for oneshot
+//!   pebbling unless Vertex Cover is likewise approximable (Figs. 6–7).
+//!
+//! Every reduction is *executable*: it compiles the source instance into
+//! a pebbling instance, solves it with real solvers, decodes the
+//! pebbling back into a certificate, and the tests compare against the
+//! classical solvers end-to-end.
+
+pub mod hampath;
+pub mod reduction_hampath;
+pub mod reduction_vc;
+pub mod vertex_cover;
+
+pub use reduction_hampath::{encode as encode_hampath, HamPathReduction};
+pub use reduction_vc::{encode as encode_vc, VcReduction};

@@ -1,0 +1,529 @@
+//! Theorem 2: NP-hardness of Pebbling via reduction from Hamiltonian
+//! Path (Section 6, Figure 5).
+//!
+//! For a graph G on N nodes and M edges, build one input group per node:
+//! the group of `a` holds a *contact node* v_{a,b} for every other node
+//! `b`, and for every edge (a,b) the two corresponding contacts are
+//! merged into one shared node. Each group feeds one sink target t_a;
+//! R = N.
+//!
+//! A pebbling must visit the N groups in some order π; between
+//! consecutive visits the red pebbles migrate, and a merged contact
+//! saves transfers exactly when its two groups are adjacent *in π*. The
+//! pebbling cost is therefore an affine function of the number of
+//! non-adjacent consecutive pairs in π, and the minimum cost hits the
+//! threshold iff G has a Hamiltonian path.
+//!
+//! Exact per-model costs under this crate's scheduler (which differ from
+//! the paper's headline constants only by bookkeeping conventions; the
+//! *correspondence* — threshold hit iff Hamiltonian — is identical and is
+//! what the tests verify end-to-end):
+//!
+//! - `oneshot`:  cost(π) = (2M − N + 1) + 2·nonadj(π)
+//! - `nodel`:    cost(π) = (N−1)² + nonadj(π)
+//! - `base`/`compcost`: an H2C prologue makes every contact costly to
+//!   recompute; cost(π) = prologue + (N(N−1) − M) + 2(M − N + 1) + (N−1)
+//!   + 2·nonadj(π) transfers (+ ε per compute in compcost).
+
+use crate::hampath;
+use rbp_core::{CostModel, Instance, ModelKind, Pebbling, State};
+use rbp_gadgets::h2c::{self, H2c, H2cConfig};
+use rbp_graph::{Graph, NodeId};
+use rbp_solvers::{best_order_from, held_karp, GroupSpec, GroupedDag, SolveError};
+
+/// The compiled reduction.
+pub struct HamPathReduction {
+    /// The source graph G.
+    pub graph: Graph,
+    /// Group view: group `a` (index a) is node a's input group.
+    pub grouped: GroupedDag,
+    /// The plain construction DAG (used by oneshot and nodel).
+    pub dag: rbp_graph::Dag,
+    /// Sink target t_a per node of G.
+    pub targets: Vec<NodeId>,
+    n: usize,
+    m: usize,
+}
+
+/// A solved reduction instance.
+pub struct ReductionSolution {
+    /// Scaled total cost (prologue included where applicable).
+    pub scaled: u128,
+    /// Scaled cost of the H2C prologue alone (0 for oneshot/nodel).
+    pub prologue_scaled: u128,
+    /// The optimal group-visit order = node visit permutation of G.
+    pub order: Vec<usize>,
+    /// The full engine-validated trace (prologue + schedule).
+    pub trace: Pebbling,
+    /// The instance the trace was validated against.
+    pub instance: Instance,
+}
+
+impl ReductionSolution {
+    /// Scaled cost of the schedule phase (comparable to
+    /// [`HamPathReduction::scaled_schedule_threshold`]).
+    pub fn schedule_scaled(&self) -> u128 {
+        self.scaled - self.prologue_scaled
+    }
+}
+
+/// Compiles G into the Theorem-2 pebbling construction. Requires N ≥ 2.
+///
+/// # Example
+/// ```
+/// use rbp_core::CostModel;
+/// use rbp_graph::Graph;
+/// use rbp_reductions::reduction_hampath::encode;
+///
+/// // a path graph is Hamiltonian: the optimal pebbling hits the threshold
+/// let red = encode(Graph::path(5));
+/// let model = CostModel::oneshot();
+/// let (cost, order) = red.solve_dp(model);
+/// assert_eq!(cost, red.scaled_schedule_threshold(model));
+/// // ... and the visit order *is* a Hamiltonian path
+/// assert!(red.decode(&order).is_some());
+/// ```
+#[allow(clippy::needless_range_loop)] // contact[a][b] mirrors the paper notation
+pub fn encode(graph: Graph) -> HamPathReduction {
+    let n = graph.n();
+    assert!(n >= 2, "reduction needs at least two nodes");
+    let m = graph.m();
+    let mut b = rbp_graph::DagBuilder::new(0);
+    // contact[a][b]: the contact node in group a for node b
+    let mut contact: Vec<Vec<Option<NodeId>>> = vec![vec![None; n]; n];
+    for a in 0..n {
+        for bb in 0..n {
+            if a == bb {
+                continue;
+            }
+            if graph.has_edge(a, bb) && contact[bb][a].is_some() {
+                // merged with the already-created twin
+                contact[a][bb] = contact[bb][a];
+            } else {
+                contact[a][bb] = Some(b.add_labeled_node(format!("v{a}_{bb}")));
+            }
+        }
+    }
+    let targets: Vec<NodeId> = (0..n)
+        .map(|a| b.add_labeled_node(format!("t{a}")))
+        .collect();
+    let mut groups = Vec::with_capacity(n);
+    for a in 0..n {
+        let inputs: Vec<NodeId> = (0..n).filter(|&x| x != a).map(|x| contact[a][x].unwrap()).collect();
+        for &u in &inputs {
+            b.add_edge_ids(u, targets[a]);
+        }
+        groups.push(GroupSpec {
+            inputs,
+            targets: vec![targets[a]],
+        });
+    }
+    let dag = b.build().expect("reduction DAG is acyclic");
+    let grouped = GroupedDag::new(dag.n(), groups);
+    HamPathReduction {
+        graph,
+        grouped,
+        dag,
+        targets,
+        n,
+        m,
+    }
+}
+
+impl HamPathReduction {
+    /// N (also the red-pebble budget).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The red budget R = N (the minimum, since Δ = N−1).
+    pub fn red_limit(&self) -> usize {
+        self.n
+    }
+
+    /// The pebbling instance for the given model. base/compcost get the
+    /// H2C-augmented DAG (requires N ≥ 4); oneshot/nodel the plain one.
+    pub fn instance(&self, model: CostModel) -> (Instance, Option<H2c>) {
+        match model.kind() {
+            ModelKind::Oneshot | ModelKind::NoDel => {
+                (Instance::new(self.dag.clone(), self.n, model), None)
+            }
+            ModelKind::Base | ModelKind::CompCost => {
+                assert!(self.n >= 4, "H2C variant needs N >= 4");
+                let aug = h2c::attach(&self.dag, H2cConfig::standard(self.n));
+                (Instance::new(aug.dag.clone(), self.n, model), Some(aug))
+            }
+        }
+    }
+
+    /// Number of non-adjacent consecutive pairs in a visit permutation.
+    pub fn nonadjacent_pairs(&self, order: &[usize]) -> usize {
+        order
+            .windows(2)
+            .filter(|w| !self.graph.has_edge(w[0], w[1]))
+            .count()
+    }
+
+    /// Exact scaled cost of the scheduler's pebbling for a permutation
+    /// with `nonadj` non-adjacent consecutive pairs (excluding the H2C
+    /// prologue, whose measured cost is added by [`Self::solve`]).
+    pub fn scaled_schedule_cost(&self, model: CostModel, nonadj: usize) -> u128 {
+        // Signed intermediates: the M−(N−1) term goes negative on graphs
+        // sparser than a tree. For any realizable permutation the total is
+        // non-negative (nonadj ≥ N−1−M there); the nonadj = 0 *threshold*
+        // may be negative for such graphs, which is fine — it is then an
+        // unreachable floor and the decision correctly comes out "no".
+        let (n, m) = (self.n as i128, self.m as i128);
+        let nonadj = nonadj as i128;
+        let den = model.epsilon().den() as i128;
+        let num = model.epsilon().num() as i128;
+        let scaled: i128 = match model.kind() {
+            ModelKind::Oneshot => (2 * m + 1 - n) + 2 * nonadj,
+            ModelKind::NoDel => (n - 1) * (n - 1) + nonadj,
+            ModelKind::Base | ModelKind::CompCost => {
+                let contacts = n * (n - 1) - m;
+                let transfers = contacts + 2 * (m + 1 - n) + (n - 1) + 2 * nonadj;
+                // schedule-phase computes: the N targets
+                transfers * den + n * num
+            }
+        };
+        scaled.max(0) as u128
+    }
+
+    /// The decision threshold: minimal possible cost, achieved iff G has
+    /// a Hamiltonian path (prologue excluded; see [`Self::solve`]).
+    pub fn scaled_schedule_threshold(&self, model: CostModel) -> u128 {
+        self.scaled_schedule_cost(model, 0)
+    }
+
+    /// Solves the reduction exactly: exhaustive branch-and-bound over
+    /// visit orders, scored by the true scheduler cost, prologue
+    /// included. Feasible for N ≤ ~8.
+    pub fn solve(&self, model: CostModel) -> Result<ReductionSolution, SolveError> {
+        let (instance, aug) = self.instance(model);
+        let (mut trace, state, prologue_scaled) = match &aug {
+            Some(h) => {
+                let (trace, state) = h.prologue_trace(&instance)?;
+                let rep = rbp_core::simulate_prefix(&instance, &trace)
+                    .map_err(|e| SolveError::Pebbling(e.error))?;
+                let scaled = rep.cost.scaled(model.epsilon());
+                (trace, state, scaled)
+            }
+            None => (Pebbling::new(), State::initial(&instance), 0),
+        };
+        let result = best_order_from(&self.grouped, &instance, &state)?;
+        trace.extend(&result.trace);
+        // end-to-end validation of the combined trace
+        let rep =
+            rbp_core::simulate(&instance, &trace).map_err(|e| SolveError::Pebbling(e.error))?;
+        let scaled = rep.cost.scaled(model.epsilon());
+        debug_assert_eq!(scaled, prologue_scaled + result.scaled);
+        Ok(ReductionSolution {
+            scaled,
+            prologue_scaled,
+            order: result.order,
+            trace,
+            instance,
+        })
+    }
+
+    /// Held–Karp DP over visit orders using the closed-form pairwise
+    /// costs — polynomial-space-free but O(2^N·N²), good to N ≈ 20.
+    /// Returns the scaled schedule cost (no prologue) and an optimal
+    /// order.
+    pub fn solve_dp(&self, model: CostModel) -> (u128, Vec<usize>) {
+        let penalty: u64 = match model.kind() {
+            ModelKind::Oneshot => 2,
+            ModelKind::NoDel => 1,
+            ModelKind::Base | ModelKind::CompCost => 2 * model.epsilon().den(),
+        };
+        let deps = vec![Vec::new(); self.n];
+        let (extra, order) = held_karp(self.n, &deps, |prev, next| match prev {
+            None => 0,
+            Some(p) => {
+                if self.graph.has_edge(p, next) {
+                    0
+                } else {
+                    penalty
+                }
+            }
+        })
+        .expect("dependency-free order always exists");
+        let nonadj_scaled = extra as u128;
+        (self.scaled_schedule_threshold(model) + nonadj_scaled, order)
+    }
+
+    /// Decides Hamiltonicity through the pebbling lens: does the optimal
+    /// pebbling cost reach the threshold?
+    pub fn decides_hamiltonian(&self, model: CostModel) -> Result<bool, SolveError> {
+        let sol = self.solve(model)?;
+        Ok(sol.schedule_scaled() <= self.scaled_schedule_threshold(model))
+    }
+
+    /// Decodes an optimal visit order into a Hamiltonian path of G, if
+    /// the order is fully adjacent.
+    pub fn decode(&self, order: &[usize]) -> Option<Vec<usize>> {
+        if self.nonadjacent_pairs(order) == 0 && hampath::is_hamiltonian_path(&self.graph, order) {
+            Some(order.to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// The Appendix-B constant-degree variant: every input group expanded
+    /// into a CD ladder of `layers` layers. Pebble with R = N+1. The
+    /// maximal indegree drops from N−1 to 2 while the visit-order cost
+    /// structure (and hence the NP-hardness reduction) is preserved —
+    /// exactly (oneshot) or up to a π-independent constant (nodel).
+    pub fn constant_degree(&self, layers: usize) -> rbp_gadgets::cd::ConstantDegree {
+        rbp_gadgets::cd::expand_to_constant_degree(&self.dag, &self.grouped, layers)
+    }
+
+    /// Red budget for the constant-degree variant: R+1 = N+1.
+    pub fn constant_degree_red_limit(&self) -> usize {
+        self.n + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut perms = vec![vec![]];
+        for _ in 0..n {
+            let mut next = Vec::new();
+            for p in perms {
+                for v in 0..n {
+                    if !p.contains(&v) {
+                        let mut q = p.clone();
+                        q.push(v);
+                        next.push(q);
+                    }
+                }
+            }
+            perms = next;
+        }
+        perms
+    }
+
+    #[test]
+    fn structure() {
+        let g = Graph::path(4); // N=4, M=3
+        let red = encode(g);
+        // contacts: N(N-1) - M = 9, targets: 4
+        assert_eq!(red.dag.n(), 9 + 4);
+        assert_eq!(red.dag.max_indegree(), 3);
+        assert_eq!(red.dag.sinks().len(), 4);
+        assert_eq!(red.red_limit(), 4);
+        // merged contact shared by adjacent groups
+        let shared: Vec<_> = red.grouped.groups()[0]
+            .inputs
+            .iter()
+            .filter(|u| red.grouped.groups()[1].inputs.contains(u))
+            .collect();
+        assert_eq!(shared.len(), 1, "edge (0,1) merges exactly one contact");
+    }
+
+    #[test]
+    fn formula_matches_scheduler_for_every_permutation() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let red = encode(g);
+        for model in [CostModel::oneshot(), CostModel::nodel()] {
+            let (inst, _) = red.instance(model);
+            for perm in all_permutations(4) {
+                let trace = red.grouped.emit(&inst, &perm).unwrap();
+                let rep = rbp_core::simulate(&inst, &trace).unwrap();
+                assert_eq!(
+                    rep.cost.scaled(model.epsilon()),
+                    red.scaled_schedule_cost(model, red.nonadjacent_pairs(&perm)),
+                    "formula broken for {model} at {perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn formula_matches_scheduler_h2c_models() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let red = encode(g);
+        for model in [CostModel::base(), CostModel::compcost()] {
+            let (inst, aug) = red.instance(model);
+            let h = aug.unwrap();
+            for perm in all_permutations(4).into_iter().step_by(3) {
+                let (mut trace, state) = h.prologue_trace(&inst).unwrap();
+                let prologue_scaled = rbp_core::simulate_prefix(&inst, &trace)
+                    .unwrap()
+                    .cost
+                    .scaled(model.epsilon());
+                let mut st = state.clone();
+                let mut tail = Pebbling::new();
+                red.grouped.emit_onto(&inst, &perm, &mut st, &mut tail).unwrap();
+                trace.extend(&tail);
+                let rep = rbp_core::simulate(&inst, &trace).unwrap();
+                assert_eq!(
+                    rep.cost.scaled(model.epsilon()) - prologue_scaled,
+                    red.scaled_schedule_cost(model, red.nonadjacent_pairs(&perm)),
+                    "H2C formula broken for {model} at {perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_matches_ground_truth_all_models() {
+        let cases: Vec<(Graph, &str)> = vec![
+            (Graph::path(4), "path4"),
+            (Graph::star(4), "star4"),
+            (Graph::cycle(4), "cycle4"),
+            (Graph::complete(4), "k4"),
+            (Graph::from_edges(4, &[(0, 1), (2, 3)]), "two-edges"),
+            (Graph::complete_bipartite(1, 3), "k13"),
+        ];
+        for (g, name) in cases {
+            let truth = hampath::has_hamiltonian_path(&g);
+            let red = encode(g);
+            for kind in ModelKind::ALL {
+                let model = CostModel::of_kind(kind);
+                let decided = red.decides_hamiltonian(model).unwrap();
+                assert_eq!(
+                    decided, truth,
+                    "reduction decision wrong for {name} in {model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_recovers_a_real_hamiltonian_path() {
+        let g = Graph::petersen();
+        // Petersen is too big for exhaustive search; use the DP
+        let red = encode(g);
+        let (scaled, order) = red.solve_dp(CostModel::oneshot());
+        assert_eq!(scaled, red.scaled_schedule_threshold(CostModel::oneshot()));
+        let path = red.decode(&order).expect("Petersen has a Hamiltonian path");
+        assert!(hampath::is_hamiltonian_path(&red.graph, &path));
+    }
+
+    #[test]
+    fn dp_matches_exhaustive() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..5 {
+            let g = Graph::gnp(5, 0.5, &mut rng);
+            let red = encode(g);
+            for model in [CostModel::oneshot(), CostModel::nodel()] {
+                let sol = red.solve(model).unwrap();
+                let (dp_scaled, _) = red.solve_dp(model);
+                assert_eq!(sol.scaled, dp_scaled, "DP diverges from exhaustive");
+            }
+        }
+    }
+
+    #[test]
+    fn visit_order_optimum_matches_unrestricted_exact_solver() {
+        // the key soundness check: on tiny instances the visit-order
+        // optimum equals the true optimal pebbling cost
+        for g in [Graph::path(3), Graph::from_edges(3, &[(0, 1)])] {
+            let red = encode(g);
+            let model = CostModel::oneshot();
+            let (inst, _) = red.instance(model);
+            let sol = red.solve(model).unwrap();
+            let exact = rbp_solvers::solve_exact(&inst).unwrap();
+            assert_eq!(
+                sol.scaled,
+                exact.cost.scaled(model.epsilon()),
+                "visit-order optimum is not the true optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_degree_variant_has_indegree_two() {
+        let red = encode(Graph::path(4));
+        let cd = red.constant_degree(3);
+        assert_eq!(cd.dag.max_indegree(), 2, "Appendix B: Δ = O(1)");
+        // chain nodes appended after the original ids
+        assert!(cd.dag.n() > red.dag.n());
+    }
+
+    #[test]
+    fn constant_degree_preserves_oneshot_costs_exactly() {
+        // Appendix B.1: the ladder walk is free in oneshot, so every
+        // permutation costs exactly what it costs unexpanded
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let red = encode(g);
+        let cd = red.constant_degree(2);
+        let model = CostModel::oneshot();
+        let plain_inst = red.instance(model).0;
+        let cd_inst = Instance::new(cd.dag.clone(), red.constant_degree_red_limit(), model);
+        for perm in all_permutations(4) {
+            let plain = rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
+                .unwrap()
+                .cost;
+            let expanded = rbp_core::simulate(&cd_inst, &cd.grouped.emit(&cd_inst, &perm).unwrap())
+                .unwrap()
+                .cost;
+            assert_eq!(
+                plain.transfers, expanded.transfers,
+                "CD expansion changed the cost of {perm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_degree_nodel_offset_is_permutation_independent() {
+        // Appendix B.1: in nodel every chain node is stored once — a
+        // constant offset, so decisions are preserved
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let red = encode(g);
+        let cd = red.constant_degree(2);
+        let model = CostModel::nodel();
+        let plain_inst = red.instance(model).0;
+        let cd_inst = Instance::new(cd.dag.clone(), red.constant_degree_red_limit(), model);
+        let mut offset: Option<u64> = None;
+        for perm in all_permutations(4) {
+            let plain = rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
+                .unwrap()
+                .cost
+                .transfers;
+            let expanded = rbp_core::simulate(&cd_inst, &cd.grouped.emit(&cd_inst, &perm).unwrap())
+                .unwrap()
+                .cost
+                .transfers;
+            let d = expanded - plain;
+            match offset {
+                None => offset = Some(d),
+                Some(o) => assert_eq!(o, d, "offset varies with permutation {perm:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constant_degree_reduction_still_decides() {
+        for (g, truth) in [
+            (Graph::path(4), true),
+            (Graph::star(4), false),
+            (Graph::cycle(4), true),
+        ] {
+            let red = encode(g);
+            let cd = red.constant_degree(2);
+            let model = CostModel::oneshot();
+            let inst = Instance::new(cd.dag.clone(), red.constant_degree_red_limit(), model);
+            let best = rbp_solvers::best_order(&cd.grouped, &inst).unwrap();
+            let decided = best.scaled <= red.scaled_schedule_threshold(model);
+            assert_eq!(decided, truth, "constant-degree reduction broke");
+        }
+    }
+
+    #[test]
+    fn planted_instances_decode_round_trip() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..3 {
+            let g = hampath::planted_instance(6, 3, &mut rng);
+            let red = encode(g);
+            let (scaled, order) = red.solve_dp(CostModel::oneshot());
+            assert_eq!(scaled, red.scaled_schedule_threshold(CostModel::oneshot()));
+            assert!(red.decode(&order).is_some());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Solver-level errors.
+
+use rbp_core::PebblingError;
+use std::fmt;
+
+/// Why a solver could not produce a pebbling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The instance violates R ≥ Δ+1 (or another engine-level precondition).
+    Pebbling(PebblingError),
+    /// The exact solver's state budget was exhausted before the goal.
+    StateLimitExceeded {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// The search space was exhausted without reaching the goal (possible
+    /// under restricted conventions, e.g. unreachable sinks).
+    NoPebblingFound,
+    /// The given visit order violates a group dependency: the named group
+    /// needs an input that is a target of a group not yet visited.
+    OrderDependencyViolated {
+        /// Index (into the group list) of the group whose visit failed.
+        group: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Pebbling(e) => write!(f, "{e}"),
+            SolveError::StateLimitExceeded { limit } => {
+                write!(f, "exact solver exceeded its state budget of {limit}")
+            }
+            SolveError::NoPebblingFound => write!(f, "search space exhausted without a pebbling"),
+            SolveError::OrderDependencyViolated { group } => {
+                write!(f, "visit order violates a dependency at group {group}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<PebblingError> for SolveError {
+    fn from(e: PebblingError) -> Self {
+        SolveError::Pebbling(e)
+    }
+}

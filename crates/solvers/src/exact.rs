@@ -1,0 +1,708 @@
+//! Exact optimal pebbling via Dijkstra / A* over configurations.
+//!
+//! A configuration is `(red, blue[, computed])` packed into `u64` words;
+//! moves are edges weighted by their scaled cost (`transfers·den +
+//! computes·num`, exact integers). Dijkstra over this graph yields the
+//! optimal pebbling cost and, via parent pointers, an optimal trace.
+//!
+//! ## State keys per model
+//! - **base / compcost / nodel**: `(red, blue)`. The computed set does not
+//!   constrain future legality (recomputation is allowed), so it is
+//!   omitted — this also merges states that differ only in history.
+//! - **oneshot**: `(red, blue, computed)`, because each node admits one
+//!   compute.
+//!
+//! ## Optimality-preserving pruning (`prune = true`)
+//! All prunes below keep at least one optimal pebbling intact; the
+//! unpruned mode (`prune = false`) is the brute-force reference that the
+//! test-suite compares against on small instances.
+//!
+//! 1. *Never delete a blue pebble* (all models with deletion): a state
+//!    with a superset of blue pebbles and identical red/computed sets can
+//!    replay any continuation of the smaller state at equal cost, so the
+//!    delete only moves to a dominated state.
+//! 2. *(oneshot)* Skip `Load(v)`/`Store(v)` when `v` has no uncomputed
+//!    successor and is not a sink: the pebble can never enable anything
+//!    again, so the optimal continuation never pays to move it.
+//! 3. *(oneshot)* Skip `Delete(v)` when `v` still has an uncomputed
+//!    successor, or when `v` is a sink: recomputation is forbidden, so
+//!    both cases make the goal unreachable (dead state).
+//! 4. *(oneshot)* Dead-state check at expansion: if some sink is already
+//!    unreachable (computed but unpebbled, or uncomputed with an
+//!    unreachable input), the subtree is abandoned.
+//!
+//! ## A*
+//! For oneshot an admissible, consistent heuristic is available: every
+//! node that is blue and still has an uncomputed successor must be loaded
+//! at least once more (recomputation being forbidden), contributing 1
+//! transfer each.
+
+use crate::error::SolveError;
+use crate::hash::FxHashMap;
+use rbp_core::{
+    bounds, Cost, Instance, ModelKind, Move, Pebbling, SourceConvention,
+};
+use rbp_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration for [`solve_exact_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Abort with [`SolveError::StateLimitExceeded`] after interning this
+    /// many states (memory guard).
+    pub max_states: usize,
+    /// Enable the optimality-preserving prunes documented on this module.
+    pub prune: bool,
+    /// Use the admissible oneshot heuristic (ignored for other models).
+    pub astar: bool,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_states: 8_000_000,
+            prune: true,
+            astar: true,
+        }
+    }
+}
+
+/// Result of an exact solve.
+#[derive(Clone, Debug)]
+pub struct ExactReport {
+    /// Exact optimal cost.
+    pub cost: Cost,
+    /// An optimal pebbling realizing that cost.
+    pub trace: Pebbling,
+    /// Number of states popped from the queue.
+    pub states_expanded: usize,
+    /// Number of distinct states interned.
+    pub states_seen: usize,
+}
+
+/// Solves the instance exactly with default configuration.
+///
+/// # Example
+/// ```
+/// use rbp_core::{CostModel, Instance};
+/// use rbp_graph::generate;
+/// use rbp_solvers::solve_exact;
+///
+/// // a dependency chain fits in 2 red pebbles at zero I/O cost
+/// let inst = Instance::new(generate::chain(8), 2, CostModel::oneshot());
+/// let opt = solve_exact(&inst).unwrap();
+/// assert_eq!(opt.cost.transfers, 0);
+/// // the trace is a concrete, replayable schedule
+/// assert!(rbp_core::simulate(&inst, &opt.trace).is_ok());
+/// ```
+pub fn solve_exact(instance: &Instance) -> Result<ExactReport, SolveError> {
+    solve_exact_with(instance, ExactConfig::default())
+}
+
+/// Brute-force reference: no pruning, no heuristic. Exponentially slower;
+/// only for cross-validating [`solve_exact`] on tiny instances.
+pub fn solve_reference(instance: &Instance) -> Result<ExactReport, SolveError> {
+    solve_exact_with(
+        instance,
+        ExactConfig {
+            max_states: 4_000_000,
+            prune: false,
+            astar: false,
+        },
+    )
+}
+
+/// Solves the instance exactly with the given configuration.
+pub fn solve_exact_with(instance: &Instance, cfg: ExactConfig) -> Result<ExactReport, SolveError> {
+    bounds::check_feasible(instance)?;
+    Search::new(instance, cfg).run()
+}
+
+// ---------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1 << (i % 64));
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    cfg: ExactConfig,
+    n: usize,
+    wpn: usize,        // words per node-set
+    key_words: usize,  // words per state key (2·wpn or 3·wpn)
+    oneshot: bool,
+    track_computed: bool,
+    eps_num: u64,
+    eps_den: u64,
+    // interning
+    ids: FxHashMap<Box<[u64]>, u32>,
+    keys: Vec<Box<[u64]>>,
+    dist: Vec<u64>,
+    parent: Vec<(u32, Move)>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    // scratch
+    scratch: Vec<u64>,
+    // per-node static info
+    sinks: Vec<bool>,
+    topo: Vec<NodeId>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl<'a> Search<'a> {
+    fn new(instance: &'a Instance, cfg: ExactConfig) -> Self {
+        let n = instance.dag().n();
+        let wpn = n.div_ceil(64).max(1);
+        let oneshot = instance.model().kind() == ModelKind::Oneshot;
+        let track_computed = oneshot;
+        let key_words = if track_computed { 3 * wpn } else { 2 * wpn };
+        let eps = instance.model().epsilon();
+        let (eps_num, eps_den) = if eps.is_zero() {
+            (0, 1)
+        } else {
+            (eps.num(), eps.den())
+        };
+        let sinks = instance
+            .dag()
+            .nodes()
+            .map(|v| instance.dag().is_sink(v))
+            .collect();
+        Search {
+            instance,
+            cfg,
+            n,
+            wpn,
+            key_words,
+            oneshot,
+            track_computed,
+            eps_num,
+            eps_den,
+            ids: FxHashMap::default(),
+            keys: Vec::new(),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+            scratch: vec![0; key_words],
+            sinks,
+            topo: rbp_graph::topological_order(instance.dag()),
+        }
+    }
+
+    #[inline]
+    fn red<'k>(&self, key: &'k [u64]) -> &'k [u64] {
+        &key[..self.wpn]
+    }
+
+    #[inline]
+    fn blue<'k>(&self, key: &'k [u64]) -> &'k [u64] {
+        &key[self.wpn..2 * self.wpn]
+    }
+
+    /// The computed set; for models that do not track it, pebbled ∪ history
+    /// is irrelevant and this returns the blue slice (unused).
+    #[inline]
+    fn computed<'k>(&self, key: &'k [u64]) -> &'k [u64] {
+        if self.track_computed {
+            &key[2 * self.wpn..]
+        } else {
+            &key[..0]
+        }
+    }
+
+    #[inline]
+    fn is_red(&self, key: &[u64], v: usize) -> bool {
+        bit_get(self.red(key), v)
+    }
+
+    #[inline]
+    fn is_blue(&self, key: &[u64], v: usize) -> bool {
+        bit_get(self.blue(key), v)
+    }
+
+    #[inline]
+    fn is_computed(&self, key: &[u64], v: usize) -> bool {
+        if self.track_computed {
+            bit_get(self.computed(key), v)
+        } else {
+            // models without the computed set allow recomputation, so
+            // "has it been computed" never gates legality; pebbled is the
+            // only meaningful proxy where needed
+            self.is_red(key, v) || self.is_blue(key, v)
+        }
+    }
+
+    fn red_count(&self, key: &[u64]) -> usize {
+        self.red(key).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn initial_key(&self) -> Vec<u64> {
+        let mut key = vec![0u64; self.key_words];
+        if self.instance.source_convention() == SourceConvention::InitiallyBlue {
+            for v in self.instance.dag().sources() {
+                bit_set(&mut key[self.wpn..2 * self.wpn], v.index());
+                if self.track_computed {
+                    let w = self.wpn;
+                    bit_set(&mut key[2 * w..], v.index());
+                }
+            }
+        }
+        key
+    }
+
+    fn is_goal(&self, key: &[u64]) -> bool {
+        let need_blue =
+            self.instance.sink_convention() == rbp_core::SinkConvention::RequireBlue;
+        (0..self.n).all(|v| {
+            !self.sinks[v]
+                || if need_blue {
+                    self.is_blue(key, v)
+                } else {
+                    self.is_red(key, v) || self.is_blue(key, v)
+                }
+        })
+    }
+
+    fn intern(&mut self, key: &[u64]) -> (u32, bool) {
+        if let Some(&id) = self.ids.get(key) {
+            return (id, false);
+        }
+        let id = self.keys.len() as u32;
+        let boxed: Box<[u64]> = key.into();
+        self.ids.insert(boxed.clone(), id);
+        self.keys.push(boxed);
+        self.dist.push(u64::MAX);
+        self.parent.push((NO_PARENT, Move::Delete(NodeId::new(0))));
+        self.settled.push(false);
+        (id, true)
+    }
+
+    /// Whether `v` still has a successor that is uncomputed (oneshot only;
+    /// callers guard on `self.oneshot`).
+    fn has_uncomputed_successor(&self, key: &[u64], v: usize) -> bool {
+        self.instance
+            .dag()
+            .succs(NodeId::new(v))
+            .iter()
+            .any(|w| !self.is_computed(key, w.index()))
+    }
+
+    /// Oneshot dead-state check: is any sink permanently unreachable?
+    fn is_dead(&self, key: &[u64]) -> bool {
+        debug_assert!(self.oneshot);
+        // avail[v]: v's value can (still) be made red at some point
+        let mut avail = vec![false; self.n];
+        for &v in &self.topo {
+            let i = v.index();
+            avail[i] = if self.is_computed(key, i) {
+                self.is_red(key, i) || self.is_blue(key, i)
+            } else {
+                self.instance
+                    .dag()
+                    .preds(v)
+                    .iter()
+                    .all(|p| avail[p.index()])
+            };
+        }
+        (0..self.n).any(|v| {
+            self.sinks[v]
+                && if self.is_computed(key, v) {
+                    !self.is_red(key, v) && !self.is_blue(key, v)
+                } else {
+                    !avail[v]
+                }
+        })
+    }
+
+    /// Admissible oneshot heuristic: every blue node with an uncomputed
+    /// successor costs at least one more load.
+    fn heuristic(&self, key: &[u64]) -> u64 {
+        if !self.oneshot || !self.cfg.astar {
+            return 0;
+        }
+        let mut h = 0u64;
+        for v in 0..self.n {
+            if self.is_blue(key, v) && self.has_uncomputed_successor(key, v) {
+                h += self.eps_den;
+            }
+        }
+        h
+    }
+
+    fn run(mut self) -> Result<ExactReport, SolveError> {
+        let init = self.initial_key();
+        let (root, _) = self.intern(&init);
+        self.dist[root as usize] = 0;
+        let h0 = self.heuristic(&init);
+        self.heap.push(Reverse((h0, root)));
+
+        let mut expanded = 0usize;
+        while let Some(Reverse((_prio, id))) = self.heap.pop() {
+            if self.settled[id as usize] {
+                continue;
+            }
+            self.settled[id as usize] = true;
+            let key: Box<[u64]> = self.keys[id as usize].clone();
+            let d = self.dist[id as usize];
+            expanded += 1;
+
+            if self.is_goal(&key) {
+                return Ok(ExactReport {
+                    cost: self.recover_cost(id),
+                    trace: self.recover_trace(id),
+                    states_expanded: expanded,
+                    states_seen: self.keys.len(),
+                });
+            }
+            if self.cfg.prune && self.oneshot && self.is_dead(&key) {
+                continue;
+            }
+            self.expand(id, &key, d)?;
+        }
+        Err(SolveError::NoPebblingFound)
+    }
+
+    fn expand(&mut self, from: u32, key: &[u64], d: u64) -> Result<(), SolveError> {
+        let model = self.instance.model();
+        let r_limit = self.instance.red_limit();
+        let red_count = self.red_count(key);
+        let prune = self.cfg.prune;
+        let initially_blue =
+            self.instance.source_convention() == SourceConvention::InitiallyBlue;
+
+        for v in 0..self.n {
+            let node = NodeId::new(v);
+            let red = self.is_red(key, v);
+            let blue = self.is_blue(key, v);
+            if red {
+                // Store(v)
+                let useful = !prune
+                    || !self.oneshot
+                    || self.sinks[v]
+                    || self.has_uncomputed_successor(key, v);
+                if useful {
+                    self.scratch.copy_from_slice(key);
+                    bit_clear(&mut self.scratch[..self.wpn], v);
+                    bit_set(&mut self.scratch[self.wpn..2 * self.wpn], v);
+                    self.push_succ(from, Move::Store(node), d, self.eps_den)?;
+                }
+                // Delete(v)
+                if model.allows_delete() {
+                    let dead = self.oneshot
+                        && (self.sinks[v] || self.has_uncomputed_successor(key, v));
+                    if !(prune && dead) {
+                        self.scratch.copy_from_slice(key);
+                        bit_clear(&mut self.scratch[..self.wpn], v);
+                        self.push_succ(from, Move::Delete(node), d, 0)?;
+                    }
+                }
+            } else if blue {
+                // Load(v)
+                if red_count < r_limit {
+                    let useful = !prune
+                        || !self.oneshot
+                        || self.has_uncomputed_successor(key, v);
+                    if useful {
+                        self.scratch.copy_from_slice(key);
+                        bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
+                        bit_set(&mut self.scratch[..self.wpn], v);
+                        self.push_succ(from, Move::Load(node), d, self.eps_den)?;
+                    }
+                }
+                // Delete of a blue pebble: dominated (prune rule 1)
+                if model.allows_delete() && !prune {
+                    self.scratch.copy_from_slice(key);
+                    bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
+                    self.push_succ(from, Move::Delete(node), d, 0)?;
+                }
+                // Compute onto blue (nodel recomputation; legal in base too)
+                self.try_compute(from, key, d, v, red_count, initially_blue)?;
+            } else {
+                // Compute onto an empty node
+                self.try_compute(from, key, d, v, red_count, initially_blue)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn try_compute(
+        &mut self,
+        from: u32,
+        key: &[u64],
+        d: u64,
+        v: usize,
+        red_count: usize,
+        initially_blue: bool,
+    ) -> Result<(), SolveError> {
+        let node = NodeId::new(v);
+        let model = self.instance.model();
+        if !model.allows_recompute() && self.is_computed(key, v) {
+            return Ok(());
+        }
+        if initially_blue && self.instance.dag().is_source(node) {
+            return Ok(());
+        }
+        if red_count >= self.instance.red_limit() {
+            return Ok(());
+        }
+        if !self
+            .instance
+            .dag()
+            .preds(node)
+            .iter()
+            .all(|p| self.is_red(key, p.index()))
+        {
+            return Ok(());
+        }
+        self.scratch.copy_from_slice(key);
+        bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v); // replace blue if any
+        bit_set(&mut self.scratch[..self.wpn], v);
+        if self.track_computed {
+            let w = self.wpn;
+            bit_set(&mut self.scratch[2 * w..], v);
+        }
+        self.push_succ(from, Move::Compute(node), d, self.eps_num)
+    }
+
+    fn push_succ(&mut self, from: u32, mv: Move, d: u64, delta: u64) -> Result<(), SolveError> {
+        // self.scratch holds the successor key
+        let key = std::mem::take(&mut self.scratch);
+        let (id, _fresh) = self.intern(&key);
+        self.scratch = key;
+        if self.keys.len() > self.cfg.max_states {
+            return Err(SolveError::StateLimitExceeded {
+                limit: self.cfg.max_states,
+            });
+        }
+        let nd = d + delta;
+        if !self.settled[id as usize] && nd < self.dist[id as usize] {
+            self.dist[id as usize] = nd;
+            self.parent[id as usize] = (from, mv);
+            // scratch still holds the successor key
+            let h = self.heuristic(&self.scratch);
+            self.heap.push(Reverse((nd + h, id)));
+        }
+        Ok(())
+    }
+
+    fn recover_trace(&self, goal: u32) -> Pebbling {
+        let mut moves = Vec::new();
+        let mut cur = goal;
+        while self.parent[cur as usize].0 != NO_PARENT {
+            let (prev, mv) = self.parent[cur as usize];
+            moves.push(mv);
+            cur = prev;
+        }
+        moves.reverse();
+        Pebbling::from_moves(moves)
+    }
+
+    fn recover_cost(&self, goal: u32) -> Cost {
+        let trace = self.recover_trace(goal);
+        let stats = trace.stats();
+        Cost {
+            transfers: stats.transfers(),
+            computes: stats.computes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{engine, CostModel};
+    use rbp_graph::{generate, DagBuilder};
+
+    fn check_optimal(instance: &Instance, expect_scaled: u64) {
+        let rep = solve_exact(instance).unwrap();
+        // reported trace must be valid and match the reported cost
+        let sim = engine::simulate(instance, &rep.trace).unwrap();
+        assert_eq!(sim.cost, rep.cost, "trace cost mismatch");
+        assert!(sim.peak_red <= instance.red_limit());
+        assert_eq!(
+            rep.cost.scaled(instance.model().epsilon()),
+            expect_scaled as u128
+        );
+    }
+
+    #[test]
+    fn chain_is_free_with_two_pebbles_oneshot() {
+        let inst = Instance::new(generate::chain(6), 2, CostModel::oneshot());
+        check_optimal(&inst, 0);
+    }
+
+    #[test]
+    fn chain_infeasible_with_one_pebble() {
+        let inst = Instance::new(generate::chain(3), 1, CostModel::oneshot());
+        assert!(matches!(
+            solve_exact(&inst),
+            Err(SolveError::Pebbling(_))
+        ));
+    }
+
+    #[test]
+    fn join_is_free_with_three_pebbles() {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+        check_optimal(&inst, 0);
+    }
+
+    #[test]
+    fn two_joins_sharing_inputs_tight_memory() {
+        // 0,1 -> 3 ; 1,2 -> 4, with R = 3: an optimal order interleaves to
+        // avoid transfers entirely (compute 0,1,3; drop 0&3 handling...).
+        let mut b = DagBuilder::new(5);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(1, 4);
+        b.add_edge(2, 4);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+        // compute 0,1 (2 red), compute 3 (3 red), store 3? No: delete 0
+        // (never needed again), compute 2, compute 4 needs slot: 3 is a
+        // sink -> store costs 1? But delete 3 is illegal-to-win... Actually
+        // after computing 3 we can store nothing: red = {0,1,3}. Delete 0
+        // (free) -> {1,3}, compute 2 -> {1,2,3}, need slot for 4: store 3
+        // (sink, must keep) cost 1... or could we have stored 3 earlier?
+        // Any way round, one transfer is forced: R=3, two sinks + shared
+        // input... The exact solver decides: assert optimum is 1.
+        check_optimal(&inst, 1);
+    }
+
+    #[test]
+    fn nodel_chain_must_store_everything_but_last_two() {
+        // nodel, chain of 5, R = 2: pebbles cannot be deleted, so nodes
+        // 0, 1, 2 are each stored once when their slot is needed; the last
+        // two nodes end red. Cost = n − R = 3 (the Section-4 lower bound,
+        // tight here).
+        let inst = Instance::new(generate::chain(5), 2, CostModel::nodel());
+        check_optimal(&inst, 3);
+    }
+
+    #[test]
+    fn base_chain_is_free_via_deletion() {
+        let inst = Instance::new(generate::chain(5), 2, CostModel::base());
+        check_optimal(&inst, 0);
+    }
+
+    #[test]
+    fn compcost_chain_costs_epsilon_per_node() {
+        // R=2 suffices; each node computed exactly once: scaled cost = n·num
+        let inst = Instance::new(generate::chain(5), 2, CostModel::compcost());
+        check_optimal(&inst, 5);
+    }
+
+    #[test]
+    fn pruned_matches_reference_on_small_dags() {
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            for _ in 0..6 {
+                let dag = generate::gnp_dag(6, 0.4, 2, &mut rng);
+                let r = dag.max_indegree() + 1;
+                let inst = Instance::new(dag, r, CostModel::of_kind(kind));
+                let fast = solve_exact(&inst).unwrap();
+                let slow = solve_reference(&inst).unwrap();
+                assert_eq!(
+                    fast.cost.scaled(inst.model().epsilon()),
+                    slow.cost.scaled(inst.model().epsilon()),
+                    "prune changed optimum for {kind} on {:?}",
+                    inst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..5 {
+            let dag = generate::layered(3, 3, 2, &mut rng);
+            let inst = Instance::new(dag, 3, CostModel::oneshot());
+            let astar = solve_exact_with(
+                &inst,
+                ExactConfig {
+                    astar: true,
+                    ..ExactConfig::default()
+                },
+            )
+            .unwrap();
+            let dij = solve_exact_with(
+                &inst,
+                ExactConfig {
+                    astar: false,
+                    ..ExactConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(astar.cost, dij.cost);
+            assert!(astar.states_expanded <= dij.states_expanded + 5);
+        }
+    }
+
+    #[test]
+    fn state_limit_respected() {
+        let mut rng = rand::thread_rng();
+        let dag = generate::layered(4, 4, 3, &mut rng);
+        let inst = Instance::new(dag, 5, CostModel::oneshot());
+        let res = solve_exact_with(
+            &inst,
+            ExactConfig {
+                max_states: 10,
+                ..ExactConfig::default()
+            },
+        );
+        assert_eq!(res.unwrap_err(), SolveError::StateLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn optimum_monotone_in_r() {
+        let mut b = DagBuilder::new(6);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(1, 4);
+        b.add_edge(2, 4);
+        b.add_edge(3, 5);
+        b.add_edge(4, 5);
+        let dag = b.build().unwrap();
+        let mut prev = u128::MAX;
+        for r in 3..=6 {
+            let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+            let rep = solve_exact(&inst).unwrap();
+            let c = rep.cost.scaled(inst.model().epsilon());
+            assert!(c <= prev, "opt must not increase with more red pebbles");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn initially_blue_sources_cost_loads() {
+        // chain of 2 with blue-start sources: must load the source (1),
+        // then compute the sink: optimum 1.
+        let inst = Instance::new(generate::chain(2), 2, CostModel::oneshot())
+            .with_source_convention(SourceConvention::InitiallyBlue);
+        check_optimal(&inst, 1);
+    }
+
+    #[test]
+    fn require_blue_sinks_adds_final_store() {
+        let inst = Instance::new(generate::chain(2), 2, CostModel::oneshot())
+            .with_sink_convention(rbp_core::SinkConvention::RequireBlue);
+        check_optimal(&inst, 1);
+    }
+}

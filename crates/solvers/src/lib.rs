@@ -1,0 +1,36 @@
+//! # rbp-solvers
+//!
+//! Solvers for red-blue pebble games:
+//!
+//! - [`exact`]: optimal pebbling via Dijkstra/A* over configurations, with
+//!   per-model optimality-preserving pruning and an unpruned reference
+//!   mode for cross-validation;
+//! - [`greedy`]: the three natural greedy rules of Section 8 with
+//!   pluggable eviction policies;
+//! - [`visit`]: visit-order solvers for the paper's input-group
+//!   constructions (deterministic scheduler, exhaustive branch-and-bound,
+//!   Held–Karp DP);
+//! - [`sweep`]: parallel opt(R) tradeoff curves (Section 5);
+//! - [`portfolio`]: parallel best-of-greedy.
+//!
+//! Every solver returns a concrete [`rbp_core::Pebbling`] trace whose cost
+//! is produced (or re-checked in tests) by the validating engine.
+
+pub mod beam;
+pub mod error;
+pub mod exact;
+pub mod greedy;
+pub mod hash;
+pub mod portfolio;
+pub mod sweep;
+pub mod visit;
+
+pub use beam::{solve_beam, BeamConfig};
+pub use error::SolveError;
+pub use exact::{solve_exact, solve_exact_with, solve_reference, ExactConfig, ExactReport};
+pub use greedy::{
+    solve_greedy, solve_greedy_with, EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule,
+};
+pub use portfolio::{default_portfolio, solve_portfolio};
+pub use sweep::{check_tradeoff_laws, sweep_r, SweepPoint};
+pub use visit::{best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult};

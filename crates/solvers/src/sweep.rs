@@ -1,0 +1,129 @@
+//! Parallel parameter sweeps: opt(R) tradeoff curves (Section 5).
+//!
+//! The per-R solves are independent, so they fan out over scoped threads
+//! (crossbeam). Solvers themselves stay single-threaded and deterministic.
+
+use crate::error::SolveError;
+use rbp_core::{Cost, Instance};
+
+/// One point of a tradeoff curve.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The red-pebble budget.
+    pub r: usize,
+    /// Result for this budget (cost, or the failure).
+    pub result: Result<Cost, SolveError>,
+}
+
+/// Computes `solver` over every R in `r_range`, in parallel, returning
+/// points in increasing-R order.
+///
+/// `solver` must be deterministic; it receives a per-thread clone of the
+/// instance re-parameterized with R (the DAG is shared, not copied).
+pub fn sweep_r<F>(instance: &Instance, r_range: std::ops::RangeInclusive<usize>, solver: F) -> Vec<SweepPoint>
+where
+    F: Fn(&Instance) -> Result<Cost, SolveError> + Sync,
+{
+    let rs: Vec<usize> = r_range.collect();
+    let mut results: Vec<Option<SweepPoint>> = (0..rs.len()).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(rs.len().max(1));
+
+    crossbeam::thread::scope(|scope| {
+        let chunks = results.chunks_mut(rs.len().div_ceil(threads));
+        for (chunk_idx, chunk) in chunks.enumerate() {
+            let rs = &rs;
+            let solver = &solver;
+            let base = chunk_idx * rs.len().div_ceil(threads);
+            scope.spawn(move |_| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let r = rs[base + i];
+                    let inst = instance.with_red_limit(r);
+                    *slot = Some(SweepPoint {
+                        r,
+                        result: solver(&inst),
+                    });
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results.into_iter().map(|p| p.expect("all slots filled")).collect()
+}
+
+/// Verifies the Section-5 staircase property on a curve: opt is
+/// non-increasing in R and each extra pebble saves at most 2n transfers
+/// (`opt(R−1) ≤ opt(R) + 2n`). Returns the first violating pair, if any.
+pub fn check_tradeoff_laws(
+    instance: &Instance,
+    points: &[SweepPoint],
+) -> Option<(usize, usize)> {
+    let eps = instance.model().epsilon();
+    let slack = rbp_core::bounds::max_tradeoff_slope(instance) as u128 * eps.den() as u128;
+    let costs: Vec<Option<u128>> = points
+        .iter()
+        .map(|p| p.result.as_ref().ok().map(|c| c.scaled(eps)))
+        .collect();
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let (Ok(ca), Ok(cb)) = (&a.result, &b.result) else {
+            continue;
+        };
+        let (sa, sb) = (ca.scaled(eps), cb.scaled(eps));
+        // monotone: more pebbles never hurt
+        if sb > sa {
+            return Some((a.r, b.r));
+        }
+        // bounded slope (oneshot law; holds as stated only there)
+        if instance.model().kind() == rbp_core::ModelKind::Oneshot && sa > sb + slack {
+            return Some((a.r, b.r));
+        }
+    }
+    let _ = costs;
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use rbp_core::CostModel;
+    use rbp_graph::generate;
+
+    #[test]
+    fn sweep_covers_range_in_order() {
+        let dag = generate::chain(6);
+        let inst = Instance::new(dag, 2, CostModel::oneshot());
+        let points = sweep_r(&inst, 2..=5, |i| solve_exact(i).map(|r| r.cost));
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].r, 2);
+        assert_eq!(points[3].r, 5);
+        for p in &points {
+            assert_eq!(p.result.as_ref().unwrap().transfers, 0, "chain free at R>=2");
+        }
+    }
+
+    #[test]
+    fn sweep_reports_infeasible_points() {
+        let dag = generate::chain(4);
+        let inst = Instance::new(dag, 2, CostModel::oneshot());
+        let points = sweep_r(&inst, 1..=2, |i| solve_exact(i).map(|r| r.cost));
+        assert!(points[0].result.is_err(), "R=1 infeasible on a chain");
+        assert!(points[1].result.is_ok());
+    }
+
+    #[test]
+    fn tradeoff_laws_hold_on_small_join_dag() {
+        let mut b = rbp_graph::DagBuilder::new(5);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(1, 4);
+        b.add_edge(2, 4);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+        let points = sweep_r(&inst, 3..=5, |i| solve_exact(i).map(|r| r.cost));
+        assert_eq!(check_tradeoff_laws(&inst, &points), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! The FFT butterfly DAG (radix-2): `stages = log2(n)` levels over `n`
+//! lanes; node (s, i) depends on (s−1, i) and (s−1, i ^ 2^(s−1)).
+//! Another classic red-blue pebbling subject: I/O complexity
+//! Θ(n·log n / log R) (Hong & Kung \[12\]).
+
+use rbp_graph::{Dag, DagBuilder, NodeId};
+
+/// A built FFT DAG.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    /// The DAG.
+    pub dag: Dag,
+    /// `levels[s][i]`: node at stage s (0 = inputs), lane i.
+    pub levels: Vec<Vec<NodeId>>,
+    /// Number of lanes (a power of two).
+    pub n: usize,
+}
+
+/// Builds the butterfly over `n = 2^log_n` lanes.
+pub fn build(log_n: u32) -> Fft {
+    let n = 1usize << log_n;
+    let mut b = DagBuilder::new(0);
+    let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(log_n as usize + 1);
+    levels.push((0..n).map(|i| b.add_labeled_node(format!("x{i}"))).collect());
+    for s in 1..=log_n as usize {
+        let stride = 1usize << (s - 1);
+        let prev = levels[s - 1].clone();
+        let row: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let v = b.add_labeled_node(format!("f{s}_{i}"));
+                b.add_edge_ids(prev[i], v);
+                b.add_edge_ids(prev[i ^ stride], v);
+                v
+            })
+            .collect();
+        levels.push(row);
+    }
+    Fft {
+        dag: b.build().expect("butterfly is acyclic"),
+        levels,
+        n,
+    }
+}
+
+/// Hong–Kung reference shape: Θ(n·log n / log R), no hidden constant.
+pub fn hong_kung_bound(n: usize, r: usize) -> f64 {
+    let n = n as f64;
+    n * n.log2() / (r as f64).log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_solvers::solve_greedy;
+
+    #[test]
+    fn structure() {
+        let f = build(3);
+        assert_eq!(f.n, 8);
+        assert_eq!(f.dag.n(), 8 * 4);
+        assert_eq!(f.dag.max_indegree(), 2);
+        assert_eq!(f.dag.sources().len(), 8);
+        assert_eq!(f.dag.sinks().len(), 8);
+    }
+
+    #[test]
+    fn butterfly_connectivity() {
+        let f = build(2);
+        // stage 1, lane 0 depends on lanes 0 and 1 of the inputs
+        let preds = f.dag.preds(f.levels[1][0]);
+        assert_eq!(preds, &[f.levels[0][0], f.levels[0][1]]);
+        // stage 2, lane 0 depends on stage-1 lanes 0 and 2
+        let preds2 = f.dag.preds(f.levels[2][0]);
+        assert!(preds2.contains(&f.levels[1][0]));
+        assert!(preds2.contains(&f.levels[1][2]));
+    }
+
+    #[test]
+    fn every_output_reachable_from_every_input() {
+        // the defining FFT property
+        let f = build(3);
+        for &input in &f.levels[0] {
+            let desc = rbp_graph::algo::descendants(&f.dag, input);
+            for &out in f.levels.last().unwrap() {
+                assert!(desc.contains(out.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn io_cost_shrinks_with_cache() {
+        let f = build(3);
+        let cost = |r: usize| {
+            let inst = Instance::new(f.dag.clone(), r, CostModel::oneshot());
+            solve_greedy(&inst).unwrap().cost.transfers
+        };
+        assert!(cost(32) <= cost(4));
+        assert_eq!(cost(f.dag.n()), 0);
+    }
+}

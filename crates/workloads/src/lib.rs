@@ -1,0 +1,18 @@
+//! # rbp-workloads
+//!
+//! Realistic computation DAGs — the workloads the paper's introduction
+//! motivates (HPC kernels on two-level memory hierarchies \[20\]), plus the
+//! Hong–Kung reference bounds for the classical kernels:
+//!
+//! - [`matmul`]: dense matrix multiplication (I/O bound Ω(n³/√R));
+//! - [`fft`]: the radix-2 butterfly (Θ(n·log n / log R));
+//! - [`stencil`]: iterated 1-D stencils of configurable radius;
+//! - [`tree`]: k-ary reduction trees.
+//!
+//! Random layered/G(n,p)/chain generators live in
+//! [`rbp_graph::generate`].
+
+pub mod fft;
+pub mod matmul;
+pub mod stencil;
+pub mod tree;

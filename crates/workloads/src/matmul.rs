@@ -1,0 +1,124 @@
+//! Naive dense matrix-multiplication DAG — the original subject of
+//! red-blue pebbling analysis (Hong & Kung \[12\]).
+//!
+//! C = A·B for n×n matrices: entries of A and B are sources; each product
+//! `A[i][k]·B[k][j]` is a multiply node; the products accumulate along a
+//! summation chain per output entry. Every node has indegree ≤ 2, so the
+//! DAG is pebblable from R = 3.
+
+use rbp_graph::{Dag, DagBuilder, NodeId};
+
+/// A built matmul DAG.
+#[derive(Clone, Debug)]
+pub struct MatMul {
+    /// The DAG.
+    pub dag: Dag,
+    /// `a[i][k]` input nodes.
+    pub a: Vec<Vec<NodeId>>,
+    /// `b[k][j]` input nodes.
+    pub b: Vec<Vec<NodeId>>,
+    /// `c[i][j]`: the final accumulation node per output entry (sinks).
+    pub c: Vec<Vec<NodeId>>,
+    /// Matrix dimension n.
+    pub n: usize,
+}
+
+/// Builds the n×n×n multiply-accumulate DAG (`n ≥ 1`).
+pub fn build(n: usize) -> MatMul {
+    assert!(n >= 1);
+    let mut bld = DagBuilder::new(0);
+    let a: Vec<Vec<NodeId>> = (0..n)
+        .map(|i| (0..n).map(|k| bld.add_labeled_node(format!("a{i}_{k}"))).collect())
+        .collect();
+    let b: Vec<Vec<NodeId>> = (0..n)
+        .map(|k| (0..n).map(|j| bld.add_labeled_node(format!("b{k}_{j}"))).collect())
+        .collect();
+    let mut c = vec![vec![NodeId::new(0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: Option<NodeId> = None;
+            for k in 0..n {
+                let m = bld.add_labeled_node(format!("m{i}_{j}_{k}"));
+                bld.add_edge_ids(a[i][k], m);
+                bld.add_edge_ids(b[k][j], m);
+                acc = Some(match acc {
+                    None => m,
+                    Some(prev) => {
+                        let s = bld.add_labeled_node(format!("s{i}_{j}_{k}"));
+                        bld.add_edge_ids(prev, s);
+                        bld.add_edge_ids(m, s);
+                        s
+                    }
+                });
+            }
+            c[i][j] = acc.expect("n >= 1");
+        }
+    }
+    MatMul {
+        dag: bld.build().expect("matmul DAG is acyclic"),
+        a,
+        b,
+        c,
+        n,
+    }
+}
+
+/// The Hong–Kung asymptotic I/O lower bound for matmul with cache size R:
+/// Ω(n³ / √R). Returned without hidden constant, as the reference *shape*
+/// for the workloads experiment.
+pub fn hong_kung_bound(n: usize, r: usize) -> f64 {
+    (n as f64).powi(3) / (r as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_solvers::solve_greedy;
+
+    #[test]
+    fn structure() {
+        let m = build(3);
+        // inputs 2n², multiplies n³, adds n²(n−1)
+        assert_eq!(m.dag.n(), 2 * 9 + 27 + 9 * 2);
+        assert_eq!(m.dag.max_indegree(), 2);
+        assert_eq!(m.dag.sources().len(), 18);
+        assert_eq!(m.dag.sinks().len(), 9);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(m.dag.is_sink(m.c[i][j]));
+            }
+        }
+    }
+
+    #[test]
+    fn n_equals_one() {
+        let m = build(1);
+        // a, b, one multiply
+        assert_eq!(m.dag.n(), 3);
+        assert!(m.dag.is_sink(m.c[0][0]));
+    }
+
+    #[test]
+    fn io_cost_decreases_with_cache_size() {
+        let m = build(3);
+        let cost = |r: usize| {
+            let inst = Instance::new(m.dag.clone(), r, CostModel::oneshot());
+            solve_greedy(&inst).unwrap().cost.transfers
+        };
+        let small = cost(3);
+        let large = cost(24);
+        assert!(large <= small, "more cache cannot hurt greedy: {small} -> {large}");
+        // with room for everything the computation is transfer-free
+        let huge = cost(m.dag.n());
+        assert_eq!(huge, 0);
+    }
+
+    #[test]
+    fn hong_kung_shape() {
+        // quadrupling the cache halves the bound
+        let b1 = hong_kung_bound(16, 4);
+        let b2 = hong_kung_bound(16, 16);
+        assert!((b1 / b2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! k-ary reduction trees: `leaves` inputs combined pairwise (or k-wise)
+//! down to a single root — the shape of parallel reductions, and a
+//! workload where pebbling is cheap at tiny R (a useful contrast to
+//! matmul/FFT in the workloads experiment).
+
+use rbp_graph::{Dag, DagBuilder, NodeId};
+
+/// A built reduction tree.
+#[derive(Clone, Debug)]
+pub struct ReductionTree {
+    /// The DAG.
+    pub dag: Dag,
+    /// The leaves (sources).
+    pub leaves: Vec<NodeId>,
+    /// The root (single sink).
+    pub root: NodeId,
+    /// Arity.
+    pub arity: usize,
+}
+
+/// Builds a k-ary reduction over `leaves` inputs (`arity ≥ 2`). The last
+/// internal node of a level absorbs any remainder smaller than `arity`.
+pub fn build(leaves: usize, arity: usize) -> ReductionTree {
+    assert!(leaves >= 1 && arity >= 2);
+    let mut b = DagBuilder::new(0);
+    let leaf_nodes: Vec<NodeId> = (0..leaves)
+        .map(|i| b.add_labeled_node(format!("l{i}")))
+        .collect();
+    let mut level = leaf_nodes.clone();
+    let mut depth = 0;
+    while level.len() > 1 {
+        depth += 1;
+        let mut next = Vec::with_capacity(level.len().div_ceil(arity));
+        for (gi, chunk) in level.chunks(arity).enumerate() {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let v = b.add_labeled_node(format!("r{depth}_{gi}"));
+            for &c in chunk {
+                b.add_edge_ids(c, v);
+            }
+            next.push(v);
+        }
+        level = next;
+    }
+    let root = level[0];
+    ReductionTree {
+        dag: b.build().expect("tree is acyclic"),
+        leaves: leaf_nodes,
+        root,
+        arity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_solvers::{solve_exact, solve_greedy};
+
+    #[test]
+    fn binary_tree_structure() {
+        let t = build(8, 2);
+        assert_eq!(t.dag.n(), 15);
+        assert_eq!(t.dag.max_indegree(), 2);
+        assert_eq!(t.dag.sinks(), vec![t.root]);
+        assert_eq!(t.dag.sources().len(), 8);
+    }
+
+    #[test]
+    fn non_power_leaf_counts() {
+        let t = build(5, 2);
+        assert_eq!(t.dag.sources().len(), 5);
+        assert_eq!(t.dag.sinks().len(), 1);
+    }
+
+    #[test]
+    fn quaternary_tree() {
+        let t = build(16, 4);
+        assert_eq!(t.dag.max_indegree(), 4);
+        assert_eq!(t.dag.n(), 16 + 4 + 1);
+    }
+
+    #[test]
+    fn tree_pebble_number_is_height_plus_two() {
+        // depth-first evaluation of a height-h binary tree holds one
+        // pending value per level plus the 3 pebbles of the current join:
+        // h+2 pebbles are transfer-free, h+1 force exactly one round trip
+        let t = build(8, 2); // height 3
+        let free = solve_exact(&Instance::new(t.dag.clone(), 5, CostModel::oneshot())).unwrap();
+        assert_eq!(free.cost.transfers, 0, "h+2 pebbles suffice");
+        let tight = solve_exact(&Instance::new(t.dag.clone(), 4, CostModel::oneshot())).unwrap();
+        assert_eq!(tight.cost.transfers, 2, "h+1 pebbles force one spill");
+    }
+
+    #[test]
+    fn greedy_stays_within_internal_node_budget() {
+        // greedy proceeds level-wise rather than depth-first, so it may
+        // spill pending internal values — but never more than one store +
+        // reload per internal node
+        let t = build(8, 2);
+        let internal = t.dag.n() as u64 - 8;
+        let inst = Instance::new(t.dag.clone(), 4, CostModel::oneshot());
+        let g = solve_greedy(&inst).unwrap();
+        assert!(g.cost.transfers <= 2 * internal);
+        let exact = solve_exact(&inst).unwrap();
+        assert!(g.cost.transfers >= exact.cost.transfers);
+    }
+
+    #[test]
+    fn single_leaf_is_root() {
+        let t = build(1, 2);
+        assert_eq!(t.dag.n(), 1);
+        assert_eq!(t.leaves[0], t.root);
+    }
+}

@@ -1,0 +1,59 @@
+//! NP-hardness made executable (Theorem 2): compile a Hamiltonian Path
+//! instance into a pebbling instance, solve the pebbling, and read the
+//! Hamiltonian path back off the optimal schedule.
+//!
+//! Run with: `cargo run --release --example hardness_gadgets`
+
+use red_blue_pebbling::prelude::*;
+use red_blue_pebbling::reductions::{hampath, reduction_hampath};
+
+fn main() {
+    // the Petersen graph: 3-regular, vertex-transitive, and famously
+    // without a Hamiltonian cycle — but it does have a Hamiltonian path
+    let g = Graph::petersen();
+    println!(
+        "input graph G: Petersen ({} nodes, {} edges)",
+        g.n(),
+        g.m()
+    );
+
+    let red = reduction_hampath::encode(g);
+    println!(
+        "compiled pebbling instance: {} nodes, Δ = {}, R = {}",
+        red.dag.n(),
+        red.dag.max_indegree(),
+        red.red_limit()
+    );
+
+    let model = CostModel::oneshot();
+    let threshold = red.scaled_schedule_threshold(model);
+    // Held–Karp over visit orders (N = 10: exhaustive would be 3.6M)
+    let (cost, order) = red.solve_dp(model);
+    println!("\noptimal pebbling cost: {cost} (threshold {threshold})");
+
+    if cost <= threshold {
+        let path = red.decode(&order).expect("threshold met => fully adjacent");
+        println!("=> G HAS a Hamiltonian path: {path:?}");
+        assert!(hampath::is_hamiltonian_path(&red.graph, &path));
+        // cross-check with the classical DP
+        assert!(hampath::has_hamiltonian_path(&red.graph));
+    } else {
+        println!("=> G has NO Hamiltonian path (cost exceeds threshold)");
+        assert!(!hampath::has_hamiltonian_path(&red.graph));
+    }
+
+    // contrast: a star graph has no Hamiltonian path for n >= 4
+    let star = Graph::star(6);
+    let red2 = reduction_hampath::encode(star);
+    let (cost2, _) = red2.solve_dp(model);
+    let threshold2 = red2.scaled_schedule_threshold(model);
+    println!(
+        "\nstar(6): optimal pebbling cost {cost2} vs threshold {threshold2} => {}",
+        if cost2 <= threshold2 {
+            "Hamiltonian"
+        } else {
+            "not Hamiltonian"
+        }
+    );
+    assert!(cost2 > threshold2);
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a small computation DAG, pebble it under different
+//! cache sizes and models, and inspect the optimal schedule.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use red_blue_pebbling::prelude::*;
+
+fn main() {
+    // A diamond-shaped computation:
+    //      0   1        (inputs)
+    //       \ / \
+    //        2   3      (intermediates)
+    //         \ /
+    //          4        (output)
+    let mut b = DagBuilder::new(0);
+    let x = b.add_labeled_node("x");
+    let y = b.add_labeled_node("y");
+    let f = b.add_labeled_node("f(x,y)");
+    let g = b.add_labeled_node("g(y)");
+    let out = b.add_labeled_node("out");
+    b.add_edge_ids(x, f);
+    b.add_edge_ids(y, f);
+    b.add_edge_ids(y, g);
+    b.add_edge_ids(f, out);
+    b.add_edge_ids(g, out);
+    let dag = b.build().expect("acyclic");
+
+    println!("DAG: {} nodes, {} edges, Δ = {}", dag.n(), dag.num_edges(), dag.max_indegree());
+    println!("feasible from R = Δ+1 = {}\n", dag.max_indegree() + 1);
+
+    // sweep the cache size under the oneshot model
+    println!("{:>3} | optimal transfers | optimal schedule", "R");
+    println!("----+-------------------+------------------");
+    for r in 3..=5 {
+        let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+        let opt = solve_exact(&inst).expect("feasible");
+        let moves: Vec<String> = opt.trace.moves().iter().map(|m| m.to_string()).collect();
+        println!("{r:>3} | {:>17} | {}", opt.cost.transfers, moves.join(", "));
+    }
+
+    // the four models on the same instance
+    println!("\nmodel comparison at R = 3:");
+    for kind in ModelKind::ALL {
+        let model = CostModel::of_kind(kind);
+        let inst = Instance::new(dag.clone(), 3, model);
+        let opt = solve_exact(&inst).expect("feasible");
+        println!(
+            "  {kind:<8}  cost = {} (scaled key {})",
+            opt.cost,
+            opt.cost.scaled(model.epsilon())
+        );
+    }
+
+    // every reported number is engine-validated
+    let inst = Instance::new(dag.clone(), 3, CostModel::oneshot());
+    let opt = solve_exact(&inst).unwrap();
+    let report = engine::simulate(&inst, &opt.trace).expect("trace must replay");
+    println!(
+        "\nvalidated: {} moves, peak {} red pebbles, cost {}",
+        report.steps, report.peak_red, report.cost
+    );
+}

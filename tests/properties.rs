@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over randomly generated DAGs: the
+//! cross-crate invariants every component must satisfy together.
+
+use proptest::prelude::*;
+use red_blue_pebbling::core::{engine, CostModel, ModelKind};
+use red_blue_pebbling::graph::{Dag, DagBuilder};
+use red_blue_pebbling::prelude::*;
+use red_blue_pebbling::solvers::{solve_reference, SolveError};
+
+/// Strategy: a random DAG given by node count and per-pair edge coin
+/// flips over all forward pairs (i, j), i < j.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = Dag> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair_count = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.4), pair_count).prop_map(
+            move |coins| {
+                let mut b = DagBuilder::new(n);
+                let mut idx = 0;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if coins[idx] {
+                            b.add_edge(i, j);
+                        }
+                        idx += 1;
+                    }
+                }
+                b.build().expect("forward edges are acyclic")
+            },
+        )
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        Just(CostModel::base()),
+        Just(CostModel::oneshot()),
+        Just(CostModel::nodel()),
+        Just(CostModel::compcost()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The canonical pebbling is legal in every model and costs exactly
+    /// 2m + n transfers.
+    #[test]
+    fn canonical_pebbling_always_validates(dag in arb_dag(10), model in model_strategy()) {
+        let r = dag.max_indegree() + 1;
+        let (n, m) = (dag.n() as u64, dag.num_edges() as u64);
+        let inst = Instance::new(dag, r, model);
+        let trace = bounds::canonical_pebbling(&inst).unwrap();
+        let rep = engine::simulate(&inst, &trace).unwrap();
+        prop_assert_eq!(rep.cost.transfers, 2 * m + n);
+        prop_assert!(rep.peak_red <= r);
+    }
+
+    /// Greedy traces always validate, and their cost is bracketed by the
+    /// trivial lower bound and the canonical upper bound.
+    #[test]
+    fn greedy_always_valid_and_bracketed(dag in arb_dag(12), model in model_strategy()) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let rep = solve_greedy(&inst).unwrap();
+        let sim = engine::simulate(&inst, &rep.trace).unwrap();
+        prop_assert_eq!(sim.cost, rep.cost);
+        let eps = model.epsilon();
+        prop_assert!(bounds::trivial_lower_bound(&inst).scaled(eps) <= rep.cost.scaled(eps));
+        prop_assert!(rep.cost.scaled(eps) <= bounds::universal_upper_bound(&inst).scaled(eps));
+    }
+
+    /// The pruned exact solver agrees with the unpruned reference on
+    /// every model (tiny instances).
+    #[test]
+    fn pruned_exact_equals_reference(dag in arb_dag(6), model in model_strategy()) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let fast = solve_exact(&inst).unwrap();
+        let slow = solve_reference(&inst).unwrap();
+        let eps = model.epsilon();
+        prop_assert_eq!(fast.cost.scaled(eps), slow.cost.scaled(eps));
+    }
+
+    /// opt(R) is monotone non-increasing in R, and in oneshot each extra
+    /// pebble saves at most 2n (Section 5).
+    #[test]
+    fn opt_monotone_and_slope_bounded(dag in arb_dag(8)) {
+        let n = dag.n() as u64;
+        let rmin = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, rmin, CostModel::oneshot());
+        let mut prev: Option<u64> = None;
+        for r in rmin..=(rmin + 2) {
+            let c = solve_exact(&inst.with_red_limit(r)).unwrap().cost.transfers;
+            if let Some(p) = prev {
+                prop_assert!(c <= p, "opt increased with more pebbles");
+                prop_assert!(p <= c + 2 * n, "slope exceeded 2n");
+            }
+            prev = Some(c);
+        }
+    }
+
+    /// Malformed traces are rejected with the precise error: recompute in
+    /// oneshot, delete in nodel, red-limit violations.
+    #[test]
+    fn failure_injection_rejected(dag in arb_dag(8)) {
+        let r = dag.max_indegree() + 1;
+        // recompute injection (oneshot): compute the first source twice
+        let src = dag.sources()[0];
+        let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+        let mut p = Pebbling::new();
+        p.compute(src);
+        p.delete(src);
+        p.compute(src);
+        let err = engine::simulate_prefix(&inst, &p).unwrap_err();
+        prop_assert_eq!(err.step, 2);
+
+        // delete injection (nodel)
+        let inst2 = Instance::new(dag.clone(), r, CostModel::nodel());
+        let mut p2 = Pebbling::new();
+        p2.compute(src);
+        p2.delete(src);
+        prop_assert!(engine::simulate_prefix(&inst2, &p2).is_err());
+
+        // red-limit violation: compute more nodes than R allows
+        if dag.sources().len() > 1 {
+            let inst3 = Instance::new(dag.clone(), 1, CostModel::base());
+            let mut p3 = Pebbling::new();
+            for v in dag.sources() {
+                p3.compute(v);
+            }
+            prop_assert!(engine::simulate_prefix(&inst3, &p3).is_err());
+        }
+    }
+
+    /// Infeasible budgets are reported as such by every solver.
+    #[test]
+    fn infeasibility_consistently_reported(dag in arb_dag(8)) {
+        let delta = dag.max_indegree();
+        prop_assume!(delta >= 1);
+        let inst = Instance::new(dag, delta, CostModel::oneshot());
+        prop_assert!(matches!(solve_exact(&inst), Err(SolveError::Pebbling(_))));
+        prop_assert!(matches!(solve_greedy(&inst), Err(SolveError::Pebbling(_))));
+        prop_assert!(bounds::canonical_pebbling(&inst).is_err());
+    }
+
+    /// Appendix C: requiring blue sinks changes the optimum by at most
+    /// the sink count.
+    #[test]
+    fn appendix_c_blue_sink_gap_bounded(dag in arb_dag(7)) {
+        let r = dag.max_indegree() + 1;
+        let sinks = dag.sinks().len() as u128;
+        let inst = Instance::new(dag, r, CostModel::oneshot());
+        let plain = solve_exact(&inst).unwrap();
+        let strict = red_blue_pebbling::core::transform::require_blue_sinks(&inst);
+        let strict_opt = solve_exact(&strict).unwrap();
+        let eps = inst.model().epsilon();
+        prop_assert!(plain.cost.scaled(eps) <= strict_opt.cost.scaled(eps));
+        prop_assert!(strict_opt.cost.scaled(eps) <= plain.cost.scaled(eps) + sinks * eps.den() as u128);
+    }
+
+    /// The super-source transform (Section 3) preserves optimal cost up
+    /// to the paper's R+1 budget rule, within one initial compute.
+    #[test]
+    fn super_source_preserves_behavior(dag in arb_dag(6)) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+        let base_opt = solve_exact(&inst).unwrap();
+        let ss = red_blue_pebbling::core::transform::add_super_source(&dag);
+        let aug = Instance::new(ss.dag, r + 1, CostModel::oneshot());
+        let aug_opt = solve_exact(&aug).unwrap();
+        // parking one pebble on s0 leaves R for the original game; the
+        // optimum can only improve or stay (never exceed base + 0)
+        prop_assert!(aug_opt.cost.transfers <= base_opt.cost.transfers);
+    }
+}
+
+/// Deterministic regression: all four models rank a fixed instance the
+/// way Table 2's brackets say they must (base ≤ oneshot; nodel ≥ n−R).
+#[test]
+fn model_cost_ordering_on_fixed_instance() {
+    let mut b = DagBuilder::new(6);
+    b.add_edge(0, 2);
+    b.add_edge(1, 2);
+    b.add_edge(2, 3);
+    b.add_edge(2, 4);
+    b.add_edge(3, 5);
+    b.add_edge(4, 5);
+    let dag = b.build().unwrap();
+    let r = 3;
+    let opt = |kind: ModelKind| {
+        solve_exact(&Instance::new(dag.clone(), r, CostModel::of_kind(kind)))
+            .unwrap()
+            .cost
+    };
+    let base = opt(ModelKind::Base);
+    let oneshot = opt(ModelKind::Oneshot);
+    let nodel = opt(ModelKind::NoDel);
+    assert!(base.transfers <= oneshot.transfers, "base can only be cheaper");
+    assert!(nodel.transfers as usize >= dag.n() - r, "nodel lower bound");
+}

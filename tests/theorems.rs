@@ -1,0 +1,188 @@
+//! End-to-end verification of the paper's theorems, spanning all crates:
+//! reductions are compiled, solved with real solvers, decoded, and
+//! compared against classical ground truth.
+
+use red_blue_pebbling::core::{engine, CostModel, ModelKind};
+use red_blue_pebbling::gadgets::{cd, grid, pyramid, tradeoff};
+use red_blue_pebbling::graph::Graph;
+use red_blue_pebbling::prelude::*;
+use red_blue_pebbling::reductions::{hampath, reduction_hampath, reduction_vc, vertex_cover};
+use red_blue_pebbling::solvers::best_order;
+
+/// Theorem 2 (NP-hardness): the reduction decides Hamiltonicity in every
+/// model, on a randomized battery with known ground truth.
+#[test]
+fn theorem2_reduction_decides_hamiltonicity() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(2020);
+    let mut graphs: Vec<Graph> = vec![
+        Graph::path(5),
+        Graph::star(5),
+        Graph::cycle(5),
+        Graph::complete_bipartite(2, 3),
+    ];
+    for _ in 0..4 {
+        graphs.push(Graph::gnp(5, 0.45, &mut rng));
+    }
+    for g in graphs {
+        let truth = hampath::has_hamiltonian_path(&g);
+        let red = reduction_hampath::encode(g);
+        for kind in ModelKind::ALL {
+            let decided = red
+                .decides_hamiltonian(CostModel::of_kind(kind))
+                .expect("reduction solvable");
+            assert_eq!(decided, truth, "Theorem 2 broken in {kind}");
+        }
+    }
+}
+
+/// Theorem 2, certificate side: a threshold-achieving pebbling decodes to
+/// an actual Hamiltonian path.
+#[test]
+fn theorem2_certificates_are_real_paths() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..5 {
+        let g = hampath::planted_instance(7, 4, &mut rng);
+        let red = reduction_hampath::encode(g);
+        let model = CostModel::oneshot();
+        let (cost, order) = red.solve_dp(model);
+        assert_eq!(cost, red.scaled_schedule_threshold(model));
+        let path = red.decode(&order).expect("planted instance is Hamiltonian");
+        assert!(hampath::is_hamiltonian_path(&red.graph, &path));
+    }
+}
+
+/// Theorem 3 (inapproximability mechanism): optimal pebblings of the VC
+/// construction decode to minimum vertex covers.
+#[test]
+fn theorem3_pebbling_measures_vertex_cover() {
+    for g in [
+        Graph::path(4),
+        Graph::cycle(4),
+        Graph::star(4),
+        Graph::complete(4),
+    ] {
+        let n = g.n();
+        let truth = vertex_cover::min_vertex_cover(&g).len();
+        let red = reduction_vc::encode(g, n * n + n);
+        let inst = red.instance(CostModel::oneshot());
+        let best = best_order(&red.grouped, &inst).expect("solvable");
+        let decoded = red.decode(&best.order);
+        assert!(red.graph.is_vertex_cover(&decoded));
+        assert_eq!(decoded.len(), truth);
+        // the cost is dominated by the 2k' toll
+        assert!(best.cost.transfers >= red.commons_toll(truth));
+        assert!(best.cost.transfers <= red.commons_toll(truth) + 4 * (n as u64).pow(2));
+    }
+}
+
+/// Theorem 4 (greedy inefficiency): every greedy rule lands far from the
+/// optimum on the grid, and the red-driven rules follow the exact trap.
+#[test]
+fn theorem4_grid_defeats_greedy() {
+    let g = grid::build(grid::GridConfig {
+        ell: 3,
+        k_prime: 16,
+        mis: 2,
+    });
+    let inst = g.instance(CostModel::oneshot());
+    let best = best_order(&g.grouped, &inst).expect("solvable");
+    for rule in SelectionRule::ALL {
+        let rep = solve_greedy_with(
+            &inst,
+            GreedyConfig {
+                rule,
+                eviction: EvictionPolicy::MinUses,
+            },
+        )
+        .expect("feasible");
+        assert!(
+            rep.cost.transfers > 3 * best.cost.transfers,
+            "rule {rule} came within 3x of optimal"
+        );
+    }
+}
+
+/// Section 5: the tradeoff staircase equals the exact optimum at every
+/// feasible budget (small instance, full range).
+#[test]
+fn section5_staircase_is_exactly_optimal() {
+    let t = tradeoff::build(3, 4);
+    for r in t.min_r()..=t.free_r() {
+        let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
+        let opt = solve_exact(&inst).expect("feasible");
+        assert_eq!(opt.cost.transfers, t.expected_oneshot_cost(r));
+    }
+}
+
+/// Section 3 gadget claims: the CD ladder's cliff dwarfs the pyramid's.
+#[test]
+fn section3_cd_beats_pyramid_as_a_gadget() {
+    let h = 5;
+    let ladder = cd::build(2, h);
+    let starve = |dag: &red_blue_pebbling::graph::Dag, r: usize| {
+        solve_exact(&Instance::new(dag.clone(), r, CostModel::oneshot()))
+            .unwrap()
+            .cost
+            .transfers
+    };
+    let ladder_cliff = starve(&ladder.dag, ladder.free_budget() - 1);
+    let p = pyramid::build(h);
+    let pyramid_cliff = starve(&p.dag, h);
+    assert!(ladder_cliff >= 2 * (h as u64 - 1));
+    assert!(pyramid_cliff <= 2);
+    assert!(ladder_cliff > 4 * pyramid_cliff);
+}
+
+/// Lemma 1: optimal traces respect the O(Δ·n) length bound in the three
+/// NP models, across instance families.
+#[test]
+fn lemma1_optimal_traces_are_short() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..5 {
+        let dag = red_blue_pebbling::graph::generate::gnp_dag(9, 0.35, 3, &mut rng);
+        let r = dag.max_indegree() + 1;
+        for kind in [ModelKind::Oneshot, ModelKind::NoDel, ModelKind::CompCost] {
+            let inst = Instance::new(dag.clone(), r, CostModel::of_kind(kind));
+            let opt = solve_exact(&inst).expect("feasible");
+            let bound = bounds::lemma1_length_bound(&inst).expect("NP models have bounds");
+            assert!(
+                (opt.trace.len() as u64) <= bound,
+                "optimal trace length {} exceeds Lemma-1 bound {bound} in {kind}",
+                opt.trace.len()
+            );
+        }
+    }
+}
+
+/// Every solver's reported cost is reproduced by the validating engine —
+/// the repository-wide invariant.
+#[test]
+fn every_solver_cost_is_engine_validated() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(123);
+    let dag = red_blue_pebbling::graph::generate::layered(3, 4, 2, &mut rng);
+    let inst = Instance::new(dag, 4, CostModel::oneshot());
+
+    let exact = solve_exact(&inst).unwrap();
+    assert_eq!(engine::simulate(&inst, &exact.trace).unwrap().cost, exact.cost);
+
+    let greedy = solve_greedy(&inst).unwrap();
+    assert_eq!(engine::simulate(&inst, &greedy.trace).unwrap().cost, greedy.cost);
+
+    let (_, port) = solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio()).unwrap();
+    assert_eq!(engine::simulate(&inst, &port.trace).unwrap().cost, port.cost);
+
+    // ordering: exact <= portfolio <= greedy-single <= canonical
+    let eps = inst.model().epsilon();
+    let canonical = bounds::canonical_cost(&inst);
+    assert!(exact.cost.scaled(eps) <= port.cost.scaled(eps));
+    assert!(port.cost.scaled(eps) <= greedy.cost.scaled(eps));
+    assert!(greedy.cost.scaled(eps) <= canonical.scaled(eps) + 1);
+}
