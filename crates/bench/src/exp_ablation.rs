@@ -9,9 +9,7 @@ use crate::report::Table;
 use rbp_core::{CostModel, Instance};
 use rbp_graph::Graph;
 use rbp_reductions::reduction_hampath;
-use rbp_solvers::{
-    solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule,
-};
+use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
 use rbp_workloads::{fft, matmul, stencil};
 use std::path::Path;
 use std::time::Instant;
@@ -85,7 +83,13 @@ pub fn run(out: &Path) {
     // --- search-strategy ablation on the Theorem-2 reduction ---
     let mut t3 = Table::new(
         "Ablation — visit-order search strategies (HamPath reduction, oneshot)",
-        &["N", "exhaustive cost", "exhaustive ms", "held-karp cost", "held-karp ms"],
+        &[
+            "N",
+            "exhaustive cost",
+            "exhaustive ms",
+            "held-karp cost",
+            "held-karp ms",
+        ],
     );
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -125,7 +129,10 @@ pub fn run(out: &Path) {
     });
     let inst = g.instance(CostModel::oneshot());
     let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).expect("valid");
-    let opt = rbp_core::simulate(&inst, &opt_trace).expect("valid").cost.transfers;
+    let opt = rbp_core::simulate(&inst, &opt_trace)
+        .expect("valid")
+        .cost
+        .transfers;
     let greedy = solve_greedy_with(
         &inst,
         GreedyConfig {
@@ -140,8 +147,8 @@ pub fn run(out: &Path) {
         format!("{:.2}x", greedy.cost.transfers as f64 / opt.max(1) as f64),
     ]);
     for width in [1usize, 4, 16, 64] {
-        let rep = rbp_solvers::solve_beam(&inst, rbp_solvers::BeamConfig { width })
-            .expect("feasible");
+        let rep =
+            rbp_solvers::solve_beam(&inst, rbp_solvers::BeamConfig { width }).expect("feasible");
         t4.row_strings(vec![
             format!("beam w={width}"),
             rep.cost.transfers.to_string(),

@@ -40,8 +40,16 @@ pub fn run(out: &Path) {
         &["strategy", "marginal transfers", "paper"],
     );
     m.row_strings(vec!["save v + reload v".into(), "2".into(), "2".into()]);
-    m.row_strings(vec!["reload 3 starters + recompute v".into(), "6".into(), ">= 3".into()]);
-    m.row_strings(vec!["recompute starters from scratch".into(), ">= 8".into(), ">= 4".into()]);
+    m.row_strings(vec![
+        "reload 3 starters + recompute v".into(),
+        "6".into(),
+        ">= 3".into(),
+    ]);
+    m.row_strings(vec![
+        "recompute starters from scratch".into(),
+        ">= 8".into(),
+        ">= 4".into(),
+    ]);
     m.print();
     m.write_csv(out, "fig2_margins").expect("write csv");
     println!("  (margins measured by the explicit-trace tests in rbp-gadgets::h2c;");

@@ -23,7 +23,14 @@ pub fn run(out: &Path) {
 
     let mut table = Table::new(
         "Fig. 4 — opt(R) staircase per model (strategy-emitter costs, scaled keys)",
-        &["R", "oneshot", "oneshot formula", "nodel", "compcost", "base"],
+        &[
+            "R",
+            "oneshot",
+            "oneshot formula",
+            "nodel",
+            "compcost",
+            "base",
+        ],
     );
     for r in t.min_r()..=t.free_r() {
         let mut cells = vec![r.to_string()];

@@ -5,8 +5,8 @@
 
 use crate::report::Table;
 use rbp_core::{CostModel, ModelKind};
-use rbp_reductions::{hampath, reduction_hampath};
 use rbp_graph::Graph;
+use rbp_reductions::{hampath, reduction_hampath};
 use std::path::Path;
 
 fn battery() -> Vec<(String, Graph)> {
@@ -19,7 +19,10 @@ fn battery() -> Vec<(String, Graph)> {
         ("K5".into(), Graph::complete(5)),
         ("K_{2,3}".into(), Graph::complete_bipartite(2, 3)),
         ("K_{1,4}".into(), Graph::complete_bipartite(1, 4)),
-        ("2 components".into(), Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)])),
+        (
+            "2 components".into(),
+            Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]),
+        ),
     ];
     for (i, p) in [0.3f64, 0.5, 0.7].iter().enumerate() {
         v.push((format!("G(5,{p})#{i}"), Graph::gnp(5, *p, &mut rng)));

@@ -64,7 +64,11 @@ pub fn run(out: &Path) {
             approx.len().to_string(),
         ]);
         assert!(valid, "decoded set must cover");
-        assert_eq!(decoded.len(), truth.len(), "optimal pebbling must decode minimum cover");
+        assert_eq!(
+            decoded.len(),
+            truth.len(),
+            "optimal pebbling must decode minimum cover"
+        );
     }
     t.print();
     t.write_csv(out, "fig67").expect("write csv");

@@ -22,9 +22,25 @@ pub fn run(out: &Path) {
     // --- oneshot: ratio grows with k' and ell ---
     let mut t = Table::new(
         "Fig. 8 / Thm 4 — greedy vs optimal on the grid (oneshot)",
-        &["ell", "k'", "n", "greedy", "diagonal-opt", "ratio", "trapped"],
+        &[
+            "ell",
+            "k'",
+            "n",
+            "greedy",
+            "diagonal-opt",
+            "ratio",
+            "trapped",
+        ],
     );
-    for (ell, kp) in [(3usize, 8usize), (3, 16), (3, 32), (3, 64), (4, 16), (5, 16), (6, 16)] {
+    for (ell, kp) in [
+        (3usize, 8usize),
+        (3, 16),
+        (3, 32),
+        (3, 64),
+        (4, 16),
+        (5, 16),
+        (6, 16),
+    ] {
         let g = grid::build(GridConfig {
             ell,
             k_prime: kp,
@@ -34,7 +50,10 @@ pub fn run(out: &Path) {
         let rep = solve_greedy_with(&inst, greedy_cfg()).expect("feasible");
         let visits = g.decode_visits(&rep.order);
         let trapped = visits == g.greedy_order();
-        let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).expect("valid order");
+        let opt_trace = g
+            .grouped
+            .emit(&inst, &g.optimal_order())
+            .expect("valid order");
         let opt = engine::simulate(&inst, &opt_trace).expect("valid");
         let ratio = rep.cost.transfers as f64 / opt.cost.transfers.max(1) as f64;
         t.row_strings(vec![
@@ -46,7 +65,10 @@ pub fn run(out: &Path) {
             format!("{ratio:.2}"),
             trapped.to_string(),
         ]);
-        assert!(trapped, "greedy escaped the misguidance at ell={ell}, k'={kp}");
+        assert!(
+            trapped,
+            "greedy escaped the misguidance at ell={ell}, k'={kp}"
+        );
     }
     t.print();
     t.write_csv(out, "fig8").expect("write csv");
@@ -54,7 +76,14 @@ pub fn run(out: &Path) {
     // --- nodel / compcost: constant-factor, tunable via k' (App. A.4) ---
     let mut t2 = Table::new(
         "Fig. 8 — nodel/compcost variants: constant-factor gaps (App. A.4)",
-        &["model", "ell", "k'", "greedy (scaled)", "diagonal (scaled)", "ratio"],
+        &[
+            "model",
+            "ell",
+            "k'",
+            "greedy (scaled)",
+            "diagonal (scaled)",
+            "ratio",
+        ],
     );
     for kind in [ModelKind::NoDel, ModelKind::CompCost] {
         let model = CostModel::of_kind(kind);
@@ -108,7 +137,10 @@ pub fn run(out: &Path) {
         mis: 2,
     });
     let inst = g.instance(CostModel::base());
-    let aug = rbp_gadgets::h2c::attach(&inst.dag().clone(), rbp_gadgets::h2c::H2cConfig::standard(g.r));
+    let aug = rbp_gadgets::h2c::attach(
+        &inst.dag().clone(),
+        rbp_gadgets::h2c::H2cConfig::standard(g.r),
+    );
     let aug_inst = Instance::new(aug.dag.clone(), g.r, CostModel::base());
     let (mut greedy_trace, state) = aug.prologue_trace(&aug_inst).expect("prologue");
     let mut st_g = state.clone();
@@ -117,7 +149,9 @@ pub fn run(out: &Path) {
         .emit_onto(&aug_inst, &g.greedy_order(), &mut st_g, &mut tail)
         .expect("greedy order valid");
     greedy_trace.extend(&tail);
-    let greedy_cost = engine::simulate(&aug_inst, &greedy_trace).expect("valid").cost;
+    let greedy_cost = engine::simulate(&aug_inst, &greedy_trace)
+        .expect("valid")
+        .cost;
 
     let (mut opt_trace2, state2) = aug.prologue_trace(&aug_inst).expect("prologue");
     let mut st_o = state2.clone();
@@ -126,7 +160,9 @@ pub fn run(out: &Path) {
         .emit_onto(&aug_inst, &g.optimal_order(), &mut st_o, &mut tail2)
         .expect("optimal order valid");
     opt_trace2.extend(&tail2);
-    let opt_cost = engine::simulate(&aug_inst, &opt_trace2).expect("valid").cost;
+    let opt_cost = engine::simulate(&aug_inst, &opt_trace2)
+        .expect("valid")
+        .cost;
     println!(
         "  base + H2C: greedy-order {} vs diagonal-order {} transfers (ratio {:.2})",
         greedy_cost.transfers,

@@ -55,7 +55,14 @@ fn probe(kind: ModelKind, op: &str) -> String {
 pub fn run(out: &Path) {
     let mut t = Table::new(
         "Table 1 — operation costs per model (engine probes)",
-        &["model", "blue->red", "red->blue", "compute", "recompute", "delete"],
+        &[
+            "model",
+            "blue->red",
+            "red->blue",
+            "compute",
+            "recompute",
+            "delete",
+        ],
     );
     for kind in ModelKind::ALL {
         t.row_strings(vec![

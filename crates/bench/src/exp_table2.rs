@@ -14,7 +14,7 @@ use std::path::Path;
 pub fn run(out: &Path) {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(12345); // deterministic
-    // random instance family for the cost bracket / length columns
+                                                            // random instance family for the cost bracket / length columns
     let dags: Vec<rbp_graph::Dag> = (0..6)
         .map(|_| generate::layered(3, 3, 2, &mut rng))
         .collect();
@@ -96,7 +96,9 @@ pub fn run(out: &Path) {
     t.print();
     t.write_csv(out, "table2").expect("write csv");
     println!("  (paper: cost ∈ [0,(2Δ+1)n] for base/oneshot, [n,·] nodel, [εn,·] compcost;");
-    println!("   optimal length O(Δn) except base; greedy ratio Ω̃(√n) oneshot, Θ(1) nodel/compcost)");
+    println!(
+        "   optimal length O(Δn) except base; greedy ratio Ω̃(√n) oneshot, Θ(1) nodel/compcost)"
+    );
 }
 
 #[cfg(test)]

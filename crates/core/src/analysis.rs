@@ -123,7 +123,14 @@ mod tests {
         p.load(v(0));
         p.compute(v(1));
         let a = analyze(&inst, &p);
-        assert_eq!(a.traffic[0], NodeTraffic { loads: 1, stores: 1, computes: 1 });
+        assert_eq!(
+            a.traffic[0],
+            NodeTraffic {
+                loads: 1,
+                stores: 1,
+                computes: 1
+            }
+        );
         assert_eq!(a.traffic[1].computes, 1);
         assert_eq!(a.traffic[0].transfers(), 2);
         assert_eq!(a.thrashed_values(), 1);

@@ -166,7 +166,11 @@ mod tests {
         let dag = generate::layered(4, 4, 3, &mut rng);
         let (n, m) = (dag.n() as u64, dag.num_edges() as u64);
         for kind in ModelKind::ALL {
-            let inst = Instance::new(dag.clone(), dag.max_indegree() + 1, CostModel::of_kind(kind));
+            let inst = Instance::new(
+                dag.clone(),
+                dag.max_indegree() + 1,
+                CostModel::of_kind(kind),
+            );
             let trace = canonical_pebbling(&inst).unwrap();
             let rep = simulate(&inst, &trace).expect("canonical pebbling must be legal");
             assert_eq!(rep.cost.transfers, 2 * m + n, "model {kind}");

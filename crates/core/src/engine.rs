@@ -100,7 +100,13 @@ mod tests {
         p.compute(v(1));
         p.compute(v(2));
         let rep = simulate(&inst, &p).unwrap();
-        assert_eq!(rep.cost, Cost { transfers: 0, computes: 3 });
+        assert_eq!(
+            rep.cost,
+            Cost {
+                transfers: 0,
+                computes: 3
+            }
+        );
         assert_eq!(rep.scaled_cost(&inst), 0, "computes are free in oneshot");
         assert_eq!(rep.peak_red, 3);
         assert_eq!(rep.steps, 3);
@@ -194,7 +200,13 @@ mod tests {
             Move::Compute(v(1)),
             Move::Compute(v(2)),
         ]);
-        assert_eq!(cost_of(&inst, &p).unwrap(), Cost { transfers: 0, computes: 3 });
+        assert_eq!(
+            cost_of(&inst, &p).unwrap(),
+            Cost {
+                transfers: 0,
+                computes: 3
+            }
+        );
     }
 
     #[test]

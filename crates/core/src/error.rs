@@ -69,7 +69,11 @@ impl fmt::Display for PebblingError {
                 input.index()
             ),
             PebblingError::ComputeOnRed { node } => {
-                write!(f, "compute of v{} which already holds a red pebble", node.index())
+                write!(
+                    f,
+                    "compute of v{} which already holds a red pebble",
+                    node.index()
+                )
             }
             PebblingError::RecomputeForbidden { node } => write!(
                 f,

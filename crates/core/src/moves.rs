@@ -80,7 +80,12 @@ mod tests {
     #[test]
     fn node_accessor() {
         let v = NodeId::new(9);
-        for m in [Move::Load(v), Move::Store(v), Move::Compute(v), Move::Delete(v)] {
+        for m in [
+            Move::Load(v),
+            Move::Store(v),
+            Move::Compute(v),
+            Move::Delete(v),
+        ] {
             assert_eq!(m.node(), v);
         }
     }

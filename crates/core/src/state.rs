@@ -133,12 +133,7 @@ impl State {
                 {
                     return Err(PebblingError::SourceNotComputable { node: v });
                 }
-                if let Some(&missing) = instance
-                    .dag()
-                    .preds(v)
-                    .iter()
-                    .find(|&&u| !self.is_red(u))
-                {
+                if let Some(&missing) = instance.dag().preds(v).iter().find(|&&u| !self.is_red(u)) {
                     return Err(PebblingError::InputNotRed {
                         node: v,
                         input: missing,
@@ -253,7 +248,10 @@ mod tests {
         // second red pebble would exceed R = 1
         assert_eq!(
             s.apply(Move::Compute(v(1)), &inst).unwrap_err(),
-            PebblingError::RedLimitExceeded { node: v(1), limit: 1 }
+            PebblingError::RedLimitExceeded {
+                node: v(1),
+                limit: 1
+            }
         );
         s.apply(Move::Store(v(0)), &inst).unwrap();
         // loading it back is fine now

@@ -30,7 +30,9 @@ pub fn add_super_source(dag: &Dag) -> SuperSource {
     }
     b.set_label(NodeId::new(n), "s0");
     SuperSource {
-        dag: b.build().expect("adding a fresh source preserves acyclicity"),
+        dag: b
+            .build()
+            .expect("adding a fresh source preserves acyclicity"),
         s0: NodeId::new(n),
     }
 }
@@ -60,7 +62,9 @@ pub fn bluify_sinks(instance: &Instance, trace: &Pebbling) -> Pebbling {
 
 /// Appendix C helper: the companion instance that demands blue sinks.
 pub fn require_blue_sinks(instance: &Instance) -> Instance {
-    instance.clone().with_sink_convention(SinkConvention::RequireBlue)
+    instance
+        .clone()
+        .with_sink_convention(SinkConvention::RequireBlue)
 }
 
 #[cfg(test)]

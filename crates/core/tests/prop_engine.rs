@@ -52,7 +52,12 @@ fn random_legal_walk(inst: &Instance, steps: usize, seed: u64) -> (State, Pebbli
         let mut legal: Vec<Move> = Vec::new();
         for i in 0..n {
             let v = NodeId::new(i);
-            for mv in [Move::Load(v), Move::Store(v), Move::Compute(v), Move::Delete(v)] {
+            for mv in [
+                Move::Load(v),
+                Move::Store(v),
+                Move::Compute(v),
+                Move::Delete(v),
+            ] {
                 if state.is_legal(mv, inst) {
                     legal.push(mv);
                 }
@@ -184,12 +189,27 @@ fn all_error_variants_reachable() {
 
     let oneshot = Instance::new(dag.clone(), 2, CostModel::oneshot());
     let mut s = State::initial(&oneshot);
-    assert!(matches!(s.apply(Move::Load(v0), &oneshot), Err(E::LoadNotBlue { .. })));
-    assert!(matches!(s.apply(Move::Store(v0), &oneshot), Err(E::StoreNotRed { .. })));
-    assert!(matches!(s.apply(Move::Delete(v0), &oneshot), Err(E::DeleteEmpty { .. })));
-    assert!(matches!(s.apply(Move::Compute(v1), &oneshot), Err(E::InputNotRed { .. })));
+    assert!(matches!(
+        s.apply(Move::Load(v0), &oneshot),
+        Err(E::LoadNotBlue { .. })
+    ));
+    assert!(matches!(
+        s.apply(Move::Store(v0), &oneshot),
+        Err(E::StoreNotRed { .. })
+    ));
+    assert!(matches!(
+        s.apply(Move::Delete(v0), &oneshot),
+        Err(E::DeleteEmpty { .. })
+    ));
+    assert!(matches!(
+        s.apply(Move::Compute(v1), &oneshot),
+        Err(E::InputNotRed { .. })
+    ));
     s.apply(Move::Compute(v0), &oneshot).unwrap();
-    assert!(matches!(s.apply(Move::Compute(v0), &oneshot), Err(E::ComputeOnRed { .. })));
+    assert!(matches!(
+        s.apply(Move::Compute(v0), &oneshot),
+        Err(E::ComputeOnRed { .. })
+    ));
     s.apply(Move::Delete(v0), &oneshot).unwrap();
     assert!(matches!(
         s.apply(Move::Compute(v0), &oneshot),
@@ -207,7 +227,10 @@ fn all_error_variants_reachable() {
     let nodel = Instance::new(dag.clone(), 2, CostModel::nodel());
     let mut s3 = State::initial(&nodel);
     s3.apply(Move::Compute(v0), &nodel).unwrap();
-    assert!(matches!(s3.apply(Move::Delete(v0), &nodel), Err(E::DeleteForbidden { .. })));
+    assert!(matches!(
+        s3.apply(Move::Delete(v0), &nodel),
+        Err(E::DeleteForbidden { .. })
+    ));
 
     let blue_start = Instance::new(dag, 2, CostModel::base())
         .with_source_convention(rbp_core::SourceConvention::InitiallyBlue);

@@ -407,10 +407,7 @@ mod tests {
                 rep.cost.transfers as f64 / opt.cost.transfers.max(1) as f64
             })
             .collect();
-        assert!(
-            ratios[1] > ratios[0],
-            "ratio must grow with k': {ratios:?}"
-        );
+        assert!(ratios[1] > ratios[0], "ratio must grow with k': {ratios:?}");
     }
 
     #[test]

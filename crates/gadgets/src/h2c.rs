@@ -180,7 +180,11 @@ impl H2c {
             let group = &self.groups[gi];
             let s = self.s_nodes[gi];
             let us = &self.starters[vi];
-            let last_user_of_group = if self.config.shared_group { n_src - 1 } else { vi };
+            let last_user_of_group = if self.config.shared_group {
+                n_src - 1
+            } else {
+                vi
+            };
 
             // 1. make the whole B group red (computing via s on first use)
             let group_computed = state.is_computed(group[0]);
@@ -445,7 +449,10 @@ mod tests {
             let h = attach(&dag, H2cConfig::standard(n_sources + 2));
             let inst = Instance::new(h.dag.clone(), n_sources + 2, CostModel::oneshot());
             let (trace, _) = h.prologue_trace(&inst).unwrap();
-            engine::simulate_prefix(&inst, &trace).unwrap().cost.transfers
+            engine::simulate_prefix(&inst, &trace)
+                .unwrap()
+                .cost
+                .transfers
         };
         // marginal cost of one more source is a small constant (< 12)
         let c3 = cost_for(3);

@@ -6,7 +6,7 @@
 //! (Fig. 3), and the greedy-adversarial grid (Fig. 8).
 
 pub mod cd;
-pub mod tradeoff;
 pub mod grid;
 pub mod h2c;
 pub mod pyramid;
+pub mod tradeoff;

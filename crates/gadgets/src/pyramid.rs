@@ -94,22 +94,14 @@ mod tests {
         // penalty for one missing pebble is tiny
         for h in [3usize, 4] {
             let p = build(h);
-            let full = solve_exact(&Instance::new(
-                p.dag.clone(),
-                h + 1,
-                CostModel::oneshot(),
-            ))
-            .unwrap()
-            .cost
-            .transfers;
-            let starved = solve_exact(&Instance::new(
-                p.dag.clone(),
-                h,
-                CostModel::oneshot(),
-            ))
-            .unwrap()
-            .cost
-            .transfers;
+            let full = solve_exact(&Instance::new(p.dag.clone(), h + 1, CostModel::oneshot()))
+                .unwrap()
+                .cost
+                .transfers;
+            let starved = solve_exact(&Instance::new(p.dag.clone(), h, CostModel::oneshot()))
+                .unwrap()
+                .cost
+                .transfers;
             assert!(starved <= full + 2, "pyramid penalty stays at 2 (h={h})");
         }
     }

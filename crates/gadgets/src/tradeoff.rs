@@ -54,8 +54,12 @@ pub struct TradeoffChain {
 pub fn build(d: usize, chain_len: usize) -> TradeoffChain {
     assert!(d >= 1 && chain_len >= 2, "degenerate tradeoff chain");
     let mut b = DagBuilder::new(0);
-    let group_a: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("A{i}"))).collect();
-    let group_b: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("B{i}"))).collect();
+    let group_a: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(format!("A{i}")))
+        .collect();
+    let group_b: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(format!("B{i}")))
+        .collect();
     let mut chain = Vec::with_capacity(chain_len);
     let mut prev: Option<NodeId> = None;
     for t in 0..chain_len {

@@ -94,10 +94,16 @@ impl DagBuilder {
         let n = self.n;
         for &(u, v) in &self.edges {
             if u as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: u as usize, n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u as usize,
+                    n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: v as usize, n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v as usize,
+                    n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { node: u as usize });

@@ -49,7 +49,10 @@ mod tests {
         assert!(dot.starts_with("digraph \"g\""));
         assert!(dot.contains("label=\"input\""));
         assert!(dot.contains("shape=box"), "source rendered as box");
-        assert!(dot.contains("shape=doublecircle"), "sink rendered as doublecircle");
+        assert!(
+            dot.contains("shape=doublecircle"),
+            "sink rendered as doublecircle"
+        );
         assert!(dot.contains("n0 -> n1;"));
         assert!(dot.ends_with("}\n"));
     }

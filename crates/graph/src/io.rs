@@ -153,10 +153,7 @@ mod tests {
             parse_dag("dag 2\nedge 0\n"),
             Err(ParseError::Malformed { line: 2 })
         );
-        assert_eq!(
-            parse_dag("dag x\n"),
-            Err(ParseError::Malformed { line: 1 })
-        );
+        assert_eq!(parse_dag("dag x\n"), Err(ParseError::Malformed { line: 1 }));
         assert_eq!(
             parse_dag("dag 2\nfrob 1 2\n"),
             Err(ParseError::Malformed { line: 2 })

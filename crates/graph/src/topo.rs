@@ -33,7 +33,9 @@ struct KahnResult {
 
 fn kahn(dag: &Dag) -> KahnResult {
     let n = dag.n();
-    let mut indeg: Vec<u32> = (0..n).map(|i| dag.indegree(NodeId::new(i)) as u32).collect();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| dag.indegree(NodeId::new(i)) as u32)
+        .collect();
     // A binary heap would give lexicographically-smallest order; a simple
     // sorted frontier suffices and keeps this allocation-light. We use a
     // BinaryHeap of Reverse for determinism.
@@ -126,7 +128,12 @@ mod tests {
         // smallest-index-first tie-breaking
         assert_eq!(
             order,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 

@@ -109,7 +109,10 @@ pub fn encode(graph: Graph) -> HamPathReduction {
         .collect();
     let mut groups = Vec::with_capacity(n);
     for a in 0..n {
-        let inputs: Vec<NodeId> = (0..n).filter(|&x| x != a).map(|x| contact[a][x].unwrap()).collect();
+        let inputs: Vec<NodeId> = (0..n)
+            .filter(|&x| x != a)
+            .map(|x| contact[a][x].unwrap())
+            .collect();
         for &u in &inputs {
             b.add_edge_ids(u, targets[a]);
         }
@@ -358,7 +361,9 @@ mod tests {
                     .scaled(model.epsilon());
                 let mut st = state.clone();
                 let mut tail = Pebbling::new();
-                red.grouped.emit_onto(&inst, &perm, &mut st, &mut tail).unwrap();
+                red.grouped
+                    .emit_onto(&inst, &perm, &mut st, &mut tail)
+                    .unwrap();
                 trace.extend(&tail);
                 let rep = rbp_core::simulate(&inst, &trace).unwrap();
                 assert_eq!(
@@ -457,9 +462,10 @@ mod tests {
         let plain_inst = red.instance(model).0;
         let cd_inst = Instance::new(cd.dag.clone(), red.constant_degree_red_limit(), model);
         for perm in all_permutations(4) {
-            let plain = rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
-                .unwrap()
-                .cost;
+            let plain =
+                rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
+                    .unwrap()
+                    .cost;
             let expanded = rbp_core::simulate(&cd_inst, &cd.grouped.emit(&cd_inst, &perm).unwrap())
                 .unwrap()
                 .cost;
@@ -482,10 +488,11 @@ mod tests {
         let cd_inst = Instance::new(cd.dag.clone(), red.constant_degree_red_limit(), model);
         let mut offset: Option<u64> = None;
         for perm in all_permutations(4) {
-            let plain = rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
-                .unwrap()
-                .cost
-                .transfers;
+            let plain =
+                rbp_core::simulate(&plain_inst, &red.grouped.emit(&plain_inst, &perm).unwrap())
+                    .unwrap()
+                    .cost
+                    .transfers;
             let expanded = rbp_core::simulate(&cd_inst, &cd.grouped.emit(&cd_inst, &perm).unwrap())
                 .unwrap()
                 .cost

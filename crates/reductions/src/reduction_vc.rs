@@ -16,7 +16,6 @@
 //! vertex cover, and any δ-approximation for pebbling yields one for
 //! Vertex Cover.
 
-
 use rbp_core::{CostModel, Instance};
 use rbp_graph::{BitSet, Graph, NodeId};
 use rbp_solvers::{best_order, GroupSpec, GroupedDag, OrderResult, SolveError};
@@ -160,8 +159,7 @@ impl VcReduction {
         let mut cover = BitSet::new(n);
         for a in 0..n {
             let (p1, p2) = (pos[self.first(a)], pos[self.second(a)]);
-            let consecutive =
-                p1 != usize::MAX && p2 != usize::MAX && p1.abs_diff(p2) == 1;
+            let consecutive = p1 != usize::MAX && p2 != usize::MAX && p1.abs_diff(p2) == 1;
             if !consecutive {
                 cover.insert(a);
             }

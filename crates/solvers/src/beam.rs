@@ -71,9 +71,7 @@ pub fn solve_beam(instance: &Instance, cfg: BeamConfig) -> Result<GreedyReport, 
         .collect();
     // nodes the beam must schedule: non-sources, plus isolated
     // source-sinks handled in a final pass
-    let total: usize = (0..n)
-        .filter(|&v| !dag.is_source(NodeId::new(v)))
-        .count();
+    let total: usize = (0..n).filter(|&v| !dag.is_source(NodeId::new(v))).count();
 
     let mut beam = vec![BeamNode {
         state: State::initial(instance),
@@ -133,7 +131,10 @@ pub fn solve_beam(instance: &Instance, cfg: BeamConfig) -> Result<GreedyReport, 
         beam = successors;
     }
 
-    let mut best = beam.into_iter().min_by_key(|b| b.scaled).expect("beam nonempty");
+    let mut best = beam
+        .into_iter()
+        .min_by_key(|b| b.scaled)
+        .expect("beam nonempty");
     // isolated source-sinks still need pebbles
     if !initially_blue {
         for v in dag.nodes() {
@@ -161,7 +162,13 @@ fn expand(instance: &Instance, node: &mut BeamNode, v: NodeId) -> Result<(), Sol
         if node.state.is_red(u) {
             continue;
         }
-        ensure_slot(instance, &mut node.state, &node.uses, dag.preds(v), &mut node.trace)?;
+        ensure_slot(
+            instance,
+            &mut node.state,
+            &node.uses,
+            dag.preds(v),
+            &mut node.trace,
+        )?;
         let mv = if node.state.is_blue(u) {
             Move::Load(u)
         } else {
@@ -173,7 +180,13 @@ fn expand(instance: &Instance, node: &mut BeamNode, v: NodeId) -> Result<(), Sol
             node.order.push(u);
         }
     }
-    ensure_slot(instance, &mut node.state, &node.uses, dag.preds(v), &mut node.trace)?;
+    ensure_slot(
+        instance,
+        &mut node.state,
+        &node.uses,
+        dag.preds(v),
+        &mut node.trace,
+    )?;
     apply(instance, &mut node.state, &mut node.trace, Move::Compute(v))?;
     node.computed[v.index()] = true;
     node.order.push(v);
@@ -232,7 +245,11 @@ fn ensure_slot(
             unreachable!("eviction with everything pinned despite feasibility check")
         };
         let node = NodeId::new(victim);
-        let mv = if free { Move::Delete(node) } else { Move::Store(node) };
+        let mv = if free {
+            Move::Delete(node)
+        } else {
+            Move::Store(node)
+        };
         apply(instance, state, trace, mv)?;
     }
     Ok(())

@@ -39,9 +39,7 @@
 
 use crate::error::SolveError;
 use crate::hash::FxHashMap;
-use rbp_core::{
-    bounds, Cost, Instance, ModelKind, Move, Pebbling, SourceConvention,
-};
+use rbp_core::{bounds, Cost, Instance, ModelKind, Move, Pebbling, SourceConvention};
 use rbp_graph::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -142,8 +140,8 @@ struct Search<'a> {
     instance: &'a Instance,
     cfg: ExactConfig,
     n: usize,
-    wpn: usize,        // words per node-set
-    key_words: usize,  // words per state key (2·wpn or 3·wpn)
+    wpn: usize,       // words per node-set
+    key_words: usize, // words per state key (2·wpn or 3·wpn)
     oneshot: bool,
     track_computed: bool,
     eps_num: u64,
@@ -266,8 +264,7 @@ impl<'a> Search<'a> {
     }
 
     fn is_goal(&self, key: &[u64]) -> bool {
-        let need_blue =
-            self.instance.sink_convention() == rbp_core::SinkConvention::RequireBlue;
+        let need_blue = self.instance.sink_convention() == rbp_core::SinkConvention::RequireBlue;
         (0..self.n).all(|v| {
             !self.sinks[v]
                 || if need_blue {
@@ -382,8 +379,7 @@ impl<'a> Search<'a> {
         let r_limit = self.instance.red_limit();
         let red_count = self.red_count(key);
         let prune = self.cfg.prune;
-        let initially_blue =
-            self.instance.source_convention() == SourceConvention::InitiallyBlue;
+        let initially_blue = self.instance.source_convention() == SourceConvention::InitiallyBlue;
 
         for v in 0..self.n {
             let node = NodeId::new(v);
@@ -403,8 +399,8 @@ impl<'a> Search<'a> {
                 }
                 // Delete(v)
                 if model.allows_delete() {
-                    let dead = self.oneshot
-                        && (self.sinks[v] || self.has_uncomputed_successor(key, v));
+                    let dead =
+                        self.oneshot && (self.sinks[v] || self.has_uncomputed_successor(key, v));
                     if !(prune && dead) {
                         self.scratch.copy_from_slice(key);
                         bit_clear(&mut self.scratch[..self.wpn], v);
@@ -414,9 +410,7 @@ impl<'a> Search<'a> {
             } else if blue {
                 // Load(v)
                 if red_count < r_limit {
-                    let useful = !prune
-                        || !self.oneshot
-                        || self.has_uncomputed_successor(key, v);
+                    let useful = !prune || !self.oneshot || self.has_uncomputed_successor(key, v);
                     if useful {
                         self.scratch.copy_from_slice(key);
                         bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
@@ -549,10 +543,7 @@ mod tests {
     #[test]
     fn chain_infeasible_with_one_pebble() {
         let inst = Instance::new(generate::chain(3), 1, CostModel::oneshot());
-        assert!(matches!(
-            solve_exact(&inst),
-            Err(SolveError::Pebbling(_))
-        ));
+        assert!(matches!(solve_exact(&inst), Err(SolveError::Pebbling(_))));
     }
 
     #[test]
@@ -667,7 +658,10 @@ mod tests {
                 ..ExactConfig::default()
             },
         );
-        assert_eq!(res.unwrap_err(), SolveError::StateLimitExceeded { limit: 10 });
+        assert_eq!(
+            res.unwrap_err(),
+            SolveError::StateLimitExceeded { limit: 10 }
+        );
     }
 
     #[test]

@@ -81,8 +81,11 @@ pub enum EvictionPolicy {
 
 impl EvictionPolicy {
     /// The deterministic policies (for ablation sweeps).
-    pub const DETERMINISTIC: [EvictionPolicy; 3] =
-        [EvictionPolicy::MinUses, EvictionPolicy::Lru, EvictionPolicy::Fifo];
+    pub const DETERMINISTIC: [EvictionPolicy; 3] = [
+        EvictionPolicy::MinUses,
+        EvictionPolicy::Lru,
+        EvictionPolicy::Fifo,
+    ];
 }
 
 impl std::fmt::Display for EvictionPolicy {
@@ -202,10 +205,7 @@ pub fn solve_greedy_with(
         _ => 0,
     };
 
-    let apply = |state: &mut State,
-                 trace: &mut Pebbling,
-                 mv: Move|
-     -> Result<(), SolveError> {
+    let apply = |state: &mut State, trace: &mut Pebbling, mv: Move| -> Result<(), SolveError> {
         state.apply(mv, instance).map_err(SolveError::Pebbling)?;
         trace.push(mv);
         Ok(())
@@ -426,7 +426,11 @@ fn ensure_slot(
             unreachable!("eviction with all pebbles pinned despite feasibility check");
         };
         let node = NodeId::new(victim);
-        let mv = if dispose { Move::Delete(node) } else { Move::Store(node) };
+        let mv = if dispose {
+            Move::Delete(node)
+        } else {
+            Move::Store(node)
+        };
         state.apply(mv, instance).map_err(SolveError::Pebbling)?;
         trace.push(mv);
     }
@@ -477,8 +481,7 @@ mod tests {
                 EvictionPolicy::Fifo,
                 EvictionPolicy::Random(7),
             ] {
-                let rep =
-                    solve_greedy_with(&inst, GreedyConfig { rule, eviction }).unwrap();
+                let rep = solve_greedy_with(&inst, GreedyConfig { rule, eviction }).unwrap();
                 assert!(engine::simulate(&inst, &rep.trace).is_ok());
             }
         }

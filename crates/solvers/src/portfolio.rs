@@ -32,14 +32,13 @@ pub fn solve_portfolio(
     let mut slots: Vec<Option<Result<GreedyReport, SolveError>>> =
         (0..configs.len()).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, cfg) in slots.iter_mut().zip(configs.iter()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(solve_greedy_with(instance, *cfg));
             });
         }
-    })
-    .expect("portfolio worker panicked");
+    });
 
     let mut best: Option<(GreedyConfig, GreedyReport)> = None;
     let mut last_err = SolveError::NoPebblingFound;

@@ -1,7 +1,8 @@
 //! Parallel parameter sweeps: opt(R) tradeoff curves (Section 5).
 //!
 //! The per-R solves are independent, so they fan out over scoped threads
-//! (crossbeam). Solvers themselves stay single-threaded and deterministic.
+//! (`std::thread::scope`). Solvers themselves stay single-threaded and
+//! deterministic.
 
 use crate::error::SolveError;
 use rbp_core::{Cost, Instance};
@@ -20,24 +21,31 @@ pub struct SweepPoint {
 ///
 /// `solver` must be deterministic; it receives a per-thread clone of the
 /// instance re-parameterized with R (the DAG is shared, not copied).
-pub fn sweep_r<F>(instance: &Instance, r_range: std::ops::RangeInclusive<usize>, solver: F) -> Vec<SweepPoint>
+pub fn sweep_r<F>(
+    instance: &Instance,
+    r_range: std::ops::RangeInclusive<usize>,
+    solver: F,
+) -> Vec<SweepPoint>
 where
     F: Fn(&Instance) -> Result<Cost, SolveError> + Sync,
 {
     let rs: Vec<usize> = r_range.collect();
+    if rs.is_empty() {
+        return Vec::new();
+    }
     let mut results: Vec<Option<SweepPoint>> = (0..rs.len()).map(|_| None).collect();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(rs.len().max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunks = results.chunks_mut(rs.len().div_ceil(threads));
         for (chunk_idx, chunk) in chunks.enumerate() {
             let rs = &rs;
             let solver = &solver;
             let base = chunk_idx * rs.len().div_ceil(threads);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let r = rs[base + i];
                     let inst = instance.with_red_limit(r);
@@ -48,19 +56,18 @@ where
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    results.into_iter().map(|p| p.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|p| p.expect("all slots filled"))
+        .collect()
 }
 
 /// Verifies the Section-5 staircase property on a curve: opt is
 /// non-increasing in R and each extra pebble saves at most 2n transfers
 /// (`opt(R−1) ≤ opt(R) + 2n`). Returns the first violating pair, if any.
-pub fn check_tradeoff_laws(
-    instance: &Instance,
-    points: &[SweepPoint],
-) -> Option<(usize, usize)> {
+pub fn check_tradeoff_laws(instance: &Instance, points: &[SweepPoint]) -> Option<(usize, usize)> {
     let eps = instance.model().epsilon();
     let slack = rbp_core::bounds::max_tradeoff_slope(instance) as u128 * eps.den() as u128;
     let costs: Vec<Option<u128>> = points
@@ -102,7 +109,11 @@ mod tests {
         assert_eq!(points[0].r, 2);
         assert_eq!(points[3].r, 5);
         for p in &points {
-            assert_eq!(p.result.as_ref().unwrap().transfers, 0, "chain free at R>=2");
+            assert_eq!(
+                p.result.as_ref().unwrap().transfers,
+                0,
+                "chain free at R>=2"
+            );
         }
     }
 

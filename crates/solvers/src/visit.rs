@@ -172,8 +172,7 @@ impl GroupedDag {
                 continue;
             }
             scaled += self.ensure_slot(instance, state, uses, &spec.inputs, out)?;
-            let recomputable_source =
-                dag.is_source(u) && instance.model().allows_recompute();
+            let recomputable_source = dag.is_source(u) && instance.model().allows_recompute();
             if state.is_blue(u) {
                 // a blue *source* is recomputed in place of a load where
                 // the model allows it (free in base/nodel, ε in compcost
@@ -266,7 +265,11 @@ impl GroupedDag {
                 unreachable!("all red pebbles pinned; instance infeasible for this group");
             };
             let node = NodeId::new(victim);
-            let mv = if dispose { Move::Delete(node) } else { Move::Store(node) };
+            let mv = if dispose {
+                Move::Delete(node)
+            } else {
+                Move::Store(node)
+            };
             let c = state.apply(mv, instance).map_err(SolveError::Pebbling)?;
             out(mv);
             scaled += c.scaled(eps);

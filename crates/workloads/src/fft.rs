@@ -21,7 +21,11 @@ pub fn build(log_n: u32) -> Fft {
     let n = 1usize << log_n;
     let mut b = DagBuilder::new(0);
     let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(log_n as usize + 1);
-    levels.push((0..n).map(|i| b.add_labeled_node(format!("x{i}"))).collect());
+    levels.push(
+        (0..n)
+            .map(|i| b.add_labeled_node(format!("x{i}")))
+            .collect(),
+    );
     for s in 1..=log_n as usize {
         let stride = 1usize << (s - 1);
         let prev = levels[s - 1].clone();

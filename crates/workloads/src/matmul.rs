@@ -28,10 +28,18 @@ pub fn build(n: usize) -> MatMul {
     assert!(n >= 1);
     let mut bld = DagBuilder::new(0);
     let a: Vec<Vec<NodeId>> = (0..n)
-        .map(|i| (0..n).map(|k| bld.add_labeled_node(format!("a{i}_{k}"))).collect())
+        .map(|i| {
+            (0..n)
+                .map(|k| bld.add_labeled_node(format!("a{i}_{k}")))
+                .collect()
+        })
         .collect();
     let b: Vec<Vec<NodeId>> = (0..n)
-        .map(|k| (0..n).map(|j| bld.add_labeled_node(format!("b{k}_{j}"))).collect())
+        .map(|k| {
+            (0..n)
+                .map(|j| bld.add_labeled_node(format!("b{k}_{j}")))
+                .collect()
+        })
         .collect();
     let mut c = vec![vec![NodeId::new(0); n]; n];
     for i in 0..n {
@@ -108,7 +116,10 @@ mod tests {
         };
         let small = cost(3);
         let large = cost(24);
-        assert!(large <= small, "more cache cannot hurt greedy: {small} -> {large}");
+        assert!(
+            large <= small,
+            "more cache cannot hurt greedy: {small} -> {large}"
+        );
         // with room for everything the computation is transfer-free
         let huge = cost(m.dag.n());
         assert_eq!(huge, 0);

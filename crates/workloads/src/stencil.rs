@@ -24,7 +24,11 @@ pub fn build(width: usize, steps: usize, radius: usize) -> Stencil {
     assert!(width >= 1 && steps >= 1 && radius >= 1);
     let mut b = DagBuilder::new(0);
     let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(steps + 1);
-    rows.push((0..width).map(|i| b.add_labeled_node(format!("u0_{i}"))).collect());
+    rows.push(
+        (0..width)
+            .map(|i| b.add_labeled_node(format!("u0_{i}")))
+            .collect(),
+    );
     for t in 1..=steps {
         let prev = rows[t - 1].clone();
         let row: Vec<NodeId> = (0..width)

@@ -11,11 +11,7 @@ fn main() {
     // the Petersen graph: 3-regular, vertex-transitive, and famously
     // without a Hamiltonian cycle — but it does have a Hamiltonian path
     let g = Graph::petersen();
-    println!(
-        "input graph G: Petersen ({} nodes, {} edges)",
-        g.n(),
-        g.m()
-    );
+    println!("input graph G: Petersen ({} nodes, {} edges)", g.n(), g.m());
 
     let red = reduction_hampath::encode(g);
     println!(

@@ -15,10 +15,7 @@ fn main() {
     let mm = matmul::build(n);
     let r = 6;
     let inst = Instance::new(mm.dag.clone(), r, CostModel::oneshot());
-    println!(
-        "matmul n={n}: {} nodes, cache R={r}",
-        mm.dag.n()
-    );
+    println!("matmul n={n}: {} nodes, cache R={r}", mm.dag.n());
 
     let greedy = solve_greedy(&inst).expect("feasible");
     let beam = solve_beam(&inst, BeamConfig { width: 32 }).expect("feasible");

@@ -43,9 +43,8 @@ fn main() {
             .expect("feasible");
             row.push(rep.cost.transfers);
         }
-        let (_, best) =
-            solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio())
-                .expect("feasible");
+        let (_, best) = solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio())
+            .expect("feasible");
         println!(
             "{r:>4} | {:>9} | {:>9} | {:>9} | {:>9} | {:>12.1}",
             row[0],

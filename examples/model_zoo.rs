@@ -10,7 +10,9 @@ use red_blue_pebbling::solvers::solve_exact;
 fn main() {
     // a small two-join DAG under memory pressure
     let mut b = DagBuilder::new(0);
-    let inputs: Vec<NodeId> = (0..4).map(|i| b.add_labeled_node(format!("in{i}"))).collect();
+    let inputs: Vec<NodeId> = (0..4)
+        .map(|i| b.add_labeled_node(format!("in{i}")))
+        .collect();
     let j1 = b.add_labeled_node("j1");
     let j2 = b.add_labeled_node("j2");
     let out = b.add_labeled_node("out");
@@ -25,7 +27,11 @@ fn main() {
     let dag = b.build().unwrap();
     let r = dag.max_indegree() + 1;
 
-    println!("DAG: {} nodes, Δ = {}, R = {r}\n", dag.n(), dag.max_indegree());
+    println!(
+        "DAG: {} nodes, Δ = {}, R = {r}\n",
+        dag.n(),
+        dag.max_indegree()
+    );
     println!(
         "{:<20} | {:>10} | {:>10} | {:>12} | {:>10}",
         "model", "lower bnd", "optimal", "upper bnd", "trace len"

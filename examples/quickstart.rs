@@ -25,7 +25,12 @@ fn main() {
     b.add_edge_ids(g, out);
     let dag = b.build().expect("acyclic");
 
-    println!("DAG: {} nodes, {} edges, Δ = {}", dag.n(), dag.num_edges(), dag.max_indegree());
+    println!(
+        "DAG: {} nodes, {} edges, Δ = {}",
+        dag.n(),
+        dag.num_edges(),
+        dag.max_indegree()
+    );
     println!("feasible from R = Δ+1 = {}\n", dag.max_indegree() + 1);
 
     // sweep the cache size under the oneshot model

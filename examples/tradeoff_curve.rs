@@ -26,16 +26,28 @@ fn main() {
     });
 
     let max_cost = t.expected_oneshot_cost(t.min_r());
-    println!("{:>4} | {:>9} | {:>9} | figure-4 staircase", "R", "measured", "formula");
+    println!(
+        "{:>4} | {:>9} | {:>9} | figure-4 staircase",
+        "R", "measured", "formula"
+    );
     println!("{}", "-".repeat(64));
     for p in &points {
         let measured = p.result.as_ref().expect("strategy succeeds").transfers;
         let formula = t.expected_oneshot_cost(p.r);
         assert_eq!(measured, formula, "closed form must match the engine");
         let width = (measured * 40 / max_cost.max(1)) as usize;
-        println!("{:>4} | {:>9} | {:>9} | {}", p.r, measured, formula, "#".repeat(width));
+        println!(
+            "{:>4} | {:>9} | {:>9} | {}",
+            p.r,
+            measured,
+            formula,
+            "#".repeat(width)
+        );
     }
 
-    println!("\neach extra red pebble saves exactly 2(n−2) = {} transfers —", 2 * (chain - 2));
+    println!(
+        "\neach extra red pebble saves exactly 2(n−2) = {} transfers —",
+        2 * (chain - 2)
+    );
     println!("the maximal possible slope (Section 5: opt(R−1) ≤ opt(R) + 2n).");
 }

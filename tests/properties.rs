@@ -195,6 +195,9 @@ fn model_cost_ordering_on_fixed_instance() {
     let base = opt(ModelKind::Base);
     let oneshot = opt(ModelKind::Oneshot);
     let nodel = opt(ModelKind::NoDel);
-    assert!(base.transfers <= oneshot.transfers, "base can only be cheaper");
+    assert!(
+        base.transfers <= oneshot.transfers,
+        "base can only be cheaper"
+    );
     assert!(nodel.transfers as usize >= dag.n() - r, "nodel lower bound");
 }

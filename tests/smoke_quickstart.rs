@@ -1,0 +1,81 @@
+//! Smoke test covering the facade's quickstart path end-to-end: the same
+//! API the `quickstart.rs` example and the crate-level doctest exercise —
+//! build a DAG through the prelude, solve it exactly, and replay the
+//! schedule through the validating engine.
+
+use red_blue_pebbling::prelude::*;
+
+/// The crate-level quickstart: a 2×2 matmul DAG with a cache of 4,
+/// solved exactly and engine-validated.
+#[test]
+fn quickstart_matmul_round_trip() {
+    let mm = red_blue_pebbling::workloads::matmul::build(2);
+    assert_eq!(mm.n, 2);
+    // 4 entries of A, 4 of B, and per output entry two products plus one
+    // accumulation: 8 + 4·3 = 20 nodes.
+    assert_eq!(mm.dag.n(), 20);
+    assert!(mm.dag.max_indegree() <= 2, "matmul is pebblable from R = 3");
+
+    let inst = Instance::new(mm.dag.clone(), 4, CostModel::oneshot());
+    let opt = solve_exact(&inst).expect("R = 4 is feasible for matmul(2)");
+
+    // The reported optimum must replay on the engine at exactly the
+    // reported cost, within the red budget.
+    let report = engine::simulate(&inst, &opt.trace).expect("optimal trace must validate");
+    assert_eq!(report.cost, opt.cost);
+    assert!(report.peak_red <= 4);
+
+    // And it must sit inside the structural bracket from Section 3.
+    let eps = inst.model().epsilon();
+    assert!(bounds::trivial_lower_bound(&inst).scaled(eps) <= opt.cost.scaled(eps));
+    assert!(opt.cost.scaled(eps) <= bounds::universal_upper_bound(&inst).scaled(eps));
+}
+
+/// The example's diamond DAG: sweeping R shrinks the optimum to zero
+/// transfers once everything fits in fast memory.
+#[test]
+fn quickstart_diamond_sweep_is_monotone() {
+    let mut b = DagBuilder::new(0);
+    let x = b.add_labeled_node("x");
+    let y = b.add_labeled_node("y");
+    let f = b.add_labeled_node("f(x,y)");
+    let g = b.add_labeled_node("g(y)");
+    let out = b.add_labeled_node("out");
+    b.add_edge_ids(x, f);
+    b.add_edge_ids(y, f);
+    b.add_edge_ids(y, g);
+    b.add_edge_ids(f, out);
+    b.add_edge_ids(g, out);
+    let dag = b.build().expect("acyclic");
+
+    let mut prev = u64::MAX;
+    for r in 3..=5 {
+        let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
+        let opt = solve_exact(&inst).expect("feasible from R = 3");
+        let report = engine::simulate(&inst, &opt.trace).expect("valid");
+        assert_eq!(report.cost, opt.cost);
+        assert!(opt.cost.transfers <= prev, "opt(R) must be non-increasing");
+        prev = opt.cost.transfers;
+    }
+    // All five values fit at R = 5, so the game is I/O-free.
+    assert_eq!(prev, 0);
+}
+
+/// Every model variant solves the quickstart diamond and validates.
+#[test]
+fn quickstart_all_models_validate() {
+    let mut b = DagBuilder::new(5);
+    b.add_edge(0, 2);
+    b.add_edge(1, 2);
+    b.add_edge(1, 3);
+    b.add_edge(2, 4);
+    b.add_edge(3, 4);
+    let dag = b.build().expect("acyclic");
+    for kind in ModelKind::ALL {
+        let model = CostModel::of_kind(kind);
+        let inst = Instance::new(dag.clone(), 3, model);
+        let opt = solve_exact(&inst).expect("feasible");
+        let report = engine::simulate(&inst, &opt.trace).expect("valid");
+        assert_eq!(report.cost, opt.cost, "engine disagrees under {kind:?}");
+    }
+}

@@ -171,13 +171,23 @@ fn every_solver_cost_is_engine_validated() {
     let inst = Instance::new(dag, 4, CostModel::oneshot());
 
     let exact = solve_exact(&inst).unwrap();
-    assert_eq!(engine::simulate(&inst, &exact.trace).unwrap().cost, exact.cost);
+    assert_eq!(
+        engine::simulate(&inst, &exact.trace).unwrap().cost,
+        exact.cost
+    );
 
     let greedy = solve_greedy(&inst).unwrap();
-    assert_eq!(engine::simulate(&inst, &greedy.trace).unwrap().cost, greedy.cost);
+    assert_eq!(
+        engine::simulate(&inst, &greedy.trace).unwrap().cost,
+        greedy.cost
+    );
 
-    let (_, port) = solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio()).unwrap();
-    assert_eq!(engine::simulate(&inst, &port.trace).unwrap().cost, port.cost);
+    let (_, port) =
+        solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio()).unwrap();
+    assert_eq!(
+        engine::simulate(&inst, &port.trace).unwrap().cost,
+        port.cost
+    );
 
     // ordering: exact <= portfolio <= greedy-single <= canonical
     let eps = inst.model().epsilon();

@@ -1,0 +1,222 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://crates.io/crates/criterion) crate, API-compatible
+//! with the subset this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical pipeline it runs each benchmark for
+//! a fixed small number of timed iterations (capped by wall-clock budget)
+//! and prints `name ... median time` lines, so `cargo bench` gives a
+//! usable smoke signal and `cargo bench --no-run` compile-checks the perf
+//! surface. Swap the path dependency for the real crate when network
+//! access is available; no bench source needs to change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget; keeps the whole stub suite fast even
+/// for expensive exact-solver benches.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Identifies one benchmark within a group, e.g. `new("astar", 12)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing driver handed to the closure of `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    fastest: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over up to `samples` iterations (stopping early at
+    /// the wall-clock budget) and records the fastest observation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut best = Duration::MAX;
+        for done in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            best = best.min(t0.elapsed());
+            if done >= 1 && started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.fastest = Some(self.fastest.map_or(best, |f| f.min(best)));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        fastest: None,
+    };
+    f(&mut b);
+    match b.fastest {
+        Some(best) => {
+            println!("bench: {label:<48} fastest {best:>12.3?} ({samples} max samples)")
+        }
+        None => println!("bench: {label:<48} (closure never called iter)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Mirrors the real crate's CLI hook; the stub has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_finite_time() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.bench_function("plain", |b| {
+            b.iter(|| black_box(0));
+        });
+        g.finish();
+    }
+}

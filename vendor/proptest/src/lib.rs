@@ -1,0 +1,200 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://crates.io/crates/proptest) crate, API-compatible
+//! with the subset this workspace's property suites use:
+//!
+//! - the [`Strategy`] trait with [`Strategy::prop_map`] /
+//!   [`Strategy::prop_flat_map`], plus strategies for integer ranges,
+//!   tuples, [`Just`], [`collection::vec`], [`bool::weighted`] and
+//!   [`arbitrary::any`];
+//! - the [`proptest!`] test macro with `#![proptest_config(..)]` support;
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//!   [`prop_oneof!`] and [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate: random inputs are generated but
+//! failing cases are **not shrunk** (the failing case's number and seed
+//! are printed instead), and generation is deterministic per test
+//! function so CI never flakes. Set `PROPTEST_SEED=<u64>` to explore a
+//! different stream locally. Swap the path dependency for the real crate
+//! when network access is available; no test source needs to change.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `true` with the given probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// Strategy for a biased coin flip: `true` with probability
+    /// `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "bool::weighted: probability {probability} out of [0,1]"
+        );
+        Weighted { probability }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability
+        }
+    }
+}
+
+/// The glob import every proptest test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` that runs `body` over `config.cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut case: u32 = 0;
+            let mut rejects: u32 = 0;
+            while case < config.cases {
+                let case_seed = rng.fork_seed();
+                let mut case_rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut case_rng); )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => case += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < config.max_global_rejects,
+                            "proptest: too many prop_assume! rejections ({rejects})"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        message,
+                    )) => {
+                        panic!(
+                            "proptest case #{case} (seed {case_seed:#x}) failed: {message}"
+                        );
+                    }
+                }
+            }
+        }
+    )* };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strategy:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Like `assert!`, but reports the failing random case instead of
+/// unwinding from deep inside the generated loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Like `assert_ne!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current random case when its inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,216 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of type `Self::Value`.
+///
+/// Unlike the real proptest there is no value *tree* (no shrinking): a
+/// strategy simply produces a value from the test RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Feeds generated values into a function producing a second
+    /// strategy, then samples that.
+    fn prop_flat_map<S, F>(self, flat: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, flat }
+    }
+
+    /// Keeps only values satisfying a predicate (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            filter,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    flat: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.flat)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    filter: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.generate(rng);
+            if (self.filter)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+}
+
+/// Uniform choice between same-typed strategies; built by
+/// [`crate::prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}

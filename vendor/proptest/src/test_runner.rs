@@ -1,0 +1,108 @@
+//! Test configuration, the case RNG, and the error type threaded through
+//! `prop_assert!`/`prop_assume!`.
+
+/// Subset of the real `ProptestConfig` that the suites configure.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single random case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+    /// A `prop_assert!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Deterministic SplitMix64 stream used to sample strategies.
+///
+/// Each test function gets a stream derived from its fully qualified name
+/// (stable across runs and machines, so CI never flakes), overridable
+/// with the `PROPTEST_SEED` environment variable for local exploration.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for one named `proptest!` test.
+    pub fn for_test(qualified_name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(raw) => raw
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {raw:?}")),
+            Err(_) => 0x9e37_79b9_7f4a_7c15,
+        };
+        // FNV-1a over the test name, mixed with the base seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in qualified_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::from_seed(hash ^ seed)
+    }
+
+    /// Stream reproducing one failing case (the seed printed on failure).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed for the next case's dedicated RNG, so a failure can be
+    /// replayed without regenerating every preceding case.
+    pub fn fork_seed(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

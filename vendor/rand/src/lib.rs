@@ -1,0 +1,250 @@
+//! Offline stand-in for the crates.io [`rand`](https://crates.io/crates/rand)
+//! crate, API-compatible with the subset this workspace uses:
+//!
+//! - [`thread_rng`] / [`rngs::ThreadRng`]
+//! - [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
+//! - [`Rng::gen_range`], [`Rng::gen_bool`]
+//! - [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`]
+//!
+//! The generator is SplitMix64: statistically fine for test-data and
+//! workload generation, deterministic for a given seed, and *not*
+//! cryptographically secure (neither is the real `StdRng` contractually).
+//! Swap this path dependency for the real crate when network access is
+//! available; no call sites need to change.
+
+use std::cell::Cell;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] exactly like the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        // 53 high bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard seedable generator (SplitMix64 here).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-whiten so seeds 0, 1, 2, ... land in distant streams.
+            let mut s = state ^ 0x5851_f42d_4c95_7f2d;
+            let _ = splitmix64(&mut s);
+            StdRng { state: s }
+        }
+    }
+
+    /// Handle to a thread-local generator; see [`super::thread_rng`].
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(());
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            super::THREAD_RNG_STATE.with(|s| {
+                let mut state = s.get();
+                let word = splitmix64(&mut state);
+                s.set(state);
+                word
+            })
+        }
+    }
+
+    impl ThreadRng {
+        pub(super) fn new() -> Self {
+            ThreadRng(())
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG_STATE: Cell<u64> = Cell::new({
+        // Seed from wall clock + address entropy; uniqueness per thread
+        // matters more than quality, SplitMix64 whitens the rest.
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x4d59_5df4_d0f3_3173);
+        let marker = &t as *const _ as u64;
+        t ^ marker.rotate_left(32)
+    });
+}
+
+/// A lazily-seeded thread-local generator, like `rand::thread_rng`.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+pub mod distributions {
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges that [`crate::Rng::gen_range`] can sample from.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_ranges {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + offset as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = self.into_inner();
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (lo as i128 + offset as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+pub mod seq {
+    use crate::{Rng, RngCore};
+
+    /// Slice shuffling and sampling, like `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        /// Fisher–Yates.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{thread_rng, Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = thread_rng();
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = thread_rng();
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([9u8].choose(&mut rng), Some(&9));
+    }
+}
