@@ -10,6 +10,10 @@
 //! ```
 //! or a single experiment by id (`table1`, `table2`, `fig1`, `fig2`,
 //! `fig4`, `fig5`, `fig67`, `fig8`, `workloads`, `ablation`).
+//!
+//! The extra `perf-snapshot` id (not part of `all`) records exact-solver
+//! hot-path baselines to `BENCH_exact.json` at the workspace root — see
+//! [`perf_snapshot`].
 
 pub mod exp_ablation;
 pub mod exp_fig1;
@@ -21,6 +25,7 @@ pub mod exp_fig8;
 pub mod exp_table1;
 pub mod exp_table2;
 pub mod exp_workloads;
+pub mod perf_snapshot;
 pub mod report;
 
 use std::path::Path;
@@ -52,6 +57,11 @@ pub fn run_experiment(id: &str, out: &Path) {
         "fig8" => exp_fig8::run(out),
         "workloads" => exp_workloads::run(out),
         "ablation" => exp_ablation::run(out),
-        other => panic!("unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?}"),
+        // informational perf baseline: always lands at the workspace
+        // root (next to Cargo.lock) so the trajectory is tracked in git
+        "perf-snapshot" => perf_snapshot::run(&report::workspace_root()),
+        other => panic!(
+            "unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?} plus 'perf-snapshot'"
+        ),
     }
 }

@@ -1,0 +1,235 @@
+//! `perf-snapshot`: recorded exact-solver throughput baselines.
+//!
+//! Sweeps a fixed instance matrix — {chain, pyramid, grid, layered,
+//! matmul, fft} × {base, oneshot, nodel} at sizes that solve in
+//! milliseconds — through [`rbp_solvers::solve_exact`] and writes
+//! `BENCH_exact.json` with per-cell median wall time, interned-state
+//! throughput, and search effort. The file is committed at the workspace
+//! root so every PR leaves a perf trajectory to compare against; CI
+//! regenerates it as an informational artifact.
+//!
+//! The same instance matrix backs the `bench_exact_hotpath` criterion
+//! target, so interactive `cargo bench` numbers and the recorded JSON
+//! stay comparable.
+
+use crate::report::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbp_core::{CostModel, Instance, ModelKind};
+use rbp_graph::generate;
+use rbp_solvers::solve_exact;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One workload × model cell of the perf matrix.
+pub struct PerfCase {
+    /// Workload family (`chain`, `pyramid`, `grid`, `layered`, `matmul`,
+    /// `fft`).
+    pub workload: &'static str,
+    /// Cost-model name (`base`, `oneshot`, `nodel`).
+    pub model: &'static str,
+    /// The concrete instance solved by this cell.
+    pub instance: Instance,
+}
+
+/// The models the snapshot tracks. `compcost` shares base's state space
+/// (only edge weights differ), so it adds no distinct hot-path signal.
+const MODELS: [(&str, ModelKind); 3] = [
+    ("base", ModelKind::Base),
+    ("oneshot", ModelKind::Oneshot),
+    ("nodel", ModelKind::NoDel),
+];
+
+/// The fixed instance matrix. Sizes are chosen so each exact solve
+/// finishes in at most a few hundred milliseconds optimized — the point
+/// is a stable trajectory, not a stress test.
+///
+/// The red budget is per *cell*, not per workload, because the models'
+/// state spaces scale oppositely in R on dense DAGs like matmul: base
+/// (deletes + recomputation) needs enough slack that its optimum stays
+/// near zero or its positive-cost frontier explodes, while nodel
+/// (monotone pebbles) blows up when extra slack multiplies the reachable
+/// monotone configurations.
+pub fn cells() -> Vec<PerfCase> {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    // (workload, dag, [r_base, r_oneshot, r_nodel])
+    let dags: Vec<(&'static str, rbp_graph::Dag, [usize; 3])> = vec![
+        ("chain", generate::chain(12), [2; 3]),
+        ("pyramid", rbp_gadgets::pyramid::build(4).dag, [3; 3]),
+        // "grid": a time-tiled 3-point stencil, the 2-D grid workload
+        ("grid", rbp_workloads::stencil::build(4, 2, 1).dag, [4; 3]),
+        ("layered", generate::layered(3, 3, 2, &mut rng), [3; 3]),
+        ("matmul", rbp_workloads::matmul::build(2).dag, [7, 5, 3]),
+        ("fft", rbp_workloads::fft::build(2).dag, [3; 3]),
+    ];
+    let mut cases = Vec::with_capacity(dags.len() * MODELS.len());
+    for (workload, dag, rs) in dags {
+        for ((model, kind), r) in MODELS.into_iter().zip(rs) {
+            cases.push(PerfCase {
+                workload,
+                model,
+                instance: Instance::new(dag.clone(), r, CostModel::of_kind(kind)),
+            });
+        }
+    }
+    cases
+}
+
+/// One measured cell of the snapshot.
+pub struct CellResult {
+    /// Workload family.
+    pub workload: &'static str,
+    /// Cost-model name.
+    pub model: &'static str,
+    /// DAG size.
+    pub n: usize,
+    /// Red-pebble budget.
+    pub r: usize,
+    /// Median wall time of one solve, nanoseconds.
+    pub median_ns: u128,
+    /// Distinct states interned by the median-representative solve.
+    pub states_seen: usize,
+    /// States popped from the queue.
+    pub states_expanded: usize,
+    /// Interned-state throughput: `states_seen / median_seconds`. The
+    /// intern path dominates the expand loop, so this is the headline
+    /// "how fast is the hot path" number.
+    pub states_per_sec: u64,
+    /// The optimum found (scaled cost), pinning correctness alongside
+    /// speed.
+    pub scaled_cost: u128,
+}
+
+/// Solves every cell `samples` times and reports the median-time run.
+pub fn measure(samples: usize) -> Vec<CellResult> {
+    assert!(samples >= 1);
+    cells()
+        .iter()
+        .map(|case| {
+            let mut times: Vec<u128> = Vec::with_capacity(samples);
+            let mut rep = None;
+            for _ in 0..samples {
+                let t0 = Instant::now();
+                let r = solve_exact(&case.instance).expect("perf cells are feasible");
+                times.push(t0.elapsed().as_nanos());
+                rep = Some(r);
+            }
+            times.sort_unstable();
+            let median_ns = times[times.len() / 2].max(1);
+            let rep = rep.expect("at least one sample");
+            CellResult {
+                workload: case.workload,
+                model: case.model,
+                n: case.instance.dag().n(),
+                r: case.instance.red_limit(),
+                median_ns,
+                states_seen: rep.states_seen,
+                states_expanded: rep.states_expanded,
+                states_per_sec: ((rep.states_seen as u128 * 1_000_000_000) / median_ns) as u64,
+                scaled_cost: rep.cost.scaled(case.instance.model().epsilon()),
+            }
+        })
+        .collect()
+}
+
+/// Writes the snapshot as `<dir>/BENCH_exact.json` and returns the path.
+pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_exact.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"schema\": \"rbp-perf-exact/v1\",")?;
+    writeln!(
+        f,
+        "  \"description\": \"exact-solver hot-path baselines; regenerate with `cargo run --release -p rbp-bench --bin experiments -- perf-snapshot`\","
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, c) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"model\": \"{}\", \"n\": {}, \"r\": {}, \
+             \"median_ns\": {}, \"states_seen\": {}, \"states_expanded\": {}, \
+             \"states_per_sec\": {}, \"scaled_cost\": {}}}{}",
+            c.workload,
+            c.model,
+            c.n,
+            c.r,
+            c.median_ns,
+            c.states_seen,
+            c.states_expanded,
+            c.states_per_sec,
+            c.scaled_cost,
+            comma
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(path)
+}
+
+/// Runs the snapshot (5 samples per cell) and writes
+/// `<dir>/BENCH_exact.json`, printing the matrix as a table.
+pub fn run(dir: &Path) {
+    run_with(dir, 5)
+}
+
+/// Like [`run`] with a configurable sample count (tests use 1).
+pub fn run_with(dir: &Path, samples: usize) {
+    let results = measure(samples);
+    let mut table = Table::new(
+        "perf-snapshot — exact solver hot path (median over samples)",
+        &[
+            "workload", "model", "n", "R", "ms", "states", "expanded", "states/s", "cost",
+        ],
+    );
+    for c in &results {
+        table.row_strings(vec![
+            c.workload.to_string(),
+            c.model.to_string(),
+            c.n.to_string(),
+            c.r.to_string(),
+            format!("{:.3}", c.median_ns as f64 / 1e6),
+            c.states_seen.to_string(),
+            c.states_expanded.to_string(),
+            c.states_per_sec.to_string(),
+            c.scaled_cost.to_string(),
+        ]);
+    }
+    table.print();
+    let path = write_json(&results, dir).expect("write BENCH_exact.json");
+    println!("  wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_the_full_matrix_and_writes_json() {
+        let dir =
+            std::env::temp_dir().join(format!("rbp_perf_snapshot_test_{}", std::process::id()));
+        run_with(&dir, 1);
+        let json = std::fs::read_to_string(dir.join("BENCH_exact.json")).unwrap();
+        assert!(json.contains("\"schema\": \"rbp-perf-exact/v1\""));
+        // at least 6 workload × model cells recorded with throughput
+        assert!(json.matches("\"states_per_sec\"").count() >= 6);
+        for w in ["chain", "pyramid", "grid", "layered", "matmul", "fft"] {
+            assert!(
+                json.contains(&format!("\"workload\": \"{w}\"")),
+                "{w} missing"
+            );
+        }
+        for m in ["base", "oneshot", "nodel"] {
+            assert!(json.contains(&format!("\"model\": \"{m}\"")), "{m} missing");
+        }
+    }
+
+    #[test]
+    fn cells_are_exactly_the_documented_matrix() {
+        let cs = cells();
+        assert_eq!(cs.len(), 18, "6 workloads x 3 models");
+        assert!(cs.iter().all(|c| c.instance.is_feasible()));
+    }
+}

@@ -90,19 +90,21 @@ impl Table {
     }
 }
 
+/// The workspace root (where `BENCH_exact.json` and `Cargo.lock` live),
+/// falling back to the current directory outside a checkout.
+pub fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if root.join("Cargo.toml").exists() {
+        root
+    } else {
+        PathBuf::from(".")
+    }
+}
+
 /// The default results directory (`results/` under the workspace root,
 /// falling back to the current directory).
 pub fn results_dir() -> PathBuf {
-    let candidates = [
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
-        PathBuf::from("results"),
-    ];
-    for c in &candidates {
-        if c.parent().map(|p| p.exists()).unwrap_or(false) {
-            return c.clone();
-        }
-    }
-    PathBuf::from("results")
+    workspace_root().join("results")
 }
 
 #[cfg(test)]

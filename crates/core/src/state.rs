@@ -170,13 +170,31 @@ impl State {
         }
     }
 
-    /// Whether every legal move `mv` *would* be accepted, without applying
-    /// it. Mirrors [`State::apply`] exactly.
+    /// Whether move `mv` *would* be accepted, without applying it.
+    ///
+    /// Mirrors [`State::apply`]'s guards exactly but touches no state and
+    /// allocates nothing, so callers may probe every candidate move per
+    /// step (greedy selection, move enumeration) for free. The agreement
+    /// `is_legal(mv) == apply(mv).is_ok()` is property-tested across
+    /// random states and all four models.
     pub fn is_legal(&self, mv: Move, instance: &Instance) -> bool {
-        // Cloning a state is cheap (three bitsets); correctness over speed
-        // here — hot paths use `apply` on scratch states directly.
-        let mut probe = self.clone();
-        probe.apply(mv, instance).is_ok()
+        let model = instance.model();
+        let r_limit = instance.red_limit();
+        match mv {
+            Move::Load(v) => self.is_blue(v) && self.red_count() < r_limit,
+            Move::Store(v) => self.is_red(v),
+            Move::Compute(v) => {
+                let blue_locked_source = instance.source_convention()
+                    == SourceConvention::InitiallyBlue
+                    && instance.dag().is_source(v);
+                !self.is_red(v)
+                    && (model.allows_recompute() || !self.is_computed(v))
+                    && !blue_locked_source
+                    && instance.dag().preds(v).iter().all(|&u| self.is_red(u))
+                    && self.red_count() < r_limit
+            }
+            Move::Delete(v) => model.allows_delete() && self.is_pebbled(v),
+        }
     }
 
     /// Whether the finishing condition holds (every sink pebbled, with the

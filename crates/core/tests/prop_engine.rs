@@ -161,6 +161,42 @@ proptest! {
         }
     }
 
+    /// `is_legal` is a pure predicate that agrees with `apply` on every
+    /// move, for random reachable states, all four models, and both
+    /// source conventions.
+    #[test]
+    fn is_legal_agrees_with_apply(
+        dag in arb_dag(8),
+        model in arb_model(),
+        blue_sources in any::<bool>(),
+        steps in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        let r = dag.max_indegree() + 1;
+        let mut inst = Instance::new(dag, r, model);
+        if blue_sources {
+            inst = inst.with_source_convention(rbp_core::SourceConvention::InitiallyBlue);
+        }
+        let (state, _) = random_legal_walk(&inst, steps, seed);
+        for i in 0..inst.dag().n() {
+            let v = NodeId::new(i);
+            for mv in [
+                Move::Load(v),
+                Move::Store(v),
+                Move::Compute(v),
+                Move::Delete(v),
+            ] {
+                let mut probe = state.clone();
+                prop_assert_eq!(
+                    state.is_legal(mv, &inst),
+                    probe.apply(mv, &inst).is_ok(),
+                    "is_legal disagrees with apply on {:?}",
+                    mv
+                );
+            }
+        }
+    }
+
     /// Scaled-cost comparison never disagrees with exact rational totals.
     #[test]
     fn scaled_cost_orders_like_rationals(

@@ -89,6 +89,45 @@ mod tests {
     }
 
     #[test]
+    fn astar_never_expands_more_states_than_dijkstra() {
+        // regression guard for the incremental A* heuristic: on starved
+        // pyramids (where transfers are forced) the heuristic must keep
+        // its pruning power, and both searches must agree on the optimum
+        use rbp_solvers::{solve_exact_with, ExactConfig};
+        for h in [3usize, 4, 5] {
+            let p = build(h);
+            let inst = Instance::new(
+                p.dag.clone(),
+                3.max(h.saturating_sub(1)),
+                CostModel::oneshot(),
+            );
+            let astar = solve_exact_with(
+                &inst,
+                ExactConfig {
+                    astar: true,
+                    ..ExactConfig::default()
+                },
+            )
+            .unwrap();
+            let dij = solve_exact_with(
+                &inst,
+                ExactConfig {
+                    astar: false,
+                    ..ExactConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(astar.cost, dij.cost, "A* changed the optimum (h={h})");
+            assert!(
+                astar.states_expanded <= dij.states_expanded,
+                "A* must not expand more states than Dijkstra (h={h}: {} vs {})",
+                astar.states_expanded,
+                dij.states_expanded
+            );
+        }
+    }
+
+    #[test]
     fn losing_one_pebble_costs_only_about_two() {
         // the contrast with the CD ladder (paper Section 3): pyramid's
         // penalty for one missing pebble is tiny

@@ -219,7 +219,7 @@ impl TradeoffChain {
 mod tests {
     use super::*;
     use rbp_core::{engine, CostModel};
-    use rbp_solvers::{solve_exact, sweep_r};
+    use rbp_solvers::{solve_exact, sweep_exact_r, ExactConfig};
 
     #[test]
     fn structure() {
@@ -315,13 +315,16 @@ mod tests {
     fn sweep_confirms_monotone_staircase() {
         let t = build(2, 4);
         let inst = Instance::new(t.dag.clone(), t.min_r(), CostModel::oneshot());
-        let points = sweep_r(&inst, t.min_r()..=t.free_r(), |i| {
-            solve_exact(i).map(|r| r.cost)
-        });
+        let points = sweep_exact_r(&inst, t.min_r()..=t.free_r(), ExactConfig::default());
         assert_eq!(
             rbp_solvers::check_tradeoff_laws(&inst, &points),
             None,
             "tradeoff laws violated"
         );
+        // effort decreases as pebbles free the instance; at minimum it is
+        // recorded for every feasible point
+        assert!(points
+            .iter()
+            .all(|p| p.states_expanded.is_some() && p.wall > std::time::Duration::ZERO));
     }
 }

@@ -8,7 +8,24 @@
 use std::fmt;
 
 /// Number of bits per storage word.
-const WORD_BITS: usize = 64;
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `capacity` bits (at least one, so
+/// empty universes still have a valid word row).
+///
+/// This is the shared sizing rule for every packed-word representation in
+/// the workspace: [`BitSet`], the [`Dag`](crate::Dag) adjacency masks, and
+/// the exact solver's state keys all agree on it, which lets them combine
+/// word rows with plain `AND`/`ANDN` loops.
+#[inline]
+pub const fn words_for(capacity: usize) -> usize {
+    let w = capacity.div_ceil(WORD_BITS);
+    if w == 0 {
+        1
+    } else {
+        w
+    }
+}
 
 /// A fixed-capacity set of `usize` indices backed by `u64` words.
 ///
@@ -24,9 +41,8 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with room for `capacity` indices.
     pub fn new(capacity: usize) -> Self {
-        let n_words = capacity.div_ceil(WORD_BITS).max(1);
         BitSet {
-            words: vec![0u64; n_words].into_boxed_slice(),
+            words: vec![0u64; words_for(capacity)].into_boxed_slice(),
         }
     }
 
@@ -294,6 +310,16 @@ mod tests {
         let mut s = BitSet::from_indices(10, [0, 9]);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn words_for_rounds_up_and_never_returns_zero() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
     }
 
     #[test]

@@ -158,6 +158,7 @@ impl DagBuilder {
             succ_offsets,
             succ_targets,
             labels,
+            masks: Default::default(),
         };
 
         if let Some(witness) = crate::topo::find_cycle_witness(&dag) {

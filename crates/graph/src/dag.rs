@@ -8,7 +8,9 @@
 //! Build one with [`DagBuilder`](crate::builder::DagBuilder), which
 //! validates acyclicity.
 
+use crate::bitset::{words_for, WORD_BITS};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node in a [`Dag`] (a dense index in `0..n`).
 ///
@@ -76,14 +78,59 @@ impl std::error::Error for GraphError {}
 /// In pebbling terms (paper, Section 1): sources are the computation
 /// inputs, sinks the outputs, and the predecessors of `v` are the values
 /// required in fast memory to compute `v`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Dag {
     pub(crate) pred_offsets: Vec<u32>,
     pub(crate) pred_targets: Vec<NodeId>,
     pub(crate) succ_offsets: Vec<u32>,
     pub(crate) succ_targets: Vec<NodeId>,
     pub(crate) labels: Vec<String>,
+    /// Packed per-node adjacency masks, built lazily on first use (they
+    /// cost O(n²/8) bytes, which only state-space solvers should pay).
+    pub(crate) masks: OnceLock<AdjMasks>,
 }
+
+/// Per-node predecessor/successor sets as packed `u64` word rows.
+///
+/// Row `v` occupies `words` consecutive `u64`s; bit `i` of the row is set
+/// iff node `i` is adjacent to `v` in the given direction. The row width
+/// follows [`words_for`], the same rule the solvers use for their state
+/// keys, so "are all inputs of `v` red" is a word-wise `ANDN` loop.
+#[derive(Clone, Debug)]
+pub(crate) struct AdjMasks {
+    words: usize,
+    pred: Vec<u64>,
+    succ: Vec<u64>,
+}
+
+impl AdjMasks {
+    fn build(dag: &Dag) -> Self {
+        let n = dag.n();
+        let words = words_for(n);
+        let mut pred = vec![0u64; n * words];
+        let mut succ = vec![0u64; n * words];
+        for (u, v) in dag.edges() {
+            let (ui, vi) = (u.index(), v.index());
+            pred[vi * words + ui / WORD_BITS] |= 1u64 << (ui % WORD_BITS);
+            succ[ui * words + vi / WORD_BITS] |= 1u64 << (vi % WORD_BITS);
+        }
+        AdjMasks { words, pred, succ }
+    }
+}
+
+// The derived implementations would compare the lazily-built mask cache;
+// equality is defined by the graph itself (CSR arrays and labels).
+impl PartialEq for Dag {
+    fn eq(&self, other: &Self) -> bool {
+        self.pred_offsets == other.pred_offsets
+            && self.pred_targets == other.pred_targets
+            && self.succ_offsets == other.succ_offsets
+            && self.succ_targets == other.succ_targets
+            && self.labels == other.labels
+    }
+}
+
+impl Eq for Dag {}
 
 impl Dag {
     /// Number of nodes.
@@ -171,6 +218,36 @@ impl Dag {
         self.nodes()
             .flat_map(move |v| self.preds(v).iter().map(move |&u| (u, v)))
     }
+
+    /// Number of `u64` words per adjacency-mask row: `ceil(n/64)`, at
+    /// least 1. Matches the solvers' per-node-set word count, so mask rows
+    /// can be combined directly with solver state words.
+    #[inline]
+    pub fn mask_words(&self) -> usize {
+        words_for(self.n())
+    }
+
+    #[inline]
+    fn adj_masks(&self) -> &AdjMasks {
+        self.masks.get_or_init(|| AdjMasks::build(self))
+    }
+
+    /// The in-neighbours of `v` as a packed word row (bit `i` set iff
+    /// `i -> v` is an edge). Built lazily on first call; `O(n²/8)` bytes
+    /// are held for the graph's lifetime afterwards.
+    #[inline]
+    pub fn pred_mask(&self, v: NodeId) -> &[u64] {
+        let m = self.adj_masks();
+        &m.pred[v.index() * m.words..(v.index() + 1) * m.words]
+    }
+
+    /// The out-neighbours of `v` as a packed word row (bit `i` set iff
+    /// `v -> i` is an edge). Built lazily together with the pred masks.
+    #[inline]
+    pub fn succ_mask(&self, v: NodeId) -> &[u64] {
+        let m = self.adj_masks();
+        &m.succ[v.index() * m.words..(v.index() + 1) * m.words]
+    }
 }
 
 impl fmt::Debug for Dag {
@@ -250,5 +327,53 @@ mod tests {
         let d = DagBuilder::new(3).build().unwrap();
         assert_eq!(d.sources().len(), 3);
         assert_eq!(d.sinks().len(), 3);
+    }
+
+    #[test]
+    fn adjacency_masks_match_csr_lists() {
+        let d = diamond();
+        assert_eq!(d.mask_words(), 1);
+        for v in d.nodes() {
+            let pm = d.pred_mask(v);
+            let sm = d.succ_mask(v);
+            for u in d.nodes() {
+                let (w, b) = (u.index() / 64, u.index() % 64);
+                assert_eq!(
+                    pm[w] & (1 << b) != 0,
+                    d.preds(v).contains(&u),
+                    "pred_mask({v:?}) vs preds at {u:?}"
+                );
+                assert_eq!(
+                    sm[w] & (1 << b) != 0,
+                    d.succs(v).contains(&u),
+                    "succ_mask({v:?}) vs succs at {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_masks_span_multiple_words() {
+        // a star 0 -> {1..=129} spills the successor row into 3 words
+        let mut b = DagBuilder::new(130);
+        for t in 1..130 {
+            b.add_edge(0, t);
+        }
+        let d = b.build().unwrap();
+        assert_eq!(d.mask_words(), 3);
+        let sm = d.succ_mask(NodeId::new(0));
+        assert_eq!(sm.iter().map(|w| w.count_ones()).sum::<u32>(), 129);
+        assert_ne!(sm[2] & (1 << 1), 0, "bit 129 lives in word 2");
+        assert_eq!(d.pred_mask(NodeId::new(129))[0], 1, "pred of 129 is node 0");
+    }
+
+    #[test]
+    fn equality_ignores_mask_cache() {
+        let a = diamond();
+        let b = diamond();
+        let _ = a.pred_mask(NodeId::new(3)); // build a's cache only
+        assert_eq!(a, b);
+        let c = a.clone(); // clone carries the cache
+        assert_eq!(c.succ_mask(NodeId::new(0)), a.succ_mask(NodeId::new(0)));
     }
 }

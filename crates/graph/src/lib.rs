@@ -20,7 +20,7 @@ pub mod io;
 pub mod topo;
 pub mod undirected;
 
-pub use bitset::BitSet;
+pub use bitset::{words_for, BitSet, WORD_BITS};
 pub use builder::DagBuilder;
 pub use dag::{Dag, GraphError, NodeId};
 pub use topo::{is_topological_order, levels, longest_path_len, topological_order};

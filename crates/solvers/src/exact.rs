@@ -12,6 +12,44 @@
 //! - **oneshot**: `(red, blue, computed)`, because each node admits one
 //!   compute.
 //!
+//! ## Hot-path layout
+//! The expand loop allocates nothing. All machinery is flat:
+//!
+//! - **Arena interning** ([`StateArena`]): every key lives contiguously in
+//!   one `Vec<u64>`; a linear-probe table of `u32` ids (hashed from arena
+//!   slices) replaces the old `HashMap<Box<[u64]>, u32>`. A hit is a hash
+//!   probe plus one slice compare; a miss appends `key_words` words.
+//! - **Struct-of-arrays bookkeeping** ([`NodeTable`]): `dist`, `parent`,
+//!   `settled` and the incremental metadata below are parallel arrays
+//!   indexed by state id.
+//! - **Bitset adjacency** ([`Dag::pred_mask`]/[`Dag::succ_mask`]): the
+//!   "all inputs red" gate of a compute and the "has an uncomputed
+//!   successor" prune are word-wise `ANDN` loops over packed mask rows,
+//!   not per-edge iteration.
+//! - **Scratch reuse**: the successor-key buffer, the popped-key buffer,
+//!   and the dead-state reachability words are solver-owned and reused
+//!   across every expansion.
+//!
+//! ## Incremental-delta invariants
+//! Three state functions are threaded through expansion as ±deltas and
+//! cached per state instead of being rescanned:
+//!
+//! - `red_count`: `+1` on Load/Compute, `−1` on Store/Delete-of-red.
+//! - `unsat_sinks`: the number of sinks violating the finishing
+//!   convention; a state is a goal iff it is 0. Only the moved node's
+//!   pebbles change, so only a sink move can shift it by ±1.
+//! - `heur`: the A* heuristic value (below). A move on `v` changes only
+//!   `v`'s own contribution, via its blue membership. A Compute changes
+//!   nothing: the computed node was not blue (pebbled ⊆ computed in
+//!   oneshot), and the only nodes whose "has an uncomputed successor"
+//!   status flips are its predecessors, which the compute guard requires
+//!   to be red — red and blue being disjoint, none of them is counted
+//!   before or after.
+//!
+//! Each value is a pure function of the state key, so it is stored once
+//! at intern time regardless of which path reaches the state first, and
+//! debug builds assert every delta against a full rescan.
+//!
 //! ## Optimality-preserving pruning (`prune = true`)
 //! All prunes below keep at least one optimal pebbling intact; the
 //! unpruned mode (`prune = false`) is the brute-force reference that the
@@ -37,12 +75,15 @@
 //! at least once more (recomputation being forbidden), contributing 1
 //! transfer each.
 
+use crate::arena::{NodeTable, StateArena, NO_STATE};
 use crate::error::SolveError;
-use crate::hash::FxHashMap;
 use rbp_core::{bounds, Cost, Instance, ModelKind, Move, Pebbling, SourceConvention};
 use rbp_graph::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+#[cfg(doc)]
+use rbp_graph::Dag;
 
 /// Configuration for [`solve_exact_with`].
 #[derive(Clone, Copy, Debug)]
@@ -136,6 +177,23 @@ fn bit_clear(words: &mut [u64], i: usize) {
     words[i / 64] &= !(1 << (i % 64));
 }
 
+/// The incrementally maintained metadata of one state (see the module
+/// docs): carried from a popped state to each successor as ±deltas.
+#[derive(Clone, Copy)]
+struct Meta {
+    red: u32,
+    unsat: u32,
+    heur: u64,
+}
+
+impl Meta {
+    /// Applies a signed delta to the unsatisfied-sink count.
+    #[inline]
+    fn bump_unsat(self, delta: i32) -> u32 {
+        (self.unsat as i32 + delta) as u32
+    }
+}
+
 struct Search<'a> {
     instance: &'a Instance,
     cfg: ExactConfig,
@@ -144,28 +202,32 @@ struct Search<'a> {
     key_words: usize, // words per state key (2·wpn or 3·wpn)
     oneshot: bool,
     track_computed: bool,
+    /// Whether the A* heuristic is live (`cfg.astar` and the model is
+    /// oneshot); when false every stored `heur` is 0.
+    astar: bool,
+    /// Whether sinks must end blue ([`rbp_core::SinkConvention`]).
+    need_blue: bool,
     eps_num: u64,
     eps_den: u64,
-    // interning
-    ids: FxHashMap<Box<[u64]>, u32>,
-    keys: Vec<Box<[u64]>>,
-    dist: Vec<u64>,
-    parent: Vec<(u32, Move)>,
-    settled: Vec<bool>,
+    // flat state storage
+    arena: StateArena,
+    nodes: NodeTable,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
-    // scratch
+    // reusable scratch (no per-expansion allocation)
     scratch: Vec<u64>,
+    /// Dead-state reachability words (`avail` bit per node), reused.
+    avail: Vec<u64>,
     // per-node static info
     sinks: Vec<bool>,
+    sink_ids: Vec<u32>,
     topo: Vec<NodeId>,
 }
-
-const NO_PARENT: u32 = u32::MAX;
 
 impl<'a> Search<'a> {
     fn new(instance: &'a Instance, cfg: ExactConfig) -> Self {
         let n = instance.dag().n();
-        let wpn = n.div_ceil(64).max(1);
+        let wpn = rbp_graph::words_for(n);
+        debug_assert_eq!(wpn, instance.dag().mask_words());
         let oneshot = instance.model().kind() == ModelKind::Oneshot;
         let track_computed = oneshot;
         let key_words = if track_computed { 3 * wpn } else { 2 * wpn };
@@ -175,10 +237,16 @@ impl<'a> Search<'a> {
         } else {
             (eps.num(), eps.den())
         };
-        let sinks = instance
+        let sinks: Vec<bool> = instance
             .dag()
             .nodes()
             .map(|v| instance.dag().is_sink(v))
+            .collect();
+        let sink_ids = sinks
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i as u32)
             .collect();
         Search {
             instance,
@@ -188,65 +256,41 @@ impl<'a> Search<'a> {
             key_words,
             oneshot,
             track_computed,
+            astar: cfg.astar && oneshot,
+            need_blue: instance.sink_convention() == rbp_core::SinkConvention::RequireBlue,
             eps_num,
             eps_den,
-            ids: FxHashMap::default(),
-            keys: Vec::new(),
-            dist: Vec::new(),
-            parent: Vec::new(),
-            settled: Vec::new(),
+            arena: StateArena::new(key_words),
+            nodes: NodeTable::new(),
             heap: BinaryHeap::new(),
             scratch: vec![0; key_words],
+            avail: vec![0; wpn],
             sinks,
+            sink_ids,
             topo: rbp_graph::topological_order(instance.dag()),
         }
     }
 
     #[inline]
-    fn red<'k>(&self, key: &'k [u64]) -> &'k [u64] {
-        &key[..self.wpn]
-    }
-
-    #[inline]
-    fn blue<'k>(&self, key: &'k [u64]) -> &'k [u64] {
-        &key[self.wpn..2 * self.wpn]
-    }
-
-    /// The computed set; for models that do not track it, pebbled ∪ history
-    /// is irrelevant and this returns the blue slice (unused).
-    #[inline]
-    fn computed<'k>(&self, key: &'k [u64]) -> &'k [u64] {
-        if self.track_computed {
-            &key[2 * self.wpn..]
-        } else {
-            &key[..0]
-        }
-    }
-
-    #[inline]
     fn is_red(&self, key: &[u64], v: usize) -> bool {
-        bit_get(self.red(key), v)
+        bit_get(&key[..self.wpn], v)
     }
 
     #[inline]
     fn is_blue(&self, key: &[u64], v: usize) -> bool {
-        bit_get(self.blue(key), v)
+        bit_get(&key[self.wpn..2 * self.wpn], v)
     }
 
     #[inline]
     fn is_computed(&self, key: &[u64], v: usize) -> bool {
         if self.track_computed {
-            bit_get(self.computed(key), v)
+            bit_get(&key[2 * self.wpn..], v)
         } else {
             // models without the computed set allow recomputation, so
             // "has it been computed" never gates legality; pebbled is the
             // only meaningful proxy where needed
             self.is_red(key, v) || self.is_blue(key, v)
         }
-    }
-
-    fn red_count(&self, key: &[u64]) -> usize {
-        self.red(key).iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn initial_key(&self) -> Vec<u64> {
@@ -263,73 +307,45 @@ impl<'a> Search<'a> {
         key
     }
 
-    fn is_goal(&self, key: &[u64]) -> bool {
-        let need_blue = self.instance.sink_convention() == rbp_core::SinkConvention::RequireBlue;
-        (0..self.n).all(|v| {
-            !self.sinks[v]
-                || if need_blue {
-                    self.is_blue(key, v)
-                } else {
-                    self.is_red(key, v) || self.is_blue(key, v)
-                }
-        })
-    }
-
-    fn intern(&mut self, key: &[u64]) -> (u32, bool) {
-        if let Some(&id) = self.ids.get(key) {
-            return (id, false);
-        }
-        let id = self.keys.len() as u32;
-        let boxed: Box<[u64]> = key.into();
-        self.ids.insert(boxed.clone(), id);
-        self.keys.push(boxed);
-        self.dist.push(u64::MAX);
-        self.parent.push((NO_PARENT, Move::Delete(NodeId::new(0))));
-        self.settled.push(false);
-        (id, true)
-    }
-
-    /// Whether `v` still has a successor that is uncomputed (oneshot only;
-    /// callers guard on `self.oneshot`).
+    /// Whether `v` still has a successor that is uncomputed, as one
+    /// `ANDN` loop over the packed successor mask (oneshot only; callers
+    /// guard on `self.oneshot`, which implies the computed set is
+    /// tracked).
+    #[inline]
     fn has_uncomputed_successor(&self, key: &[u64], v: usize) -> bool {
-        self.instance
-            .dag()
-            .succs(NodeId::new(v))
+        debug_assert!(self.track_computed);
+        let mask = self.instance.dag().succ_mask(NodeId::new(v));
+        let computed = &key[2 * self.wpn..];
+        mask.iter().zip(computed).any(|(m, c)| m & !c != 0)
+    }
+
+    /// Rescan of the red-pebble count; root init and debug asserts only.
+    fn red_count_scan(&self, key: &[u64]) -> usize {
+        key[..self.wpn]
             .iter()
-            .any(|w| !self.is_computed(key, w.index()))
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
-    /// Oneshot dead-state check: is any sink permanently unreachable?
-    fn is_dead(&self, key: &[u64]) -> bool {
-        debug_assert!(self.oneshot);
-        // avail[v]: v's value can (still) be made red at some point
-        let mut avail = vec![false; self.n];
-        for &v in &self.topo {
-            let i = v.index();
-            avail[i] = if self.is_computed(key, i) {
-                self.is_red(key, i) || self.is_blue(key, i)
-            } else {
-                self.instance
-                    .dag()
-                    .preds(v)
-                    .iter()
-                    .all(|p| avail[p.index()])
-            };
-        }
-        (0..self.n).any(|v| {
-            self.sinks[v]
-                && if self.is_computed(key, v) {
-                    !self.is_red(key, v) && !self.is_blue(key, v)
+    /// Rescan of the unsatisfied-sink count; root init and debug asserts.
+    fn unsat_scan(&self, key: &[u64]) -> u32 {
+        self.sink_ids
+            .iter()
+            .filter(|&&s| {
+                let v = s as usize;
+                if self.need_blue {
+                    !self.is_blue(key, v)
                 } else {
-                    !avail[v]
+                    !self.is_red(key, v) && !self.is_blue(key, v)
                 }
-        })
+            })
+            .count() as u32
     }
 
-    /// Admissible oneshot heuristic: every blue node with an uncomputed
-    /// successor costs at least one more load.
-    fn heuristic(&self, key: &[u64]) -> u64 {
-        if !self.oneshot || !self.cfg.astar {
+    /// Rescan of the admissible oneshot heuristic; root init and debug
+    /// asserts only — the hot path maintains it by deltas.
+    fn heur_scan(&self, key: &[u64]) -> u64 {
+        if !self.astar {
             return 0;
         }
         let mut h = 0u64;
@@ -341,94 +357,169 @@ impl<'a> Search<'a> {
         h
     }
 
+    /// Oneshot dead-state check: is any sink permanently unreachable?
+    /// Reuses `self.avail` (one reachability bit per node) instead of
+    /// allocating, and gates each node on its packed pred mask.
+    fn is_dead(&mut self, key: &[u64]) -> bool {
+        debug_assert!(self.oneshot);
+        let dag = self.instance.dag();
+        self.avail.iter_mut().for_each(|w| *w = 0);
+        // avail[v]: v's value can (still) be made red at some point
+        for &v in &self.topo {
+            let i = v.index();
+            let ok = if self.is_computed(key, i) {
+                self.is_red(key, i) || self.is_blue(key, i)
+            } else {
+                dag.pred_mask(v)
+                    .iter()
+                    .zip(self.avail.iter())
+                    .all(|(p, a)| p & !a == 0)
+            };
+            if ok {
+                self.avail[i / 64] |= 1 << (i % 64);
+            }
+        }
+        self.sink_ids.iter().any(|&s| {
+            let v = s as usize;
+            if self.is_computed(key, v) {
+                !self.is_red(key, v) && !self.is_blue(key, v)
+            } else {
+                !bit_get(&self.avail, v)
+            }
+        })
+    }
+
     fn run(mut self) -> Result<ExactReport, SolveError> {
         let init = self.initial_key();
-        let (root, _) = self.intern(&init);
-        self.dist[root as usize] = 0;
-        let h0 = self.heuristic(&init);
-        self.heap.push(Reverse((h0, root)));
+        let (root, fresh) = self.arena.intern(&init);
+        debug_assert!(fresh);
+        let root_meta = Meta {
+            red: self.red_count_scan(&init) as u32,
+            unsat: self.unsat_scan(&init),
+            heur: self.heur_scan(&init),
+        };
+        self.nodes
+            .push(root_meta.red, root_meta.unsat, root_meta.heur);
+        self.nodes.dist[root as usize] = 0;
+        self.heap.push(Reverse((root_meta.heur, root)));
 
         let mut expanded = 0usize;
+        let mut key_buf: Vec<u64> = Vec::with_capacity(self.key_words);
         while let Some(Reverse((_prio, id))) = self.heap.pop() {
-            if self.settled[id as usize] {
+            let idx = id as usize;
+            if self.nodes.settled[idx] {
                 continue;
             }
-            self.settled[id as usize] = true;
-            let key: Box<[u64]> = self.keys[id as usize].clone();
-            let d = self.dist[id as usize];
+            self.nodes.settled[idx] = true;
+            key_buf.clear();
+            key_buf.extend_from_slice(self.arena.key(id));
+            let d = self.nodes.dist[idx];
+            let meta = Meta {
+                red: self.nodes.red_count[idx],
+                unsat: self.nodes.unsat_sinks[idx],
+                heur: self.nodes.heur[idx],
+            };
             expanded += 1;
 
-            if self.is_goal(&key) {
+            if meta.unsat == 0 {
+                let trace = self.recover_trace(id);
+                let stats = trace.stats();
                 return Ok(ExactReport {
-                    cost: self.recover_cost(id),
-                    trace: self.recover_trace(id),
+                    cost: Cost {
+                        transfers: stats.transfers(),
+                        computes: stats.computes,
+                    },
+                    trace,
                     states_expanded: expanded,
-                    states_seen: self.keys.len(),
+                    states_seen: self.arena.len(),
                 });
             }
-            if self.cfg.prune && self.oneshot && self.is_dead(&key) {
+            if self.cfg.prune && self.oneshot && self.is_dead(&key_buf) {
                 continue;
             }
-            self.expand(id, &key, d)?;
+            self.expand(id, &key_buf, d, meta)?;
         }
         Err(SolveError::NoPebblingFound)
     }
 
-    fn expand(&mut self, from: u32, key: &[u64], d: u64) -> Result<(), SolveError> {
+    fn expand(&mut self, from: u32, key: &[u64], d: u64, meta: Meta) -> Result<(), SolveError> {
         let model = self.instance.model();
         let r_limit = self.instance.red_limit();
-        let red_count = self.red_count(key);
         let prune = self.cfg.prune;
-        let initially_blue = self.instance.source_convention() == SourceConvention::InitiallyBlue;
 
         for v in 0..self.n {
             let node = NodeId::new(v);
             let red = self.is_red(key, v);
             let blue = self.is_blue(key, v);
+            let is_sink = self.sinks[v];
             if red {
-                // Store(v)
-                let useful = !prune
-                    || !self.oneshot
-                    || self.sinks[v]
-                    || self.has_uncomputed_successor(key, v);
+                let unc = self.oneshot && self.has_uncomputed_successor(key, v);
+                // Store(v): red -> blue
+                let useful = !prune || !self.oneshot || is_sink || unc;
                 if useful {
                     self.scratch.copy_from_slice(key);
                     bit_clear(&mut self.scratch[..self.wpn], v);
                     bit_set(&mut self.scratch[self.wpn..2 * self.wpn], v);
-                    self.push_succ(from, Move::Store(node), d, self.eps_den)?;
+                    let child = Meta {
+                        red: meta.red - 1,
+                        // a red sink only counts as satisfied under
+                        // AnyPebble; turning it blue satisfies RequireBlue
+                        unsat: meta.bump_unsat(if is_sink && self.need_blue { -1 } else { 0 }),
+                        // v is now blue; if it still has an uncomputed
+                        // successor it joins the heuristic count
+                        heur: meta.heur + if self.astar && unc { self.eps_den } else { 0 },
+                    };
+                    self.push_succ(from, Move::Store(node), d, self.eps_den, child)?;
                 }
-                // Delete(v)
+                // Delete(v) of a red pebble
                 if model.allows_delete() {
-                    let dead =
-                        self.oneshot && (self.sinks[v] || self.has_uncomputed_successor(key, v));
+                    let dead = self.oneshot && (is_sink || unc);
                     if !(prune && dead) {
                         self.scratch.copy_from_slice(key);
                         bit_clear(&mut self.scratch[..self.wpn], v);
-                        self.push_succ(from, Move::Delete(node), d, 0)?;
+                        let child = Meta {
+                            red: meta.red - 1,
+                            unsat: meta.bump_unsat(if is_sink && !self.need_blue { 1 } else { 0 }),
+                            heur: meta.heur, // blue set unchanged
+                        };
+                        self.push_succ(from, Move::Delete(node), d, 0, child)?;
                     }
                 }
             } else if blue {
-                // Load(v)
-                if red_count < r_limit {
-                    let useful = !prune || !self.oneshot || self.has_uncomputed_successor(key, v);
+                let unc = self.oneshot && self.has_uncomputed_successor(key, v);
+                // Load(v): blue -> red
+                if (meta.red as usize) < r_limit {
+                    let useful = !prune || !self.oneshot || unc;
                     if useful {
                         self.scratch.copy_from_slice(key);
                         bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
                         bit_set(&mut self.scratch[..self.wpn], v);
-                        self.push_succ(from, Move::Load(node), d, self.eps_den)?;
+                        let child = Meta {
+                            red: meta.red + 1,
+                            // a blue sink was satisfied either way; as red
+                            // it fails RequireBlue
+                            unsat: meta.bump_unsat(if is_sink && self.need_blue { 1 } else { 0 }),
+                            heur: meta.heur - if self.astar && unc { self.eps_den } else { 0 },
+                        };
+                        self.push_succ(from, Move::Load(node), d, self.eps_den, child)?;
                     }
                 }
                 // Delete of a blue pebble: dominated (prune rule 1)
                 if model.allows_delete() && !prune {
                     self.scratch.copy_from_slice(key);
                     bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
-                    self.push_succ(from, Move::Delete(node), d, 0)?;
+                    let child = Meta {
+                        red: meta.red,
+                        unsat: meta.bump_unsat(if is_sink { 1 } else { 0 }),
+                        heur: meta.heur - if self.astar && unc { self.eps_den } else { 0 },
+                    };
+                    self.push_succ(from, Move::Delete(node), d, 0, child)?;
                 }
                 // Compute onto blue (nodel recomputation; legal in base too)
-                self.try_compute(from, key, d, v, red_count, initially_blue)?;
+                self.try_compute(from, key, d, v, meta)?;
             } else {
                 // Compute onto an empty node
-                self.try_compute(from, key, d, v, red_count, initially_blue)?;
+                self.try_compute(from, key, d, v, meta)?;
             }
         }
         Ok(())
@@ -440,29 +531,33 @@ impl<'a> Search<'a> {
         key: &[u64],
         d: u64,
         v: usize,
-        red_count: usize,
-        initially_blue: bool,
+        meta: Meta,
     ) -> Result<(), SolveError> {
         let node = NodeId::new(v);
         let model = self.instance.model();
         if !model.allows_recompute() && self.is_computed(key, v) {
             return Ok(());
         }
-        if initially_blue && self.instance.dag().is_source(node) {
-            return Ok(());
-        }
-        if red_count >= self.instance.red_limit() {
-            return Ok(());
-        }
-        if !self
-            .instance
-            .dag()
-            .preds(node)
-            .iter()
-            .all(|p| self.is_red(key, p.index()))
+        if self.instance.source_convention() == SourceConvention::InitiallyBlue
+            && self.instance.dag().is_source(node)
         {
             return Ok(());
         }
+        if meta.red as usize >= self.instance.red_limit() {
+            return Ok(());
+        }
+        // all inputs red: pred_mask ANDN red-words must be empty
+        if self
+            .instance
+            .dag()
+            .pred_mask(node)
+            .iter()
+            .zip(&key[..self.wpn])
+            .any(|(p, r)| p & !r != 0)
+        {
+            return Ok(());
+        }
+        let was_blue = self.is_blue(key, v);
         self.scratch.copy_from_slice(key);
         bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v); // replace blue if any
         bit_set(&mut self.scratch[..self.wpn], v);
@@ -470,49 +565,74 @@ impl<'a> Search<'a> {
             let w = self.wpn;
             bit_set(&mut self.scratch[2 * w..], v);
         }
-        self.push_succ(from, Move::Compute(node), d, self.eps_num)
+        let is_sink = self.sinks[v];
+        let d_unsat = match (is_sink, self.need_blue, was_blue) {
+            (false, _, _) => 0,
+            (true, true, true) => 1,    // satisfied blue sink turns red
+            (true, true, false) => 0,   // still not blue
+            (true, false, true) => 0,   // pebbled before and after
+            (true, false, false) => -1, // newly pebbled
+        };
+        // The heuristic is unchanged by a compute: `v` itself was not
+        // blue (in oneshot every pebbled node is computed and computed
+        // nodes are not recomputable), and the only other nodes whose
+        // "has an uncomputed successor" status could flip are `v`'s
+        // predecessors — which the guard above requires to be red, hence
+        // not blue, hence outside the blue-node count either way.
+        let child = Meta {
+            red: meta.red + 1,
+            unsat: meta.bump_unsat(d_unsat),
+            heur: meta.heur,
+        };
+        self.push_succ(from, Move::Compute(node), d, self.eps_num, child)
     }
 
-    fn push_succ(&mut self, from: u32, mv: Move, d: u64, delta: u64) -> Result<(), SolveError> {
+    fn push_succ(
+        &mut self,
+        from: u32,
+        mv: Move,
+        d: u64,
+        cost: u64,
+        meta: Meta,
+    ) -> Result<(), SolveError> {
         // self.scratch holds the successor key
         let key = std::mem::take(&mut self.scratch);
-        let (id, _fresh) = self.intern(&key);
+        let (id, fresh) = self.arena.intern(&key);
+        if fresh {
+            // the deltas must agree with a full rescan of the child key
+            debug_assert_eq!(meta.red as usize, self.red_count_scan(&key));
+            debug_assert_eq!(meta.unsat, self.unsat_scan(&key));
+            debug_assert_eq!(meta.heur, self.heur_scan(&key));
+            self.nodes.push(meta.red, meta.unsat, meta.heur);
+        }
         self.scratch = key;
-        if self.keys.len() > self.cfg.max_states {
+        if self.arena.len() > self.cfg.max_states {
             return Err(SolveError::StateLimitExceeded {
                 limit: self.cfg.max_states,
             });
         }
-        let nd = d + delta;
-        if !self.settled[id as usize] && nd < self.dist[id as usize] {
-            self.dist[id as usize] = nd;
-            self.parent[id as usize] = (from, mv);
-            // scratch still holds the successor key
-            let h = self.heuristic(&self.scratch);
-            self.heap.push(Reverse((nd + h, id)));
+        let idx = id as usize;
+        let nd = d + cost;
+        if !self.nodes.settled[idx] && nd < self.nodes.dist[idx] {
+            self.nodes.dist[idx] = nd;
+            self.nodes.parent[idx] = (from, mv);
+            self.heap.push(Reverse((nd + self.nodes.heur[idx], id)));
         }
         Ok(())
     }
 
+    /// Walks parent pointers from `goal` to the root. Called exactly once
+    /// per solve; [`ExactReport::cost`] is derived from the same trace.
     fn recover_trace(&self, goal: u32) -> Pebbling {
         let mut moves = Vec::new();
         let mut cur = goal;
-        while self.parent[cur as usize].0 != NO_PARENT {
-            let (prev, mv) = self.parent[cur as usize];
+        while self.nodes.parent[cur as usize].0 != NO_STATE {
+            let (prev, mv) = self.nodes.parent[cur as usize];
             moves.push(mv);
             cur = prev;
         }
         moves.reverse();
         Pebbling::from_moves(moves)
-    }
-
-    fn recover_cost(&self, goal: u32) -> Cost {
-        let trace = self.recover_trace(goal);
-        let stats = trace.stats();
-        Cost {
-            transfers: stats.transfers(),
-            computes: stats.computes,
-        }
     }
 }
 
@@ -698,5 +818,43 @@ mod tests {
         let inst = Instance::new(generate::chain(2), 2, CostModel::oneshot())
             .with_sink_convention(rbp_core::SinkConvention::RequireBlue);
         check_optimal(&inst, 1);
+    }
+
+    #[test]
+    fn require_blue_matches_reference_across_models() {
+        // the RequireBlue unsat-delta table is exercised against the
+        // unpruned reference, like the main matrix does for AnyPebble
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            for _ in 0..3 {
+                let dag = generate::gnp_dag(5, 0.4, 2, &mut rng);
+                let r = dag.max_indegree() + 1;
+                let inst = Instance::new(dag, r, CostModel::of_kind(kind))
+                    .with_sink_convention(rbp_core::SinkConvention::RequireBlue);
+                let fast = solve_exact(&inst).unwrap();
+                let slow = solve_reference(&inst).unwrap();
+                assert_eq!(
+                    fast.cost.scaled(inst.model().epsilon()),
+                    slow.cost.scaled(inst.model().epsilon()),
+                    "prune changed RequireBlue optimum for {kind} on {:?}",
+                    inst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_cost_always_derives_from_trace() {
+        // ExactReport reconstructs the trace once; its cost must equal
+        // the engine's replay of that same trace in every model
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            let dag = generate::gnp_dag(6, 0.35, 2, &mut rng);
+            let r = dag.max_indegree() + 1;
+            let inst = Instance::new(dag, r, CostModel::of_kind(kind));
+            let rep = solve_exact(&inst).unwrap();
+            let sim = engine::simulate(&inst, &rep.trace).unwrap();
+            assert_eq!(sim.cost, rep.cost, "cost must derive from the trace");
+        }
     }
 }

@@ -57,6 +57,18 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Hashes a `u64` word slice directly, bypassing the `Hash` trait's
+/// length-prefix and byte-slice machinery. This is the hot hash of the
+/// exact solver's arena intern table: one rotate-xor-multiply per word.
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.add_word(w);
+    }
+    h.finish()
+}
+
 /// A `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
@@ -98,5 +110,16 @@ mod tests {
         let mut b = FxHasher::default();
         b.write(&[1, 2, 4]);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hash_words_matches_sequential_u64_writes() {
+        let words = [0u64, 7, u64::MAX, 42];
+        let mut h = FxHasher::default();
+        for &w in &words {
+            h.write_u64(w);
+        }
+        assert_eq!(hash_words(&words), h.finish());
+        assert_ne!(hash_words(&words), hash_words(&words[..3]));
     }
 }

@@ -16,6 +16,7 @@
 //! Every solver returns a concrete [`rbp_core::Pebbling`] trace whose cost
 //! is produced (or re-checked in tests) by the validating engine.
 
+pub mod arena;
 pub mod beam;
 pub mod error;
 pub mod exact;
@@ -25,6 +26,7 @@ pub mod portfolio;
 pub mod sweep;
 pub mod visit;
 
+pub use arena::{NodeTable, StateArena, NO_STATE};
 pub use beam::{solve_beam, BeamConfig};
 pub use error::SolveError;
 pub use exact::{solve_exact, solve_exact_with, solve_reference, ExactConfig, ExactReport};
@@ -32,5 +34,5 @@ pub use greedy::{
     solve_greedy, solve_greedy_with, EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule,
 };
 pub use portfolio::{default_portfolio, solve_portfolio};
-pub use sweep::{check_tradeoff_laws, sweep_r, SweepPoint};
+pub use sweep::{check_tradeoff_laws, sweep_exact_r, sweep_r, SweepPoint};
 pub use visit::{best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult};

@@ -3,9 +3,17 @@
 //! The per-R solves are independent, so they fan out over scoped threads
 //! (`std::thread::scope`). Solvers themselves stay single-threaded and
 //! deterministic.
+//!
+//! Every [`SweepPoint`] carries the solver effort spent on it
+//! (`states_expanded` where the solver reports it, plus wall-clock time),
+//! so tradeoff experiments can plot cost *and* how hard each point was to
+//! obtain. [`sweep_exact_r`] is the exact-solver entry point: it reuses a
+//! single [`ExactConfig`] across the whole range.
 
 use crate::error::SolveError;
+use crate::exact::{solve_exact_with, ExactConfig};
 use rbp_core::{Cost, Instance};
+use std::time::Duration;
 
 /// One point of a tradeoff curve.
 #[derive(Clone, Debug)]
@@ -14,10 +22,17 @@ pub struct SweepPoint {
     pub r: usize,
     /// Result for this budget (cost, or the failure).
     pub result: Result<Cost, SolveError>,
+    /// States expanded to settle this point, when the solver reports it
+    /// (the exact solver does; plain cost closures leave it `None`).
+    pub states_expanded: Option<usize>,
+    /// Wall-clock time spent solving this point.
+    pub wall: Duration,
 }
 
 /// Computes `solver` over every R in `r_range`, in parallel, returning
-/// points in increasing-R order.
+/// points in increasing-R order. Per-point wall time is recorded;
+/// `states_expanded` stays `None` (use [`sweep_exact_r`] for effort-aware
+/// exact sweeps).
 ///
 /// `solver` must be deterministic; it receives a per-thread clone of the
 /// instance re-parameterized with R (the DAG is shared, not copied).
@@ -28,6 +43,34 @@ pub fn sweep_r<F>(
 ) -> Vec<SweepPoint>
 where
     F: Fn(&Instance) -> Result<Cost, SolveError> + Sync,
+{
+    sweep_with(instance, r_range, |inst| (solver(inst), None))
+}
+
+/// Sweeps the exact solver over every R in `r_range` with one shared
+/// configuration, recording per-point `states_expanded` and wall time.
+pub fn sweep_exact_r(
+    instance: &Instance,
+    r_range: std::ops::RangeInclusive<usize>,
+    cfg: ExactConfig,
+) -> Vec<SweepPoint> {
+    sweep_with(instance, r_range, move |inst| {
+        match solve_exact_with(inst, cfg) {
+            Ok(rep) => (Ok(rep.cost), Some(rep.states_expanded)),
+            Err(e) => (Err(e), None),
+        }
+    })
+}
+
+/// Shared fan-out: runs `solver` per R on scoped threads and assembles
+/// timed points in increasing-R order.
+fn sweep_with<F>(
+    instance: &Instance,
+    r_range: std::ops::RangeInclusive<usize>,
+    solver: F,
+) -> Vec<SweepPoint>
+where
+    F: Fn(&Instance) -> (Result<Cost, SolveError>, Option<usize>) + Sync,
 {
     let rs: Vec<usize> = r_range.collect();
     if rs.is_empty() {
@@ -49,9 +92,13 @@ where
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let r = rs[base + i];
                     let inst = instance.with_red_limit(r);
+                    let t0 = std::time::Instant::now();
+                    let (result, states_expanded) = solver(&inst);
                     *slot = Some(SweepPoint {
                         r,
-                        result: solver(&inst),
+                        result,
+                        states_expanded,
+                        wall: t0.elapsed(),
                     });
                 }
             });
@@ -70,10 +117,6 @@ where
 pub fn check_tradeoff_laws(instance: &Instance, points: &[SweepPoint]) -> Option<(usize, usize)> {
     let eps = instance.model().epsilon();
     let slack = rbp_core::bounds::max_tradeoff_slope(instance) as u128 * eps.den() as u128;
-    let costs: Vec<Option<u128>> = points
-        .iter()
-        .map(|p| p.result.as_ref().ok().map(|c| c.scaled(eps)))
-        .collect();
     for w in points.windows(2) {
         let (a, b) = (&w[0], &w[1]);
         let (Ok(ca), Ok(cb)) = (&a.result, &b.result) else {
@@ -89,7 +132,6 @@ pub fn check_tradeoff_laws(instance: &Instance, points: &[SweepPoint]) -> Option
             return Some((a.r, b.r));
         }
     }
-    let _ = costs;
     None
 }
 
@@ -114,6 +156,10 @@ mod tests {
                 0,
                 "chain free at R>=2"
             );
+            assert!(
+                p.states_expanded.is_none(),
+                "plain closures report no effort"
+            );
         }
     }
 
@@ -127,6 +173,32 @@ mod tests {
     }
 
     #[test]
+    fn exact_sweep_reports_solver_effort() {
+        let dag = generate::chain(6);
+        let inst = Instance::new(dag, 2, CostModel::oneshot());
+        let points = sweep_exact_r(&inst, 2..=4, ExactConfig::default());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.result.is_ok());
+            let states = p.states_expanded.expect("exact sweep records states");
+            assert!(states > 0, "at least the root is expanded");
+            // the per-point stats must agree with a direct solve
+            let direct = solve_exact(&inst.with_red_limit(p.r)).unwrap();
+            assert_eq!(states, direct.states_expanded);
+        }
+    }
+
+    #[test]
+    fn exact_sweep_marks_infeasible_points_without_effort() {
+        let dag = generate::chain(4);
+        let inst = Instance::new(dag, 2, CostModel::oneshot());
+        let points = sweep_exact_r(&inst, 1..=2, ExactConfig::default());
+        assert!(points[0].result.is_err());
+        assert!(points[0].states_expanded.is_none());
+        assert!(points[1].states_expanded.is_some());
+    }
+
+    #[test]
     fn tradeoff_laws_hold_on_small_join_dag() {
         let mut b = rbp_graph::DagBuilder::new(5);
         b.add_edge(0, 3);
@@ -134,7 +206,7 @@ mod tests {
         b.add_edge(1, 4);
         b.add_edge(2, 4);
         let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
-        let points = sweep_r(&inst, 3..=5, |i| solve_exact(i).map(|r| r.cost));
+        let points = sweep_exact_r(&inst, 3..=5, ExactConfig::default());
         assert_eq!(check_tradeoff_laws(&inst, &points), None);
     }
 }

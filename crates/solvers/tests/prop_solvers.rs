@@ -6,7 +6,7 @@ use rbp_core::{engine, CostModel, Instance, ModelKind};
 use rbp_graph::DagBuilder;
 use rbp_solvers::{
     best_order, solve_beam, solve_exact, solve_greedy_with, BeamConfig, EvictionPolicy,
-    GreedyConfig, GroupSpec, GroupedDag, SelectionRule,
+    GreedyConfig, GroupSpec, GroupedDag, SelectionRule, StateArena,
 };
 
 fn arb_dag(max_n: usize) -> impl Strategy<Value = rbp_graph::Dag> {
@@ -135,6 +135,48 @@ proptest! {
         prop_assert_eq!(sim.cost.scaled(inst.model().epsilon()), best.scaled);
         // best is no worse than the identity order
         prop_assert!(best.scaled <= rep.cost.scaled(inst.model().epsilon()));
+    }
+
+    /// Interning a shuffled stream of random keys (with repetitions)
+    /// yields ids that are stable across re-interns and recover the
+    /// exact key bytes, matching a `HashMap` reference model.
+    #[test]
+    fn arena_interning_is_stable_and_roundtrips(
+        key_words in 1usize..4,
+        raw_keys in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 3), 1..40),
+        picks in proptest::collection::vec(any::<usize>(), 0..200),
+    ) {
+        let mut arena = StateArena::with_capacity(key_words, 4);
+        let mut reference: std::collections::HashMap<Vec<u64>, u32> =
+            std::collections::HashMap::new();
+        // deterministic shuffled stream: index into raw_keys by `picks`,
+        // then a full pass so every key appears at least once
+        let stream = picks
+            .iter()
+            .map(|&p| p % raw_keys.len())
+            .chain(0..raw_keys.len());
+        for idx in stream {
+            let key = &raw_keys[idx][..key_words];
+            let (id, fresh) = arena.intern(key);
+            match reference.get(key) {
+                Some(&expect) => {
+                    prop_assert!(!fresh, "re-intern must not be fresh");
+                    prop_assert_eq!(id, expect, "id changed across interns");
+                }
+                None => {
+                    prop_assert!(fresh, "first intern must be fresh");
+                    prop_assert_eq!(id as usize, reference.len(), "ids must be dense");
+                    reference.insert(key.to_vec(), id);
+                }
+            }
+            prop_assert_eq!(arena.key(id), key, "round-trip key recovery");
+        }
+        prop_assert_eq!(arena.len(), reference.len());
+        // every key still recoverable after all growth
+        for (key, &id) in &reference {
+            prop_assert_eq!(arena.key(id), &key[..]);
+        }
     }
 
     /// Group visits in any order cost at least the free lower bound and
