@@ -1,0 +1,47 @@
+//! Parallel exact-solver benchmark: the snapshot's heavier cells (the
+//! wide-frontier base-model searches plus the larger incumbent-tractable
+//! instances) at 1, 2, and 4 worker threads, for interactive scaling
+//! runs against `perf-snapshot`'s recorded trajectory.
+//!
+//! `threads = 1` is the incumbent-seeded sequential path; higher counts
+//! exercise the hash-sharded HDA* search end to end (routing, batched
+//! channels, quiescence detection).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_bench::perf_snapshot;
+use rbp_solvers::{solve_exact_parallel_with, ParallelConfig};
+
+fn bench_exact_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_parallel");
+    group.sample_size(10);
+    let cases: Vec<_> = perf_snapshot::all_cells()
+        .into_iter()
+        .filter(|case| {
+            // the cells where parallelism has something to chew on
+            matches!(
+                (case.workload, case.model),
+                ("grid", "base") | ("pyramid", "base") | ("pyramid5", "base") | ("grid5", "nodel")
+            )
+        })
+        .collect();
+    for case in &cases {
+        for threads in [1usize, 2, 4] {
+            let cfg = ParallelConfig {
+                threads,
+                ..ParallelConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}_{}", case.workload, case.model),
+                    format!("{threads}t"),
+                ),
+                &case.instance,
+                |b, inst| b.iter(|| black_box(solve_exact_parallel_with(inst, cfg).unwrap().cost)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_parallel);
+criterion_main!(benches);

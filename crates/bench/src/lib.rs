@@ -12,8 +12,10 @@
 //! `fig4`, `fig5`, `fig67`, `fig8`, `workloads`, `ablation`).
 //!
 //! The extra `perf-snapshot` id (not part of `all`) records exact-solver
-//! hot-path baselines to `BENCH_exact.json` at the workspace root — see
-//! [`perf_snapshot`].
+//! hot-path baselines — sequential-with-incumbent and hash-sharded
+//! parallel — to `BENCH_exact.json` at the workspace root, and
+//! `perf-check` diffs a fresh measurement against that committed
+//! baseline — see [`perf_snapshot`].
 
 pub mod exp_ablation;
 pub mod exp_fig1;
@@ -60,8 +62,14 @@ pub fn run_experiment(id: &str, out: &Path) {
         // informational perf baseline: always lands at the workspace
         // root (next to Cargo.lock) so the trajectory is tracked in git
         "perf-snapshot" => perf_snapshot::run(&report::workspace_root()),
+        // non-gating diff of a fresh measurement against the committed
+        // baseline (GitHub annotations for >25% states/sec regressions)
+        "perf-check" => {
+            perf_snapshot::check(&report::workspace_root());
+        }
         other => panic!(
-            "unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?} plus 'perf-snapshot'"
+            "unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?} plus 'perf-snapshot' \
+             and 'perf-check'"
         ),
     }
 }

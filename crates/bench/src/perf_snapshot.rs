@@ -2,30 +2,53 @@
 //!
 //! Sweeps a fixed instance matrix — {chain, pyramid, grid, layered,
 //! matmul, fft} × {base, oneshot, nodel} at sizes that solve in
-//! milliseconds — through [`rbp_solvers::solve_exact`] and writes
-//! `BENCH_exact.json` with per-cell median wall time, interned-state
+//! milliseconds, plus larger cells the incumbent-seeded solver makes
+//! tractable — through the exact solver at 1 and [`PARALLEL_THREADS`]
+//! threads, and writes `BENCH_exact.json` (schema
+//! `rbp-perf-exact/v2`) with per-cell median wall time, interned-state
 //! throughput, and search effort. The file is committed at the workspace
 //! root so every PR leaves a perf trajectory to compare against; CI
-//! regenerates it as an informational artifact.
+//! regenerates it as an informational artifact and runs [`check`]
+//! (`perf-check`) to annotate throughput regressions against the
+//! committed baseline.
 //!
-//! The same instance matrix backs the `bench_exact_hotpath` criterion
-//! target, so interactive `cargo bench` numbers and the recorded JSON
-//! stay comparable.
+//! The `threads = 1` rows go through
+//! [`rbp_solvers::solve_exact_parallel_with`] too, which routes a single
+//! thread to the sequential solver seeded with the greedy-portfolio
+//! incumbent — so the recorded sequential trajectory includes
+//! incumbent-bound pruning, and the multi-thread rows are measured
+//! against the exact same entry point.
+//!
+//! The same instance matrix backs the `bench_exact_hotpath` and
+//! `bench_exact_parallel` criterion targets, so interactive `cargo
+//! bench` numbers and the recorded JSON stay comparable.
 
 use crate::report::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rbp_core::{CostModel, Instance, ModelKind};
 use rbp_graph::generate;
-use rbp_solvers::solve_exact;
+use rbp_solvers::{solve_exact_parallel_with, ParallelConfig};
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
+/// The snapshot's JSON schema id. v2 added the `threads` column, the
+/// `host_parallelism` field, and the larger incumbent-tractable cells.
+pub const SCHEMA: &str = "rbp-perf-exact/v2";
+
+/// Thread counts every cell is measured at. `1` is the
+/// incumbent-seeded sequential path; the second entry exercises the
+/// hash-sharded parallel search.
+pub const SNAPSHOT_THREADS: [usize; 2] = [1, PARALLEL_THREADS];
+
+/// The multi-threaded column of the snapshot.
+pub const PARALLEL_THREADS: usize = 4;
+
 /// One workload × model cell of the perf matrix.
 pub struct PerfCase {
     /// Workload family (`chain`, `pyramid`, `grid`, `layered`, `matmul`,
-    /// `fft`).
+    /// `fft`, or one of the larger `pyramid5`/`grid5` cells).
     pub workload: &'static str,
     /// Cost-model name (`base`, `oneshot`, `nodel`).
     pub model: &'static str,
@@ -76,16 +99,62 @@ pub fn cells() -> Vec<PerfCase> {
     cases
 }
 
+/// Larger cells that the incumbent-seeded solver settles in under a
+/// second: a height-5 pyramid and a width-5 stencil. Their base-model
+/// variants at these sizes exceed the per-cell time budget (seconds of
+/// search), so only the tractable model rows are recorded.
+pub fn extra_cells() -> Vec<PerfCase> {
+    vec![
+        PerfCase {
+            workload: "pyramid5",
+            model: "base",
+            instance: Instance::new(rbp_gadgets::pyramid::build(5).dag, 3, CostModel::base()),
+        },
+        PerfCase {
+            workload: "pyramid5",
+            model: "nodel",
+            instance: Instance::new(rbp_gadgets::pyramid::build(5).dag, 3, CostModel::nodel()),
+        },
+        PerfCase {
+            workload: "grid5",
+            model: "oneshot",
+            instance: Instance::new(
+                rbp_workloads::stencil::build(5, 2, 1).dag,
+                4,
+                CostModel::oneshot(),
+            ),
+        },
+        PerfCase {
+            workload: "grid5",
+            model: "nodel",
+            instance: Instance::new(
+                rbp_workloads::stencil::build(5, 2, 1).dag,
+                4,
+                CostModel::nodel(),
+            ),
+        },
+    ]
+}
+
+/// The full recorded matrix: the classic 6×3 cells plus the larger ones.
+pub fn all_cells() -> Vec<PerfCase> {
+    let mut cs = cells();
+    cs.extend(extra_cells());
+    cs
+}
+
 /// One measured cell of the snapshot.
 pub struct CellResult {
     /// Workload family.
-    pub workload: &'static str,
+    pub workload: String,
     /// Cost-model name.
-    pub model: &'static str,
+    pub model: String,
     /// DAG size.
     pub n: usize,
     /// Red-pebble budget.
     pub r: usize,
+    /// Worker threads the solve ran with (1 = sequential + incumbent).
+    pub threads: usize,
     /// Median wall time of one solve, nanoseconds.
     pub median_ns: u128,
     /// Distinct states interned by the median-representative solve.
@@ -101,36 +170,50 @@ pub struct CellResult {
     pub scaled_cost: u128,
 }
 
-/// Solves every cell `samples` times and reports the median-time run.
-pub fn measure(samples: usize) -> Vec<CellResult> {
+/// Solves `cases` at every thread count in `threads`, `samples` times
+/// each, reporting the median-time run per (cell, threads) pair.
+pub fn measure_cases(cases: &[PerfCase], samples: usize, threads: &[usize]) -> Vec<CellResult> {
     assert!(samples >= 1);
-    cells()
-        .iter()
-        .map(|case| {
-            let mut times: Vec<u128> = Vec::with_capacity(samples);
-            let mut rep = None;
+    let mut results = Vec::with_capacity(cases.len() * threads.len());
+    for case in cases {
+        for &t in threads {
+            let cfg = ParallelConfig {
+                threads: t,
+                ..ParallelConfig::default()
+            };
+            let mut runs: Vec<(u128, rbp_solvers::ExactReport)> = Vec::with_capacity(samples);
             for _ in 0..samples {
                 let t0 = Instant::now();
-                let r = solve_exact(&case.instance).expect("perf cells are feasible");
-                times.push(t0.elapsed().as_nanos());
-                rep = Some(r);
+                let r = solve_exact_parallel_with(&case.instance, cfg)
+                    .expect("perf cells are feasible");
+                runs.push((t0.elapsed().as_nanos(), r));
             }
-            times.sort_unstable();
-            let median_ns = times[times.len() / 2].max(1);
-            let rep = rep.expect("at least one sample");
-            CellResult {
-                workload: case.workload,
-                model: case.model,
+            // the report must come from the SAME run as the median time:
+            // the sharded search's states_seen varies run to run, and
+            // mixing runs would skew states_per_sec by that variance
+            runs.sort_unstable_by_key(|(ns, _)| *ns);
+            let (median_ns, rep) = &runs[runs.len() / 2];
+            let median_ns = (*median_ns).max(1);
+            results.push(CellResult {
+                workload: case.workload.to_string(),
+                model: case.model.to_string(),
                 n: case.instance.dag().n(),
                 r: case.instance.red_limit(),
+                threads: t,
                 median_ns,
                 states_seen: rep.states_seen,
                 states_expanded: rep.states_expanded,
                 states_per_sec: ((rep.states_seen as u128 * 1_000_000_000) / median_ns) as u64,
                 scaled_cost: rep.cost.scaled(case.instance.model().epsilon()),
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    results
+}
+
+/// Measures the full recorded matrix at [`SNAPSHOT_THREADS`].
+pub fn measure(samples: usize) -> Vec<CellResult> {
+    measure_cases(&all_cells(), samples, &SNAPSHOT_THREADS)
 }
 
 /// Writes the snapshot as `<dir>/BENCH_exact.json` and returns the path.
@@ -139,10 +222,17 @@ pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::pa
     let path = dir.join("BENCH_exact.json");
     let mut f = std::fs::File::create(&path)?;
     writeln!(f, "{{")?;
-    writeln!(f, "  \"schema\": \"rbp-perf-exact/v1\",")?;
+    writeln!(f, "  \"schema\": \"{SCHEMA}\",")?;
     writeln!(
         f,
-        "  \"description\": \"exact-solver hot-path baselines; regenerate with `cargo run --release -p rbp-bench --bin experiments -- perf-snapshot`\","
+        "  \"description\": \"exact-solver hot-path baselines at 1 and {PARALLEL_THREADS} \
+         threads; regenerate with `cargo run --release -p rbp-bench --bin experiments -- \
+         perf-snapshot`, diff with `... -- perf-check`\","
+    )?;
+    writeln!(
+        f,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
     )?;
     writeln!(f, "  \"cells\": [")?;
     for (i, c) in results.iter().enumerate() {
@@ -150,12 +240,13 @@ pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::pa
         writeln!(
             f,
             "    {{\"workload\": \"{}\", \"model\": \"{}\", \"n\": {}, \"r\": {}, \
-             \"median_ns\": {}, \"states_seen\": {}, \"states_expanded\": {}, \
+             \"threads\": {}, \"median_ns\": {}, \"states_seen\": {}, \"states_expanded\": {}, \
              \"states_per_sec\": {}, \"scaled_cost\": {}}}{}",
             c.workload,
             c.model,
             c.n,
             c.r,
+            c.threads,
             c.median_ns,
             c.states_seen,
             c.states_expanded,
@@ -169,6 +260,30 @@ pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::pa
     Ok(path)
 }
 
+fn print_table(results: &[CellResult]) {
+    let mut table = Table::new(
+        "perf-snapshot — exact solver hot path (median over samples)",
+        &[
+            "workload", "model", "n", "R", "thr", "ms", "states", "expanded", "states/s", "cost",
+        ],
+    );
+    for c in results {
+        table.row_strings(vec![
+            c.workload.clone(),
+            c.model.clone(),
+            c.n.to_string(),
+            c.r.to_string(),
+            c.threads.to_string(),
+            format!("{:.3}", c.median_ns as f64 / 1e6),
+            c.states_seen.to_string(),
+            c.states_expanded.to_string(),
+            c.states_per_sec.to_string(),
+            c.scaled_cost.to_string(),
+        ]);
+    }
+    table.print();
+}
+
 /// Runs the snapshot (5 samples per cell) and writes
 /// `<dir>/BENCH_exact.json`, printing the matrix as a table.
 pub fn run(dir: &Path) {
@@ -178,28 +293,252 @@ pub fn run(dir: &Path) {
 /// Like [`run`] with a configurable sample count (tests use 1).
 pub fn run_with(dir: &Path, samples: usize) {
     let results = measure(samples);
-    let mut table = Table::new(
-        "perf-snapshot — exact solver hot path (median over samples)",
-        &[
-            "workload", "model", "n", "R", "ms", "states", "expanded", "states/s", "cost",
-        ],
-    );
-    for c in &results {
-        table.row_strings(vec![
-            c.workload.to_string(),
-            c.model.to_string(),
-            c.n.to_string(),
-            c.r.to_string(),
-            format!("{:.3}", c.median_ns as f64 / 1e6),
-            c.states_seen.to_string(),
-            c.states_expanded.to_string(),
-            c.states_per_sec.to_string(),
-            c.scaled_cost.to_string(),
-        ]);
-    }
-    table.print();
+    print_table(&results);
     let path = write_json(&results, dir).expect("write BENCH_exact.json");
     println!("  wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------
+// perf-check: diff a fresh measurement against the committed baseline
+// ---------------------------------------------------------------------
+
+/// One cell parsed back out of a committed `BENCH_exact.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedCell {
+    /// Workload family.
+    pub workload: String,
+    /// Cost-model name.
+    pub model: String,
+    /// Worker threads the recorded solve ran with.
+    pub threads: usize,
+    /// Recorded median wall time, nanoseconds.
+    pub median_ns: u128,
+    /// Recorded interned-state throughput.
+    pub states_per_sec: u64,
+    /// Recorded optimum (scaled cost).
+    pub scaled_cost: u128,
+}
+
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn num_field(line: &str, name: &str) -> Option<u128> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The `host_parallelism` a snapshot was recorded at, when present.
+pub fn parsed_host_parallelism(json: &str) -> Option<usize> {
+    json.lines()
+        .find(|l| l.contains("\"host_parallelism\""))
+        .and_then(|l| num_field(l, "host_parallelism"))
+        .map(|v| v as usize)
+}
+
+/// Parses the committed snapshot (own fixed format, no JSON dependency).
+/// Returns `None` when the schema line is missing or not `v2` — callers
+/// then skip the diff and ask for a regeneration.
+pub fn parse_snapshot(json: &str) -> Option<Vec<ParsedCell>> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return None;
+    }
+    let mut cells = Vec::new();
+    for line in json.lines() {
+        if !line.trim_start().starts_with("{\"workload\"") {
+            continue;
+        }
+        cells.push(ParsedCell {
+            workload: str_field(line, "workload")?,
+            model: str_field(line, "model")?,
+            threads: num_field(line, "threads")? as usize,
+            median_ns: num_field(line, "median_ns")?,
+            states_per_sec: num_field(line, "states_per_sec")? as u64,
+            scaled_cost: num_field(line, "scaled_cost")?,
+        });
+    }
+    Some(cells)
+}
+
+/// A cell regresses when fresh throughput drops below this fraction of
+/// the committed baseline.
+pub const REGRESSION_THRESHOLD: f64 = 0.75;
+
+/// Cells whose committed median is below this (sub-5 ms solves) use
+/// [`NOISE_THRESHOLD`] instead: at that scale, scheduler jitter alone
+/// swings states/sec past 25%, and a warning that fires on noise trains
+/// people to ignore it.
+pub const NOISE_FLOOR_NS: u128 = 5_000_000;
+
+/// Relaxed threshold for sub-[`NOISE_FLOOR_NS`] cells.
+pub const NOISE_THRESHOLD: f64 = 0.40;
+
+/// A fresh 3-sample measurement of the matrix, in diffable form.
+fn measure_parsed() -> Vec<ParsedCell> {
+    measure(3)
+        .into_iter()
+        .map(|c| ParsedCell {
+            workload: c.workload,
+            model: c.model,
+            threads: c.threads,
+            median_ns: c.median_ns,
+            states_per_sec: c.states_per_sec,
+            scaled_cost: c.scaled_cost,
+        })
+        .collect()
+}
+
+/// The `HEAD`-committed snapshot, when `dir` is inside a git checkout.
+fn git_show_baseline(dir: &Path) -> Option<String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["show", "HEAD:BENCH_exact.json"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout).ok()
+}
+
+/// `perf-check`: diffs fresh numbers against the committed
+/// `BENCH_exact.json` baseline, emitting one GitHub Actions
+/// `::warning::` annotation per cell regressing more than 25% in
+/// states/sec (and an `::error::` if any recorded optimum drifted, which
+/// would be a correctness bug, not a perf one). Non-gating: the process
+/// always exits 0; returns the number of regressed cells.
+///
+/// The baseline is `HEAD`'s version of the file (falling back to the
+/// on-disk copy outside a git checkout). When the environment sets
+/// `PERF_CHECK_REUSE_SNAPSHOT=1` — the CI perf job does, right after
+/// its `perf-snapshot` step regenerates the on-disk file — the on-disk
+/// cells are reused as the fresh side instead of measuring the whole
+/// matrix a second time. Reuse is opt-in only: inferring it from the
+/// file differing from `HEAD` would let a stale leftover snapshot
+/// masquerade as a measurement of the current code.
+pub fn check(dir: &Path) -> usize {
+    let path = dir.join("BENCH_exact.json");
+    let disk = std::fs::read_to_string(&path).ok();
+    let Some(committed) = git_show_baseline(dir).or_else(|| disk.clone()) else {
+        println!(
+            "perf-check: no committed {} — nothing to diff",
+            path.display()
+        );
+        return 0;
+    };
+    let Some(baseline) = parse_snapshot(&committed) else {
+        println!(
+            "perf-check: {} is not schema {SCHEMA}; regenerate with `experiments perf-snapshot`",
+            path.display()
+        );
+        return 0;
+    };
+    let reuse = std::env::var("PERF_CHECK_REUSE_SNAPSHOT").is_ok_and(|v| v == "1");
+    let fresh: Vec<ParsedCell> = match disk.as_deref().filter(|d| reuse && *d != committed) {
+        Some(regenerated) => match parse_snapshot(regenerated) {
+            Some(cells) => {
+                println!("perf-check: reusing the regenerated on-disk snapshot as the fresh side");
+                cells
+            }
+            None => measure_parsed(),
+        },
+        None => measure_parsed(),
+    };
+    // throughput is only comparable within a host class: a baseline
+    // recorded on a different core count (say a 1-core container vs a
+    // 4-vCPU runner) puts every parallel row off by the hardware delta,
+    // drowning real regressions in false "ok (500%)" readings. Cost and
+    // coverage are still checked; throughput diffs are skipped.
+    let here = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let recorded = parsed_host_parallelism(&committed).unwrap_or(0);
+    let comparable_host = recorded == here;
+    if !comparable_host {
+        println!(
+            "perf-check: baseline host_parallelism {recorded} != this host's {here}; \
+             skipping throughput diffs (cost/coverage checks still run) — \
+             re-commit a snapshot from this host class to restore them"
+        );
+    }
+    let mut regressed = 0;
+    for new in &fresh {
+        let Some(old) = baseline.iter().find(|c| {
+            c.workload == new.workload && c.model == new.model && c.threads == new.threads
+        }) else {
+            println!(
+                "perf-check: new cell {}/{}@{} (no baseline)",
+                new.workload, new.model, new.threads
+            );
+            continue;
+        };
+        if new.scaled_cost != old.scaled_cost {
+            println!(
+                "::error title=optimum drift::{}/{}@{}t: scaled cost {} != committed {}",
+                new.workload, new.model, new.threads, new.scaled_cost, old.scaled_cost
+            );
+            regressed += 1;
+            continue;
+        }
+        if !comparable_host {
+            continue;
+        }
+        let ratio = new.states_per_sec as f64 / old.states_per_sec.max(1) as f64;
+        let threshold = if old.median_ns < NOISE_FLOOR_NS {
+            NOISE_THRESHOLD
+        } else {
+            REGRESSION_THRESHOLD
+        };
+        if ratio < threshold {
+            regressed += 1;
+            println!(
+                "::warning title=perf regression::{}/{}@{}t: {} states/s vs committed {} ({:.0}%)",
+                new.workload,
+                new.model,
+                new.threads,
+                new.states_per_sec,
+                old.states_per_sec,
+                ratio * 100.0
+            );
+        } else {
+            println!(
+                "perf-check: {}/{}@{}t ok ({:.0}% of baseline)",
+                new.workload,
+                new.model,
+                new.threads,
+                ratio * 100.0
+            );
+        }
+    }
+    // mirror direction: a baseline cell with no fresh counterpart means
+    // the matrix lost coverage — surface it instead of dropping it
+    let mut lost = 0;
+    for old in &baseline {
+        if !fresh
+            .iter()
+            .any(|c| c.workload == old.workload && c.model == old.model && c.threads == old.threads)
+        {
+            println!(
+                "::warning title=lost coverage::{}/{}@{}t: in the committed baseline but not \
+                 measured anymore",
+                old.workload, old.model, old.threads
+            );
+            lost += 1;
+        }
+    }
+    println!(
+        "perf-check: {regressed} regressed cell(s) out of {} measured, {lost} baseline cell(s) \
+         no longer covered",
+        fresh.len()
+    );
+    regressed + lost
 }
 
 #[cfg(test)]
@@ -207,14 +546,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_covers_the_full_matrix_and_writes_json() {
+    fn snapshot_covers_the_classic_matrix_and_writes_json() {
+        // one cheap sequential sample per classic cell: this test pins
+        // the wiring and the file format, not the timings (the committed
+        // file is regenerated in release by CI / the experiments binary)
         let dir =
             std::env::temp_dir().join(format!("rbp_perf_snapshot_test_{}", std::process::id()));
-        run_with(&dir, 1);
-        let json = std::fs::read_to_string(dir.join("BENCH_exact.json")).unwrap();
-        assert!(json.contains("\"schema\": \"rbp-perf-exact/v1\""));
-        // at least 6 workload × model cells recorded with throughput
-        assert!(json.matches("\"states_per_sec\"").count() >= 6);
+        let results = measure_cases(&cells(), 1, &[1]);
+        let path = write_json(&results, &dir).unwrap();
+        let json = std::fs::read_to_string(path).unwrap();
+        assert!(json.contains("\"schema\": \"rbp-perf-exact/v2\""));
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.matches("\"threads\"").count() >= 18);
         for w in ["chain", "pyramid", "grid", "layered", "matmul", "fft"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{w}\"")),
@@ -231,5 +574,30 @@ mod tests {
         let cs = cells();
         assert_eq!(cs.len(), 18, "6 workloads x 3 models");
         assert!(cs.iter().all(|c| c.instance.is_feasible()));
+        let extra = extra_cells();
+        assert_eq!(extra.len(), 4, "larger incumbent-tractable cells");
+        assert!(extra.iter().all(|c| c.instance.is_feasible()));
+        assert_eq!(all_cells().len(), 22);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_parser() {
+        let dir = std::env::temp_dir().join(format!("rbp_perf_parse_test_{}", std::process::id()));
+        // tiny subset, threads [1, 2], to exercise the threads column
+        let results = measure_cases(&cells()[..2], 1, &[1, 2]);
+        let path = write_json(&results, &dir).unwrap();
+        let parsed =
+            parse_snapshot(&std::fs::read_to_string(path).unwrap()).expect("own output must parse");
+        assert_eq!(parsed.len(), results.len());
+        for (p, r) in parsed.iter().zip(&results) {
+            assert_eq!(p.workload, r.workload);
+            assert_eq!(p.model, r.model);
+            assert_eq!(p.threads, r.threads);
+            assert_eq!(p.median_ns, r.median_ns);
+            assert_eq!(p.states_per_sec, r.states_per_sec);
+            assert_eq!(p.scaled_cost, r.scaled_cost);
+        }
+        // v1 files (or junk) refuse to parse instead of mis-diffing
+        assert!(parse_snapshot("{\"schema\": \"rbp-perf-exact/v1\"}").is_none());
     }
 }

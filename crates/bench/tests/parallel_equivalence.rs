@@ -1,0 +1,94 @@
+//! Parallel-vs-sequential equivalence over the full perf-snapshot
+//! workload × model matrix: the hash-sharded solver must find the same
+//! optimal scaled cost as the sequential solver on every recorded cell,
+//! and both traces must replay through the validating engine.
+//!
+//! This is the integration-level counterpart to the randomized
+//! equivalence proptests in `rbp-solvers`: it pins the exact instances
+//! whose throughput the committed `BENCH_exact.json` tracks.
+
+use rbp_bench::perf_snapshot;
+use rbp_core::engine;
+use rbp_solvers::{solve_exact, solve_exact_parallel_with, ParallelConfig};
+
+/// Debug builds run the matrix at one parallel thread count to keep the
+/// suite fast; release (CI perf job, local `--release` runs) covers two.
+fn thread_counts() -> &'static [usize] {
+    if cfg!(debug_assertions) {
+        &[4]
+    } else {
+        &[2, 4]
+    }
+}
+
+#[test]
+fn full_matrix_parallel_equals_sequential() {
+    for case in perf_snapshot::cells() {
+        // the matmul cells intern ~10⁶ states; with debug asserts
+        // (full metadata rescan per intern) they take minutes, so they
+        // are covered by the release pass only
+        if cfg!(debug_assertions) && case.workload == "matmul" {
+            continue;
+        }
+        let inst = &case.instance;
+        let eps = inst.model().epsilon();
+        let seq = solve_exact(inst).unwrap();
+        let seq_sim = engine::simulate(inst, &seq.trace).unwrap();
+        assert_eq!(seq_sim.cost, seq.cost);
+        for &threads in thread_counts() {
+            let par = solve_exact_parallel_with(
+                inst,
+                ParallelConfig {
+                    threads,
+                    ..ParallelConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                par.cost.scaled(eps),
+                seq.cost.scaled(eps),
+                "{}/{} diverged at {threads} threads",
+                case.workload,
+                case.model
+            );
+            let sim = engine::simulate(inst, &par.trace).unwrap();
+            assert_eq!(
+                sim.cost, par.cost,
+                "{}/{} parallel trace must replay exactly",
+                case.workload, case.model
+            );
+            assert!(sim.peak_red <= inst.red_limit());
+        }
+    }
+}
+
+#[test]
+fn extra_cells_parallel_equals_sequential() {
+    // the larger incumbent-tractable cells; their base-model variants
+    // take seconds in debug, so this heavier pass is release-only
+    if cfg!(debug_assertions) {
+        return;
+    }
+    for case in perf_snapshot::extra_cells() {
+        let inst = &case.instance;
+        let eps = inst.model().epsilon();
+        let seq = solve_exact(inst).unwrap();
+        let par = solve_exact_parallel_with(
+            inst,
+            ParallelConfig {
+                threads: 4,
+                ..ParallelConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            par.cost.scaled(eps),
+            seq.cost.scaled(eps),
+            "{}/{} diverged",
+            case.workload,
+            case.model
+        );
+        let sim = engine::simulate(inst, &par.trace).unwrap();
+        assert_eq!(sim.cost, par.cost);
+    }
+}

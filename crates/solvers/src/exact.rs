@@ -13,15 +13,24 @@
 //!   compute.
 //!
 //! ## Hot-path layout
-//! The expand loop allocates nothing. All machinery is flat:
+//! The expand loop allocates nothing. All machinery is flat, and the move
+//! generation itself lives in the shared [`Expander`] so the sequential
+//! and parallel solvers explore one and the same configuration graph:
 //!
+//! - **Shared move generator** ([`Expander`]): guards, prunes, and the
+//!   incremental ±delta metadata ([`Meta`]) are defined once; this solver
+//!   plugs an intern-and-relax sink into [`Expander::expand`], the
+//!   parallel solver ([`crate::parallel`]) plugs a shard router.
 //! - **Arena interning** ([`StateArena`]): every key lives contiguously in
 //!   one `Vec<u64>`; a linear-probe table of `u32` ids (hashed from arena
 //!   slices) replaces the old `HashMap<Box<[u64]>, u32>`. A hit is a hash
-//!   probe plus one slice compare; a miss appends `key_words` words.
+//!   probe plus one slice compare; a miss appends `key_words` words. The
+//!   same `hash_words` digest doubles as the shard router of the parallel
+//!   solver ([`StateArena::shard_of`]), so a state's owner is a pure
+//!   function of its key.
 //! - **Struct-of-arrays bookkeeping** ([`NodeTable`]): `dist`, `parent`,
-//!   `settled` and the incremental metadata below are parallel arrays
-//!   indexed by state id.
+//!   `settled` and the incremental metadata are parallel arrays indexed
+//!   by state id.
 //! - **Bitset adjacency** ([`Dag::pred_mask`]/[`Dag::succ_mask`]): the
 //!   "all inputs red" gate of a compute and the "has an uncomputed
 //!   successor" prune are word-wise `ANDN` loops over packed mask rows,
@@ -30,9 +39,26 @@
 //!   and the dead-state reachability words are solver-owned and reused
 //!   across every expansion.
 //!
+//! ## Incumbent-bound pruning
+//! The search carries an *incumbent*: the cheapest known upper bound on
+//! the optimum. It starts from [`ExactConfig::upper_bound`] (callers
+//! seed it with a greedy portfolio cost — [`crate::parallel`] does this
+//! automatically) and tightens to the best goal distance discovered
+//! during the search. Any successor with `g + h` strictly above the
+//! seeded bound, or at-or-above the best discovered goal, is dropped
+//! *before* it is interned: since the bound is realized by a concrete
+//! pebbling, at least one optimal path survives (`f ≤ opt ≤ bound` along
+//! it), so the optimum is unchanged while the arena, heap, and probe
+//! table stay smaller. On positive-cost frontiers (e.g. the base model's
+//! grid cell) this skips the large shell of states strictly beyond the
+//! optimum that plain Dijkstra would intern but never expand. The same
+//! cutoff is what makes the parallel solver's termination test sound:
+//! "every shard quiescent with local `f`-min at-or-above the incumbent"
+//! certifies optimality.
+//!
 //! ## Incremental-delta invariants
 //! Three state functions are threaded through expansion as ±deltas and
-//! cached per state instead of being rescanned:
+//! cached per state instead of being rescanned (see [`Meta`]):
 //!
 //! - `red_count`: `+1` on Load/Compute, `−1` on Store/Delete-of-red.
 //! - `unsat_sinks`: the number of sinks violating the finishing
@@ -77,8 +103,8 @@
 
 use crate::arena::{NodeTable, StateArena, NO_STATE};
 use crate::error::SolveError;
-use rbp_core::{bounds, Cost, Instance, ModelKind, Move, Pebbling, SourceConvention};
-use rbp_graph::NodeId;
+use crate::expand::{Expander, Meta};
+use rbp_core::{bounds, Cost, Instance, Pebbling};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -95,6 +121,11 @@ pub struct ExactConfig {
     pub prune: bool,
     /// Use the admissible oneshot heuristic (ignored for other models).
     pub astar: bool,
+    /// Optional incumbent seed: a known upper bound on the optimal
+    /// *scaled* cost (e.g. a greedy portfolio result). Successors with
+    /// `g + h` strictly above it are never interned; the optimum is
+    /// unchanged because the bound is realized by a concrete pebbling.
+    pub upper_bound: Option<u64>,
 }
 
 impl Default for ExactConfig {
@@ -103,6 +134,24 @@ impl Default for ExactConfig {
             max_states: 8_000_000,
             prune: true,
             astar: true,
+            upper_bound: None,
+        }
+    }
+}
+
+impl ExactConfig {
+    /// The prune cutoff seeded by [`ExactConfig::upper_bound`]:
+    /// successors with `g + h ≥` this are dropped. It is `bound + 1` —
+    /// states with `f == bound` must survive because the bound may be
+    /// exactly optimal — and `u64::MAX` (no cutoff) when no bound is set
+    /// or pruning is off (the brute-force reference mode must stay
+    /// exhaustive). Both exact solvers derive their cutoff from this one
+    /// definition so an exactly-tight seed prunes identically in each.
+    #[inline]
+    pub fn seed_cutoff(&self) -> u64 {
+        match self.upper_bound {
+            Some(b) if self.prune => b.saturating_add(1),
+            _ => u64::MAX,
         }
     }
 }
@@ -139,8 +188,9 @@ pub fn solve_exact(instance: &Instance) -> Result<ExactReport, SolveError> {
     solve_exact_with(instance, ExactConfig::default())
 }
 
-/// Brute-force reference: no pruning, no heuristic. Exponentially slower;
-/// only for cross-validating [`solve_exact`] on tiny instances.
+/// Brute-force reference: no pruning, no heuristic, no incumbent.
+/// Exponentially slower; only for cross-validating [`solve_exact`] on
+/// tiny instances.
 pub fn solve_reference(instance: &Instance) -> Result<ExactReport, SolveError> {
     solve_exact_with(
         instance,
@@ -148,6 +198,7 @@ pub fn solve_reference(instance: &Instance) -> Result<ExactReport, SolveError> {
             max_states: 4_000_000,
             prune: false,
             astar: false,
+            upper_bound: None,
         },
     )
 }
@@ -162,249 +213,54 @@ pub fn solve_exact_with(instance: &Instance, cfg: ExactConfig) -> Result<ExactRe
 // implementation
 // ---------------------------------------------------------------------
 
-#[inline]
-fn bit_get(words: &[u64], i: usize) -> bool {
-    words[i / 64] & (1 << (i % 64)) != 0
-}
-
-#[inline]
-fn bit_set(words: &mut [u64], i: usize) {
-    words[i / 64] |= 1 << (i % 64);
-}
-
-#[inline]
-fn bit_clear(words: &mut [u64], i: usize) {
-    words[i / 64] &= !(1 << (i % 64));
-}
-
-/// The incrementally maintained metadata of one state (see the module
-/// docs): carried from a popped state to each successor as ±deltas.
-#[derive(Clone, Copy)]
-struct Meta {
-    red: u32,
-    unsat: u32,
-    heur: u64,
-}
-
-impl Meta {
-    /// Applies a signed delta to the unsatisfied-sink count.
-    #[inline]
-    fn bump_unsat(self, delta: i32) -> u32 {
-        (self.unsat as i32 + delta) as u32
-    }
-}
-
 struct Search<'a> {
-    instance: &'a Instance,
     cfg: ExactConfig,
-    n: usize,
-    wpn: usize,       // words per node-set
-    key_words: usize, // words per state key (2·wpn or 3·wpn)
-    oneshot: bool,
-    track_computed: bool,
-    /// Whether the A* heuristic is live (`cfg.astar` and the model is
-    /// oneshot); when false every stored `heur` is 0.
-    astar: bool,
-    /// Whether sinks must end blue ([`rbp_core::SinkConvention`]).
-    need_blue: bool,
-    eps_num: u64,
-    eps_den: u64,
+    exp: Expander<'a>,
+    /// Debug-only second expander: rescans successor metadata to check
+    /// the ±deltas while `exp` is mutably borrowed by the expansion.
+    #[cfg(debug_assertions)]
+    check: Expander<'a>,
     // flat state storage
     arena: StateArena,
     nodes: NodeTable,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
-    // reusable scratch (no per-expansion allocation)
-    scratch: Vec<u64>,
-    /// Dead-state reachability words (`avail` bit per node), reused.
-    avail: Vec<u64>,
-    // per-node static info
-    sinks: Vec<bool>,
-    sink_ids: Vec<u32>,
-    topo: Vec<NodeId>,
+    /// Prune cutoff: successors with `g + h ≥ cutoff` are dropped. This
+    /// is `min(seeded upper bound + 1, best goal distance seen)` — both
+    /// components are upper bounds realized by concrete pebblings (the
+    /// seed externally, the goal by its own parent chain), so at least
+    /// one optimal path always stays strictly below it.
+    cutoff: u64,
 }
 
 impl<'a> Search<'a> {
     fn new(instance: &'a Instance, cfg: ExactConfig) -> Self {
-        let n = instance.dag().n();
-        let wpn = rbp_graph::words_for(n);
-        debug_assert_eq!(wpn, instance.dag().mask_words());
-        let oneshot = instance.model().kind() == ModelKind::Oneshot;
-        let track_computed = oneshot;
-        let key_words = if track_computed { 3 * wpn } else { 2 * wpn };
-        let eps = instance.model().epsilon();
-        let (eps_num, eps_den) = if eps.is_zero() {
-            (0, 1)
-        } else {
-            (eps.num(), eps.den())
-        };
-        let sinks: Vec<bool> = instance
-            .dag()
-            .nodes()
-            .map(|v| instance.dag().is_sink(v))
-            .collect();
-        let sink_ids = sinks
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let exp = Expander::new(instance, cfg.prune, cfg.astar);
+        let cutoff = cfg.seed_cutoff();
+        let key_words = exp.key_words();
         Search {
-            instance,
             cfg,
-            n,
-            wpn,
-            key_words,
-            oneshot,
-            track_computed,
-            astar: cfg.astar && oneshot,
-            need_blue: instance.sink_convention() == rbp_core::SinkConvention::RequireBlue,
-            eps_num,
-            eps_den,
+            exp,
+            #[cfg(debug_assertions)]
+            check: Expander::new(instance, cfg.prune, cfg.astar),
             arena: StateArena::new(key_words),
             nodes: NodeTable::new(),
             heap: BinaryHeap::new(),
-            scratch: vec![0; key_words],
-            avail: vec![0; wpn],
-            sinks,
-            sink_ids,
-            topo: rbp_graph::topological_order(instance.dag()),
+            cutoff,
         }
-    }
-
-    #[inline]
-    fn is_red(&self, key: &[u64], v: usize) -> bool {
-        bit_get(&key[..self.wpn], v)
-    }
-
-    #[inline]
-    fn is_blue(&self, key: &[u64], v: usize) -> bool {
-        bit_get(&key[self.wpn..2 * self.wpn], v)
-    }
-
-    #[inline]
-    fn is_computed(&self, key: &[u64], v: usize) -> bool {
-        if self.track_computed {
-            bit_get(&key[2 * self.wpn..], v)
-        } else {
-            // models without the computed set allow recomputation, so
-            // "has it been computed" never gates legality; pebbled is the
-            // only meaningful proxy where needed
-            self.is_red(key, v) || self.is_blue(key, v)
-        }
-    }
-
-    fn initial_key(&self) -> Vec<u64> {
-        let mut key = vec![0u64; self.key_words];
-        if self.instance.source_convention() == SourceConvention::InitiallyBlue {
-            for v in self.instance.dag().sources() {
-                bit_set(&mut key[self.wpn..2 * self.wpn], v.index());
-                if self.track_computed {
-                    let w = self.wpn;
-                    bit_set(&mut key[2 * w..], v.index());
-                }
-            }
-        }
-        key
-    }
-
-    /// Whether `v` still has a successor that is uncomputed, as one
-    /// `ANDN` loop over the packed successor mask (oneshot only; callers
-    /// guard on `self.oneshot`, which implies the computed set is
-    /// tracked).
-    #[inline]
-    fn has_uncomputed_successor(&self, key: &[u64], v: usize) -> bool {
-        debug_assert!(self.track_computed);
-        let mask = self.instance.dag().succ_mask(NodeId::new(v));
-        let computed = &key[2 * self.wpn..];
-        mask.iter().zip(computed).any(|(m, c)| m & !c != 0)
-    }
-
-    /// Rescan of the red-pebble count; root init and debug asserts only.
-    fn red_count_scan(&self, key: &[u64]) -> usize {
-        key[..self.wpn]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
-    }
-
-    /// Rescan of the unsatisfied-sink count; root init and debug asserts.
-    fn unsat_scan(&self, key: &[u64]) -> u32 {
-        self.sink_ids
-            .iter()
-            .filter(|&&s| {
-                let v = s as usize;
-                if self.need_blue {
-                    !self.is_blue(key, v)
-                } else {
-                    !self.is_red(key, v) && !self.is_blue(key, v)
-                }
-            })
-            .count() as u32
-    }
-
-    /// Rescan of the admissible oneshot heuristic; root init and debug
-    /// asserts only — the hot path maintains it by deltas.
-    fn heur_scan(&self, key: &[u64]) -> u64 {
-        if !self.astar {
-            return 0;
-        }
-        let mut h = 0u64;
-        for v in 0..self.n {
-            if self.is_blue(key, v) && self.has_uncomputed_successor(key, v) {
-                h += self.eps_den;
-            }
-        }
-        h
-    }
-
-    /// Oneshot dead-state check: is any sink permanently unreachable?
-    /// Reuses `self.avail` (one reachability bit per node) instead of
-    /// allocating, and gates each node on its packed pred mask.
-    fn is_dead(&mut self, key: &[u64]) -> bool {
-        debug_assert!(self.oneshot);
-        let dag = self.instance.dag();
-        self.avail.iter_mut().for_each(|w| *w = 0);
-        // avail[v]: v's value can (still) be made red at some point
-        for &v in &self.topo {
-            let i = v.index();
-            let ok = if self.is_computed(key, i) {
-                self.is_red(key, i) || self.is_blue(key, i)
-            } else {
-                dag.pred_mask(v)
-                    .iter()
-                    .zip(self.avail.iter())
-                    .all(|(p, a)| p & !a == 0)
-            };
-            if ok {
-                self.avail[i / 64] |= 1 << (i % 64);
-            }
-        }
-        self.sink_ids.iter().any(|&s| {
-            let v = s as usize;
-            if self.is_computed(key, v) {
-                !self.is_red(key, v) && !self.is_blue(key, v)
-            } else {
-                !bit_get(&self.avail, v)
-            }
-        })
     }
 
     fn run(mut self) -> Result<ExactReport, SolveError> {
-        let init = self.initial_key();
+        let init = self.exp.initial_key();
         let (root, fresh) = self.arena.intern(&init);
         debug_assert!(fresh);
-        let root_meta = Meta {
-            red: self.red_count_scan(&init) as u32,
-            unsat: self.unsat_scan(&init),
-            heur: self.heur_scan(&init),
-        };
+        let root_meta = self.exp.meta_scan(&init);
         self.nodes
             .push(root_meta.red, root_meta.unsat, root_meta.heur);
         self.nodes.dist[root as usize] = 0;
         self.heap.push(Reverse((root_meta.heur, root)));
 
         let mut expanded = 0usize;
-        let mut key_buf: Vec<u64> = Vec::with_capacity(self.key_words);
+        let mut key_buf: Vec<u64> = Vec::with_capacity(self.exp.key_words());
         while let Some(Reverse((_prio, id))) = self.heap.pop() {
             let idx = id as usize;
             if self.nodes.settled[idx] {
@@ -421,7 +277,7 @@ impl<'a> Search<'a> {
             };
             expanded += 1;
 
-            if meta.unsat == 0 {
+            if meta.is_goal() {
                 let trace = self.recover_trace(id);
                 let stats = trace.stats();
                 return Ok(ExactReport {
@@ -434,191 +290,54 @@ impl<'a> Search<'a> {
                     states_seen: self.arena.len(),
                 });
             }
-            if self.cfg.prune && self.oneshot && self.is_dead(&key_buf) {
+            if self.exp.prune() && self.exp.oneshot() && self.exp.is_dead(&key_buf) {
                 continue;
             }
-            self.expand(id, &key_buf, d, meta)?;
+
+            // destructure so the expander and the storage borrow disjointly
+            let Search {
+                exp,
+                #[cfg(debug_assertions)]
+                check,
+                arena,
+                nodes,
+                heap,
+                cutoff,
+                cfg,
+            } = &mut self;
+            exp.expand(&key_buf, meta, |succ, mv, cost, child| {
+                let nd = d + cost;
+                let f = nd.saturating_add(child.heur);
+                if f >= *cutoff {
+                    return Ok(());
+                }
+                let (cid, fresh) = arena.intern(succ);
+                if fresh {
+                    // the deltas must agree with a full rescan of the key
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(child, check.meta_scan(succ));
+                    nodes.push(child.red, child.unsat, child.heur);
+                    if arena.len() > cfg.max_states {
+                        return Err(SolveError::StateLimitExceeded {
+                            limit: cfg.max_states,
+                        });
+                    }
+                }
+                let cidx = cid as usize;
+                if !nodes.settled[cidx] && nd < nodes.dist[cidx] {
+                    nodes.dist[cidx] = nd;
+                    nodes.parent[cidx] = (id, mv);
+                    heap.push(Reverse((f, cid)));
+                    // a cheaper goal tightens the incumbent immediately:
+                    // nothing at-or-beyond it can improve the answer
+                    if cfg.prune && child.is_goal() && nd < *cutoff {
+                        *cutoff = nd;
+                    }
+                }
+                Ok(())
+            })?;
         }
         Err(SolveError::NoPebblingFound)
-    }
-
-    fn expand(&mut self, from: u32, key: &[u64], d: u64, meta: Meta) -> Result<(), SolveError> {
-        let model = self.instance.model();
-        let r_limit = self.instance.red_limit();
-        let prune = self.cfg.prune;
-
-        for v in 0..self.n {
-            let node = NodeId::new(v);
-            let red = self.is_red(key, v);
-            let blue = self.is_blue(key, v);
-            let is_sink = self.sinks[v];
-            if red {
-                let unc = self.oneshot && self.has_uncomputed_successor(key, v);
-                // Store(v): red -> blue
-                let useful = !prune || !self.oneshot || is_sink || unc;
-                if useful {
-                    self.scratch.copy_from_slice(key);
-                    bit_clear(&mut self.scratch[..self.wpn], v);
-                    bit_set(&mut self.scratch[self.wpn..2 * self.wpn], v);
-                    let child = Meta {
-                        red: meta.red - 1,
-                        // a red sink only counts as satisfied under
-                        // AnyPebble; turning it blue satisfies RequireBlue
-                        unsat: meta.bump_unsat(if is_sink && self.need_blue { -1 } else { 0 }),
-                        // v is now blue; if it still has an uncomputed
-                        // successor it joins the heuristic count
-                        heur: meta.heur + if self.astar && unc { self.eps_den } else { 0 },
-                    };
-                    self.push_succ(from, Move::Store(node), d, self.eps_den, child)?;
-                }
-                // Delete(v) of a red pebble
-                if model.allows_delete() {
-                    let dead = self.oneshot && (is_sink || unc);
-                    if !(prune && dead) {
-                        self.scratch.copy_from_slice(key);
-                        bit_clear(&mut self.scratch[..self.wpn], v);
-                        let child = Meta {
-                            red: meta.red - 1,
-                            unsat: meta.bump_unsat(if is_sink && !self.need_blue { 1 } else { 0 }),
-                            heur: meta.heur, // blue set unchanged
-                        };
-                        self.push_succ(from, Move::Delete(node), d, 0, child)?;
-                    }
-                }
-            } else if blue {
-                let unc = self.oneshot && self.has_uncomputed_successor(key, v);
-                // Load(v): blue -> red
-                if (meta.red as usize) < r_limit {
-                    let useful = !prune || !self.oneshot || unc;
-                    if useful {
-                        self.scratch.copy_from_slice(key);
-                        bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
-                        bit_set(&mut self.scratch[..self.wpn], v);
-                        let child = Meta {
-                            red: meta.red + 1,
-                            // a blue sink was satisfied either way; as red
-                            // it fails RequireBlue
-                            unsat: meta.bump_unsat(if is_sink && self.need_blue { 1 } else { 0 }),
-                            heur: meta.heur - if self.astar && unc { self.eps_den } else { 0 },
-                        };
-                        self.push_succ(from, Move::Load(node), d, self.eps_den, child)?;
-                    }
-                }
-                // Delete of a blue pebble: dominated (prune rule 1)
-                if model.allows_delete() && !prune {
-                    self.scratch.copy_from_slice(key);
-                    bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v);
-                    let child = Meta {
-                        red: meta.red,
-                        unsat: meta.bump_unsat(if is_sink { 1 } else { 0 }),
-                        heur: meta.heur - if self.astar && unc { self.eps_den } else { 0 },
-                    };
-                    self.push_succ(from, Move::Delete(node), d, 0, child)?;
-                }
-                // Compute onto blue (nodel recomputation; legal in base too)
-                self.try_compute(from, key, d, v, meta)?;
-            } else {
-                // Compute onto an empty node
-                self.try_compute(from, key, d, v, meta)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn try_compute(
-        &mut self,
-        from: u32,
-        key: &[u64],
-        d: u64,
-        v: usize,
-        meta: Meta,
-    ) -> Result<(), SolveError> {
-        let node = NodeId::new(v);
-        let model = self.instance.model();
-        if !model.allows_recompute() && self.is_computed(key, v) {
-            return Ok(());
-        }
-        if self.instance.source_convention() == SourceConvention::InitiallyBlue
-            && self.instance.dag().is_source(node)
-        {
-            return Ok(());
-        }
-        if meta.red as usize >= self.instance.red_limit() {
-            return Ok(());
-        }
-        // all inputs red: pred_mask ANDN red-words must be empty
-        if self
-            .instance
-            .dag()
-            .pred_mask(node)
-            .iter()
-            .zip(&key[..self.wpn])
-            .any(|(p, r)| p & !r != 0)
-        {
-            return Ok(());
-        }
-        let was_blue = self.is_blue(key, v);
-        self.scratch.copy_from_slice(key);
-        bit_clear(&mut self.scratch[self.wpn..2 * self.wpn], v); // replace blue if any
-        bit_set(&mut self.scratch[..self.wpn], v);
-        if self.track_computed {
-            let w = self.wpn;
-            bit_set(&mut self.scratch[2 * w..], v);
-        }
-        let is_sink = self.sinks[v];
-        let d_unsat = match (is_sink, self.need_blue, was_blue) {
-            (false, _, _) => 0,
-            (true, true, true) => 1,    // satisfied blue sink turns red
-            (true, true, false) => 0,   // still not blue
-            (true, false, true) => 0,   // pebbled before and after
-            (true, false, false) => -1, // newly pebbled
-        };
-        // The heuristic is unchanged by a compute: `v` itself was not
-        // blue (in oneshot every pebbled node is computed and computed
-        // nodes are not recomputable), and the only other nodes whose
-        // "has an uncomputed successor" status could flip are `v`'s
-        // predecessors — which the guard above requires to be red, hence
-        // not blue, hence outside the blue-node count either way.
-        let child = Meta {
-            red: meta.red + 1,
-            unsat: meta.bump_unsat(d_unsat),
-            heur: meta.heur,
-        };
-        self.push_succ(from, Move::Compute(node), d, self.eps_num, child)
-    }
-
-    fn push_succ(
-        &mut self,
-        from: u32,
-        mv: Move,
-        d: u64,
-        cost: u64,
-        meta: Meta,
-    ) -> Result<(), SolveError> {
-        // self.scratch holds the successor key
-        let key = std::mem::take(&mut self.scratch);
-        let (id, fresh) = self.arena.intern(&key);
-        if fresh {
-            // the deltas must agree with a full rescan of the child key
-            debug_assert_eq!(meta.red as usize, self.red_count_scan(&key));
-            debug_assert_eq!(meta.unsat, self.unsat_scan(&key));
-            debug_assert_eq!(meta.heur, self.heur_scan(&key));
-            self.nodes.push(meta.red, meta.unsat, meta.heur);
-        }
-        self.scratch = key;
-        if self.arena.len() > self.cfg.max_states {
-            return Err(SolveError::StateLimitExceeded {
-                limit: self.cfg.max_states,
-            });
-        }
-        let idx = id as usize;
-        let nd = d + cost;
-        if !self.nodes.settled[idx] && nd < self.nodes.dist[idx] {
-            self.nodes.dist[idx] = nd;
-            self.nodes.parent[idx] = (from, mv);
-            self.heap.push(Reverse((nd + self.nodes.heur[idx], id)));
-        }
-        Ok(())
     }
 
     /// Walks parent pointers from `goal` to the root. Called exactly once
@@ -639,7 +358,7 @@ impl<'a> Search<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rbp_core::{engine, CostModel};
+    use rbp_core::{engine, CostModel, ModelKind, SourceConvention};
     use rbp_graph::{generate, DagBuilder};
 
     fn check_optimal(instance: &Instance, expect_scaled: u64) {
@@ -856,5 +575,70 @@ mod tests {
             let sim = engine::simulate(&inst, &rep.trace).unwrap();
             assert_eq!(sim.cost, rep.cost, "cost must derive from the trace");
         }
+    }
+
+    #[test]
+    fn incumbent_bound_preserves_optimum() {
+        // seed with the loosest and the exactly-tight bound; the optimum
+        // and a valid trace must survive both
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            for _ in 0..4 {
+                let dag = generate::gnp_dag(6, 0.4, 2, &mut rng);
+                let r = dag.max_indegree() + 1;
+                let inst = Instance::new(dag, r, CostModel::of_kind(kind));
+                let plain = solve_exact(&inst).unwrap();
+                let opt = plain.cost.scaled(inst.model().epsilon()) as u64;
+                for bound in [opt, opt + 1, opt + 100] {
+                    let seeded = solve_exact_with(
+                        &inst,
+                        ExactConfig {
+                            upper_bound: Some(bound),
+                            ..ExactConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        seeded.cost.scaled(inst.model().epsilon()),
+                        opt as u128,
+                        "incumbent bound {bound} changed the optimum ({kind})"
+                    );
+                    assert!(seeded.states_seen <= plain.states_seen);
+                    let sim = engine::simulate(&inst, &seeded.trace).unwrap();
+                    assert_eq!(sim.cost, seeded.cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_incumbent_shrinks_the_search() {
+        // on a positive-cost instance, seeding with the exact optimum
+        // must intern strictly fewer states than the unseeded run; a
+        // height-3 binary in-tree at R=3 forces spills under base (its
+        // black-pebbling number is 4)
+        let mut b = DagBuilder::new(15);
+        for parent in 0..7 {
+            b.add_edge(2 * parent + 1, parent);
+            b.add_edge(2 * parent + 2, parent);
+        }
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::base());
+        let plain = solve_exact(&inst).unwrap();
+        let opt = plain.cost.scaled(inst.model().epsilon()) as u64;
+        let seeded = solve_exact_with(
+            &inst,
+            ExactConfig {
+                upper_bound: Some(opt),
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seeded.cost, plain.cost);
+        assert!(
+            seeded.states_seen < plain.states_seen,
+            "tight bound should prune interns ({} vs {})",
+            seeded.states_seen,
+            plain.states_seen
+        );
     }
 }

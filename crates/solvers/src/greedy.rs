@@ -100,7 +100,7 @@ impl std::fmt::Display for EvictionPolicy {
 }
 
 /// Full greedy configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GreedyConfig {
     /// Next-node selection rule.
     pub rule: SelectionRule,

@@ -3,15 +3,19 @@
 //! Solvers for red-blue pebble games:
 //!
 //! - [`exact`]: optimal pebbling via Dijkstra/A* over configurations, with
-//!   per-model optimality-preserving pruning and an unpruned reference
-//!   mode for cross-validation;
+//!   per-model optimality-preserving pruning, incumbent-bound pruning,
+//!   and an unpruned reference mode for cross-validation;
+//! - [`parallel`]: the hash-sharded parallel exact search (HDA*) over the
+//!   same configuration graph, seeded with a greedy incumbent;
+//! - [`expand`]: the move generator both exact solvers share;
 //! - [`greedy`]: the three natural greedy rules of Section 8 with
 //!   pluggable eviction policies;
 //! - [`visit`]: visit-order solvers for the paper's input-group
 //!   constructions (deterministic scheduler, exhaustive branch-and-bound,
 //!   Held–Karp DP);
-//! - [`sweep`]: parallel opt(R) tradeoff curves (Section 5);
-//! - [`portfolio`]: parallel best-of-greedy.
+//! - [`sweep`]: parallel opt(R) tradeoff curves (Section 5), fanned out
+//!   over the [`pool`] work queue;
+//! - [`portfolio`]: parallel best-of-greedy (also the incumbent seed).
 //!
 //! Every solver returns a concrete [`rbp_core::Pebbling`] trace whose cost
 //! is produced (or re-checked in tests) by the validating engine.
@@ -20,19 +24,24 @@ pub mod arena;
 pub mod beam;
 pub mod error;
 pub mod exact;
+pub mod expand;
 pub mod greedy;
 pub mod hash;
+pub mod parallel;
+pub mod pool;
 pub mod portfolio;
 pub mod sweep;
 pub mod visit;
 
-pub use arena::{NodeTable, StateArena, NO_STATE};
+pub use arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
 pub use beam::{solve_beam, BeamConfig};
 pub use error::SolveError;
 pub use exact::{solve_exact, solve_exact_with, solve_reference, ExactConfig, ExactReport};
+pub use expand::{Expander, Meta};
 pub use greedy::{
     solve_greedy, solve_greedy_with, EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule,
 };
+pub use parallel::{solve_exact_parallel, solve_exact_parallel_with, ParallelConfig};
 pub use portfolio::{default_portfolio, solve_portfolio};
-pub use sweep::{check_tradeoff_laws, sweep_exact_r, sweep_r, SweepPoint};
+pub use sweep::{check_tradeoff_laws, sweep_exact_parallel_r, sweep_exact_r, sweep_r, SweepPoint};
 pub use visit::{best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult};

@@ -23,27 +23,25 @@ pub fn default_portfolio() -> Vec<GreedyConfig> {
 
 /// Runs all `configs` in parallel and returns the cheapest report plus the
 /// winning configuration. Errors only if every configuration fails.
+///
+/// Concurrency is capped at `available_parallelism` through the shared
+/// work-queue pool ([`crate::pool::run_indexed`]) rather than spawning
+/// one thread per configuration; on a single-core host the whole
+/// portfolio runs inline on the caller with zero spawns, which keeps it
+/// cheap enough to seed exact-solver incumbents with.
 pub fn solve_portfolio(
     instance: &Instance,
     configs: &[GreedyConfig],
 ) -> Result<(GreedyConfig, GreedyReport), SolveError> {
     assert!(!configs.is_empty(), "empty portfolio");
     let eps = instance.model().epsilon();
-    let mut slots: Vec<Option<Result<GreedyReport, SolveError>>> =
-        (0..configs.len()).map(|_| None).collect();
-
-    std::thread::scope(|scope| {
-        for (slot, cfg) in slots.iter_mut().zip(configs.iter()) {
-            scope.spawn(move || {
-                *slot = Some(solve_greedy_with(instance, *cfg));
-            });
-        }
-    });
+    let slots: Vec<Result<GreedyReport, SolveError>> =
+        crate::pool::run_indexed(configs.len(), |i| solve_greedy_with(instance, configs[i]));
 
     let mut best: Option<(GreedyConfig, GreedyReport)> = None;
     let mut last_err = SolveError::NoPebblingFound;
     for (cfg, slot) in configs.iter().zip(slots) {
-        match slot.expect("slot filled") {
+        match slot {
             Ok(rep) => {
                 let better = match &best {
                     None => true,

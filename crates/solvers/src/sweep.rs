@@ -1,8 +1,11 @@
 //! Parallel parameter sweeps: opt(R) tradeoff curves (Section 5).
 //!
-//! The per-R solves are independent, so they fan out over scoped threads
-//! (`std::thread::scope`). Solvers themselves stay single-threaded and
-//! deterministic.
+//! The per-R solves are independent, so they fan out over the shared
+//! work-queue pool ([`crate::pool`]): threads claim R-values from an
+//! atomic next-index counter, so one expensive mid-range R cannot
+//! serialize the rest of the sweep. Solvers invoked through here stay
+//! single-threaded and deterministic (use [`crate::parallel`] to
+//! parallelize a single solve instead).
 //!
 //! Every [`SweepPoint`] carries the solver effort spent on it
 //! (`states_expanded` where the solver reports it, plus wall-clock time),
@@ -12,6 +15,7 @@
 
 use crate::error::SolveError;
 use crate::exact::{solve_exact_with, ExactConfig};
+use crate::parallel::{solve_exact_parallel_with, ParallelConfig};
 use rbp_core::{Cost, Instance};
 use std::time::Duration;
 
@@ -62,8 +66,42 @@ pub fn sweep_exact_r(
     })
 }
 
-/// Shared fan-out: runs `solver` per R on scoped threads and assembles
-/// timed points in increasing-R order.
+/// Sweeps the *parallel* exact solver ([`solve_exact_parallel_with`])
+/// over every R in `r_range`, in increasing-R order.
+///
+/// The parallelism shape is inverted relative to [`sweep_exact_r`]:
+/// points run one after another and each solve fans out across
+/// `cfg.threads` shards. That is the right split when individual solves
+/// dominate (few, large instances) — point-level fan-out wins when there
+/// are many small points. Mixing both would oversubscribe the host.
+pub fn sweep_exact_parallel_r(
+    instance: &Instance,
+    r_range: std::ops::RangeInclusive<usize>,
+    cfg: ParallelConfig,
+) -> Vec<SweepPoint> {
+    r_range
+        .map(|r| {
+            let inst = instance.with_red_limit(r);
+            let t0 = std::time::Instant::now();
+            let (result, states_expanded) = match solve_exact_parallel_with(&inst, cfg) {
+                Ok(rep) => (Ok(rep.cost), Some(rep.states_expanded)),
+                Err(e) => (Err(e), None),
+            };
+            SweepPoint {
+                r,
+                result,
+                states_expanded,
+                wall: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Shared fan-out: runs `solver` per R on the work-queue pool
+/// ([`crate::pool::run_indexed`]) and assembles timed points in
+/// increasing-R order. Each thread claims the next unsolved R as soon as
+/// it finishes its last one, so a single expensive mid-range R no longer
+/// serializes the rest of the sweep behind it.
 fn sweep_with<F>(
     instance: &Instance,
     r_range: std::ops::RangeInclusive<usize>,
@@ -73,42 +111,18 @@ where
     F: Fn(&Instance) -> (Result<Cost, SolveError>, Option<usize>) + Sync,
 {
     let rs: Vec<usize> = r_range.collect();
-    if rs.is_empty() {
-        return Vec::new();
-    }
-    let mut results: Vec<Option<SweepPoint>> = (0..rs.len()).map(|_| None).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(rs.len().max(1));
-
-    std::thread::scope(|scope| {
-        let chunks = results.chunks_mut(rs.len().div_ceil(threads));
-        for (chunk_idx, chunk) in chunks.enumerate() {
-            let rs = &rs;
-            let solver = &solver;
-            let base = chunk_idx * rs.len().div_ceil(threads);
-            scope.spawn(move || {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let r = rs[base + i];
-                    let inst = instance.with_red_limit(r);
-                    let t0 = std::time::Instant::now();
-                    let (result, states_expanded) = solver(&inst);
-                    *slot = Some(SweepPoint {
-                        r,
-                        result,
-                        states_expanded,
-                        wall: t0.elapsed(),
-                    });
-                }
-            });
+    crate::pool::run_indexed(rs.len(), |i| {
+        let r = rs[i];
+        let inst = instance.with_red_limit(r);
+        let t0 = std::time::Instant::now();
+        let (result, states_expanded) = solver(&inst);
+        SweepPoint {
+            r,
+            result,
+            states_expanded,
+            wall: t0.elapsed(),
         }
-    });
-
-    results
-        .into_iter()
-        .map(|p| p.expect("all slots filled"))
-        .collect()
+    })
 }
 
 /// Verifies the Section-5 staircase property on a curve: opt is
@@ -196,6 +210,31 @@ mod tests {
         assert!(points[0].result.is_err());
         assert!(points[0].states_expanded.is_none());
         assert!(points[1].states_expanded.is_some());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        let dag = generate::chain(6);
+        let inst = Instance::new(dag, 2, CostModel::nodel());
+        let seq = sweep_exact_r(&inst, 2..=4, ExactConfig::default());
+        let par = sweep_exact_parallel_r(
+            &inst,
+            2..=4,
+            ParallelConfig {
+                threads: 2,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(par.len(), seq.len());
+        let eps = inst.model().epsilon();
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.r, s.r, "increasing-R order preserved");
+            assert_eq!(
+                p.result.as_ref().unwrap().scaled(eps),
+                s.result.as_ref().unwrap().scaled(eps)
+            );
+            assert!(p.states_expanded.is_some());
+        }
     }
 
     #[test]

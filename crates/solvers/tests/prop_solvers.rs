@@ -5,9 +5,36 @@ use proptest::prelude::*;
 use rbp_core::{engine, CostModel, Instance, ModelKind};
 use rbp_graph::DagBuilder;
 use rbp_solvers::{
-    best_order, solve_beam, solve_exact, solve_greedy_with, BeamConfig, EvictionPolicy,
-    GreedyConfig, GroupSpec, GroupedDag, SelectionRule, StateArena,
+    best_order, solve_beam, solve_exact, solve_exact_parallel_with, solve_exact_with,
+    solve_greedy_with, BeamConfig, EvictionPolicy, ExactConfig, GreedyConfig, GroupSpec,
+    GroupedDag, ParallelConfig, SelectionRule, StateArena,
 };
+
+/// Random layered DAGs: `layers` layers of `width` nodes, each non-source
+/// node wired to 1–2 nodes of the previous layer (deterministic in the
+/// proptest-drawn edge choices, unlike `generate::layered`'s rng).
+fn arb_layered() -> impl Strategy<Value = rbp_graph::Dag> {
+    (2usize..=3, 2usize..=3).prop_flat_map(|(layers, width)| {
+        let slots = (layers - 1) * width * 2;
+        proptest::collection::vec(0usize..width, slots).prop_map(move |picks| {
+            let mut b = DagBuilder::new(layers * width);
+            let mut k = 0;
+            for layer in 1..layers {
+                for i in 0..width {
+                    let dst = layer * width + i;
+                    let mut srcs = [picks[k], picks[k + 1]];
+                    k += 2;
+                    srcs.sort_unstable();
+                    b.add_edge((layer - 1) * width + srcs[0], dst);
+                    if srcs[1] != srcs[0] {
+                        b.add_edge((layer - 1) * width + srcs[1], dst);
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
 
 fn arb_dag(max_n: usize) -> impl Strategy<Value = rbp_graph::Dag> {
     (3..=max_n).prop_flat_map(|n| {
@@ -177,6 +204,61 @@ proptest! {
         for (key, &id) in &reference {
             prop_assert_eq!(arena.key(id), &key[..]);
         }
+    }
+
+    /// The parallel solver finds the sequential optimum on random
+    /// layered DAGs at every thread count, in every model, and its trace
+    /// replays through the validating engine.
+    #[test]
+    fn parallel_matches_sequential_on_layered_dags(
+        dag in arb_layered(),
+        kind in 0usize..4,
+    ) {
+        let model = CostModel::of_kind(ModelKind::ALL[kind]);
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let eps = inst.model().epsilon();
+        let seq = solve_exact(&inst).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = solve_exact_parallel_with(
+                &inst,
+                ParallelConfig { threads, ..ParallelConfig::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(
+                par.cost.scaled(eps),
+                seq.cost.scaled(eps),
+                "threads={} diverged", threads
+            );
+            let sim = engine::simulate(&inst, &par.trace).unwrap();
+            prop_assert_eq!(sim.cost, par.cost);
+            prop_assert!(sim.peak_red <= inst.red_limit());
+        }
+    }
+
+    /// Incumbent-bound pruning never changes the sequential optimum —
+    /// for any valid upper bound, including the exactly-tight one.
+    #[test]
+    fn incumbent_pruning_preserves_sequential_optimum(
+        dag in arb_layered(),
+        kind in 0usize..4,
+        slack in 0u64..3,
+    ) {
+        let model = CostModel::of_kind(ModelKind::ALL[kind]);
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let eps = inst.model().epsilon();
+        let plain = solve_exact(&inst).unwrap();
+        let opt = plain.cost.scaled(eps) as u64;
+        let seeded = solve_exact_with(
+            &inst,
+            ExactConfig { upper_bound: Some(opt + slack), ..ExactConfig::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(seeded.cost.scaled(eps), opt as u128);
+        prop_assert!(seeded.states_seen <= plain.states_seen);
+        let sim = engine::simulate(&inst, &seeded.trace).unwrap();
+        prop_assert_eq!(sim.cost, seeded.cost);
     }
 
     /// Group visits in any order cost at least the free lower bound and
