@@ -7,7 +7,8 @@ use rand::SeedableRng;
 use rbp_core::{CostModel, Instance};
 use rbp_graph::Graph;
 use rbp_reductions::reduction_hampath;
-use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+use rbp_solvers::api::{GreedySolver, Solver};
+use rbp_solvers::{EvictionPolicy, GreedyConfig, SelectionRule};
 use rbp_workloads::matmul;
 
 fn bench_eviction_policies(c: &mut Criterion) {
@@ -21,13 +22,11 @@ fn bench_eviction_policies(c: &mut Criterion) {
     ] {
         group.bench_function(format!("{eviction}"), |b| {
             b.iter(|| {
-                let rep = solve_greedy_with(
-                    &inst,
-                    GreedyConfig {
-                        rule: SelectionRule::MostRedInputs,
-                        eviction,
-                    },
-                )
+                let rep = GreedySolver::with_config(GreedyConfig {
+                    rule: SelectionRule::MostRedInputs,
+                    eviction,
+                })
+                .solve_default(&inst)
                 .unwrap();
                 black_box(rep.cost.transfers)
             })

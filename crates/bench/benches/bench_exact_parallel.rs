@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbp_bench::perf_snapshot;
-use rbp_solvers::{solve_exact_parallel_with, ParallelConfig};
+use rbp_solvers::registry;
 
 fn bench_exact_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_parallel");
@@ -26,17 +26,14 @@ fn bench_exact_parallel(c: &mut Criterion) {
         .collect();
     for case in &cases {
         for threads in [1usize, 2, 4] {
-            let cfg = ParallelConfig {
-                threads,
-                ..ParallelConfig::default()
-            };
+            let solver = registry::solver(&format!("exact-parallel:{threads}")).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(
                     format!("{}_{}", case.workload, case.model),
                     format!("{threads}t"),
                 ),
                 &case.instance,
-                |b, inst| b.iter(|| black_box(solve_exact_parallel_with(inst, cfg).unwrap().cost)),
+                |b, inst| b.iter(|| black_box(solver.solve_default(inst).unwrap().cost)),
             );
         }
     }

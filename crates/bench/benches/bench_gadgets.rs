@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rbp_core::{CostModel, Instance};
 use rbp_gadgets::{cd, h2c, pyramid};
-use rbp_solvers::solve_exact;
+use rbp_solvers::registry;
 
 fn bench_gadget_builds(c: &mut Criterion) {
     c.bench_function("fig1_build_cd_ladder_g8_h50", |b| {
@@ -16,6 +16,7 @@ fn bench_gadget_builds(c: &mut Criterion) {
 }
 
 fn bench_gadget_exact(c: &mut Criterion) {
+    let exact = registry::solver("exact").unwrap();
     let mut group = c.benchmark_group("gadget_exact");
     group.sample_size(10);
     let ladder = cd::build(2, 4);
@@ -25,18 +26,18 @@ fn bench_gadget_exact(c: &mut Criterion) {
             ladder.free_budget() - 1,
             CostModel::oneshot(),
         );
-        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+        b.iter(|| black_box(exact.solve_default(&inst).unwrap().cost.transfers))
     });
     let p = pyramid::build(4);
     group.bench_function("fig1_pyramid_starved", |b| {
         let inst = Instance::new(p.dag.clone(), 4, CostModel::oneshot());
-        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+        b.iter(|| black_box(exact.solve_default(&inst).unwrap().cost.transfers))
     });
     let dag = rbp_graph::DagBuilder::new(1).build().unwrap();
     let h = h2c::attach(&dag, h2c::H2cConfig::standard(4));
     group.bench_function("fig2_h2c_exact", |b| {
         let inst = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
-        b.iter(|| black_box(solve_exact(&inst).unwrap().cost.transfers))
+        b.iter(|| black_box(exact.solve_default(&inst).unwrap().cost.transfers))
     });
     group.finish();
 }

@@ -4,7 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbp_core::{engine, CostModel};
 use rbp_gadgets::grid::{self, GridConfig};
-use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+use rbp_solvers::api::{GreedySolver, Solver};
+use rbp_solvers::{EvictionPolicy, GreedyConfig, SelectionRule};
 
 fn bench_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_grid");
@@ -19,13 +20,11 @@ fn bench_grid(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("greedy", &id), &g, |b, g| {
             let inst = g.instance(CostModel::oneshot());
             b.iter(|| {
-                let rep = solve_greedy_with(
-                    &inst,
-                    GreedyConfig {
-                        rule: SelectionRule::MostRedInputs,
-                        eviction: EvictionPolicy::MinUses,
-                    },
-                )
+                let rep = GreedySolver::with_config(GreedyConfig {
+                    rule: SelectionRule::MostRedInputs,
+                    eviction: EvictionPolicy::MinUses,
+                })
+                .solve_default(&inst)
                 .unwrap();
                 black_box(rep.cost.transfers)
             })

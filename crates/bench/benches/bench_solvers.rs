@@ -6,7 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rbp_core::{CostModel, Instance};
 use rbp_graph::generate;
-use rbp_solvers::{solve_exact, solve_exact_with, solve_greedy, ExactConfig};
+use rbp_solvers::api::{ExactSolver, Solver};
+use rbp_solvers::{registry, ExactConfig};
 
 fn bench_exact_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_solver");
@@ -16,17 +17,16 @@ fn bench_exact_scaling(c: &mut Criterion) {
         let dag = generate::gnp_dag(n, 0.3, 2, &mut rng);
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, CostModel::oneshot());
+        let astar = registry::solver("exact").unwrap();
         group.bench_with_input(BenchmarkId::new("astar_oneshot", n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_exact(inst).unwrap().cost))
+            b.iter(|| black_box(astar.solve_default(inst).unwrap().cost))
+        });
+        let dijkstra = ExactSolver::with_config(ExactConfig {
+            astar: false,
+            ..ExactConfig::default()
         });
         group.bench_with_input(BenchmarkId::new("dijkstra_oneshot", n), &inst, |b, inst| {
-            b.iter(|| {
-                let cfg = ExactConfig {
-                    astar: false,
-                    ..ExactConfig::default()
-                };
-                black_box(solve_exact_with(inst, cfg).unwrap().cost)
-            })
+            b.iter(|| black_box(dijkstra.solve_default(inst).unwrap().cost))
         });
     }
     group.finish();
@@ -38,8 +38,9 @@ fn bench_greedy_scaling(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         let dag = generate::layered(n / 20, 20, 3, &mut rng);
         let inst = Instance::new(dag, 8, CostModel::oneshot());
+        let greedy = registry::solver("greedy").unwrap();
         group.bench_with_input(BenchmarkId::new("layered", n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_greedy(inst).unwrap().cost))
+            b.iter(|| black_box(greedy.solve_default(inst).unwrap().cost))
         });
     }
     group.finish();

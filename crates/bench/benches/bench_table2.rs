@@ -6,9 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rbp_core::{CostModel, Instance, ModelKind};
 use rbp_graph::generate;
-use rbp_solvers::solve_exact;
+use rbp_solvers::registry;
 
 fn bench_per_model_exact(c: &mut Criterion) {
+    let exact = registry::solver("exact").unwrap();
     let mut group = c.benchmark_group("table2_exact_per_model");
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(9);
@@ -17,7 +18,7 @@ fn bench_per_model_exact(c: &mut Criterion) {
     for kind in ModelKind::ALL {
         let inst = Instance::new(dag.clone(), r, CostModel::of_kind(kind));
         group.bench_function(format!("{kind}"), |b| {
-            b.iter(|| black_box(solve_exact(&inst).unwrap().cost))
+            b.iter(|| black_box(exact.solve_default(&inst).unwrap().cost))
         });
     }
     group.finish();

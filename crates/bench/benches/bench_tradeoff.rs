@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rbp_core::{engine, CostModel, Instance};
 use rbp_gadgets::tradeoff;
-use rbp_solvers::solve_exact;
+use rbp_solvers::registry;
 
 fn bench_staircase_emit(c: &mut Criterion) {
     let t = tradeoff::build(6, 100);
@@ -23,6 +23,7 @@ fn bench_staircase_emit(c: &mut Criterion) {
 }
 
 fn bench_staircase_exact(c: &mut Criterion) {
+    let exact = registry::solver("exact").unwrap();
     let t = tradeoff::build(2, 3);
     let mut group = c.benchmark_group("fig4_exact");
     group.sample_size(10);
@@ -31,7 +32,7 @@ fn bench_staircase_exact(c: &mut Criterion) {
             let mut total = 0u64;
             for r in t.min_r()..=t.free_r() {
                 let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
-                total += solve_exact(&inst).unwrap().cost.transfers;
+                total += exact.solve_default(&inst).unwrap().cost.transfers;
             }
             black_box(total)
         })

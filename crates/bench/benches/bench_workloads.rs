@@ -3,29 +3,30 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbp_core::{CostModel, Instance};
-use rbp_solvers::solve_greedy;
+use rbp_solvers::registry;
 use rbp_workloads::{fft, matmul, stencil};
 
 fn bench_workloads(c: &mut Criterion) {
+    let greedy = registry::solver("greedy").unwrap();
     let mut group = c.benchmark_group("workloads_greedy");
     for n in [4usize, 6, 8] {
         let mm = matmul::build(n);
         group.bench_with_input(BenchmarkId::new("matmul", n), &mm.dag, |b, dag| {
             let inst = Instance::new(dag.clone(), 2 * n, CostModel::oneshot());
-            b.iter(|| black_box(solve_greedy(&inst).unwrap().cost.transfers))
+            b.iter(|| black_box(greedy.solve_default(&inst).unwrap().cost.transfers))
         });
     }
     for logn in [4u32, 6, 8] {
         let f = fft::build(logn);
         group.bench_with_input(BenchmarkId::new("fft", 1u64 << logn), &f.dag, |b, dag| {
             let inst = Instance::new(dag.clone(), 16, CostModel::oneshot());
-            b.iter(|| black_box(solve_greedy(&inst).unwrap().cost.transfers))
+            b.iter(|| black_box(greedy.solve_default(&inst).unwrap().cost.transfers))
         });
     }
     let st = stencil::build(32, 16, 1);
     group.bench_function("stencil_32x16", |b| {
         let inst = Instance::new(st.dag.clone(), 12, CostModel::oneshot());
-        b.iter(|| black_box(solve_greedy(&inst).unwrap().cost.transfers))
+        b.iter(|| black_box(greedy.solve_default(&inst).unwrap().cost.transfers))
     });
     group.finish();
 }

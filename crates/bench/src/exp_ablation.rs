@@ -9,7 +9,8 @@ use crate::report::Table;
 use rbp_core::{CostModel, Instance};
 use rbp_graph::Graph;
 use rbp_reductions::reduction_hampath;
-use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+use rbp_solvers::api::{GreedySolver, Solver};
+use rbp_solvers::{registry, EvictionPolicy, GreedyConfig, SelectionRule};
 use rbp_workloads::{fft, matmul, stencil};
 use std::path::Path;
 use std::time::Instant;
@@ -37,13 +38,11 @@ pub fn run(out: &Path) {
             EvictionPolicy::Random(7),
         ] {
             let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-            let rep = solve_greedy_with(
-                &inst,
-                GreedyConfig {
-                    rule: SelectionRule::MostRedInputs,
-                    eviction,
-                },
-            )
+            let rep = GreedySolver::with_config(GreedyConfig {
+                rule: SelectionRule::MostRedInputs,
+                eviction,
+            })
+            .solve_default(&inst)
             .expect("feasible");
             cells.push(rep.cost.transfers.to_string());
         }
@@ -65,13 +64,11 @@ pub fn run(out: &Path) {
         let mut cells = vec![name.to_string(), r.to_string()];
         for rule in SelectionRule::ALL {
             let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-            let rep = solve_greedy_with(
-                &inst,
-                GreedyConfig {
-                    rule,
-                    eviction: EvictionPolicy::MinUses,
-                },
-            )
+            let rep = GreedySolver::with_config(GreedyConfig {
+                rule,
+                eviction: EvictionPolicy::MinUses,
+            })
+            .solve_default(&inst)
             .expect("feasible");
             cells.push(rep.cost.transfers.to_string());
         }
@@ -133,13 +130,11 @@ pub fn run(out: &Path) {
         .expect("valid")
         .cost
         .transfers;
-    let greedy = solve_greedy_with(
-        &inst,
-        GreedyConfig {
-            rule: SelectionRule::MostRedInputs,
-            eviction: EvictionPolicy::MinUses,
-        },
-    )
+    let greedy = GreedySolver::with_config(GreedyConfig {
+        rule: SelectionRule::MostRedInputs,
+        eviction: EvictionPolicy::MinUses,
+    })
+    .solve_default(&inst)
     .expect("feasible");
     t4.row_strings(vec![
         "greedy (most-red)".into(),
@@ -147,8 +142,7 @@ pub fn run(out: &Path) {
         format!("{:.2}x", greedy.cost.transfers as f64 / opt.max(1) as f64),
     ]);
     for width in [1usize, 4, 16, 64] {
-        let rep =
-            rbp_solvers::solve_beam(&inst, rbp_solvers::BeamConfig { width }).expect("feasible");
+        let rep = registry::solve(&format!("beam:{width}"), &inst).expect("feasible");
         t4.row_strings(vec![
             format!("beam w={width}"),
             rep.cost.transfers.to_string(),

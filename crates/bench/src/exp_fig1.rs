@@ -6,7 +6,7 @@
 use crate::report::Table;
 use rbp_core::{CostModel, Instance};
 use rbp_gadgets::{cd, pyramid};
-use rbp_solvers::solve_exact;
+use rbp_solvers::registry;
 use std::path::Path;
 
 /// Regenerates the Figure-1 gadget comparison.
@@ -25,32 +25,44 @@ pub fn run(out: &Path) {
     );
     for h in 3..=6usize {
         let ladder = cd::build(2, h);
-        let lf = solve_exact(&Instance::new(
-            ladder.dag.clone(),
-            ladder.free_budget(),
-            CostModel::oneshot(),
-        ))
+        let lf = registry::solve(
+            "exact",
+            &Instance::new(
+                ladder.dag.clone(),
+                ladder.free_budget(),
+                CostModel::oneshot(),
+            ),
+        )
         .expect("feasible")
         .cost
         .transfers;
-        let ls = solve_exact(&Instance::new(
-            ladder.dag.clone(),
-            ladder.free_budget() - 1,
-            CostModel::oneshot(),
-        ))
+        let ls = registry::solve(
+            "exact",
+            &Instance::new(
+                ladder.dag.clone(),
+                ladder.free_budget() - 1,
+                CostModel::oneshot(),
+            ),
+        )
         .expect("feasible")
         .cost
         .transfers;
 
         let p = pyramid::build(h);
-        let pf = solve_exact(&Instance::new(p.dag.clone(), h + 1, CostModel::oneshot()))
-            .expect("feasible")
-            .cost
-            .transfers;
-        let ps = solve_exact(&Instance::new(p.dag.clone(), h, CostModel::oneshot()))
-            .expect("feasible")
-            .cost
-            .transfers;
+        let pf = registry::solve(
+            "exact",
+            &Instance::new(p.dag.clone(), h + 1, CostModel::oneshot()),
+        )
+        .expect("feasible")
+        .cost
+        .transfers;
+        let ps = registry::solve(
+            "exact",
+            &Instance::new(p.dag.clone(), h, CostModel::oneshot()),
+        )
+        .expect("feasible")
+        .cost
+        .transfers;
 
         t.row(&[&h, &lf, &ls, &(ls - lf), &pf, &ps, &(ps - pf)]);
     }

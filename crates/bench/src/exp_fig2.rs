@@ -6,7 +6,7 @@ use crate::report::Table;
 use rbp_core::{CostModel, Instance, ModelKind};
 use rbp_gadgets::h2c::{self, H2cConfig};
 use rbp_graph::DagBuilder;
-use rbp_solvers::solve_exact;
+use rbp_solvers::registry;
 use std::path::Path;
 
 /// Regenerates the Figure-2 gadget measurements.
@@ -21,7 +21,7 @@ pub fn run(out: &Path) {
             let h = h2c::attach(&dag, H2cConfig::standard(r));
             let model = CostModel::of_kind(kind);
             let inst = Instance::new(h.dag.clone(), r, model);
-            let opt = solve_exact(&inst).expect("feasible");
+            let opt = registry::solve("exact", &inst).expect("feasible");
             t.row_strings(vec![
                 kind.to_string(),
                 r.to_string(),

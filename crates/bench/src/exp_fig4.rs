@@ -7,7 +7,8 @@
 use crate::report::Table;
 use rbp_core::{engine, CostModel, Instance, ModelKind};
 use rbp_gadgets::tradeoff;
-use rbp_solvers::{sweep_exact_r, ExactConfig};
+use rbp_solvers::api::ExactSolver;
+use rbp_solvers::sweep_r;
 use std::path::Path;
 
 /// Regenerates the Figure-4 tradeoff curves.
@@ -54,10 +55,12 @@ pub fn run(out: &Path) {
     // exact-solver cross-check at small size: the staircase is optimal
     let small = tradeoff::build(2, 4);
     let inst = Instance::new(small.dag.clone(), small.min_r(), CostModel::oneshot());
-    let points = sweep_exact_r(
+    // unseeded: the sweep itself fans points over the pool, and the
+    // seeded solver's portfolio escalation would nest a second fan-out
+    let points = sweep_r(
         &inst,
         small.min_r()..=small.free_r(),
-        ExactConfig::default(),
+        &ExactSolver::new().unseeded(),
     );
     let mut check = Table::new(
         "Fig. 4 cross-check — exact optimum vs closed form (d=2, n=4)",
@@ -65,10 +68,10 @@ pub fn run(out: &Path) {
     );
     let mut all_match = true;
     for p in &points {
-        let exact = p.result.as_ref().expect("feasible").transfers;
+        let exact = p.cost().expect("feasible").transfers;
         let formula = small.expected_oneshot_cost(p.r);
         all_match &= exact == formula;
-        let states = p.states_expanded.unwrap_or(0);
+        let states = p.states_expanded().unwrap_or(0);
         let ms = format!("{:.2}", p.wall.as_secs_f64() * 1e3);
         check.row(&[&p.r, &exact, &formula, &(exact == formula), &states, &ms]);
     }

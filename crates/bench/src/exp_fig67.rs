@@ -8,7 +8,7 @@ use crate::report::Table;
 use rbp_core::CostModel;
 use rbp_graph::{Graph, NodeId};
 use rbp_reductions::{reduction_vc, vertex_cover};
-use rbp_solvers::{best_order, solve_greedy};
+use rbp_solvers::{best_order, registry};
 use std::path::Path;
 
 fn battery() -> Vec<(String, Graph)> {
@@ -48,8 +48,8 @@ pub fn run(out: &Path) {
         let valid = red.graph.is_vertex_cover(&decoded);
 
         // an approximate pebbling decodes to a larger cover
-        let greedy = solve_greedy(&inst).expect("feasible");
-        let visits = visits_of(&red, &greedy.order);
+        let greedy = registry::solve("greedy", &inst).expect("feasible");
+        let visits = visits_of(&red, &greedy.computation_order());
         let greedy_cover = red.decode(&visits);
         let approx = vertex_cover::two_approx_cover(&red.graph);
 

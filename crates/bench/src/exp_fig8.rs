@@ -7,7 +7,8 @@
 use crate::report::Table;
 use rbp_core::{engine, CostModel, Instance, ModelKind};
 use rbp_gadgets::grid::{self, GridConfig};
-use rbp_solvers::{solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+use rbp_solvers::api::{GreedySolver, Solver};
+use rbp_solvers::{EvictionPolicy, GreedyConfig, SelectionRule};
 use std::path::Path;
 
 fn greedy_cfg() -> GreedyConfig {
@@ -47,8 +48,10 @@ pub fn run(out: &Path) {
             mis: 2,
         });
         let inst = g.instance(CostModel::oneshot());
-        let rep = solve_greedy_with(&inst, greedy_cfg()).expect("feasible");
-        let visits = g.decode_visits(&rep.order);
+        let rep = GreedySolver::with_config(greedy_cfg())
+            .solve_default(&inst)
+            .expect("feasible");
+        let visits = g.decode_visits(&rep.computation_order());
         let trapped = visits == g.greedy_order();
         let opt_trace = g
             .grouped
@@ -90,7 +93,9 @@ pub fn run(out: &Path) {
         for ell in [3usize, 4, 5] {
             let g = grid::build(GridConfig::constant_k(ell));
             let inst = g.instance(model);
-            let rep = solve_greedy_with(&inst, greedy_cfg()).expect("feasible");
+            let rep = GreedySolver::with_config(greedy_cfg())
+                .solve_default(&inst)
+                .expect("feasible");
             let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).expect("valid");
             let opt = engine::simulate(&inst, &opt_trace).expect("valid");
             let (gs, os) = (

@@ -7,7 +7,7 @@ use crate::report::Table;
 use rbp_core::{bounds, CostModel, Instance, ModelKind};
 use rbp_gadgets::grid::{self, GridConfig};
 use rbp_graph::generate;
-use rbp_solvers::{best_order, solve_exact, solve_greedy};
+use rbp_solvers::{best_order, registry};
 use std::path::Path;
 
 /// Regenerates Table 2.
@@ -42,7 +42,7 @@ pub fn run(out: &Path) {
             let inst = Instance::new(dag.clone(), r, model);
             let (lo, hi) = bounds::optimum_bracket(&inst);
             bracket = format!("{lo}..{hi}");
-            let opt = solve_exact(&inst).expect("feasible");
+            let opt = registry::solve("exact", &inst).expect("feasible");
             let scaled = opt.cost.scaled(model.epsilon());
             min_scaled = min_scaled.min(scaled);
             max_scaled = max_scaled.max(scaled);
@@ -68,7 +68,7 @@ pub fn run(out: &Path) {
             };
             let g = grid::build(cfg);
             let inst = g.instance(model);
-            let greedy = solve_greedy(&inst).expect("feasible");
+            let greedy = registry::solve("greedy", &inst).expect("feasible");
             let best = best_order(&g.grouped, &inst).expect("feasible");
             format!(
                 "{:.2}",

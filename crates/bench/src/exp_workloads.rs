@@ -4,7 +4,7 @@
 
 use crate::report::Table;
 use rbp_core::{CostModel, Instance};
-use rbp_solvers::{default_portfolio, solve_portfolio};
+use rbp_solvers::registry;
 use rbp_workloads::{fft, matmul, stencil, tree};
 use std::path::Path;
 
@@ -30,8 +30,8 @@ pub fn run(out: &Path) {
     for r in [3usize, 4, 6, 8, 12, 16, 24, 32] {
         let cost = |dag: &rbp_graph::Dag| -> String {
             let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-            match solve_portfolio(&inst, &default_portfolio()) {
-                Ok((_, rep)) => rep.cost.transfers.to_string(),
+            match registry::solve("portfolio", &inst) {
+                Ok(sol) => sol.cost.transfers.to_string(),
                 Err(_) => "-".into(),
             }
         };

@@ -3,21 +3,19 @@
 //! Sweeps a fixed instance matrix — {chain, pyramid, grid, layered,
 //! matmul, fft} × {base, oneshot, nodel} at sizes that solve in
 //! milliseconds, plus larger cells the incumbent-seeded solver makes
-//! tractable — through the exact solver at 1 and [`PARALLEL_THREADS`]
-//! threads, and writes `BENCH_exact.json` (schema
-//! `rbp-perf-exact/v2`) with per-cell median wall time, interned-state
-//! throughput, and search effort. The file is committed at the workspace
-//! root so every PR leaves a perf trajectory to compare against; CI
-//! regenerates it as an informational artifact and runs [`check`]
-//! (`perf-check`) to annotate throughput regressions against the
-//! committed baseline.
+//! tractable — through every registry spec in [`SNAPSHOT_SPECS`] and
+//! writes `BENCH_exact.json` (schema `rbp-perf-exact/v3`) with per-cell
+//! median wall time, interned-state throughput, and search effort. The
+//! file is committed at the workspace root so every PR leaves a perf
+//! trajectory to compare against; CI regenerates it as an informational
+//! artifact and runs [`check`] (`perf-check`) to annotate throughput
+//! regressions against the committed baseline.
 //!
-//! The `threads = 1` rows go through
-//! [`rbp_solvers::solve_exact_parallel_with`] too, which routes a single
-//! thread to the sequential solver seeded with the greedy-portfolio
-//! incumbent — so the recorded sequential trajectory includes
-//! incumbent-bound pruning, and the multi-thread rows are measured
-//! against the exact same entry point.
+//! Every row records the **registry spec** that produced it
+//! (`"exact"` — the sequential path with the greedy incumbent seed —
+//! and `"exact-parallel:4"` — the hash-sharded search). Diffs are keyed
+//! by `(workload, model, spec)`, so adding a solver to the matrix is
+//! one more spec string, not a schema change.
 //!
 //! The same instance matrix backs the `bench_exact_hotpath` and
 //! `bench_exact_parallel` criterion targets, so interactive `cargo
@@ -28,21 +26,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rbp_core::{CostModel, Instance, ModelKind};
 use rbp_graph::generate;
-use rbp_solvers::{solve_exact_parallel_with, ParallelConfig};
+use rbp_solvers::api::Solution;
+use rbp_solvers::registry;
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-/// The snapshot's JSON schema id. v2 added the `threads` column, the
-/// `host_parallelism` field, and the larger incumbent-tractable cells.
-pub const SCHEMA: &str = "rbp-perf-exact/v2";
+/// The snapshot's JSON schema id. v3 replaced the bare `threads` key
+/// with the registry `spec` that produced each row (threads is kept as
+/// a derived display column), so future solver specs extend the matrix
+/// without schema churn.
+pub const SCHEMA: &str = "rbp-perf-exact/v3";
 
-/// Thread counts every cell is measured at. `1` is the
-/// incumbent-seeded sequential path; the second entry exercises the
-/// hash-sharded parallel search.
-pub const SNAPSHOT_THREADS: [usize; 2] = [1, PARALLEL_THREADS];
+/// The registry specs every cell is measured under: the
+/// incumbent-seeded sequential path and the hash-sharded parallel
+/// search.
+pub const SNAPSHOT_SPECS: [&str; 2] = ["exact", "exact-parallel:4"];
 
-/// The multi-threaded column of the snapshot.
+/// The thread count behind the parallel snapshot spec (also used by the
+/// `bench_exact_parallel` criterion target).
 pub const PARALLEL_THREADS: usize = 4;
 
 /// One workload × model cell of the perf matrix.
@@ -153,7 +155,10 @@ pub struct CellResult {
     pub n: usize,
     /// Red-pebble budget.
     pub r: usize,
-    /// Worker threads the solve ran with (1 = sequential + incumbent).
+    /// The registry spec that produced this row.
+    pub spec: String,
+    /// Worker threads the solve ran with (derived from the solver's
+    /// stats; 1 = sequential + incumbent).
     pub threads: usize,
     /// Median wall time of one solve, nanoseconds.
     pub median_ns: u128,
@@ -170,50 +175,50 @@ pub struct CellResult {
     pub scaled_cost: u128,
 }
 
-/// Solves `cases` at every thread count in `threads`, `samples` times
-/// each, reporting the median-time run per (cell, threads) pair.
-pub fn measure_cases(cases: &[PerfCase], samples: usize, threads: &[usize]) -> Vec<CellResult> {
+/// Solves `cases` under every registry spec in `specs`, `samples` times
+/// each, reporting the median-time run per (cell, spec) pair.
+pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<CellResult> {
     assert!(samples >= 1);
-    let mut results = Vec::with_capacity(cases.len() * threads.len());
+    let mut results = Vec::with_capacity(cases.len() * specs.len());
     for case in cases {
-        for &t in threads {
-            let cfg = ParallelConfig {
-                threads: t,
-                ..ParallelConfig::default()
-            };
-            let mut runs: Vec<(u128, rbp_solvers::ExactReport)> = Vec::with_capacity(samples);
+        for &spec in specs {
+            let solver = registry::solver(spec).expect("snapshot specs parse");
+            let mut runs: Vec<(u128, Solution)> = Vec::with_capacity(samples);
             for _ in 0..samples {
                 let t0 = Instant::now();
-                let r = solve_exact_parallel_with(&case.instance, cfg)
+                let sol = solver
+                    .solve_default(&case.instance)
                     .expect("perf cells are feasible");
-                runs.push((t0.elapsed().as_nanos(), r));
+                runs.push((t0.elapsed().as_nanos(), sol));
             }
-            // the report must come from the SAME run as the median time:
+            // the stats must come from the SAME run as the median time:
             // the sharded search's states_seen varies run to run, and
             // mixing runs would skew states_per_sec by that variance
             runs.sort_unstable_by_key(|(ns, _)| *ns);
-            let (median_ns, rep) = &runs[runs.len() / 2];
+            let (median_ns, sol) = &runs[runs.len() / 2];
             let median_ns = (*median_ns).max(1);
+            let states_seen = sol.states_seen().unwrap_or(0) as usize;
             results.push(CellResult {
                 workload: case.workload.to_string(),
                 model: case.model.to_string(),
                 n: case.instance.dag().n(),
                 r: case.instance.red_limit(),
-                threads: t,
+                spec: spec.to_string(),
+                threads: sol.stats.get("threads").unwrap_or(1) as usize,
                 median_ns,
-                states_seen: rep.states_seen,
-                states_expanded: rep.states_expanded,
-                states_per_sec: ((rep.states_seen as u128 * 1_000_000_000) / median_ns) as u64,
-                scaled_cost: rep.cost.scaled(case.instance.model().epsilon()),
+                states_seen,
+                states_expanded: sol.states_expanded().unwrap_or(0) as usize,
+                states_per_sec: ((states_seen as u128 * 1_000_000_000) / median_ns) as u64,
+                scaled_cost: sol.scaled_cost(&case.instance),
             });
         }
     }
     results
 }
 
-/// Measures the full recorded matrix at [`SNAPSHOT_THREADS`].
+/// Measures the full recorded matrix at [`SNAPSHOT_SPECS`].
 pub fn measure(samples: usize) -> Vec<CellResult> {
-    measure_cases(&all_cells(), samples, &SNAPSHOT_THREADS)
+    measure_cases(&all_cells(), samples, &SNAPSHOT_SPECS)
 }
 
 /// Writes the snapshot as `<dir>/BENCH_exact.json` and returns the path.
@@ -225,9 +230,9 @@ pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::pa
     writeln!(f, "  \"schema\": \"{SCHEMA}\",")?;
     writeln!(
         f,
-        "  \"description\": \"exact-solver hot-path baselines at 1 and {PARALLEL_THREADS} \
-         threads; regenerate with `cargo run --release -p rbp-bench --bin experiments -- \
-         perf-snapshot`, diff with `... -- perf-check`\","
+        "  \"description\": \"exact-solver hot-path baselines per registry spec; regenerate \
+         with `cargo run --release -p rbp-bench --bin experiments -- perf-snapshot`, diff with \
+         `... -- perf-check`\","
     )?;
     writeln!(
         f,
@@ -240,12 +245,13 @@ pub fn write_json(results: &[CellResult], dir: &Path) -> std::io::Result<std::pa
         writeln!(
             f,
             "    {{\"workload\": \"{}\", \"model\": \"{}\", \"n\": {}, \"r\": {}, \
-             \"threads\": {}, \"median_ns\": {}, \"states_seen\": {}, \"states_expanded\": {}, \
-             \"states_per_sec\": {}, \"scaled_cost\": {}}}{}",
+             \"spec\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"states_seen\": {}, \
+             \"states_expanded\": {}, \"states_per_sec\": {}, \"scaled_cost\": {}}}{}",
             c.workload,
             c.model,
             c.n,
             c.r,
+            c.spec,
             c.threads,
             c.median_ns,
             c.states_seen,
@@ -264,7 +270,7 @@ fn print_table(results: &[CellResult]) {
     let mut table = Table::new(
         "perf-snapshot — exact solver hot path (median over samples)",
         &[
-            "workload", "model", "n", "R", "thr", "ms", "states", "expanded", "states/s", "cost",
+            "workload", "model", "n", "R", "spec", "ms", "states", "expanded", "states/s", "cost",
         ],
     );
     for c in results {
@@ -273,7 +279,7 @@ fn print_table(results: &[CellResult]) {
             c.model.clone(),
             c.n.to_string(),
             c.r.to_string(),
-            c.threads.to_string(),
+            c.spec.clone(),
             format!("{:.3}", c.median_ns as f64 / 1e6),
             c.states_seen.to_string(),
             c.states_expanded.to_string(),
@@ -309,8 +315,8 @@ pub struct ParsedCell {
     pub workload: String,
     /// Cost-model name.
     pub model: String,
-    /// Worker threads the recorded solve ran with.
-    pub threads: usize,
+    /// The registry spec that produced the row (the diff key).
+    pub spec: String,
     /// Recorded median wall time, nanoseconds.
     pub median_ns: u128,
     /// Recorded interned-state throughput.
@@ -359,7 +365,7 @@ pub fn parse_snapshot(json: &str) -> Option<Vec<ParsedCell>> {
         cells.push(ParsedCell {
             workload: str_field(line, "workload")?,
             model: str_field(line, "model")?,
-            threads: num_field(line, "threads")? as usize,
+            spec: str_field(line, "spec")?,
             median_ns: num_field(line, "median_ns")?,
             states_per_sec: num_field(line, "states_per_sec")? as u64,
             scaled_cost: num_field(line, "scaled_cost")?,
@@ -388,7 +394,7 @@ fn measure_parsed() -> Vec<ParsedCell> {
         .map(|c| ParsedCell {
             workload: c.workload,
             model: c.model,
-            threads: c.threads,
+            spec: c.spec,
             median_ns: c.median_ns,
             states_per_sec: c.states_per_sec,
             scaled_cost: c.scaled_cost,
@@ -470,19 +476,20 @@ pub fn check(dir: &Path) -> usize {
     }
     let mut regressed = 0;
     for new in &fresh {
-        let Some(old) = baseline.iter().find(|c| {
-            c.workload == new.workload && c.model == new.model && c.threads == new.threads
-        }) else {
+        let Some(old) = baseline
+            .iter()
+            .find(|c| c.workload == new.workload && c.model == new.model && c.spec == new.spec)
+        else {
             println!(
                 "perf-check: new cell {}/{}@{} (no baseline)",
-                new.workload, new.model, new.threads
+                new.workload, new.model, new.spec
             );
             continue;
         };
         if new.scaled_cost != old.scaled_cost {
             println!(
-                "::error title=optimum drift::{}/{}@{}t: scaled cost {} != committed {}",
-                new.workload, new.model, new.threads, new.scaled_cost, old.scaled_cost
+                "::error title=optimum drift::{}/{}@{}: scaled cost {} != committed {}",
+                new.workload, new.model, new.spec, new.scaled_cost, old.scaled_cost
             );
             regressed += 1;
             continue;
@@ -499,20 +506,20 @@ pub fn check(dir: &Path) -> usize {
         if ratio < threshold {
             regressed += 1;
             println!(
-                "::warning title=perf regression::{}/{}@{}t: {} states/s vs committed {} ({:.0}%)",
+                "::warning title=perf regression::{}/{}@{}: {} states/s vs committed {} ({:.0}%)",
                 new.workload,
                 new.model,
-                new.threads,
+                new.spec,
                 new.states_per_sec,
                 old.states_per_sec,
                 ratio * 100.0
             );
         } else {
             println!(
-                "perf-check: {}/{}@{}t ok ({:.0}% of baseline)",
+                "perf-check: {}/{}@{} ok ({:.0}% of baseline)",
                 new.workload,
                 new.model,
-                new.threads,
+                new.spec,
                 ratio * 100.0
             );
         }
@@ -523,12 +530,12 @@ pub fn check(dir: &Path) -> usize {
     for old in &baseline {
         if !fresh
             .iter()
-            .any(|c| c.workload == old.workload && c.model == old.model && c.threads == old.threads)
+            .any(|c| c.workload == old.workload && c.model == old.model && c.spec == old.spec)
         {
             println!(
-                "::warning title=lost coverage::{}/{}@{}t: in the committed baseline but not \
+                "::warning title=lost coverage::{}/{}@{}: in the committed baseline but not \
                  measured anymore",
-                old.workload, old.model, old.threads
+                old.workload, old.model, old.spec
             );
             lost += 1;
         }
@@ -552,12 +559,12 @@ mod tests {
         // file is regenerated in release by CI / the experiments binary)
         let dir =
             std::env::temp_dir().join(format!("rbp_perf_snapshot_test_{}", std::process::id()));
-        let results = measure_cases(&cells(), 1, &[1]);
+        let results = measure_cases(&cells(), 1, &["exact"]);
         let path = write_json(&results, &dir).unwrap();
         let json = std::fs::read_to_string(path).unwrap();
-        assert!(json.contains("\"schema\": \"rbp-perf-exact/v2\""));
+        assert!(json.contains("\"schema\": \"rbp-perf-exact/v3\""));
         assert!(json.contains("\"host_parallelism\""));
-        assert!(json.matches("\"threads\"").count() >= 18);
+        assert!(json.matches("\"spec\": \"exact\"").count() >= 18);
         for w in ["chain", "pyramid", "grid", "layered", "matmul", "fft"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{w}\"")),
@@ -583,8 +590,8 @@ mod tests {
     #[test]
     fn snapshot_roundtrips_through_the_parser() {
         let dir = std::env::temp_dir().join(format!("rbp_perf_parse_test_{}", std::process::id()));
-        // tiny subset, threads [1, 2], to exercise the threads column
-        let results = measure_cases(&cells()[..2], 1, &[1, 2]);
+        // tiny subset, two specs, to exercise the spec column
+        let results = measure_cases(&cells()[..2], 1, &["exact", "exact-parallel:2"]);
         let path = write_json(&results, &dir).unwrap();
         let parsed =
             parse_snapshot(&std::fs::read_to_string(path).unwrap()).expect("own output must parse");
@@ -592,12 +599,12 @@ mod tests {
         for (p, r) in parsed.iter().zip(&results) {
             assert_eq!(p.workload, r.workload);
             assert_eq!(p.model, r.model);
-            assert_eq!(p.threads, r.threads);
+            assert_eq!(p.spec, r.spec);
             assert_eq!(p.median_ns, r.median_ns);
             assert_eq!(p.states_per_sec, r.states_per_sec);
             assert_eq!(p.scaled_cost, r.scaled_cost);
         }
-        // v1 files (or junk) refuse to parse instead of mis-diffing
-        assert!(parse_snapshot("{\"schema\": \"rbp-perf-exact/v1\"}").is_none());
+        // v2 files (or junk) refuse to parse instead of mis-diffing
+        assert!(parse_snapshot("{\"schema\": \"rbp-perf-exact/v2\"}").is_none());
     }
 }

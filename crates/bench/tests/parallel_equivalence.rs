@@ -9,7 +9,8 @@
 
 use rbp_bench::perf_snapshot;
 use rbp_core::engine;
-use rbp_solvers::{solve_exact, solve_exact_parallel_with, ParallelConfig};
+use rbp_solvers::api::{ParallelExactSolver, Solver};
+use rbp_solvers::registry;
 
 /// Debug builds run the matrix at one parallel thread count to keep the
 /// suite fast; release (CI perf job, local `--release` runs) covers two.
@@ -32,18 +33,14 @@ fn full_matrix_parallel_equals_sequential() {
         }
         let inst = &case.instance;
         let eps = inst.model().epsilon();
-        let seq = solve_exact(inst).unwrap();
+        let seq = registry::solve("exact", inst).unwrap();
         let seq_sim = engine::simulate(inst, &seq.trace).unwrap();
         assert_eq!(seq_sim.cost, seq.cost);
+        assert!(seq.is_optimal(), "unbudgeted exact must prove optimality");
         for &threads in thread_counts() {
-            let par = solve_exact_parallel_with(
-                inst,
-                ParallelConfig {
-                    threads,
-                    ..ParallelConfig::default()
-                },
-            )
-            .unwrap();
+            let par = ParallelExactSolver::with_threads(threads)
+                .solve_default(inst)
+                .unwrap();
             assert_eq!(
                 par.cost.scaled(eps),
                 seq.cost.scaled(eps),
@@ -72,15 +69,10 @@ fn extra_cells_parallel_equals_sequential() {
     for case in perf_snapshot::extra_cells() {
         let inst = &case.instance;
         let eps = inst.model().epsilon();
-        let seq = solve_exact(inst).unwrap();
-        let par = solve_exact_parallel_with(
-            inst,
-            ParallelConfig {
-                threads: 4,
-                ..ParallelConfig::default()
-            },
-        )
-        .unwrap();
+        let seq = registry::solve("exact", inst).unwrap();
+        let par = ParallelExactSolver::with_threads(4)
+            .solve_default(inst)
+            .unwrap();
         assert_eq!(
             par.cost.scaled(eps),
             seq.cost.scaled(eps),

@@ -70,16 +70,23 @@ impl Instance {
         }
     }
 
-    /// Sets the source convention (builder style).
-    pub fn with_source_convention(mut self, c: SourceConvention) -> Self {
-        self.source_convention = c;
-        self
+    /// Returns a copy of this instance with a different source convention.
+    ///
+    /// All `with_*` builders share one convention: they take `&self` and
+    /// return a modified clone (the DAG is behind an [`Arc`], so a clone
+    /// is cheap). Chaining on a fresh instance works as before:
+    /// `Instance::new(..).with_source_convention(..)`.
+    pub fn with_source_convention(&self, c: SourceConvention) -> Self {
+        let mut i = self.clone();
+        i.source_convention = c;
+        i
     }
 
-    /// Sets the sink convention (builder style).
-    pub fn with_sink_convention(mut self, c: SinkConvention) -> Self {
-        self.sink_convention = c;
-        self
+    /// Returns a copy of this instance with a different sink convention.
+    pub fn with_sink_convention(&self, c: SinkConvention) -> Self {
+        let mut i = self.clone();
+        i.sink_convention = c;
+        i
     }
 
     /// Returns a copy of this instance with a different red-pebble budget

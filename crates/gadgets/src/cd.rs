@@ -168,7 +168,7 @@ impl CdLadder {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::solve_exact;
+    use rbp_solvers::registry;
 
     #[test]
     fn structure_counts() {
@@ -186,7 +186,7 @@ mod tests {
     fn free_at_full_budget_oneshot() {
         let g = build(3, 3);
         let inst = Instance::new(g.dag.clone(), g.free_budget(), CostModel::oneshot());
-        let rep = solve_exact(&inst).unwrap();
+        let rep = registry::solve("exact", &inst).unwrap();
         assert_eq!(rep.cost.transfers, 0, "ladder free with g+2 pebbles");
     }
 
@@ -197,7 +197,7 @@ mod tests {
         for h in [2usize, 3, 4] {
             let g = build(2, h);
             let starved = Instance::new(g.dag.clone(), g.free_budget() - 1, CostModel::oneshot());
-            let rep = solve_exact(&starved).unwrap();
+            let rep = registry::solve("exact", &starved).unwrap();
             assert!(
                 rep.cost.transfers >= g.starved_lower_bound(),
                 "h={h}: starved cost {} below 2(h-1)={}",
@@ -211,19 +211,17 @@ mod tests {
     fn starved_cost_grows_linearly_in_h() {
         let g2 = build(2, 2);
         let g5 = build(2, 5);
-        let c2 = solve_exact(&Instance::new(
-            g2.dag.clone(),
-            g2.free_budget() - 1,
-            CostModel::oneshot(),
-        ))
+        let c2 = registry::solve(
+            "exact",
+            &Instance::new(g2.dag.clone(), g2.free_budget() - 1, CostModel::oneshot()),
+        )
         .unwrap()
         .cost
         .transfers;
-        let c5 = solve_exact(&Instance::new(
-            g5.dag.clone(),
-            g5.free_budget() - 1,
-            CostModel::oneshot(),
-        ))
+        let c5 = registry::solve(
+            "exact",
+            &Instance::new(g5.dag.clone(), g5.free_budget() - 1, CostModel::oneshot()),
+        )
         .unwrap()
         .cost
         .transfers;
@@ -235,8 +233,8 @@ mod tests {
         // indegree 2 ⇒ feasible from R = 3 on
         let g = build(4, 2);
         let inst = Instance::new(g.dag.clone(), 3, CostModel::oneshot());
-        assert!(solve_exact(&inst).is_ok());
+        assert!(registry::solve("exact", &inst).is_ok());
         let too_small = Instance::new(g.dag.clone(), 2, CostModel::oneshot());
-        assert!(solve_exact(&too_small).is_err());
+        assert!(registry::solve("exact", &too_small).is_err());
     }
 }

@@ -265,7 +265,8 @@ impl GreedyGrid {
 mod tests {
     use super::*;
     use rbp_core::{engine, CostModel};
-    use rbp_solvers::{best_order, solve_greedy_with, EvictionPolicy, GreedyConfig, SelectionRule};
+    use rbp_solvers::api::{GreedySolver, Solver};
+    use rbp_solvers::{best_order, EvictionPolicy, GreedyConfig, SelectionRule};
 
     fn small() -> GreedyGrid {
         build(GridConfig {
@@ -319,15 +320,13 @@ mod tests {
     fn node_level_greedy_follows_the_misguided_column_order() {
         let g = small();
         let inst = g.instance(CostModel::oneshot());
-        let rep = solve_greedy_with(
-            &inst,
-            GreedyConfig {
-                rule: SelectionRule::MostRedInputs,
-                eviction: EvictionPolicy::MinUses,
-            },
-        )
+        let rep = GreedySolver::with_config(GreedyConfig {
+            rule: SelectionRule::MostRedInputs,
+            eviction: EvictionPolicy::MinUses,
+        })
+        .solve_default(&inst)
         .unwrap();
-        let visits = g.decode_visits(&rep.order);
+        let visits = g.decode_visits(&rep.computation_order());
         assert_eq!(
             visits,
             g.greedy_order(),
@@ -340,13 +339,11 @@ mod tests {
         // the Theorem-4 gap against the *true* visit-order optimum
         let g = small();
         let inst = g.instance(CostModel::oneshot());
-        let rep = solve_greedy_with(
-            &inst,
-            GreedyConfig {
-                rule: SelectionRule::MostRedInputs,
-                eviction: EvictionPolicy::MinUses,
-            },
-        )
+        let rep = GreedySolver::with_config(GreedyConfig {
+            rule: SelectionRule::MostRedInputs,
+            eviction: EvictionPolicy::MinUses,
+        })
+        .solve_default(&inst)
         .unwrap();
         let best = best_order(&g.grouped, &inst).unwrap();
         assert!(
@@ -394,13 +391,11 @@ mod tests {
                     mis: 2,
                 });
                 let inst = g.instance(CostModel::oneshot());
-                let rep = solve_greedy_with(
-                    &inst,
-                    GreedyConfig {
-                        rule: SelectionRule::MostRedInputs,
-                        eviction: EvictionPolicy::MinUses,
-                    },
-                )
+                let rep = GreedySolver::with_config(GreedyConfig {
+                    rule: SelectionRule::MostRedInputs,
+                    eviction: EvictionPolicy::MinUses,
+                })
+                .solve_default(&inst)
                 .unwrap();
                 let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).unwrap();
                 let opt = engine::simulate(&inst, &opt_trace).unwrap();
@@ -421,19 +416,17 @@ mod tests {
         let inst = g.instance(CostModel::oneshot());
         let best = best_order(&g.grouped, &inst).unwrap();
         for rule in SelectionRule::ALL {
-            let rep = solve_greedy_with(
-                &inst,
-                GreedyConfig {
-                    rule,
-                    eviction: EvictionPolicy::MinUses,
-                },
-            )
+            let rep = GreedySolver::with_config(GreedyConfig {
+                rule,
+                eviction: EvictionPolicy::MinUses,
+            })
+            .solve_default(&inst)
             .unwrap();
             if matches!(
                 rule,
                 SelectionRule::MostRedInputs | SelectionRule::HighestRedRatio
             ) {
-                let visits = g.decode_visits(&rep.order);
+                let visits = g.decode_visits(&rep.computation_order());
                 assert_eq!(visits, g.greedy_order(), "rule {rule} escaped the trap");
             }
             assert!(
@@ -450,13 +443,11 @@ mod tests {
         // Appendix A.4: constant k, the gap is a constant factor > 1
         let g = build(GridConfig::constant_k(4));
         let inst = g.instance(CostModel::nodel());
-        let rep = solve_greedy_with(
-            &inst,
-            GreedyConfig {
-                rule: SelectionRule::MostRedInputs,
-                eviction: EvictionPolicy::MinUses,
-            },
-        )
+        let rep = GreedySolver::with_config(GreedyConfig {
+            rule: SelectionRule::MostRedInputs,
+            eviction: EvictionPolicy::MinUses,
+        })
+        .solve_default(&inst)
         .unwrap();
         let opt_trace = g.grouped.emit(&inst, &g.optimal_order()).unwrap();
         let opt = engine::simulate(&inst, &opt_trace).unwrap();

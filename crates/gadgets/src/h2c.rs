@@ -361,7 +361,7 @@ mod tests {
     use super::*;
     use rbp_core::{engine, CostModel, ModelKind};
     use rbp_graph::generate;
-    use rbp_solvers::solve_exact;
+    use rbp_solvers::registry;
 
     /// A single original source, standalone.
     fn single_source_gadget(r: usize) -> H2c {
@@ -403,7 +403,7 @@ mod tests {
         // the starters)
         let h = single_source_gadget(4);
         let inst = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
-        let rep = solve_exact(&inst).unwrap();
+        let rep = registry::solve("exact", &inst).unwrap();
         assert_eq!(rep.cost.transfers, 4);
     }
 
@@ -413,7 +413,7 @@ mod tests {
         // to round-trip
         let h = single_source_gadget(4);
         let inst = Instance::new(h.dag.clone(), 4, CostModel::base());
-        let rep = solve_exact(&inst).unwrap();
+        let rep = registry::solve("exact", &inst).unwrap();
         assert_eq!(rep.cost.transfers, 4);
     }
 
@@ -559,7 +559,7 @@ mod tests {
         // oneshot exact (recompute impossible there): optimum equals the
         // save strategy's cost, confirming it is the best of its class
         let oneshot = Instance::new(h.dag.clone(), 4, CostModel::oneshot());
-        let opt = solve_exact(&oneshot).unwrap();
+        let opt = registry::solve("exact", &oneshot).unwrap();
         assert_eq!(opt.cost.transfers, 6);
     }
 }

@@ -60,7 +60,7 @@ impl Pyramid {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::solve_exact;
+    use rbp_solvers::registry;
 
     #[test]
     fn structure() {
@@ -84,7 +84,7 @@ mod tests {
         let p = build(4);
         // h+1 red pebbles pebble a pyramid without transfers
         let inst = Instance::new(p.dag.clone(), p.height + 1, CostModel::oneshot());
-        let rep = solve_exact(&inst).unwrap();
+        let rep = registry::solve("exact", &inst).unwrap();
         assert_eq!(rep.cost.transfers, 0);
     }
 
@@ -93,7 +93,8 @@ mod tests {
         // regression guard for the incremental A* heuristic: on starved
         // pyramids (where transfers are forced) the heuristic must keep
         // its pruning power, and both searches must agree on the optimum
-        use rbp_solvers::{solve_exact_with, ExactConfig};
+        use rbp_solvers::api::{ExactSolver, Solver};
+        use rbp_solvers::ExactConfig;
         for h in [3usize, 4, 5] {
             let p = build(h);
             let inst = Instance::new(
@@ -101,28 +102,28 @@ mod tests {
                 3.max(h.saturating_sub(1)),
                 CostModel::oneshot(),
             );
-            let astar = solve_exact_with(
-                &inst,
-                ExactConfig {
-                    astar: true,
-                    ..ExactConfig::default()
-                },
-            )
+            // unseeded: the comparison is about the heuristic's own
+            // pruning power, not the greedy incumbent's
+            let astar = ExactSolver::with_config(ExactConfig {
+                astar: true,
+                ..ExactConfig::default()
+            })
+            .unseeded()
+            .solve_default(&inst)
             .unwrap();
-            let dij = solve_exact_with(
-                &inst,
-                ExactConfig {
-                    astar: false,
-                    ..ExactConfig::default()
-                },
-            )
+            let dij = ExactSolver::with_config(ExactConfig {
+                astar: false,
+                ..ExactConfig::default()
+            })
+            .unseeded()
+            .solve_default(&inst)
             .unwrap();
             assert_eq!(astar.cost, dij.cost, "A* changed the optimum (h={h})");
             assert!(
-                astar.states_expanded <= dij.states_expanded,
-                "A* must not expand more states than Dijkstra (h={h}: {} vs {})",
-                astar.states_expanded,
-                dij.states_expanded
+                astar.states_expanded() <= dij.states_expanded(),
+                "A* must not expand more states than Dijkstra (h={h}: {:?} vs {:?})",
+                astar.states_expanded(),
+                dij.states_expanded()
             );
         }
     }
@@ -133,14 +134,20 @@ mod tests {
         // penalty for one missing pebble is tiny
         for h in [3usize, 4] {
             let p = build(h);
-            let full = solve_exact(&Instance::new(p.dag.clone(), h + 1, CostModel::oneshot()))
-                .unwrap()
-                .cost
-                .transfers;
-            let starved = solve_exact(&Instance::new(p.dag.clone(), h, CostModel::oneshot()))
-                .unwrap()
-                .cost
-                .transfers;
+            let full = registry::solve(
+                "exact",
+                &Instance::new(p.dag.clone(), h + 1, CostModel::oneshot()),
+            )
+            .unwrap()
+            .cost
+            .transfers;
+            let starved = registry::solve(
+                "exact",
+                &Instance::new(p.dag.clone(), h, CostModel::oneshot()),
+            )
+            .unwrap()
+            .cost
+            .transfers;
             assert!(starved <= full + 2, "pyramid penalty stays at 2 (h={h})");
         }
     }

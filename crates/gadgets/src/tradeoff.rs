@@ -219,7 +219,8 @@ impl TradeoffChain {
 mod tests {
     use super::*;
     use rbp_core::{engine, CostModel};
-    use rbp_solvers::{solve_exact, sweep_exact_r, ExactConfig};
+    use rbp_solvers::api::ExactSolver;
+    use rbp_solvers::{registry, sweep_r};
 
     #[test]
     fn structure() {
@@ -265,7 +266,7 @@ mod tests {
         let t = build(2, 3);
         for r in t.min_r()..=t.free_r() {
             let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
-            let opt = solve_exact(&inst).unwrap();
+            let opt = registry::solve("exact", &inst).unwrap();
             assert_eq!(
                 opt.cost.transfers,
                 t.expected_oneshot_cost(r),
@@ -315,7 +316,11 @@ mod tests {
     fn sweep_confirms_monotone_staircase() {
         let t = build(2, 4);
         let inst = Instance::new(t.dag.clone(), t.min_r(), CostModel::oneshot());
-        let points = sweep_exact_r(&inst, t.min_r()..=t.free_r(), ExactConfig::default());
+        let points = sweep_r(
+            &inst,
+            t.min_r()..=t.free_r(),
+            &ExactSolver::new().unseeded(),
+        );
         assert_eq!(
             rbp_solvers::check_tradeoff_laws(&inst, &points),
             None,
@@ -325,6 +330,6 @@ mod tests {
         // recorded for every feasible point
         assert!(points
             .iter()
-            .all(|p| p.states_expanded.is_some() && p.wall > std::time::Duration::ZERO));
+            .all(|p| p.states_expanded().is_some() && p.wall > std::time::Duration::ZERO));
     }
 }

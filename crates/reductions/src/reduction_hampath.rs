@@ -433,7 +433,7 @@ mod tests {
             let model = CostModel::oneshot();
             let (inst, _) = red.instance(model);
             let sol = red.solve(model).unwrap();
-            let exact = rbp_solvers::solve_exact(&inst).unwrap();
+            let exact = rbp_solvers::registry::solve("exact", &inst).unwrap();
             assert_eq!(
                 sol.scaled,
                 exact.cost.scaled(model.epsilon()),

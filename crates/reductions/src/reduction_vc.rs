@@ -335,9 +335,9 @@ mod tests {
         let g = Graph::cycle(4);
         let red = small_red(g);
         let inst = red.instance(CostModel::oneshot());
-        let rep = rbp_solvers::solve_greedy(&inst).unwrap();
+        let rep = rbp_solvers::registry::solve("greedy", &inst).unwrap();
         // recover group visits from target first-computations
-        let visits = visits_of(&red, &rep.order);
+        let visits = visits_of(&red, &rep.computation_order());
         let cover = red.decode(&visits);
         assert!(red.graph.is_vertex_cover(&cover));
         let opt = vertex_cover::min_vertex_cover(&red.graph).len();

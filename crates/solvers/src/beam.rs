@@ -12,6 +12,7 @@
 //! deleted for free, sinks are stored, live victims are evicted by
 //! fewest-remaining-uses.
 
+use crate::api::SolveCtx;
 use crate::error::SolveError;
 use crate::greedy::GreedyReport;
 use crate::hash::FxHashMap;
@@ -31,6 +32,19 @@ impl Default for BeamConfig {
     }
 }
 
+impl BeamConfig {
+    /// Rejects degenerate values ([`SolveError::BadConfig`]). Run by
+    /// every [`crate::api::Solver`] entry point before solving.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.width == 0 {
+            return Err(SolveError::BadConfig {
+                reason: "BeamConfig::width must be >= 1 (a zero-width beam keeps nothing)".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 #[derive(Clone)]
 struct BeamNode {
     state: State,
@@ -45,7 +59,19 @@ struct BeamNode {
 /// Runs beam search with the given width. Returns the cheapest complete
 /// schedule found (engine-validated).
 pub fn solve_beam(instance: &Instance, cfg: BeamConfig) -> Result<GreedyReport, SolveError> {
-    assert!(cfg.width >= 1);
+    solve_beam_budgeted(instance, cfg, &SolveCtx::default())
+}
+
+/// Budget-aware beam search used by the [`crate::api`] layer. The budget
+/// is polled once per depth (a partial beam holds no valid pebbling, so
+/// expiry is [`SolveError::Interrupted`], not a degraded solution);
+/// "expansions" counts successor schedules generated.
+pub(crate) fn solve_beam_budgeted(
+    instance: &Instance,
+    cfg: BeamConfig,
+    ctx: &SolveCtx,
+) -> Result<GreedyReport, SolveError> {
+    cfg.validate()?;
     bounds::check_feasible(instance)?;
     let dag = instance.dag();
     let n = dag.n();
@@ -83,7 +109,12 @@ pub fn solve_beam(instance: &Instance, cfg: BeamConfig) -> Result<GreedyReport, 
         scaled: 0,
     }];
 
+    let budget_live = !ctx.budget.is_unlimited();
+    let mut generated = 0u64;
     for _depth in 0..total {
+        if budget_live && ctx.budget.exhausted(generated) {
+            return Err(SolveError::Interrupted);
+        }
         let mut successors: Vec<BeamNode> = Vec::with_capacity(beam.len() * 4);
         let mut seen: FxHashMap<Vec<u64>, u128> = FxHashMap::default();
         for node in &beam {
@@ -93,6 +124,7 @@ pub fn solve_beam(instance: &Instance, cfg: BeamConfig) -> Result<GreedyReport, 
                     continue;
                 }
                 let mut succ = node.clone();
+                generated += 1;
                 if expand(instance, &mut succ, nv).is_err() {
                     continue;
                 }

@@ -22,6 +22,26 @@ pub enum SolveError {
         /// Index (into the group list) of the group whose visit failed.
         group: usize,
     },
+    /// A solver configuration holds a degenerate value (zero threads,
+    /// zero beam width, zero state budget, …). Raised by the `validate()`
+    /// path every [`crate::api::Solver`] entry point runs before solving.
+    BadConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// A registry spec string did not parse — unknown solver name or
+    /// malformed arguments (see `crate::registry` for the grammar).
+    BadSpec {
+        /// The offending spec string.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The solve was stopped by its [`crate::api::Budget`] (deadline,
+    /// cancellation, or expansion cap) before any incumbent existed to
+    /// degrade to. Solvers that hold an incumbent return it as
+    /// [`crate::api::Quality::UpperBound`] instead of this error.
+    Interrupted,
 }
 
 impl fmt::Display for SolveError {
@@ -34,6 +54,16 @@ impl fmt::Display for SolveError {
             SolveError::NoPebblingFound => write!(f, "search space exhausted without a pebbling"),
             SolveError::OrderDependencyViolated { group } => {
                 write!(f, "visit order violates a dependency at group {group}")
+            }
+            SolveError::BadConfig { reason } => write!(f, "bad solver configuration: {reason}"),
+            SolveError::BadSpec { spec, reason } => {
+                write!(f, "bad solver spec '{spec}': {reason}")
+            }
+            SolveError::Interrupted => {
+                write!(
+                    f,
+                    "solve interrupted by its budget before any incumbent existed"
+                )
             }
         }
     }

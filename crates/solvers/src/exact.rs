@@ -101,15 +101,24 @@
 //! at least once more (recomputation being forbidden), contributing 1
 //! transfer each.
 
+use crate::api::{Progress, SolveCtx};
 use crate::arena::{NodeTable, StateArena, NO_STATE};
 use crate::error::SolveError;
 use crate::expand::{Expander, Meta};
 use rbp_core::{bounds, Cost, Instance, Pebbling};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 #[cfg(doc)]
 use rbp_graph::Dag;
+
+/// Budget polls happen every this many expansions (amortizes the
+/// `Instant::now()` call off the per-state hot path).
+const BUDGET_POLL_INTERVAL: usize = 256;
+
+/// Progress reports fire every this many expansions.
+const PROGRESS_INTERVAL: usize = 8192;
 
 /// Configuration for [`solve_exact_with`].
 #[derive(Clone, Copy, Debug)]
@@ -140,6 +149,18 @@ impl Default for ExactConfig {
 }
 
 impl ExactConfig {
+    /// Rejects degenerate values ([`SolveError::BadConfig`]). Run by
+    /// every [`crate::api::Solver`] entry point before solving.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.max_states == 0 {
+            return Err(SolveError::BadConfig {
+                reason: "ExactConfig::max_states must be >= 1 (the root state is always interned)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
     /// The prune cutoff seeded by [`ExactConfig::upper_bound`]:
     /// successors with `g + h ≥` this are dropped. It is `bound + 1` —
     /// states with `f == bound` must survive because the bound may be
@@ -205,8 +226,25 @@ pub fn solve_reference(instance: &Instance) -> Result<ExactReport, SolveError> {
 
 /// Solves the instance exactly with the given configuration.
 pub fn solve_exact_with(instance: &Instance, cfg: ExactConfig) -> Result<ExactReport, SolveError> {
+    // an unlimited context can never interrupt, so the outcome is
+    // always optimal (or a hard error)
+    solve_exact_budgeted(instance, cfg, &SolveCtx::default()).map(|(report, _)| report)
+}
+
+/// Budget-aware entry point used by the [`crate::api`] layer. Returns
+/// the report plus whether it is proved optimal: `true` when the search
+/// settled a goal, `false` when the budget expired and the report holds
+/// the best goal *discovered* so far (a valid upper bound). Expiring
+/// before any goal was discovered is [`SolveError::Interrupted`] — the
+/// api layer degrades to its greedy seed there.
+pub(crate) fn solve_exact_budgeted(
+    instance: &Instance,
+    cfg: ExactConfig,
+    ctx: &SolveCtx,
+) -> Result<(ExactReport, bool), SolveError> {
+    cfg.validate()?;
     bounds::check_feasible(instance)?;
-    Search::new(instance, cfg).run()
+    Search::new(instance, cfg).run(ctx)
 }
 
 // ---------------------------------------------------------------------
@@ -230,6 +268,10 @@ struct Search<'a> {
     /// seed externally, the goal by its own parent chain), so at least
     /// one optimal path always stays strictly below it.
     cutoff: u64,
+    /// `(dist, id)` of the cheapest goal *discovered* (relaxed, not yet
+    /// necessarily settled). This is what a budget-expired solve returns
+    /// as its incumbent.
+    best_goal: (u64, u32),
 }
 
 impl<'a> Search<'a> {
@@ -246,10 +288,19 @@ impl<'a> Search<'a> {
             nodes: NodeTable::new(),
             heap: BinaryHeap::new(),
             cutoff,
+            best_goal: (u64::MAX, NO_STATE),
         }
     }
 
-    fn run(mut self) -> Result<ExactReport, SolveError> {
+    fn run(mut self, ctx: &SolveCtx) -> Result<(ExactReport, bool), SolveError> {
+        let t0 = Instant::now();
+        let budget_live = !ctx.budget.is_unlimited();
+        // an already-exhausted budget (pre-set cancel flag, elapsed
+        // deadline) stops before any work; in-loop polls then only fire
+        // every BUDGET_POLL_INTERVAL real expansions
+        if budget_live && ctx.budget.exhausted(0) {
+            return self.interrupted(0);
+        }
         let init = self.exp.initial_key();
         let (root, fresh) = self.arena.intern(&init);
         debug_assert!(fresh);
@@ -276,19 +327,24 @@ impl<'a> Search<'a> {
                 heur: self.nodes.heur[idx],
             };
             expanded += 1;
+            // cooperative budget poll, amortized over a quantum of *real*
+            // expansions (stale pops skip it above, so a streak of
+            // settled duplicates cannot re-fire the deadline check or
+            // deliver duplicate progress snapshots)
+            if budget_live
+                && expanded.is_multiple_of(BUDGET_POLL_INTERVAL)
+                && ctx.budget.exhausted(expanded as u64)
+            {
+                return self.interrupted(expanded);
+            }
+            if expanded.is_multiple_of(PROGRESS_INTERVAL) {
+                if let Some(observer) = ctx.progress {
+                    observer(&self.progress(t0, expanded));
+                }
+            }
 
             if meta.is_goal() {
-                let trace = self.recover_trace(id);
-                let stats = trace.stats();
-                return Ok(ExactReport {
-                    cost: Cost {
-                        transfers: stats.transfers(),
-                        computes: stats.computes,
-                    },
-                    trace,
-                    states_expanded: expanded,
-                    states_seen: self.arena.len(),
-                });
+                return Ok((self.report_for(id, expanded), true));
             }
             if self.exp.prune() && self.exp.oneshot() && self.exp.is_dead(&key_buf) {
                 continue;
@@ -304,6 +360,7 @@ impl<'a> Search<'a> {
                 heap,
                 cutoff,
                 cfg,
+                best_goal,
             } = &mut self;
             exp.expand(&key_buf, meta, |succ, mv, cost, child| {
                 let nd = d + cost;
@@ -328,16 +385,68 @@ impl<'a> Search<'a> {
                     nodes.dist[cidx] = nd;
                     nodes.parent[cidx] = (id, mv);
                     heap.push(Reverse((f, cid)));
-                    // a cheaper goal tightens the incumbent immediately:
-                    // nothing at-or-beyond it can improve the answer
-                    if cfg.prune && child.is_goal() && nd < *cutoff {
-                        *cutoff = nd;
+                    if child.is_goal() && nd < best_goal.0 {
+                        // remember the cheapest goal discovered: it is
+                        // the incumbent a budget-expired solve returns
+                        *best_goal = (nd, cid);
+                        // and it tightens the prune cutoff immediately:
+                        // nothing at-or-beyond it can improve the answer
+                        if cfg.prune && nd < *cutoff {
+                            *cutoff = nd;
+                        }
                     }
                 }
                 Ok(())
             })?;
         }
         Err(SolveError::NoPebblingFound)
+    }
+
+    /// The report for a settled-or-discovered goal state.
+    fn report_for(&self, goal: u32, expanded: usize) -> ExactReport {
+        let trace = self.recover_trace(goal);
+        let stats = trace.stats();
+        ExactReport {
+            cost: Cost {
+                transfers: stats.transfers(),
+                computes: stats.computes,
+            },
+            trace,
+            states_expanded: expanded,
+            states_seen: self.arena.len(),
+        }
+    }
+
+    /// Budget expiry: return the best goal discovered so far as a
+    /// (non-optimal) incumbent, or [`SolveError::Interrupted`] when none
+    /// exists yet.
+    fn interrupted(self, expanded: usize) -> Result<(ExactReport, bool), SolveError> {
+        let (g, id) = self.best_goal;
+        if id == NO_STATE {
+            return Err(SolveError::Interrupted);
+        }
+        debug_assert!(g < u64::MAX);
+        Ok((self.report_for(id, expanded), false))
+    }
+
+    fn progress(&self, t0: Instant, expanded: usize) -> Progress {
+        let elapsed = t0.elapsed();
+        let secs = elapsed.as_secs_f64();
+        Progress {
+            elapsed,
+            states_expanded: expanded as u64,
+            states_per_sec: if secs > 0.0 {
+                (expanded as f64 / secs) as u64
+            } else {
+                0
+            },
+            frontier: self.heap.len(),
+            incumbent: match (self.best_goal.0, self.cfg.upper_bound) {
+                (u64::MAX, ub) => ub,
+                (g, Some(ub)) => Some(g.min(ub)),
+                (g, None) => Some(g),
+            },
+        }
     }
 
     /// Walks parent pointers from `goal` to the root. Called exactly once

@@ -1,25 +1,67 @@
 //! # rbp-solvers
 //!
-//! Solvers for red-blue pebble games:
+//! Solvers for red-blue pebble games, unified behind one interface.
 //!
-//! - [`exact`]: optimal pebbling via Dijkstra/A* over configurations, with
-//!   per-model optimality-preserving pruning, incumbent-bound pruning,
-//!   and an unpruned reference mode for cross-validation;
-//! - [`parallel`]: the hash-sharded parallel exact search (HDA*) over the
-//!   same configuration graph, seeded with a greedy incumbent;
+//! ## The `Solver` trait and the registry
+//!
+//! Every solver implements [`api::Solver`] — `solve(&self, &Instance,
+//! &SolveCtx) -> Result<Solution, SolveError>` — and every solver is
+//! addressable by a string spec through [`registry`]:
+//!
+//! ```
+//! use rbp_core::{CostModel, Instance};
+//! use rbp_graph::DagBuilder;
+//! use rbp_solvers::api::{Budget, SolveCtx, Solver};
+//! use rbp_solvers::registry;
+//!
+//! let mut b = DagBuilder::new(3);
+//! b.add_edge(0, 2);
+//! b.add_edge(1, 2);
+//! let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+//!
+//! // spec-string dispatch…
+//! let sol = registry::solve("exact", &inst).unwrap();
+//! assert!(sol.is_optimal());
+//!
+//! // …or the same solver under a budget: on expiry the exact solvers
+//! // return their best incumbent as Quality::UpperBound, not an error
+//! let solver = registry::solver("exact-parallel:2").unwrap();
+//! let ctx = SolveCtx::new(Budget::none().with_deadline(std::time::Duration::from_secs(5)));
+//! let sol = solver.solve(&inst, &ctx).unwrap();
+//! assert_eq!(sol.cost.transfers, 0);
+//! ```
+//!
+//! [`api::Solution`] carries the engine-validated trace, its exact
+//! cost, a [`api::Quality`] provenance tag (`Optimal` /
+//! `UpperBound { lower_bound }` / `Infeasible`), and structured
+//! [`api::Stats`] — one shape replacing the old per-solver
+//! `ExactReport`/`GreedyReport`/`OrderResult` zoo (those remain as the
+//! internal carrier types and deprecated shims).
+//!
+//! ## Solver families
+//!
+//! - [`exact`]: optimal pebbling via Dijkstra/A* over configurations,
+//!   with per-model optimality-preserving pruning, incumbent-bound
+//!   pruning, and an unpruned reference mode for cross-validation;
+//! - [`parallel`]: the hash-sharded parallel exact search (HDA*) over
+//!   the same configuration graph, seeded with a greedy incumbent;
 //! - [`expand`]: the move generator both exact solvers share;
 //! - [`greedy`]: the three natural greedy rules of Section 8 with
 //!   pluggable eviction policies;
+//! - [`beam`]: beam search over first-computation orderings;
+//! - [`portfolio`]: parallel best-of-greedy (also the incumbent seed);
 //! - [`visit`]: visit-order solvers for the paper's input-group
-//!   constructions (deterministic scheduler, exhaustive branch-and-bound,
-//!   Held–Karp DP);
-//! - [`sweep`]: parallel opt(R) tradeoff curves (Section 5), fanned out
-//!   over the [`pool`] work queue;
-//! - [`portfolio`]: parallel best-of-greedy (also the incumbent seed).
+//!   constructions (deterministic scheduler, exhaustive
+//!   branch-and-bound, Held–Karp DP);
+//! - [`sweep`]: opt(R) tradeoff curves (Section 5) over any
+//!   [`api::Solver`], fanned out over the [`pool`] work queue.
 //!
-//! Every solver returns a concrete [`rbp_core::Pebbling`] trace whose cost
-//! is produced (or re-checked in tests) by the validating engine.
+//! Every solver returns a concrete [`rbp_core::Pebbling`] trace whose
+//! cost is produced by the validating engine — [`api::Solution`] replays
+//! the trace before returning it, so a solver can never report a cost
+//! its trace does not realize.
 
+pub mod api;
 pub mod arena;
 pub mod beam;
 pub mod error;
@@ -30,18 +72,97 @@ pub mod hash;
 pub mod parallel;
 pub mod pool;
 pub mod portfolio;
+pub mod registry;
 pub mod sweep;
 pub mod visit;
 
-pub use arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
-pub use beam::{solve_beam, BeamConfig};
-pub use error::SolveError;
-pub use exact::{solve_exact, solve_exact_with, solve_reference, ExactConfig, ExactReport};
-pub use expand::{Expander, Meta};
-pub use greedy::{
-    solve_greedy, solve_greedy_with, EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule,
+pub use api::{
+    BeamSolver, Budget, ExactSolver, GreedySolver, ParallelExactSolver, PortfolioSolver, Progress,
+    Quality, Solution, SolveCtx, Solver, Stats,
 };
-pub use parallel::{solve_exact_parallel, solve_exact_parallel_with, ParallelConfig};
-pub use portfolio::{default_portfolio, solve_portfolio};
-pub use sweep::{check_tradeoff_laws, sweep_exact_parallel_r, sweep_exact_r, sweep_r, SweepPoint};
-pub use visit::{best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult};
+pub use arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
+pub use beam::BeamConfig;
+pub use error::SolveError;
+pub use exact::{ExactConfig, ExactReport};
+pub use expand::{Expander, Meta};
+pub use greedy::{EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule};
+pub use parallel::ParallelConfig;
+pub use portfolio::default_portfolio;
+pub use registry::Registry;
+pub use sweep::{check_tradeoff_laws, sweep_r, sweep_r_serial, sweep_r_with, SweepPoint};
+pub use visit::{
+    best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult, VisitOrderSolver,
+};
+
+// ---------------------------------------------------------------------
+// deprecated shims for the pre-trait free functions
+// ---------------------------------------------------------------------
+
+/// Deprecated shim for [`exact::solve_exact`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"exact\", &inst)`")]
+pub fn solve_exact(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
+    exact::solve_exact(instance)
+}
+
+/// Deprecated shim for [`exact::solve_exact_with`].
+#[deprecated(note = "use `api::ExactSolver::with_config(cfg)` via the Solver trait")]
+pub fn solve_exact_with(
+    instance: &rbp_core::Instance,
+    cfg: ExactConfig,
+) -> Result<ExactReport, SolveError> {
+    exact::solve_exact_with(instance, cfg)
+}
+
+/// Deprecated shim for [`exact::solve_reference`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"reference\", &inst)`")]
+pub fn solve_reference(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
+    exact::solve_reference(instance)
+}
+
+/// Deprecated shim for [`parallel::solve_exact_parallel`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"exact-parallel\", &inst)`")]
+pub fn solve_exact_parallel(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
+    parallel::solve_exact_parallel(instance)
+}
+
+/// Deprecated shim for [`parallel::solve_exact_parallel_with`].
+#[deprecated(note = "use `api::ParallelExactSolver` via the Solver trait")]
+pub fn solve_exact_parallel_with(
+    instance: &rbp_core::Instance,
+    cfg: ParallelConfig,
+) -> Result<ExactReport, SolveError> {
+    parallel::solve_exact_parallel_with(instance, cfg)
+}
+
+/// Deprecated shim for [`greedy::solve_greedy`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"greedy\", &inst)`")]
+pub fn solve_greedy(instance: &rbp_core::Instance) -> Result<GreedyReport, SolveError> {
+    greedy::solve_greedy(instance)
+}
+
+/// Deprecated shim for [`greedy::solve_greedy_with`].
+#[deprecated(note = "use `api::GreedySolver::with_config(cfg)` via the Solver trait")]
+pub fn solve_greedy_with(
+    instance: &rbp_core::Instance,
+    cfg: GreedyConfig,
+) -> Result<GreedyReport, SolveError> {
+    greedy::solve_greedy_with(instance, cfg)
+}
+
+/// Deprecated shim for [`beam::solve_beam`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"beam:WIDTH\", &inst)`")]
+pub fn solve_beam(
+    instance: &rbp_core::Instance,
+    cfg: BeamConfig,
+) -> Result<GreedyReport, SolveError> {
+    beam::solve_beam(instance, cfg)
+}
+
+/// Deprecated shim for [`portfolio::solve_portfolio`].
+#[deprecated(note = "use the Solver trait: `registry::solve(\"portfolio\", &inst)`")]
+pub fn solve_portfolio(
+    instance: &rbp_core::Instance,
+    configs: &[GreedyConfig],
+) -> Result<(GreedyConfig, GreedyReport), SolveError> {
+    portfolio::solve_portfolio(instance, configs)
+}

@@ -52,10 +52,12 @@
 //! faster; `threads == 1` therefore runs the plain solver (still seeded
 //! with the greedy incumbent) with no channels or extra threads at all.
 
+use crate::api::{Progress, SolveCtx};
 use crate::arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
 use crate::error::SolveError;
-use crate::exact::{solve_exact_with, ExactConfig, ExactReport};
+use crate::exact::{solve_exact_budgeted, ExactConfig, ExactReport};
 use crate::expand::{Expander, Meta};
+use crate::greedy::GreedyReport;
 use crate::portfolio::{default_portfolio, solve_portfolio};
 use rbp_core::{bounds, Cost, Instance, Move, Pebbling};
 use rbp_graph::NodeId;
@@ -64,7 +66,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Successors routed to another shard are accumulated up to this many
 /// per destination before the batch is shipped.
@@ -78,7 +80,9 @@ const POP_CHUNK: usize = 64;
 /// Configuration for [`solve_exact_parallel_with`].
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelConfig {
-    /// Worker-thread count; `0` resolves to `available_parallelism`.
+    /// Worker-thread count (≥ 1). The default resolves
+    /// `available_parallelism` at construction; an explicit `0` is a
+    /// [`SolveError::BadConfig`], not a silent fallback.
     pub threads: usize,
     /// The shared search knobs ([`ExactConfig`]); `max_states` bounds the
     /// *total* interned states across all shards, and `upper_bound`
@@ -94,10 +98,28 @@ pub struct ParallelConfig {
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
-            threads: 0,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             exact: ExactConfig::default(),
             seed_incumbent: true,
         }
+    }
+}
+
+impl ParallelConfig {
+    /// Rejects degenerate values ([`SolveError::BadConfig`]). Run by
+    /// every [`crate::api::Solver`] entry point before solving.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.threads == 0 {
+            return Err(SolveError::BadConfig {
+                reason: "ParallelConfig::threads must be >= 1 (the default resolves \
+                         available_parallelism; an explicit 0 is rejected rather than silently \
+                         remapped)"
+                    .into(),
+            });
+        }
+        self.exact.validate()
     }
 }
 
@@ -113,31 +135,47 @@ pub fn solve_exact_parallel_with(
     instance: &Instance,
     cfg: ParallelConfig,
 ) -> Result<ExactReport, SolveError> {
+    cfg.validate()?;
     bounds::check_feasible(instance)?;
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
     let mut exact = cfg.exact;
     if cfg.seed_incumbent && exact.prune {
-        if let Some(ub) = greedy_upper_bound(instance) {
+        if let Some((ub, _)) = greedy_incumbent(instance) {
             exact.upper_bound = Some(exact.upper_bound.map_or(ub, |b| b.min(ub)));
         }
     }
-    if threads == 1 {
+    // an unlimited context never interrupts, so the outcome is optimal
+    let ctx = SolveCtx::default();
+    if cfg.threads == 1 {
         // the sharded machinery only pays for itself with real
         // parallelism; one thread runs the sequential solver, still
         // seeded with the incumbent bound
-        return solve_exact_with(instance, exact);
+        return solve_exact_budgeted(instance, exact, &ctx).map(|(report, _)| report);
     }
-    hda_star(instance, exact, threads)
+    hda_star(instance, exact, cfg.threads, &ctx).map(|(report, _)| report)
 }
 
-/// Best-of-greedy scaled cost, used to seed the incumbent. `None` when
-/// every greedy configuration fails (the search then starts unbounded).
+/// Budget-aware entry point used by the [`crate::api`] layer; seeding is
+/// the api layer's job (it keeps the greedy trace as the degradation
+/// fallback). Semantics mirror
+/// [`solve_exact_budgeted`](crate::exact::solve_exact_budgeted).
+pub(crate) fn solve_parallel_budgeted(
+    instance: &Instance,
+    exact: ExactConfig,
+    threads: usize,
+    ctx: &SolveCtx,
+) -> Result<(ExactReport, bool), SolveError> {
+    exact.validate()?;
+    bounds::check_feasible(instance)?;
+    if threads == 1 {
+        return solve_exact_budgeted(instance, exact, ctx);
+    }
+    hda_star(instance, exact, threads, ctx)
+}
+
+/// Best-of-greedy incumbent — the scaled upper bound plus the report
+/// realizing it — used to seed the exact searches and as the fallback a
+/// budget-expired solve degrades to. `None` when every greedy
+/// configuration fails (the search then starts unbounded).
 ///
 /// Cost-staged: the single default greedy runs first, and the full
 /// portfolio only when that bound could still improve — i.e. when it
@@ -147,16 +185,15 @@ pub fn solve_exact_parallel_with(
 /// microsecond-scale greedy solve instead of nine, which keeps the
 /// seeded sequential path competitive even on solves that finish in
 /// tens of microseconds.
-fn greedy_upper_bound(instance: &Instance) -> Option<u64> {
+pub(crate) fn greedy_incumbent(instance: &Instance) -> Option<(u64, GreedyReport)> {
     let eps = instance.model().epsilon();
     let clamp = |scaled: u128| u64::try_from(scaled).unwrap_or(u64::MAX);
     let floor = bounds::trivial_lower_bound(instance).scaled(eps);
-    let first = crate::greedy::solve_greedy(instance)
-        .ok()
-        .map(|r| r.cost.scaled(eps));
-    if let Some(c) = first {
-        if c <= floor {
-            return Some(clamp(c));
+    let first = crate::greedy::solve_greedy(instance).ok();
+    if let Some(rep) = &first {
+        if rep.cost.scaled(eps) <= floor {
+            let scaled = clamp(rep.cost.scaled(eps));
+            return first.map(|r| (scaled, r));
         }
     }
     // escalation re-runs the other eight configurations only — the
@@ -168,14 +205,19 @@ fn greedy_upper_bound(instance: &Instance) -> Option<u64> {
     let best = if rest.is_empty() {
         None
     } else {
-        solve_portfolio(instance, &rest)
-            .ok()
-            .map(|(_, rep)| rep.cost.scaled(eps))
+        solve_portfolio(instance, &rest).ok().map(|(_, rep)| rep)
     };
     match (first, best) {
-        (Some(a), Some(b)) => Some(clamp(a.min(b))),
-        (Some(a), None) => Some(clamp(a)),
-        (None, Some(b)) => Some(clamp(b)),
+        (Some(a), Some(b)) => {
+            let winner = if a.cost.scaled(eps) <= b.cost.scaled(eps) {
+                a
+            } else {
+                b
+            };
+            Some((clamp(winner.cost.scaled(eps)), winner))
+        }
+        (Some(a), None) => Some((clamp(a.cost.scaled(eps)), a)),
+        (None, Some(b)) => Some((clamp(b.cost.scaled(eps)), b)),
         (None, None) => None,
     }
 }
@@ -238,12 +280,19 @@ struct Shared {
     idle: AtomicUsize,
     /// Set once by the worker that detects global quiescence.
     done: AtomicBool,
+    /// Set when the [`crate::api::Budget`] trips: workers exit at their
+    /// next quantum and the incumbent (if any) is returned as a
+    /// non-optimal upper bound.
+    stopped: AtomicBool,
     /// Set on any error; the first error wins.
     abort: AtomicBool,
     abort_err: Mutex<Option<SolveError>>,
     /// Total states interned across all shards (memory guard).
     states_total: AtomicUsize,
     max_states: usize,
+    /// Total states expanded across all shards (budget accounting +
+    /// progress reports), updated once per worker quantum.
+    expanded_total: AtomicU64,
 }
 
 impl Shared {
@@ -299,6 +348,9 @@ struct Worker<'a, 's> {
     popped: usize,
     idle_flag: bool,
     key_buf: Vec<u64>,
+    ctx: &'s SolveCtx<'s>,
+    t0: Instant,
+    last_progress: Instant,
 }
 
 impl<'a, 's> Worker<'a, 's> {
@@ -452,6 +504,7 @@ impl<'a, 's> Worker<'a, 's> {
     /// whether any state was actually expanded.
     fn expand_some(&mut self, exp: &mut Expander<'a>) -> Result<bool, SolveError> {
         let mut any = false;
+        let popped_before = self.popped;
         for _ in 0..POP_CHUNK {
             let cutoff = self.shared.cutoff();
             match self.heap.peek() {
@@ -484,7 +537,54 @@ impl<'a, 's> Worker<'a, 's> {
                 break;
             }
         }
+        let delta = (self.popped - popped_before) as u64;
+        if delta > 0 {
+            self.shared
+                .expanded_total
+                .fetch_add(delta, Ordering::Relaxed);
+        }
         Ok(any)
+    }
+
+    /// Per-quantum budget poll + progress report. Returns `true` when
+    /// the budget tripped (the caller then stops the whole search —
+    /// "within one batch quantum" is exactly this granularity).
+    fn poll_budget_and_progress(&mut self) -> bool {
+        let budget = &self.ctx.budget;
+        if !budget.is_unlimited()
+            && budget.exhausted(self.shared.expanded_total.load(Ordering::Relaxed))
+        {
+            self.shared.stopped.store(true, Ordering::SeqCst);
+            return true;
+        }
+        if let Some(observer) = self.ctx.progress {
+            // one reporter (shard 0), rate-limited by wall clock
+            if self.me == 0 && self.last_progress.elapsed() >= Duration::from_millis(50) {
+                self.last_progress = Instant::now();
+                let elapsed = self.t0.elapsed();
+                let expanded = self.shared.expanded_total.load(Ordering::Relaxed);
+                let secs = elapsed.as_secs_f64();
+                let incumbent = match self.shared.incumbent_g.load(Ordering::Relaxed) {
+                    u64::MAX => match self.shared.ub_cutoff {
+                        u64::MAX => None,
+                        c => Some(c - 1), // cutoff is seed bound + 1
+                    },
+                    g => Some(g),
+                };
+                observer(&Progress {
+                    elapsed,
+                    states_expanded: expanded,
+                    states_per_sec: if secs > 0.0 {
+                        (expanded as f64 / secs) as u64
+                    } else {
+                        0
+                    },
+                    frontier: self.heap.len(),
+                    incumbent,
+                });
+            }
+        }
+        false
     }
 
     fn expand_one(&mut self, exp: &mut Expander<'a>, local: u32) -> Result<(), SolveError> {
@@ -539,8 +639,13 @@ impl<'a, 's> Worker<'a, 's> {
 
     fn run(&mut self, exp: &mut Expander<'a>) -> Result<(), SolveError> {
         loop {
-            if self.shared.abort.load(Ordering::Relaxed) || self.shared.done.load(Ordering::SeqCst)
+            if self.shared.abort.load(Ordering::Relaxed)
+                || self.shared.done.load(Ordering::SeqCst)
+                || self.shared.stopped.load(Ordering::SeqCst)
             {
+                return Ok(());
+            }
+            if self.poll_budget_and_progress() {
                 return Ok(());
             }
             let received = self.drain_incoming()?;
@@ -571,12 +676,15 @@ impl<'a, 's> Worker<'a, 's> {
     }
 }
 
-/// The sharded search proper (`threads ≥ 2`).
+/// The sharded search proper (`threads ≥ 2`). The `bool` is `true` when
+/// the returned report is proved optimal, `false` when the budget
+/// stopped the search and the report is the incumbent found so far.
 fn hda_star(
     instance: &Instance,
     exact: ExactConfig,
     threads: usize,
-) -> Result<ExactReport, SolveError> {
+    ctx: &SolveCtx,
+) -> Result<(ExactReport, bool), SolveError> {
     let probe = Expander::new(instance, exact.prune, exact.astar);
     let key_words = probe.key_words();
     let init = probe.initial_key();
@@ -593,11 +701,14 @@ fn hda_star(
         recv: AtomicU64::new(0),
         idle: AtomicUsize::new(0),
         done: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
         abort: AtomicBool::new(false),
         abort_err: Mutex::new(None),
         states_total: AtomicUsize::new(0),
         max_states: exact.max_states,
+        expanded_total: AtomicU64::new(0),
     };
+    let t0 = Instant::now();
 
     let mut txs: Vec<SyncSender<Batch>> = Vec::with_capacity(threads);
     let mut rxs: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(threads);
@@ -636,6 +747,9 @@ fn hda_star(
                         popped: 0,
                         idle_flag: false,
                         key_buf: Vec::with_capacity(key_words),
+                        ctx,
+                        t0,
+                        last_progress: t0,
                     };
                     if me == root_shard {
                         if let Err(e) = w.relax_local(
@@ -664,9 +778,16 @@ fn hda_star(
     if let Some(e) = shared.abort_err.lock().expect("abort lock").take() {
         return Err(e);
     }
+    let stopped = shared.stopped.load(Ordering::SeqCst);
     let (best_g, best_id) = *shared.incumbent.lock().expect("incumbent lock");
     if best_id == NO_STATE {
-        return Err(SolveError::NoPebblingFound);
+        // a budget stop with no goal discovered yet has no incumbent to
+        // return; the api layer degrades to its greedy seed
+        return Err(if stopped {
+            SolveError::Interrupted
+        } else {
+            SolveError::NoPebblingFound
+        });
     }
 
     // walk the goal's parent chain across the collected shards
@@ -689,12 +810,15 @@ fn hda_star(
         computes: stats.computes,
     };
     debug_assert_eq!(cost.scaled(instance.model().epsilon()), best_g as u128);
-    Ok(ExactReport {
-        cost,
-        trace,
-        states_expanded: shards.iter().map(|s| s.2).sum(),
-        states_seen: shards.iter().map(|s| s.0.len()).sum(),
-    })
+    Ok((
+        ExactReport {
+            cost,
+            trace,
+            states_expanded: shards.iter().map(|s| s.2).sum(),
+            states_seen: shards.iter().map(|s| s.0.len()).sum(),
+        },
+        !stopped,
+    ))
 }
 
 #[cfg(test)]
@@ -769,10 +893,24 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_resolves_to_host_parallelism() {
+    fn default_config_resolves_host_parallelism() {
         let inst = Instance::new(generate::chain(6), 2, CostModel::base());
+        assert!(ParallelConfig::default().threads >= 1);
         let rep = solve_exact_parallel(&inst).unwrap();
         assert_eq!(rep.cost.scaled(inst.model().epsilon()), 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_structured_config_error() {
+        let inst = Instance::new(generate::chain(6), 2, CostModel::base());
+        let res = solve_exact_parallel_with(
+            &inst,
+            ParallelConfig {
+                threads: 0,
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(matches!(res, Err(SolveError::BadConfig { .. })));
     }
 
     #[test]

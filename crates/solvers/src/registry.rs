@@ -1,0 +1,358 @@
+//! The solver registry: string specs to boxed [`Solver`]s.
+//!
+//! One stable naming scheme for every solver family, so experiment
+//! harnesses, sweeps, CLIs, and services can select solvers from
+//! configuration instead of linking against per-solver free functions.
+//! A new solver family (e.g. the multiprocessor red-blue pebbling line)
+//! slots in as one more [`Registry::register`] call, not a new API.
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! spec := family [":" args]
+//!
+//! exact                         sequential exact (pruned, A*, greedy-seeded)
+//! exact:unseeded                same, without the greedy incumbent seed
+//! exact-parallel[:THREADS]      hash-sharded parallel exact; THREADS ≥ 1
+//!                               (default: all cores)
+//! reference                     brute-force exact (no pruning/heuristic/seed)
+//! greedy[:RULE[/EVICT]]         one greedy configuration
+//!     RULE  ∈ most-red-inputs | fewest-blue-inputs | highest-red-ratio
+//!     EVICT ∈ min-uses | lru | fifo | random(SEED)
+//! beam[:WIDTH]                  beam search; WIDTH ≥ 1 (default 8)
+//! portfolio                     best of the nine greedy configurations
+//! ```
+//!
+//! Degenerate numeric arguments (`exact-parallel:0`, `beam:0`) parse
+//! but fail at solve time with [`SolveError::BadConfig`], mirroring the
+//! programmatic API; malformed specs fail at parse time with
+//! [`SolveError::BadSpec`].
+//!
+//! # Example
+//! ```
+//! use rbp_core::{CostModel, Instance};
+//! use rbp_graph::DagBuilder;
+//! use rbp_solvers::registry;
+//!
+//! let mut b = DagBuilder::new(3);
+//! b.add_edge(0, 2);
+//! b.add_edge(1, 2);
+//! let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+//! let sol = registry::solve("exact", &inst).unwrap();
+//! assert!(sol.is_optimal());
+//! assert_eq!(sol.cost.transfers, 0);
+//! ```
+
+use crate::api::{
+    BeamSolver, ExactSolver, GreedySolver, ParallelExactSolver, PortfolioSolver, Solution,
+    SolveCtx, Solver,
+};
+use crate::beam::BeamConfig;
+use crate::error::SolveError;
+use crate::greedy::{EvictionPolicy, GreedyConfig, SelectionRule};
+use crate::parallel::ParallelConfig;
+use rbp_core::Instance;
+
+/// A factory turning optional spec arguments (the part after `:`) into
+/// a boxed solver.
+pub type SolverFactory =
+    Box<dyn Fn(Option<&str>) -> Result<Box<dyn Solver>, SolveError> + Send + Sync>;
+
+struct Entry {
+    family: String,
+    help: &'static str,
+    factory: SolverFactory,
+}
+
+/// A mapping from spec families to solver factories. Construct with
+/// [`Registry::with_builtins`] and extend with [`Registry::register`].
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_builtins()
+    }
+}
+
+impl Registry {
+    /// An empty registry (no families).
+    pub fn empty() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The built-in families listed in the module docs.
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::empty();
+        r.register(
+            "exact",
+            "sequential exact (pruned, A*, greedy-seeded)",
+            |a| match a {
+                None => Ok(Box::new(ExactSolver::new())),
+                Some("unseeded") => Ok(Box::new(ExactSolver::new().unseeded())),
+                Some(other) => Err(bad_args("exact", other, "expected no args or 'unseeded'")),
+            },
+        );
+        r.register(
+            "exact-parallel",
+            "hash-sharded parallel exact; arg = thread count (default: all cores)",
+            |a| {
+                let cfg = match a {
+                    None => ParallelConfig::default(),
+                    Some(n) => {
+                        let threads: usize = n.parse().map_err(|_| {
+                            bad_args("exact-parallel", n, "thread count must be an integer")
+                        })?;
+                        ParallelConfig {
+                            threads,
+                            ..ParallelConfig::default()
+                        }
+                    }
+                };
+                Ok(Box::new(ParallelExactSolver { cfg }))
+            },
+        );
+        r.register(
+            "reference",
+            "brute-force exact (no pruning, heuristic, or seed)",
+            |a| match a {
+                None => Ok(Box::new(ExactSolver::reference())),
+                Some(other) => Err(bad_args("reference", other, "takes no arguments")),
+            },
+        );
+        r.register(
+            "greedy",
+            "one greedy configuration; arg = RULE[/EVICT]",
+            |a| {
+                let cfg = match a {
+                    None => GreedyConfig::default(),
+                    Some(args) => parse_greedy_args(args)?,
+                };
+                Ok(Box::new(GreedySolver { cfg }))
+            },
+        );
+        r.register("beam", "beam search; arg = width (default 8)", |a| {
+            let cfg = match a {
+                None => BeamConfig::default(),
+                Some(w) => BeamConfig {
+                    width: w
+                        .parse()
+                        .map_err(|_| bad_args("beam", w, "width must be an integer"))?,
+                },
+            };
+            Ok(Box::new(BeamSolver { cfg }))
+        });
+        r.register(
+            "portfolio",
+            "best of the nine greedy configurations",
+            |a| match a {
+                None => Ok(Box::new(PortfolioSolver::new())),
+                Some(other) => Err(bad_args("portfolio", other, "takes no arguments")),
+            },
+        );
+        r
+    }
+
+    /// Registers (or replaces) a family.
+    pub fn register(
+        &mut self,
+        family: &str,
+        help: &'static str,
+        factory: impl Fn(Option<&str>) -> Result<Box<dyn Solver>, SolveError> + Send + Sync + 'static,
+    ) {
+        self.entries.retain(|e| e.family != family);
+        self.entries.push(Entry {
+            family: family.to_string(),
+            help,
+            factory: Box::new(factory),
+        });
+    }
+
+    /// Parses a spec into a boxed solver.
+    pub fn parse(&self, spec: &str) -> Result<Box<dyn Solver>, SolveError> {
+        let (family, args) = match spec.split_once(':') {
+            Some((f, a)) => (f, Some(a)),
+            None => (spec, None),
+        };
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.family == family)
+            .ok_or_else(|| SolveError::BadSpec {
+                spec: spec.to_string(),
+                reason: format!(
+                    "unknown solver family '{family}'; known: {}",
+                    self.entries
+                        .iter()
+                        .map(|e| e.family.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            })?;
+        (entry.factory)(args)
+    }
+
+    /// `(family, help)` pairs, in registration order.
+    pub fn families(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.entries.iter().map(|e| (e.family.as_str(), e.help))
+    }
+}
+
+fn bad_args(family: &str, args: &str, reason: &str) -> SolveError {
+    SolveError::BadSpec {
+        spec: format!("{family}:{args}"),
+        reason: reason.to_string(),
+    }
+}
+
+fn parse_greedy_args(args: &str) -> Result<GreedyConfig, SolveError> {
+    let (rule_s, evict_s) = match args.split_once('/') {
+        Some((r, e)) => (r, Some(e)),
+        None => (args, None),
+    };
+    let rule = match rule_s {
+        "most-red-inputs" => SelectionRule::MostRedInputs,
+        "fewest-blue-inputs" => SelectionRule::FewestBlueInputs,
+        "highest-red-ratio" => SelectionRule::HighestRedRatio,
+        other => {
+            return Err(bad_args(
+                "greedy",
+                other,
+                "rule must be most-red-inputs | fewest-blue-inputs | highest-red-ratio",
+            ))
+        }
+    };
+    let eviction = match evict_s {
+        None => GreedyConfig::default().eviction,
+        Some("min-uses") => EvictionPolicy::MinUses,
+        Some("lru") => EvictionPolicy::Lru,
+        Some("fifo") => EvictionPolicy::Fifo,
+        Some(e) if e.starts_with("random(") && e.ends_with(')') => {
+            let seed = e["random(".len()..e.len() - 1]
+                .parse()
+                .map_err(|_| bad_args("greedy", e, "random eviction seed must be an integer"))?;
+            EvictionPolicy::Random(seed)
+        }
+        Some(other) => {
+            return Err(bad_args(
+                "greedy",
+                other,
+                "eviction must be min-uses | lru | fifo | random(SEED)",
+            ))
+        }
+    };
+    Ok(GreedyConfig { rule, eviction })
+}
+
+/// Parses `spec` against the built-in registry.
+pub fn solver(spec: &str) -> Result<Box<dyn Solver>, SolveError> {
+    Registry::with_builtins().parse(spec)
+}
+
+/// Parses `spec` and solves `instance` with an unlimited budget.
+pub fn solve(spec: &str, instance: &Instance) -> Result<Solution, SolveError> {
+    solver(spec)?.solve(instance, &SolveCtx::default())
+}
+
+/// Parses `spec` and solves `instance` under `ctx`.
+pub fn solve_with(spec: &str, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
+    solver(spec)?.solve(instance, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_graph::{generate, DagBuilder};
+
+    fn diamond() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        Instance::new(b.build().unwrap(), 3, CostModel::oneshot())
+    }
+
+    #[test]
+    fn every_builtin_family_parses_and_solves() {
+        let inst = diamond();
+        for spec in [
+            "exact",
+            "exact:unseeded",
+            "exact-parallel",
+            "exact-parallel:2",
+            "reference",
+            "greedy",
+            "greedy:most-red-inputs",
+            "greedy:fewest-blue-inputs/lru",
+            "greedy:highest-red-ratio/fifo",
+            "greedy:most-red-inputs/random(7)",
+            "beam",
+            "beam:4",
+            "portfolio",
+        ] {
+            let sol = solve(spec, &inst).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(sol.cost.transfers, 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_bad_spec_errors() {
+        for spec in [
+            "exat",
+            "exact:fast",
+            "exact-parallel:many",
+            "beam:wide",
+            "greedy:topo",
+            "greedy:most-red-inputs/arc",
+            "portfolio:3",
+        ] {
+            assert!(
+                matches!(solver(spec), Err(SolveError::BadSpec { .. })),
+                "{spec} should be rejected at parse time"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_numeric_args_fail_at_solve_time() {
+        let inst = diamond();
+        for spec in ["exact-parallel:0", "beam:0"] {
+            let s = solver(spec).expect("parses");
+            assert!(
+                matches!(s.solve_default(&inst), Err(SolveError::BadConfig { .. })),
+                "{spec} should be a BadConfig at solve time"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_families_can_be_registered() {
+        let mut r = Registry::with_builtins();
+        r.register("always-greedy", "test stub", |_| {
+            Ok(Box::new(GreedySolver::new()))
+        });
+        let s = r.parse("always-greedy").unwrap();
+        assert_eq!(s.name(), "greedy");
+        assert!(r.families().any(|(f, _)| f == "always-greedy"));
+    }
+
+    #[test]
+    fn registry_solvers_agree_with_each_other() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..3 {
+            let dag = generate::gnp_dag(7, 0.35, 2, &mut rng);
+            let r = dag.max_indegree() + 1;
+            let inst = Instance::new(dag, r, CostModel::oneshot());
+            let exact = solve("exact", &inst).unwrap();
+            let par = solve("exact-parallel:2", &inst).unwrap();
+            let reference = solve("reference", &inst).unwrap();
+            assert_eq!(exact.scaled_cost(&inst), reference.scaled_cost(&inst));
+            assert_eq!(exact.scaled_cost(&inst), par.scaled_cost(&inst));
+            let greedy = solve("greedy", &inst).unwrap();
+            assert!(exact.scaled_cost(&inst) <= greedy.scaled_cost(&inst));
+        }
+    }
+}

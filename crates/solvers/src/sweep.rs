@@ -1,21 +1,26 @@
-//! Parallel parameter sweeps: opt(R) tradeoff curves (Section 5).
+//! Parallel parameter sweeps: opt(R) tradeoff curves (Section 5) over
+//! any [`Solver`].
 //!
-//! The per-R solves are independent, so they fan out over the shared
-//! work-queue pool ([`crate::pool`]): threads claim R-values from an
-//! atomic next-index counter, so one expensive mid-range R cannot
-//! serialize the rest of the sweep. Solvers invoked through here stay
-//! single-threaded and deterministic (use [`crate::parallel`] to
-//! parallelize a single solve instead).
+//! The per-R solves are independent, so [`sweep_r`] fans them out over
+//! the shared work-queue pool ([`crate::pool`]): threads claim R-values
+//! from an atomic next-index counter, so one expensive mid-range R
+//! cannot serialize the rest of the sweep. Solvers dispatched this way
+//! should be internally single-threaded and spawn-free — e.g.
+//! [`ExactSolver::unseeded`][exact] (the *seeded* default escalates to
+//! a greedy portfolio that fans out over this same pool, nesting
+//! fan-outs), greedy, or beam. For internally parallel solvers use
+//! [`sweep_r_serial`], which inverts the shape — points run one after
+//! another and each solve fans out across its own worker shards. Mixing
+//! both would oversubscribe the host.
 //!
-//! Every [`SweepPoint`] carries the solver effort spent on it
-//! (`states_expanded` where the solver reports it, plus wall-clock time),
-//! so tradeoff experiments can plot cost *and* how hard each point was to
-//! obtain. [`sweep_exact_r`] is the exact-solver entry point: it reuses a
-//! single [`ExactConfig`] across the whole range.
+//! Every [`SweepPoint`] carries the full [`Solution`] (cost, quality,
+//! per-solver stats) plus wall-clock time, so tradeoff experiments can
+//! plot cost *and* how hard each point was to obtain.
+//!
+//! [exact]: crate::api::ExactSolver
 
+use crate::api::{Solution, SolveCtx, Solver};
 use crate::error::SolveError;
-use crate::exact::{solve_exact_with, ExactConfig};
-use crate::parallel::{solve_exact_parallel_with, ParallelConfig};
 use rbp_core::{Cost, Instance};
 use std::time::Duration;
 
@@ -24,105 +29,76 @@ use std::time::Duration;
 pub struct SweepPoint {
     /// The red-pebble budget.
     pub r: usize,
-    /// Result for this budget (cost, or the failure).
-    pub result: Result<Cost, SolveError>,
-    /// States expanded to settle this point, when the solver reports it
-    /// (the exact solver does; plain cost closures leave it `None`).
-    pub states_expanded: Option<usize>,
+    /// Result for this budget (a full [`Solution`], or the failure).
+    pub result: Result<Solution, SolveError>,
     /// Wall-clock time spent solving this point.
     pub wall: Duration,
 }
 
-/// Computes `solver` over every R in `r_range`, in parallel, returning
-/// points in increasing-R order. Per-point wall time is recorded;
-/// `states_expanded` stays `None` (use [`sweep_exact_r`] for effort-aware
-/// exact sweeps).
-///
-/// `solver` must be deterministic; it receives a per-thread clone of the
-/// instance re-parameterized with R (the DAG is shared, not copied).
-pub fn sweep_r<F>(
-    instance: &Instance,
-    r_range: std::ops::RangeInclusive<usize>,
-    solver: F,
-) -> Vec<SweepPoint>
-where
-    F: Fn(&Instance) -> Result<Cost, SolveError> + Sync,
-{
-    sweep_with(instance, r_range, |inst| (solver(inst), None))
+impl SweepPoint {
+    /// The point's cost, when it solved.
+    pub fn cost(&self) -> Option<Cost> {
+        self.result.as_ref().ok().map(|s| s.cost)
+    }
+
+    /// States expanded to settle this point, when the solver reports it.
+    pub fn states_expanded(&self) -> Option<u64> {
+        self.result.as_ref().ok().and_then(|s| s.states_expanded())
+    }
 }
 
-/// Sweeps the exact solver over every R in `r_range` with one shared
-/// configuration, recording per-point `states_expanded` and wall time.
-pub fn sweep_exact_r(
+/// Solves `instance` at every R in `r_range` with `solver`, fanning the
+/// points out over the work-queue pool, and returns them in
+/// increasing-R order. Each point re-parameterizes the instance with R
+/// (the DAG is shared, not copied) and solves with an unlimited budget;
+/// use [`sweep_r_with`] to bound the whole sweep.
+pub fn sweep_r(
     instance: &Instance,
     r_range: std::ops::RangeInclusive<usize>,
-    cfg: ExactConfig,
+    solver: &dyn Solver,
 ) -> Vec<SweepPoint> {
-    sweep_with(instance, r_range, move |inst| {
-        match solve_exact_with(inst, cfg) {
-            Ok(rep) => (Ok(rep.cost), Some(rep.states_expanded)),
-            Err(e) => (Err(e), None),
-        }
-    })
+    sweep_r_with(instance, r_range, solver, &SolveCtx::default())
 }
 
-/// Sweeps the *parallel* exact solver ([`solve_exact_parallel_with`])
-/// over every R in `r_range`, in increasing-R order.
-///
-/// The parallelism shape is inverted relative to [`sweep_exact_r`]:
-/// points run one after another and each solve fans out across
-/// `cfg.threads` shards. That is the right split when individual solves
-/// dominate (few, large instances) — point-level fan-out wins when there
-/// are many small points. Mixing both would oversubscribe the host.
-pub fn sweep_exact_parallel_r(
+/// [`sweep_r`] under a shared context: the budget (deadline,
+/// cancellation) spans the *whole sweep*, so an expired deadline
+/// degrades or stops every remaining point.
+pub fn sweep_r_with(
     instance: &Instance,
     r_range: std::ops::RangeInclusive<usize>,
-    cfg: ParallelConfig,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
+) -> Vec<SweepPoint> {
+    let rs: Vec<usize> = r_range.collect();
+    crate::pool::run_indexed(rs.len(), |i| solve_point(instance, rs[i], solver, ctx))
+}
+
+/// Point-serial sweep for internally parallel solvers (e.g.
+/// [`ParallelExactSolver`](crate::api::ParallelExactSolver)): points run
+/// one after another and each solve fans out across its own threads.
+/// That is the right split when individual solves dominate (few, large
+/// instances) — point-level fan-out ([`sweep_r`]) wins when there are
+/// many small points.
+pub fn sweep_r_serial(
+    instance: &Instance,
+    r_range: std::ops::RangeInclusive<usize>,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
 ) -> Vec<SweepPoint> {
     r_range
-        .map(|r| {
-            let inst = instance.with_red_limit(r);
-            let t0 = std::time::Instant::now();
-            let (result, states_expanded) = match solve_exact_parallel_with(&inst, cfg) {
-                Ok(rep) => (Ok(rep.cost), Some(rep.states_expanded)),
-                Err(e) => (Err(e), None),
-            };
-            SweepPoint {
-                r,
-                result,
-                states_expanded,
-                wall: t0.elapsed(),
-            }
-        })
+        .map(|r| solve_point(instance, r, solver, ctx))
         .collect()
 }
 
-/// Shared fan-out: runs `solver` per R on the work-queue pool
-/// ([`crate::pool::run_indexed`]) and assembles timed points in
-/// increasing-R order. Each thread claims the next unsolved R as soon as
-/// it finishes its last one, so a single expensive mid-range R no longer
-/// serializes the rest of the sweep behind it.
-fn sweep_with<F>(
-    instance: &Instance,
-    r_range: std::ops::RangeInclusive<usize>,
-    solver: F,
-) -> Vec<SweepPoint>
-where
-    F: Fn(&Instance) -> (Result<Cost, SolveError>, Option<usize>) + Sync,
-{
-    let rs: Vec<usize> = r_range.collect();
-    crate::pool::run_indexed(rs.len(), |i| {
-        let r = rs[i];
-        let inst = instance.with_red_limit(r);
-        let t0 = std::time::Instant::now();
-        let (result, states_expanded) = solver(&inst);
-        SweepPoint {
-            r,
-            result,
-            states_expanded,
-            wall: t0.elapsed(),
-        }
-    })
+fn solve_point(instance: &Instance, r: usize, solver: &dyn Solver, ctx: &SolveCtx) -> SweepPoint {
+    let inst = instance.with_red_limit(r);
+    let t0 = std::time::Instant::now();
+    let result = solver.solve(&inst, ctx);
+    SweepPoint {
+        r,
+        result,
+        wall: t0.elapsed(),
+    }
 }
 
 /// Verifies the Section-5 staircase property on a curve: opt is
@@ -136,7 +112,7 @@ pub fn check_tradeoff_laws(instance: &Instance, points: &[SweepPoint]) -> Option
         let (Ok(ca), Ok(cb)) = (&a.result, &b.result) else {
             continue;
         };
-        let (sa, sb) = (ca.scaled(eps), cb.scaled(eps));
+        let (sa, sb) = (ca.cost.scaled(eps), cb.cost.scaled(eps));
         // monotone: more pebbles never hurt
         if sb > sa {
             return Some((a.r, b.r));
@@ -152,7 +128,7 @@ pub fn check_tradeoff_laws(instance: &Instance, points: &[SweepPoint]) -> Option
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exact::solve_exact;
+    use crate::api::{ExactSolver, GreedySolver, ParallelExactSolver};
     use rbp_core::CostModel;
     use rbp_graph::generate;
 
@@ -160,19 +136,15 @@ mod tests {
     fn sweep_covers_range_in_order() {
         let dag = generate::chain(6);
         let inst = Instance::new(dag, 2, CostModel::oneshot());
-        let points = sweep_r(&inst, 2..=5, |i| solve_exact(i).map(|r| r.cost));
+        let points = sweep_r(&inst, 2..=5, &GreedySolver::new());
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].r, 2);
         assert_eq!(points[3].r, 5);
         for p in &points {
-            assert_eq!(
-                p.result.as_ref().unwrap().transfers,
-                0,
-                "chain free at R>=2"
-            );
+            assert_eq!(p.cost().unwrap().transfers, 0, "chain free at R>=2");
             assert!(
-                p.states_expanded.is_none(),
-                "plain closures report no effort"
+                p.states_expanded().is_none(),
+                "greedy reports no search effort"
             );
         }
     }
@@ -181,7 +153,7 @@ mod tests {
     fn sweep_reports_infeasible_points() {
         let dag = generate::chain(4);
         let inst = Instance::new(dag, 2, CostModel::oneshot());
-        let points = sweep_r(&inst, 1..=2, |i| solve_exact(i).map(|r| r.cost));
+        let points = sweep_r(&inst, 1..=2, &ExactSolver::new().unseeded());
         assert!(points[0].result.is_err(), "R=1 infeasible on a chain");
         assert!(points[1].result.is_ok());
     }
@@ -190,50 +162,37 @@ mod tests {
     fn exact_sweep_reports_solver_effort() {
         let dag = generate::chain(6);
         let inst = Instance::new(dag, 2, CostModel::oneshot());
-        let points = sweep_exact_r(&inst, 2..=4, ExactConfig::default());
+        let solver = ExactSolver::new().unseeded();
+        let points = sweep_r(&inst, 2..=4, &solver);
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.result.is_ok());
-            let states = p.states_expanded.expect("exact sweep records states");
+            let states = p.states_expanded().expect("exact sweep records states");
             assert!(states > 0, "at least the root is expanded");
             // the per-point stats must agree with a direct solve
-            let direct = solve_exact(&inst.with_red_limit(p.r)).unwrap();
-            assert_eq!(states, direct.states_expanded);
+            let direct = solver.solve_default(&inst.with_red_limit(p.r)).unwrap();
+            assert_eq!(Some(states), direct.states_expanded());
+            assert!(p.result.as_ref().unwrap().is_optimal());
         }
-    }
-
-    #[test]
-    fn exact_sweep_marks_infeasible_points_without_effort() {
-        let dag = generate::chain(4);
-        let inst = Instance::new(dag, 2, CostModel::oneshot());
-        let points = sweep_exact_r(&inst, 1..=2, ExactConfig::default());
-        assert!(points[0].result.is_err());
-        assert!(points[0].states_expanded.is_none());
-        assert!(points[1].states_expanded.is_some());
     }
 
     #[test]
     fn parallel_sweep_matches_sequential_sweep() {
         let dag = generate::chain(6);
         let inst = Instance::new(dag, 2, CostModel::nodel());
-        let seq = sweep_exact_r(&inst, 2..=4, ExactConfig::default());
-        let par = sweep_exact_parallel_r(
+        let seq = sweep_r(&inst, 2..=4, &ExactSolver::new().unseeded());
+        let par = sweep_r_serial(
             &inst,
             2..=4,
-            ParallelConfig {
-                threads: 2,
-                ..ParallelConfig::default()
-            },
+            &ParallelExactSolver::with_threads(2),
+            &SolveCtx::default(),
         );
         assert_eq!(par.len(), seq.len());
         let eps = inst.model().epsilon();
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.r, s.r, "increasing-R order preserved");
-            assert_eq!(
-                p.result.as_ref().unwrap().scaled(eps),
-                s.result.as_ref().unwrap().scaled(eps)
-            );
-            assert!(p.states_expanded.is_some());
+            assert_eq!(p.cost().unwrap().scaled(eps), s.cost().unwrap().scaled(eps));
+            assert!(p.states_expanded().is_some());
         }
     }
 
@@ -245,7 +204,7 @@ mod tests {
         b.add_edge(1, 4);
         b.add_edge(2, 4);
         let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
-        let points = sweep_exact_r(&inst, 3..=5, ExactConfig::default());
+        let points = sweep_r(&inst, 3..=5, &ExactSolver::new().unseeded());
         assert_eq!(check_tradeoff_laws(&inst, &points), None);
     }
 }

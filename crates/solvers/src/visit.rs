@@ -482,6 +482,61 @@ pub fn held_karp(
     Some((best, order))
 }
 
+impl OrderResult {
+    /// Collapses the visit-order result into the unified
+    /// [`Solution`](crate::api::Solution)
+    /// shape: the trace is engine-validated and tagged as an upper bound
+    /// (optimal only among grouped schedules, which the
+    /// [`Quality::Optimal`](crate::api::Quality::Optimal) upgrade
+    /// detects when the cost meets the structural lower bound). The
+    /// group order is retained in the trace; node-level order is
+    /// recoverable via
+    /// [`Solution::computation_order`](crate::api::Solution::computation_order).
+    pub fn into_solution(self, instance: &Instance) -> Result<crate::api::Solution, SolveError> {
+        let quality = crate::api::upper_bound_quality(instance, self.cost);
+        crate::api::Solution::validated(instance, self.trace, quality, crate::api::Stats::new())
+    }
+}
+
+/// A [`GroupedDag`]'s branch-and-bound visit-order search behind the
+/// [`Solver`](crate::api::Solver) trait: the grouped structure is fixed
+/// at construction, so any instance over the same DAG solves through the
+/// one unified interface. The budget is ignored (the search is
+/// exponential only in the *group* count, which the paper's
+/// constructions keep ≤ ~10).
+pub struct VisitOrderSolver {
+    grouped: GroupedDag,
+}
+
+impl VisitOrderSolver {
+    /// Wraps a grouped view of the DAG.
+    pub fn new(grouped: GroupedDag) -> Self {
+        VisitOrderSolver { grouped }
+    }
+
+    /// The underlying group structure.
+    pub fn grouped(&self) -> &GroupedDag {
+        &self.grouped
+    }
+}
+
+impl crate::api::Solver for VisitOrderSolver {
+    fn name(&self) -> &str {
+        "visit-order"
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        _ctx: &crate::api::SolveCtx,
+    ) -> Result<crate::api::Solution, SolveError> {
+        let res = best_order(&self.grouped, instance)?;
+        let mut sol = res.into_solution(instance)?;
+        sol.stats.set("groups", self.grouped.len() as u64);
+        Ok(sol)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

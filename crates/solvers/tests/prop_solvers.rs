@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 use rbp_core::{engine, CostModel, Instance, ModelKind};
 use rbp_graph::DagBuilder;
+use rbp_solvers::api::{ExactSolver, GreedySolver, ParallelExactSolver, Solver};
 use rbp_solvers::{
-    best_order, solve_beam, solve_exact, solve_exact_parallel_with, solve_exact_with,
-    solve_greedy_with, BeamConfig, EvictionPolicy, ExactConfig, GreedyConfig, GroupSpec,
-    GroupedDag, ParallelConfig, SelectionRule, StateArena,
+    best_order, registry, EvictionPolicy, ExactConfig, GreedyConfig, GroupSpec, GroupedDag,
+    SelectionRule, StateArena,
 };
 
 /// Random layered DAGs: `layers` layers of `width` nodes, each non-source
@@ -121,7 +121,9 @@ proptest! {
         let inst = Instance::new(dag, r, model);
         for rule in SelectionRule::ALL {
             for eviction in EvictionPolicy::DETERMINISTIC {
-                let rep = solve_greedy_with(&inst, GreedyConfig { rule, eviction }).unwrap();
+                let rep = GreedySolver::with_config(GreedyConfig { rule, eviction })
+                    .solve_default(&inst)
+                    .unwrap();
                 let sim = engine::simulate(&inst, &rep.trace).unwrap();
                 prop_assert_eq!(sim.cost, rep.cost);
             }
@@ -135,11 +137,8 @@ proptest! {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, CostModel::oneshot());
         let eps = inst.model().epsilon();
-        let exact = solve_exact(&inst).unwrap().cost.scaled(eps);
-        let beam = solve_beam(&inst, BeamConfig { width: 12 })
-            .unwrap()
-            .cost
-            .scaled(eps);
+        let exact = registry::solve("exact", &inst).unwrap().cost.scaled(eps);
+        let beam = registry::solve("beam:12", &inst).unwrap().cost.scaled(eps);
         prop_assert!(exact <= beam);
     }
 
@@ -218,13 +217,11 @@ proptest! {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, model);
         let eps = inst.model().epsilon();
-        let seq = solve_exact(&inst).unwrap();
+        let seq = registry::solve("exact", &inst).unwrap();
         for threads in [1usize, 2, 4] {
-            let par = solve_exact_parallel_with(
-                &inst,
-                ParallelConfig { threads, ..ParallelConfig::default() },
-            )
-            .unwrap();
+            let par = ParallelExactSolver::with_threads(threads)
+                .solve_default(&inst)
+                .unwrap();
             prop_assert_eq!(
                 par.cost.scaled(eps),
                 seq.cost.scaled(eps),
@@ -248,15 +245,19 @@ proptest! {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, model);
         let eps = inst.model().epsilon();
-        let plain = solve_exact(&inst).unwrap();
+        // unseeded on both sides: the property under test is the explicit
+        // upper_bound seed, not the greedy incumbent
+        let plain = ExactSolver::new().unseeded().solve_default(&inst).unwrap();
         let opt = plain.cost.scaled(eps) as u64;
-        let seeded = solve_exact_with(
-            &inst,
-            ExactConfig { upper_bound: Some(opt + slack), ..ExactConfig::default() },
-        )
+        let seeded = ExactSolver::with_config(ExactConfig {
+            upper_bound: Some(opt + slack),
+            ..ExactConfig::default()
+        })
+        .unseeded()
+        .solve_default(&inst)
         .unwrap();
         prop_assert_eq!(seeded.cost.scaled(eps), opt as u128);
-        prop_assert!(seeded.states_seen <= plain.states_seen);
+        prop_assert!(seeded.states_seen() <= plain.states_seen());
         let sim = engine::simulate(&inst, &seeded.trace).unwrap();
         prop_assert_eq!(sim.cost, seeded.cost);
     }

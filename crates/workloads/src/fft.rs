@@ -56,7 +56,7 @@ pub fn hong_kung_bound(n: usize, r: usize) -> f64 {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::solve_greedy;
+    use rbp_solvers::registry;
 
     #[test]
     fn structure() {
@@ -97,7 +97,7 @@ mod tests {
         let f = build(3);
         let cost = |r: usize| {
             let inst = Instance::new(f.dag.clone(), r, CostModel::oneshot());
-            solve_greedy(&inst).unwrap().cost.transfers
+            registry::solve("greedy", &inst).unwrap().cost.transfers
         };
         assert!(cost(32) <= cost(4));
         assert_eq!(cost(f.dag.n()), 0);

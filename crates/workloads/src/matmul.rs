@@ -82,7 +82,7 @@ pub fn hong_kung_bound(n: usize, r: usize) -> f64 {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::solve_greedy;
+    use rbp_solvers::registry;
 
     #[test]
     fn structure() {
@@ -112,7 +112,7 @@ mod tests {
         let m = build(3);
         let cost = |r: usize| {
             let inst = Instance::new(m.dag.clone(), r, CostModel::oneshot());
-            solve_greedy(&inst).unwrap().cost.transfers
+            registry::solve("greedy", &inst).unwrap().cost.transfers
         };
         let small = cost(3);
         let large = cost(24);

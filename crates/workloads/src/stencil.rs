@@ -56,7 +56,7 @@ pub fn build(width: usize, steps: usize, radius: usize) -> Stencil {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::{solve_greedy, solve_portfolio};
+    use rbp_solvers::registry;
 
     #[test]
     fn structure() {
@@ -86,7 +86,7 @@ mod tests {
         // R = 2·width is enough to keep two full rows resident
         let s = build(4, 3, 1);
         let inst = Instance::new(s.dag.clone(), 2 * s.width, CostModel::oneshot());
-        let rep = solve_greedy(&inst).unwrap();
+        let rep = registry::solve("greedy", &inst).unwrap();
         assert_eq!(rep.cost.transfers, 0);
     }
 
@@ -94,7 +94,7 @@ mod tests {
     fn portfolio_handles_tight_cache() {
         let s = build(6, 4, 1);
         let inst = Instance::new(s.dag.clone(), 4, CostModel::oneshot());
-        let (_, rep) = solve_portfolio(&inst, &rbp_solvers::default_portfolio()).unwrap();
+        let rep = registry::solve("portfolio", &inst).unwrap();
         let ub = rbp_core::bounds::universal_upper_bound(&inst);
         assert!(rep.cost.transfers <= ub.transfers);
     }

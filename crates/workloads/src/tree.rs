@@ -57,7 +57,7 @@ pub fn build(leaves: usize, arity: usize) -> ReductionTree {
 mod tests {
     use super::*;
     use rbp_core::{CostModel, Instance};
-    use rbp_solvers::{solve_exact, solve_greedy};
+    use rbp_solvers::registry;
 
     #[test]
     fn binary_tree_structure() {
@@ -88,9 +88,17 @@ mod tests {
         // pending value per level plus the 3 pebbles of the current join:
         // h+2 pebbles are transfer-free, h+1 force exactly one round trip
         let t = build(8, 2); // height 3
-        let free = solve_exact(&Instance::new(t.dag.clone(), 5, CostModel::oneshot())).unwrap();
+        let free = registry::solve(
+            "exact",
+            &Instance::new(t.dag.clone(), 5, CostModel::oneshot()),
+        )
+        .unwrap();
         assert_eq!(free.cost.transfers, 0, "h+2 pebbles suffice");
-        let tight = solve_exact(&Instance::new(t.dag.clone(), 4, CostModel::oneshot())).unwrap();
+        let tight = registry::solve(
+            "exact",
+            &Instance::new(t.dag.clone(), 4, CostModel::oneshot()),
+        )
+        .unwrap();
         assert_eq!(tight.cost.transfers, 2, "h+1 pebbles force one spill");
     }
 
@@ -102,9 +110,9 @@ mod tests {
         let t = build(8, 2);
         let internal = t.dag.n() as u64 - 8;
         let inst = Instance::new(t.dag.clone(), 4, CostModel::oneshot());
-        let g = solve_greedy(&inst).unwrap();
+        let g = registry::solve("greedy", &inst).unwrap();
         assert!(g.cost.transfers <= 2 * internal);
-        let exact = solve_exact(&inst).unwrap();
+        let exact = registry::solve("exact", &inst).unwrap();
         assert!(g.cost.transfers >= exact.cost.transfers);
     }
 

@@ -22,16 +22,14 @@ fn main() {
             mis: 2,
         });
         let inst = g.instance(CostModel::oneshot());
-        let rep = solve_greedy_with(
-            &inst,
-            GreedyConfig {
-                rule: SelectionRule::MostRedInputs,
-                eviction: EvictionPolicy::MinUses,
-            },
-        )
+        let rep = GreedySolver::with_config(GreedyConfig {
+            rule: SelectionRule::MostRedInputs,
+            eviction: EvictionPolicy::MinUses,
+        })
+        .solve_default(&inst)
         .expect("feasible");
         // verify the trap actually sprang
-        let visits = g.decode_visits(&rep.order);
+        let visits = g.decode_visits(&rep.computation_order());
         assert_eq!(visits, g.greedy_order(), "greedy escaped the misguidance");
 
         let opt_trace = g

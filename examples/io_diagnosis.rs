@@ -7,7 +7,6 @@
 
 use red_blue_pebbling::core::analysis;
 use red_blue_pebbling::prelude::*;
-use red_blue_pebbling::solvers::{solve_beam, BeamConfig};
 use red_blue_pebbling::workloads::matmul;
 
 fn main() {
@@ -17,8 +16,8 @@ fn main() {
     let inst = Instance::new(mm.dag.clone(), r, CostModel::oneshot());
     println!("matmul n={n}: {} nodes, cache R={r}", mm.dag.n());
 
-    let greedy = solve_greedy(&inst).expect("feasible");
-    let beam = solve_beam(&inst, BeamConfig { width: 32 }).expect("feasible");
+    let greedy = registry::solve("greedy", &inst).expect("feasible");
+    let beam = registry::solve("beam:32", &inst).expect("feasible");
     println!(
         "\ngreedy cost: {} transfers | beam(32) cost: {} transfers",
         greedy.cost.transfers, beam.cost.transfers
@@ -60,7 +59,7 @@ fn main() {
     // entries reused across output entries — exactly what a blocked
     // schedule (more cache) amortizes
     let roomy = Instance::new(mm.dag.clone(), 2 * r, CostModel::oneshot());
-    let g2 = solve_greedy(&roomy).expect("feasible");
+    let g2 = registry::solve("greedy", &roomy).expect("feasible");
     println!(
         "\ndoubling the cache: {} -> {} transfers",
         greedy.cost.transfers, g2.cost.transfers

@@ -33,18 +33,15 @@ fn main() {
             EvictionPolicy::Lru,
             EvictionPolicy::Fifo,
         ] {
-            let rep = solve_greedy_with(
-                &inst,
-                GreedyConfig {
-                    rule: SelectionRule::MostRedInputs,
-                    eviction,
-                },
-            )
+            let rep = GreedySolver::with_config(GreedyConfig {
+                rule: SelectionRule::MostRedInputs,
+                eviction,
+            })
+            .solve_default(&inst)
             .expect("feasible");
             row.push(rep.cost.transfers);
         }
-        let (_, best) = solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio())
-            .expect("feasible");
+        let best = registry::solve("portfolio", &inst).expect("feasible");
         println!(
             "{r:>4} | {:>9} | {:>9} | {:>9} | {:>9} | {:>12.1}",
             row[0],

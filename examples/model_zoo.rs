@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example model_zoo`
 
 use red_blue_pebbling::prelude::*;
-use red_blue_pebbling::solvers::solve_exact;
 
 fn main() {
     // a small two-join DAG under memory pressure
@@ -42,7 +41,7 @@ fn main() {
         let model = CostModel::of_kind(kind);
         let inst = Instance::new(dag.clone(), r, model);
         let (lo, hi) = bounds::optimum_bracket(&inst);
-        let opt = solve_exact(&inst).expect("feasible");
+        let opt = registry::solve("exact", &inst).expect("feasible");
         println!(
             "{:<20} | {:>10} | {:>10} | {:>12} | {:>10}",
             model.to_string(),
@@ -68,7 +67,7 @@ fn main() {
 
     // demonstrate Appendix C: convention equivalence
     let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-    let opt = solve_exact(&inst).unwrap();
+    let opt = registry::solve("exact", &inst).unwrap();
     let strict = red_blue_pebbling::core::transform::require_blue_sinks(&inst);
     let fixed = red_blue_pebbling::core::transform::bluify_sinks(&inst, &opt.trace);
     let strict_cost = engine::simulate(&strict, &fixed).unwrap().cost;

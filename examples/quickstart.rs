@@ -38,7 +38,7 @@ fn main() {
     println!("----+-------------------+------------------");
     for r in 3..=5 {
         let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-        let opt = solve_exact(&inst).expect("feasible");
+        let opt = registry::solve("exact", &inst).expect("feasible");
         let moves: Vec<String> = opt.trace.moves().iter().map(|m| m.to_string()).collect();
         println!("{r:>3} | {:>17} | {}", opt.cost.transfers, moves.join(", "));
     }
@@ -48,7 +48,7 @@ fn main() {
     for kind in ModelKind::ALL {
         let model = CostModel::of_kind(kind);
         let inst = Instance::new(dag.clone(), 3, model);
-        let opt = solve_exact(&inst).expect("feasible");
+        let opt = registry::solve("exact", &inst).expect("feasible");
         println!(
             "  {kind:<8}  cost = {} (scaled key {})",
             opt.cost,
@@ -58,7 +58,7 @@ fn main() {
 
     // every reported number is engine-validated
     let inst = Instance::new(dag.clone(), 3, CostModel::oneshot());
-    let opt = solve_exact(&inst).unwrap();
+    let opt = registry::solve("exact", &inst).unwrap();
     let report = engine::simulate(&inst, &opt.trace).expect("trace must replay");
     println!(
         "\nvalidated: {} moves, peak {} red pebbles, cost {}",

@@ -7,6 +7,33 @@
 use red_blue_pebbling::gadgets::tradeoff;
 use red_blue_pebbling::prelude::*;
 
+/// The Section-5 strategy emitter wrapped as a [`Solver`]: anything that
+/// produces a validated trace slots into the unified interface — here it
+/// lets `sweep_r` measure the closed-form strategy like any registered
+/// solver.
+struct StrategySolver<'a>(&'a tradeoff::TradeoffChain);
+
+impl Solver for StrategySolver<'_> {
+    fn name(&self) -> &str {
+        "tradeoff-strategy"
+    }
+
+    fn solve(&self, inst: &Instance, _ctx: &SolveCtx) -> Result<Solution, SolveError> {
+        let trace = self.0.strategy(inst)?;
+        let cost = engine::simulate(inst, &trace)
+            .map_err(|e| SolveError::Pebbling(e.error))?
+            .cost;
+        Ok(Solution {
+            trace,
+            cost,
+            quality: Quality::UpperBound {
+                lower_bound: bounds::trivial_lower_bound(inst).scaled(inst.model().epsilon()),
+            },
+            stats: Stats::new(),
+        })
+    }
+}
+
 fn main() {
     let (d, chain) = (6, 40);
     let t = tradeoff::build(d, chain);
@@ -18,12 +45,7 @@ fn main() {
 
     let inst = Instance::new(t.dag.clone(), t.min_r(), CostModel::oneshot());
     // measure the strategy's true cost at every R, in parallel
-    let points = sweep_r(&inst, t.min_r()..=t.free_r(), |i| {
-        let trace = t.strategy(i)?;
-        Ok(engine::simulate(i, &trace)
-            .map_err(|e| SolveError::Pebbling(e.error))?
-            .cost)
-    });
+    let points = sweep_r(&inst, t.min_r()..=t.free_r(), &StrategySolver(&t));
 
     let max_cost = t.expected_oneshot_cost(t.min_r());
     println!(
@@ -32,7 +54,7 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
     for p in &points {
-        let measured = p.result.as_ref().expect("strategy succeeds").transfers;
+        let measured = p.cost().expect("strategy succeeds").transfers;
         let formula = t.expected_oneshot_cost(p.r);
         assert_eq!(measured, formula, "closed form must match the engine");
         let width = (measured * 40 / max_cost.max(1)) as usize;

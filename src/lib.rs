@@ -26,11 +26,18 @@
 //! let mm = red_blue_pebbling::workloads::matmul::build(2);
 //! let inst = Instance::new(mm.dag.clone(), 4, CostModel::oneshot());
 //!
-//! // optimal I/O cost and a certified schedule
-//! let opt = solve_exact(&inst).unwrap();
+//! // optimal I/O cost and a certified schedule, through the registry
+//! let opt = registry::solve("exact", &inst).unwrap();
+//! assert!(opt.is_optimal());
 //! let report = engine::simulate(&inst, &opt.trace).unwrap();
 //! assert_eq!(report.cost, opt.cost);
 //! ```
+//!
+//! Solvers are selected by spec string (`"exact"`, `"exact-parallel:4"`,
+//! `"greedy:most-red-inputs/lru"`, `"beam:256"`, `"portfolio"`) through
+//! [`solvers::registry`], or constructed directly and used through the
+//! [`solvers::api::Solver`] trait with budgets and progress observers —
+//! see the `solver_registry` example.
 
 pub use rbp_core as core;
 pub use rbp_gadgets as gadgets;
@@ -45,8 +52,10 @@ pub mod prelude {
         bounds, engine, Cost, CostModel, Instance, ModelKind, Move, Pebbling, Ratio, State,
     };
     pub use rbp_graph::{Dag, DagBuilder, Graph, NodeId};
+    pub use rbp_solvers::api::{
+        Budget, ExactSolver, GreedySolver, Progress, Quality, Solution, SolveCtx, Solver, Stats,
+    };
     pub use rbp_solvers::{
-        solve_exact, solve_greedy, solve_greedy_with, solve_portfolio, sweep_r, EvictionPolicy,
-        GreedyConfig, SelectionRule, SolveError,
+        registry, sweep_r, EvictionPolicy, GreedyConfig, SelectionRule, SolveError,
     };
 }

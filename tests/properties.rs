@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use red_blue_pebbling::core::{engine, CostModel, ModelKind};
 use red_blue_pebbling::graph::{Dag, DagBuilder};
 use red_blue_pebbling::prelude::*;
-use red_blue_pebbling::solvers::{solve_reference, SolveError};
+use red_blue_pebbling::solvers::SolveError;
 
 /// Strategy: a random DAG given by node count and per-pair edge coin
 /// flips over all forward pairs (i, j), i < j.
@@ -61,7 +61,7 @@ proptest! {
     fn greedy_always_valid_and_bracketed(dag in arb_dag(12), model in model_strategy()) {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, model);
-        let rep = solve_greedy(&inst).unwrap();
+        let rep = registry::solve("greedy", &inst).unwrap();
         let sim = engine::simulate(&inst, &rep.trace).unwrap();
         prop_assert_eq!(sim.cost, rep.cost);
         let eps = model.epsilon();
@@ -75,8 +75,8 @@ proptest! {
     fn pruned_exact_equals_reference(dag in arb_dag(6), model in model_strategy()) {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag, r, model);
-        let fast = solve_exact(&inst).unwrap();
-        let slow = solve_reference(&inst).unwrap();
+        let fast = registry::solve("exact", &inst).unwrap();
+        let slow = registry::solve("reference", &inst).unwrap();
         let eps = model.epsilon();
         prop_assert_eq!(fast.cost.scaled(eps), slow.cost.scaled(eps));
     }
@@ -90,7 +90,7 @@ proptest! {
         let inst = Instance::new(dag, rmin, CostModel::oneshot());
         let mut prev: Option<u64> = None;
         for r in rmin..=(rmin + 2) {
-            let c = solve_exact(&inst.with_red_limit(r)).unwrap().cost.transfers;
+            let c = registry::solve("exact", &inst.with_red_limit(r)).unwrap().cost.transfers;
             if let Some(p) = prev {
                 prop_assert!(c <= p, "opt increased with more pebbles");
                 prop_assert!(p <= c + 2 * n, "slope exceeded 2n");
@@ -138,8 +138,8 @@ proptest! {
         let delta = dag.max_indegree();
         prop_assume!(delta >= 1);
         let inst = Instance::new(dag, delta, CostModel::oneshot());
-        prop_assert!(matches!(solve_exact(&inst), Err(SolveError::Pebbling(_))));
-        prop_assert!(matches!(solve_greedy(&inst), Err(SolveError::Pebbling(_))));
+        prop_assert!(matches!(registry::solve("exact", &inst), Err(SolveError::Pebbling(_))));
+        prop_assert!(matches!(registry::solve("greedy", &inst), Err(SolveError::Pebbling(_))));
         prop_assert!(bounds::canonical_pebbling(&inst).is_err());
     }
 
@@ -150,12 +150,40 @@ proptest! {
         let r = dag.max_indegree() + 1;
         let sinks = dag.sinks().len() as u128;
         let inst = Instance::new(dag, r, CostModel::oneshot());
-        let plain = solve_exact(&inst).unwrap();
+        let plain = registry::solve("exact", &inst).unwrap();
         let strict = red_blue_pebbling::core::transform::require_blue_sinks(&inst);
-        let strict_opt = solve_exact(&strict).unwrap();
+        let strict_opt = registry::solve("exact", &strict).unwrap();
         let eps = inst.model().epsilon();
         prop_assert!(plain.cost.scaled(eps) <= strict_opt.cost.scaled(eps));
         prop_assert!(strict_opt.cost.scaled(eps) <= plain.cost.scaled(eps) + sinks * eps.den() as u128);
+    }
+
+    /// `Quality::Optimal` solutions are never worse than any heuristic
+    /// solver's on the same instance, and every heuristic's reported
+    /// `lower_bound` really bounds the optimum from below.
+    #[test]
+    fn optimal_quality_dominates_heuristics(dag in arb_dag(7), model in model_strategy()) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model);
+        let eps = model.epsilon();
+        let exact = registry::solve("exact", &inst).unwrap();
+        prop_assert!(exact.is_optimal(), "unbudgeted exact must prove optimality");
+        for spec in ["greedy", "greedy:fewest-blue-inputs/lru", "beam:4", "portfolio"] {
+            let heur = registry::solve(spec, &inst).unwrap();
+            prop_assert!(
+                exact.cost.scaled(eps) <= heur.cost.scaled(eps),
+                "heuristic {} beat a Quality::Optimal solution", spec
+            );
+            match heur.quality {
+                Quality::Optimal => prop_assert_eq!(
+                    heur.cost.scaled(eps), exact.cost.scaled(eps)
+                ),
+                Quality::UpperBound { lower_bound } => {
+                    prop_assert!(lower_bound <= exact.cost.scaled(eps));
+                }
+                Quality::Infeasible => prop_assert!(false, "feasible instance"),
+            }
+        }
     }
 
     /// The super-source transform (Section 3) preserves optimal cost up
@@ -164,10 +192,10 @@ proptest! {
     fn super_source_preserves_behavior(dag in arb_dag(6)) {
         let r = dag.max_indegree() + 1;
         let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-        let base_opt = solve_exact(&inst).unwrap();
+        let base_opt = registry::solve("exact", &inst).unwrap();
         let ss = red_blue_pebbling::core::transform::add_super_source(&dag);
         let aug = Instance::new(ss.dag, r + 1, CostModel::oneshot());
-        let aug_opt = solve_exact(&aug).unwrap();
+        let aug_opt = registry::solve("exact", &aug).unwrap();
         // parking one pebble on s0 leaves R for the original game; the
         // optimum can only improve or stay (never exceed base + 0)
         prop_assert!(aug_opt.cost.transfers <= base_opt.cost.transfers);
@@ -188,9 +216,12 @@ fn model_cost_ordering_on_fixed_instance() {
     let dag = b.build().unwrap();
     let r = 3;
     let opt = |kind: ModelKind| {
-        solve_exact(&Instance::new(dag.clone(), r, CostModel::of_kind(kind)))
-            .unwrap()
-            .cost
+        registry::solve(
+            "exact",
+            &Instance::new(dag.clone(), r, CostModel::of_kind(kind)),
+        )
+        .unwrap()
+        .cost
     };
     let base = opt(ModelKind::Base);
     let oneshot = opt(ModelKind::Oneshot);

@@ -17,7 +17,8 @@ fn quickstart_matmul_round_trip() {
     assert!(mm.dag.max_indegree() <= 2, "matmul is pebblable from R = 3");
 
     let inst = Instance::new(mm.dag.clone(), 4, CostModel::oneshot());
-    let opt = solve_exact(&inst).expect("R = 4 is feasible for matmul(2)");
+    let opt = registry::solve("exact", &inst).expect("R = 4 is feasible for matmul(2)");
+    assert!(opt.is_optimal(), "exact solves carry Quality::Optimal");
 
     // The reported optimum must replay on the engine at exactly the
     // reported cost, within the red budget.
@@ -51,7 +52,7 @@ fn quickstart_diamond_sweep_is_monotone() {
     let mut prev = u64::MAX;
     for r in 3..=5 {
         let inst = Instance::new(dag.clone(), r, CostModel::oneshot());
-        let opt = solve_exact(&inst).expect("feasible from R = 3");
+        let opt = registry::solve("exact", &inst).expect("feasible from R = 3");
         let report = engine::simulate(&inst, &opt.trace).expect("valid");
         assert_eq!(report.cost, opt.cost);
         assert!(opt.cost.transfers <= prev, "opt(R) must be non-increasing");
@@ -59,6 +60,53 @@ fn quickstart_diamond_sweep_is_monotone() {
     }
     // All five values fit at R = 5, so the game is I/O-free.
     assert_eq!(prev, 0);
+}
+
+/// Public-API smoke test: every spec string in the README's solver
+/// registry grammar table parses and solves the quickstart diamond.
+/// Documentation drift (a spec renamed in code but not in the README,
+/// or vice versa) fails here, not in a user's shell.
+#[test]
+fn readme_registry_specs_parse_and_solve() {
+    let readme = include_str!("../README.md");
+    let section = readme
+        .split("## Solver registry")
+        .nth(1)
+        .expect("README must keep a 'Solver registry' section");
+    let section = section.split("\n## ").next().unwrap();
+    let mut specs: Vec<&str> = Vec::new();
+    for line in section.lines() {
+        // table rows look like:  | `exact-parallel:4` | ... |
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let spec = rest.split('`').next().unwrap();
+        specs.push(spec);
+    }
+    assert!(
+        specs.len() >= 6,
+        "README grammar table lists every family; found only {specs:?}"
+    );
+
+    // the quickstart diamond from the example above
+    let mut b = DagBuilder::new(5);
+    b.add_edge(0, 2);
+    b.add_edge(1, 2);
+    b.add_edge(1, 3);
+    b.add_edge(2, 4);
+    b.add_edge(3, 4);
+    let inst = Instance::new(b.build().expect("acyclic"), 3, CostModel::oneshot());
+    for spec in specs {
+        let sol = registry::solve(spec, &inst)
+            .unwrap_or_else(|e| panic!("README spec `{spec}` failed: {e}"));
+        let report = engine::simulate(&inst, &sol.trace)
+            .unwrap_or_else(|e| panic!("README spec `{spec}` produced an invalid trace: {e:?}"));
+        assert_eq!(
+            report.cost, sol.cost,
+            "spec `{spec}` cost must be engine-exact"
+        );
+    }
 }
 
 /// Every model variant solves the quickstart diamond and validates.
@@ -74,7 +122,7 @@ fn quickstart_all_models_validate() {
     for kind in ModelKind::ALL {
         let model = CostModel::of_kind(kind);
         let inst = Instance::new(dag.clone(), 3, model);
-        let opt = solve_exact(&inst).expect("feasible");
+        let opt = registry::solve("exact", &inst).expect("feasible");
         let report = engine::simulate(&inst, &opt.trace).expect("valid");
         assert_eq!(report.cost, opt.cost, "engine disagrees under {kind:?}");
     }

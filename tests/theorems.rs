@@ -91,13 +91,11 @@ fn theorem4_grid_defeats_greedy() {
     let inst = g.instance(CostModel::oneshot());
     let best = best_order(&g.grouped, &inst).expect("solvable");
     for rule in SelectionRule::ALL {
-        let rep = solve_greedy_with(
-            &inst,
-            GreedyConfig {
-                rule,
-                eviction: EvictionPolicy::MinUses,
-            },
-        )
+        let rep = GreedySolver::with_config(GreedyConfig {
+            rule,
+            eviction: EvictionPolicy::MinUses,
+        })
+        .solve_default(&inst)
         .expect("feasible");
         assert!(
             rep.cost.transfers > 3 * best.cost.transfers,
@@ -113,7 +111,7 @@ fn section5_staircase_is_exactly_optimal() {
     let t = tradeoff::build(3, 4);
     for r in t.min_r()..=t.free_r() {
         let inst = Instance::new(t.dag.clone(), r, CostModel::oneshot());
-        let opt = solve_exact(&inst).expect("feasible");
+        let opt = registry::solve("exact", &inst).expect("feasible");
         assert_eq!(opt.cost.transfers, t.expected_oneshot_cost(r));
     }
 }
@@ -124,10 +122,13 @@ fn section3_cd_beats_pyramid_as_a_gadget() {
     let h = 5;
     let ladder = cd::build(2, h);
     let starve = |dag: &red_blue_pebbling::graph::Dag, r: usize| {
-        solve_exact(&Instance::new(dag.clone(), r, CostModel::oneshot()))
-            .unwrap()
-            .cost
-            .transfers
+        registry::solve(
+            "exact",
+            &Instance::new(dag.clone(), r, CostModel::oneshot()),
+        )
+        .unwrap()
+        .cost
+        .transfers
     };
     let ladder_cliff = starve(&ladder.dag, ladder.free_budget() - 1);
     let p = pyramid::build(h);
@@ -149,7 +150,7 @@ fn lemma1_optimal_traces_are_short() {
         let r = dag.max_indegree() + 1;
         for kind in [ModelKind::Oneshot, ModelKind::NoDel, ModelKind::CompCost] {
             let inst = Instance::new(dag.clone(), r, CostModel::of_kind(kind));
-            let opt = solve_exact(&inst).expect("feasible");
+            let opt = registry::solve("exact", &inst).expect("feasible");
             let bound = bounds::lemma1_length_bound(&inst).expect("NP models have bounds");
             assert!(
                 (opt.trace.len() as u64) <= bound,
@@ -170,20 +171,19 @@ fn every_solver_cost_is_engine_validated() {
     let dag = red_blue_pebbling::graph::generate::layered(3, 4, 2, &mut rng);
     let inst = Instance::new(dag, 4, CostModel::oneshot());
 
-    let exact = solve_exact(&inst).unwrap();
+    let exact = registry::solve("exact", &inst).unwrap();
     assert_eq!(
         engine::simulate(&inst, &exact.trace).unwrap().cost,
         exact.cost
     );
 
-    let greedy = solve_greedy(&inst).unwrap();
+    let greedy = registry::solve("greedy", &inst).unwrap();
     assert_eq!(
         engine::simulate(&inst, &greedy.trace).unwrap().cost,
         greedy.cost
     );
 
-    let (_, port) =
-        solve_portfolio(&inst, &red_blue_pebbling::solvers::default_portfolio()).unwrap();
+    let port = registry::solve("portfolio", &inst).unwrap();
     assert_eq!(
         engine::simulate(&inst, &port.trace).unwrap().cost,
         port.cost

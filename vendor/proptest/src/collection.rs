@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Admissible size arguments for [`vec`]: an exact length or a range.
+/// Admissible size arguments for [`vec()`]: an exact length or a range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

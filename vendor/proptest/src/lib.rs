@@ -2,9 +2,12 @@
 //! [`proptest`](https://crates.io/crates/proptest) crate, API-compatible
 //! with the subset this workspace's property suites use:
 //!
-//! - the [`Strategy`] trait with [`Strategy::prop_map`] /
-//!   [`Strategy::prop_flat_map`], plus strategies for integer ranges,
-//!   tuples, [`Just`], [`collection::vec`], [`bool::weighted`] and
+//! - the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) /
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map), plus
+//!   strategies for integer ranges, tuples,
+//!   [`Just`](strategy::Just), [`collection::vec`],
+//!   [`bool::weighted`] and
 //!   [`arbitrary::any`];
 //! - the [`proptest!`] test macro with `#![proptest_config(..)]` support;
 //! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
