@@ -19,7 +19,9 @@
 //!
 //! The same instance matrix backs the `bench_exact_hotpath` and
 //! `bench_exact_parallel` criterion targets, so interactive `cargo
-//! bench` numbers and the recorded JSON stay comparable.
+//! bench` numbers and the recorded JSON stay comparable. Two extra
+//! rows ([`measure_service`]) record the batch-solve service's
+//! round-trip latency on a cache miss and a cache hit.
 
 use crate::report::Table;
 use rand::rngs::StdRng;
@@ -216,9 +218,97 @@ pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<
     results
 }
 
-/// Measures the full recorded matrix at [`SNAPSHOT_SPECS`].
+/// Measures the full recorded matrix at [`SNAPSHOT_SPECS`], plus the
+/// batch-solve service round-trip cells ([`measure_service`]).
 pub fn measure(samples: usize) -> Vec<CellResult> {
-    measure_cases(&all_cells(), samples, &SNAPSHOT_SPECS)
+    let mut results = measure_cases(&all_cells(), samples, &SNAPSHOT_SPECS);
+    results.extend(measure_service(samples));
+    results
+}
+
+/// Round-trip latency of the batch-solve service (`rbp-service`) on the
+/// grid cell, recorded as two extra rows:
+///
+/// - `service-miss` — submit → terminal event against a cold cache,
+///   i.e. queueing + canonical-key hashing + a full solve;
+/// - `service-hit` — the same request answered by the memoization
+///   cache, i.e. the pure service overhead.
+///
+/// `median_ns` is the request round trip; `states_per_sec` doubles as
+/// **requests/sec** (`1e9 / median_ns`) for these rows, so the same
+/// perf-check threshold machinery covers service regressions. The
+/// states columns carry the solve behind the cached entry.
+pub fn measure_service(samples: usize) -> Vec<CellResult> {
+    use rbp_service::{JobRequest, Server, ServerConfig};
+    assert!(samples >= 1);
+    let spec = "exact";
+    let instance = Instance::new(
+        rbp_workloads::stencil::build(4, 2, 1).dag,
+        4,
+        CostModel::oneshot(),
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+    };
+    let request = |id: &str| JobRequest {
+        id: id.to_string(),
+        spec: spec.to_string(),
+        instance: instance.clone(),
+        options: Default::default(),
+    };
+    let round_trip = |server: &Server, id: &str| -> (u128, Solution) {
+        let t0 = Instant::now();
+        let events = server.submit_collect(request(id)).expect("server accepts");
+        let solution = events
+            .iter()
+            .find_map(|ev| match ev {
+                rbp_service::Event::Done { solution, .. } => Some(solution),
+                _ => None,
+            })
+            .expect("perf cells solve");
+        (t0.elapsed().as_nanos(), solution)
+    };
+
+    // misses: a fresh server (and thus a cold cache) per sample —
+    // server startup is outside the timed window
+    let mut miss_runs: Vec<(u128, Solution)> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let server = Server::start(config);
+        miss_runs.push(round_trip(&server, &format!("miss-{i}")));
+        server.shutdown();
+    }
+
+    // hits: one server, warmed once, then timed resubmissions
+    let server = Server::start(config);
+    let _ = round_trip(&server, "warm");
+    let mut hit_runs: Vec<(u128, Solution)> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        hit_runs.push(round_trip(&server, &format!("hit-{i}")));
+    }
+    assert_eq!(server.stats().solves, 1, "hits must not re-solve");
+    server.shutdown();
+
+    let mut results = Vec::with_capacity(2);
+    for (workload, mut runs) in [("service-miss", miss_runs), ("service-hit", hit_runs)] {
+        runs.sort_unstable_by_key(|(ns, _)| *ns);
+        let (median_ns, sol) = &runs[runs.len() / 2];
+        let median_ns = (*median_ns).max(1);
+        results.push(CellResult {
+            workload: workload.to_string(),
+            model: "oneshot".to_string(),
+            n: instance.dag().n(),
+            r: instance.red_limit(),
+            spec: spec.to_string(),
+            threads: 1,
+            median_ns,
+            states_seen: sol.states_seen().unwrap_or(0) as usize,
+            states_expanded: sol.states_expanded().unwrap_or(0) as usize,
+            states_per_sec: (1_000_000_000 / median_ns) as u64,
+            scaled_cost: sol.scaled_cost(&instance),
+        });
+    }
+    results
 }
 
 /// Writes the snapshot as `<dir>/BENCH_exact.json` and returns the path.
@@ -574,6 +664,21 @@ mod tests {
         for m in ["base", "oneshot", "nodel"] {
             assert!(json.contains(&format!("\"model\": \"{m}\"")), "{m} missing");
         }
+    }
+
+    #[test]
+    fn service_cells_record_hit_and_miss_round_trips() {
+        let rows = measure_service(1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workload, "service-miss");
+        assert_eq!(rows[1].workload, "service-hit");
+        for row in &rows {
+            assert_eq!(row.spec, "exact");
+            assert!(row.states_per_sec > 0, "requests/sec must be recorded");
+        }
+        // the hit is answered from the cache, so both rows carry the
+        // same engine-validated optimum
+        assert_eq!(rows[0].scaled_cost, rows[1].scaled_cost);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! A pebbling problem instance: DAG + red-pebble budget + model +
 //! start/finish conventions.
 
-use crate::model::CostModel;
-use rbp_graph::Dag;
+use crate::model::{CostModel, ModelKind};
+use rbp_graph::hash::hash_words;
+use rbp_graph::{levels, Dag};
 use std::fmt;
 use std::sync::Arc;
 
@@ -140,6 +141,83 @@ impl Instance {
         self.sink_convention
     }
 
+    /// A stable 128-bit digest of the *problem* this instance poses —
+    /// the cache key of the batch-solve service.
+    ///
+    /// Two instances with the same DAG structure, red budget, model, and
+    /// conventions always produce the same key (node labels are ignored:
+    /// they never affect a pebbling's cost). When cheap topo-layer
+    /// refinement individualizes every node — iterated
+    /// Weisfeiler–Leman-style recoloring seeded from `(topological
+    /// level, indegree, outdegree)` — the digest is additionally
+    /// invariant under node relabeling: the DAG is re-serialized in
+    /// refinement-color order, so isomorphic relabelings of the same
+    /// problem collide on purpose ([`CanonicalKey::is_relabeling_invariant`]
+    /// reports `true`). When refinement stalls before individualizing
+    /// (automorphism-rich DAGs), the digest falls back to the exact
+    /// node-id-order serialization: still deterministic and
+    /// collision-resistant, just not relabeling-invariant — full graph
+    /// canonicalization is GI-hard and a cache key must stay cheap.
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let dag = self.dag();
+        let n = dag.n();
+        let order = refinement_order(dag);
+        let canonical = order.is_some();
+        // perm[original id] = serialized position
+        let perm: Vec<u32> = match &order {
+            Some(by_color) => {
+                let mut perm = vec![0u32; n];
+                for (pos, &v) in by_color.iter().enumerate() {
+                    perm[v] = pos as u32;
+                }
+                perm
+            }
+            None => (0..n as u32).collect(),
+        };
+        // serialize: header, instance parameters, then per-node sorted
+        // predecessor lists in serialized order
+        let eps = self.model.epsilon();
+        let mut stream: Vec<u64> = Vec::with_capacity(10 + n + dag.num_edges());
+        stream.extend_from_slice(&[
+            0x7265_6462_6c75_6501, // "redblue" format marker, version 1
+            canonical as u64,
+            n as u64,
+            dag.num_edges() as u64,
+            self.red_limit as u64,
+            model_discriminant(self.model.kind()),
+            eps.num(),
+            eps.den(),
+            self.source_convention as u64,
+            self.sink_convention as u64,
+        ]);
+        let mut preds: Vec<u32> = Vec::new();
+        for pos in 0..n {
+            let v = match &order {
+                Some(by_color) => by_color[pos],
+                None => pos,
+            };
+            preds.clear();
+            preds.extend(
+                dag.preds(rbp_graph::NodeId::new(v))
+                    .iter()
+                    .map(|p| perm[p.index()]),
+            );
+            preds.sort_unstable();
+            stream.push(u64::MAX); // node separator
+            stream.extend(preds.iter().map(|&p| p as u64));
+        }
+        let mut salted = Vec::with_capacity(stream.len() + 1);
+        salted.push(0x9e37_79b9_7f4a_7c15);
+        salted.extend_from_slice(&stream);
+        let d0 = hash_words(&salted);
+        salted[0] = 0xc2b2_ae3d_27d4_eb4f;
+        let d1 = hash_words(&salted);
+        CanonicalKey {
+            digest: [d0, d1],
+            canonical,
+        }
+    }
+
     /// Whether a pebbling exists at all: R ≥ Δ+1 (Section 3).
     pub fn is_feasible(&self) -> bool {
         self.red_limit > self.dag.max_indegree()
@@ -149,6 +227,121 @@ impl Instance {
     pub fn min_feasible_r(&self) -> usize {
         self.dag.max_indegree() + 1
     }
+}
+
+/// The digest returned by [`Instance::canonical_key`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalKey {
+    digest: [u64; 2],
+    canonical: bool,
+}
+
+impl CanonicalKey {
+    /// The raw 128-bit digest, as two words.
+    #[inline]
+    pub fn digest(&self) -> [u64; 2] {
+        self.digest
+    }
+
+    /// Whether topo-layer refinement individualized every node, making
+    /// this digest invariant under node relabeling. `false` means the
+    /// exact-bytes fallback was used: the key is still stable for
+    /// byte-identical instances, but an isomorphic relabeling may key
+    /// differently.
+    #[inline]
+    pub fn is_relabeling_invariant(&self) -> bool {
+        self.canonical
+    }
+
+    /// The digest as 32 hex digits — the wire/logging form.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.digest[0], self.digest[1])
+    }
+}
+
+impl fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.to_hex())
+    }
+}
+
+fn model_discriminant(kind: ModelKind) -> u64 {
+    match kind {
+        ModelKind::Base => 0,
+        ModelKind::Oneshot => 1,
+        ModelKind::NoDel => 2,
+        ModelKind::CompCost => 3,
+    }
+}
+
+/// Iterated Weisfeiler–Leman-style color refinement seeded from
+/// `(topological level, indegree, outdegree)`. Returns the node ids
+/// sorted by final color when the refinement is *discrete* (every node
+/// has a unique color — then color order is a canonical order), `None`
+/// when it stalls with ties.
+fn refinement_order(dag: &Dag) -> Option<Vec<usize>> {
+    let n = dag.n();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let lv = levels(dag);
+    let mut color: Vec<u64> = (0..n)
+        .map(|i| {
+            let v = rbp_graph::NodeId::new(i);
+            hash_words(&[
+                lv[i] as u64,
+                dag.indegree(v) as u64,
+                dag.outdegree(v) as u64,
+            ])
+        })
+        .collect();
+    let mut distinct = count_distinct(&color);
+    let mut next = vec![0u64; n];
+    let mut neigh: Vec<u64> = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
+    // each effective round strictly increases the number of color
+    // classes, so n rounds always suffice
+    for _ in 0..n {
+        if distinct == n {
+            break;
+        }
+        for i in 0..n {
+            let v = rbp_graph::NodeId::new(i);
+            words.clear();
+            words.push(color[i]);
+            words.push(u64::MAX); // separate own color / preds / succs
+            neigh.clear();
+            neigh.extend(dag.preds(v).iter().map(|p| color[p.index()]));
+            neigh.sort_unstable();
+            words.extend_from_slice(&neigh);
+            words.push(u64::MAX);
+            neigh.clear();
+            neigh.extend(dag.succs(v).iter().map(|s| color[s.index()]));
+            neigh.sort_unstable();
+            words.extend_from_slice(&neigh);
+            next[i] = hash_words(&words);
+        }
+        std::mem::swap(&mut color, &mut next);
+        let d = count_distinct(&color);
+        if d == distinct {
+            // stable partition with ties: give up (exact-bytes fallback)
+            return None;
+        }
+        distinct = d;
+    }
+    if distinct < n {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| color[i]);
+    Some(order)
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
 }
 
 impl fmt::Debug for Instance {
@@ -192,6 +385,82 @@ mod tests {
         let other = inst.with_red_limit(5);
         assert_eq!(other.red_limit(), 5);
         assert!(Arc::ptr_eq(&inst.dag, &other.dag));
+    }
+
+    #[test]
+    fn canonical_key_ignores_labels_and_separates_parameters() {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let plain = b.build().unwrap();
+        let mut b = DagBuilder::new(0);
+        let x = b.add_labeled_node("x");
+        let y = b.add_labeled_node("y");
+        let z = b.add_labeled_node("z");
+        b.add_edge_ids(x, z);
+        b.add_edge_ids(y, z);
+        let labeled = b.build().unwrap();
+
+        let base = Instance::new(plain, 3, CostModel::oneshot());
+        assert_eq!(
+            base.canonical_key(),
+            Instance::new(labeled, 3, CostModel::oneshot()).canonical_key(),
+            "labels must not affect the key"
+        );
+        // every parameter dimension separates
+        let key = base.canonical_key();
+        assert_ne!(key, base.with_red_limit(4).canonical_key());
+        assert_ne!(key, base.with_model(CostModel::base()).canonical_key());
+        assert_ne!(
+            key,
+            base.with_source_convention(SourceConvention::InitiallyBlue)
+                .canonical_key()
+        );
+        assert_ne!(
+            key,
+            base.with_sink_convention(SinkConvention::RequireBlue)
+                .canonical_key()
+        );
+        assert_eq!(key.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_relabeling_when_discrete() {
+        // a chain individualizes immediately (levels are all distinct),
+        // so any relabeling must collide
+        let chain = {
+            let mut b = DagBuilder::new(4);
+            b.add_edge(0, 1);
+            b.add_edge(1, 2);
+            b.add_edge(2, 3);
+            b.build().unwrap()
+        };
+        let scrambled = {
+            // same chain under the relabeling 0→2, 1→0, 2→3, 3→1
+            let mut b = DagBuilder::new(4);
+            b.add_edge(2, 0);
+            b.add_edge(0, 3);
+            b.add_edge(3, 1);
+            b.build().unwrap()
+        };
+        let a = Instance::new(chain, 2, CostModel::base()).canonical_key();
+        let b = Instance::new(scrambled, 2, CostModel::base()).canonical_key();
+        assert!(a.is_relabeling_invariant());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_key_falls_back_on_automorphic_dags() {
+        // two independent 2-chains: the halves are indistinguishable by
+        // refinement, so the key degrades to exact-bytes mode
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let inst = Instance::new(b.build().unwrap(), 2, CostModel::base());
+        let key = inst.canonical_key();
+        assert!(!key.is_relabeling_invariant());
+        // still deterministic
+        assert_eq!(key, inst.canonical_key());
     }
 
     #[test]

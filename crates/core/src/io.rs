@@ -1,0 +1,501 @@
+//! The versioned instance wire format: a complete pebbling problem as a
+//! line-oriented text document.
+//!
+//! This is the submission payload of the batch-solve service
+//! (`rbp-service`) and the on-disk form for imported real-world DAGs.
+//! Grammar (one statement per line, `#` comments and blank lines
+//! allowed anywhere):
+//!
+//! ```text
+//! instance v1
+//! model base|oneshot|nodel|compcost <num>/<den>
+//! r <R>
+//! sources free-compute|initially-blue     # optional (default free-compute)
+//! sinks any-pebble|require-blue           # optional (default any-pebble)
+//! dag <n>                                 # the rbp_graph::io block
+//! label <node> <text>
+//! edge <from> <to>
+//! end
+//! ```
+//!
+//! The `dag … ` section is exactly [`rbp_graph::io`]'s format, parsed
+//! through [`rbp_graph::io::parse_dag_at`] so error line numbers are in
+//! document coordinates. `end` terminates the document — the service
+//! reads framed submissions off a socket by scanning for it, so
+//! [`parse_instance`] rejects trailing statements after `end` instead
+//! of silently ignoring a second document.
+//!
+//! Every [`ParseError`] variant carries the 1-based line number it was
+//! raised on and the offending token, mirroring [`rbp_graph::io::ParseError`].
+
+use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::model::{CostModel, ModelKind};
+use crate::Ratio;
+use rbp_graph::io as graph_io;
+use std::fmt::Write as _;
+
+/// The version tag [`write_instance`] emits and [`parse_instance`]
+/// accepts.
+pub const INSTANCE_VERSION: &str = "v1";
+
+/// Errors from [`parse_instance`]. Syntactic variants carry 1-based
+/// document line numbers and the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first statement must be `instance v1`.
+    MissingHeader,
+    /// The header names a version this parser does not speak.
+    UnsupportedVersion {
+        /// 1-based line number of the header.
+        line: usize,
+        /// The version token found.
+        found: String,
+    },
+    /// A statement could not be parsed.
+    UnexpectedToken {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// The token that was rejected.
+        token: String,
+        /// What the parser expected in its place.
+        expected: &'static str,
+    },
+    /// A field appeared twice.
+    DuplicateField {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated field keyword.
+        field: &'static str,
+    },
+    /// A required field never appeared before the `dag` section.
+    MissingField {
+        /// The missing field keyword.
+        field: &'static str,
+    },
+    /// The document ended without an `end` terminator.
+    MissingEnd,
+    /// The embedded DAG block was rejected.
+    Dag(graph_io::ParseError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => {
+                write!(f, "missing 'instance {INSTANCE_VERSION}' header")
+            }
+            ParseError::UnsupportedVersion { line, found } => write!(
+                f,
+                "line {line}: unsupported instance version '{found}' (expected \
+                 '{INSTANCE_VERSION}')"
+            ),
+            ParseError::UnexpectedToken {
+                line,
+                token,
+                expected,
+            } => write!(f, "line {line}: unexpected '{token}', expected {expected}"),
+            ParseError::DuplicateField { line, field } => {
+                write!(f, "line {line}: duplicate '{field}' field")
+            }
+            ParseError::MissingField { field } => write!(f, "missing required '{field}' field"),
+            ParseError::MissingEnd => write!(f, "missing 'end' terminator"),
+            ParseError::Dag(e) => write!(f, "in dag section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<graph_io::ParseError> for ParseError {
+    fn from(e: graph_io::ParseError) -> Self {
+        ParseError::Dag(e)
+    }
+}
+
+fn unexpected(line: usize, token: impl Into<String>, expected: &'static str) -> ParseError {
+    ParseError::UnexpectedToken {
+        line,
+        token: token.into(),
+        expected,
+    }
+}
+
+/// The wire token for a model (`base`, `oneshot`, `nodel`, or
+/// `compcost <num>/<den>`). [`CostModel`]'s `Display` is for humans
+/// (`compcost(ε=1/100)`); this is the parseable form.
+pub fn model_token(model: CostModel) -> String {
+    match model.kind() {
+        ModelKind::CompCost => {
+            let eps = model.epsilon();
+            format!("compcost {}/{}", eps.num(), eps.den())
+        }
+        kind => kind.to_string(),
+    }
+}
+
+fn parse_model(args: &[&str], line: usize) -> Result<CostModel, ParseError> {
+    match args {
+        ["base"] => Ok(CostModel::base()),
+        ["oneshot"] => Ok(CostModel::oneshot()),
+        ["nodel"] => Ok(CostModel::nodel()),
+        ["compcost", eps] => {
+            let (num, den) = eps
+                .split_once('/')
+                .ok_or_else(|| unexpected(line, *eps, "'<num>/<den>' after 'compcost'"))?;
+            let num: u64 = num.parse().map_err(|_| {
+                unexpected(line, *eps, "integer numerator in 'compcost <num>/<den>'")
+            })?;
+            let den: u64 = den.parse().map_err(|_| {
+                unexpected(line, *eps, "integer denominator in 'compcost <num>/<den>'")
+            })?;
+            if num == 0 || den == 0 || num >= den {
+                return Err(unexpected(line, *eps, "a ratio 0 < num/den < 1"));
+            }
+            Ok(CostModel::compcost_with(Ratio::new(num, den)))
+        }
+        _ => Err(unexpected(
+            line,
+            args.join(" "),
+            "'base', 'oneshot', 'nodel', or 'compcost <num>/<den>'",
+        )),
+    }
+}
+
+/// Serializes an instance as a complete `instance v1` document. All
+/// fields are emitted explicitly (including default conventions), so a
+/// document is self-describing on the wire.
+pub fn write_instance(instance: &Instance) -> String {
+    let dag_block = graph_io::write_dag(instance.dag());
+    let mut out = String::with_capacity(96 + dag_block.len());
+    let _ = writeln!(out, "instance {INSTANCE_VERSION}");
+    let _ = writeln!(out, "model {}", model_token(instance.model()));
+    let _ = writeln!(out, "r {}", instance.red_limit());
+    let sources = match instance.source_convention() {
+        SourceConvention::FreeCompute => "free-compute",
+        SourceConvention::InitiallyBlue => "initially-blue",
+    };
+    let _ = writeln!(out, "sources {sources}");
+    let sinks = match instance.sink_convention() {
+        SinkConvention::AnyPebble => "any-pebble",
+        SinkConvention::RequireBlue => "require-blue",
+    };
+    let _ = writeln!(out, "sinks {sinks}");
+    out.push_str(&dag_block);
+    out.push_str("end\n");
+    out
+}
+
+/// Parses an `instance v1` document back into a validated [`Instance`].
+pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
+    parse_instance_at(text, 1)
+}
+
+/// Like [`parse_instance`] for a document embedded at `first_line`
+/// (1-based) of a larger stream: reported line numbers are global.
+pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, ParseError> {
+    let mut header_seen = false;
+    let mut model: Option<CostModel> = None;
+    let mut r: Option<usize> = None;
+    let mut sources: Option<SourceConvention> = None;
+    let mut sinks: Option<SinkConvention> = None;
+    // the dag block: (first document line, collected raw lines)
+    let mut dag_block: Option<(usize, String)> = None;
+    let mut ended = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = first_line + i;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(unexpected(lineno, line, "nothing after 'end'"));
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("nonempty line");
+        let args: Vec<&str> = parts.collect();
+        if !header_seen {
+            if keyword != "instance" {
+                return Err(ParseError::MissingHeader);
+            }
+            match args.as_slice() {
+                [v] if *v == INSTANCE_VERSION => header_seen = true,
+                [v] => {
+                    return Err(ParseError::UnsupportedVersion {
+                        line: lineno,
+                        found: (*v).to_string(),
+                    })
+                }
+                _ => {
+                    return Err(unexpected(
+                        lineno,
+                        line,
+                        "'instance v1' as the first statement",
+                    ))
+                }
+            }
+            continue;
+        }
+        // inside the dag section: collect verbatim until `end`
+        if let Some((_, block)) = &mut dag_block {
+            if keyword == "end" {
+                ended = true;
+            } else {
+                block.push_str(raw);
+                block.push('\n');
+            }
+            continue;
+        }
+        match keyword {
+            "model" => {
+                if model.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "model",
+                    });
+                }
+                model = Some(parse_model(&args, lineno)?);
+            }
+            "r" => {
+                if r.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "r",
+                    });
+                }
+                let token = args.first().copied().unwrap_or("");
+                r = Some(
+                    token
+                        .parse()
+                        .map_err(|_| unexpected(lineno, token, "red-pebble budget in 'r <R>'"))?,
+                );
+            }
+            "sources" => {
+                if sources.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "sources",
+                    });
+                }
+                sources = Some(match args.as_slice() {
+                    ["free-compute"] => SourceConvention::FreeCompute,
+                    ["initially-blue"] => SourceConvention::InitiallyBlue,
+                    _ => {
+                        return Err(unexpected(
+                            lineno,
+                            args.join(" "),
+                            "'free-compute' or 'initially-blue'",
+                        ))
+                    }
+                });
+            }
+            "sinks" => {
+                if sinks.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "sinks",
+                    });
+                }
+                sinks = Some(match args.as_slice() {
+                    ["any-pebble"] => SinkConvention::AnyPebble,
+                    ["require-blue"] => SinkConvention::RequireBlue,
+                    _ => {
+                        return Err(unexpected(
+                            lineno,
+                            args.join(" "),
+                            "'any-pebble' or 'require-blue'",
+                        ))
+                    }
+                });
+            }
+            "dag" => {
+                let mut block = String::with_capacity(raw.len() + 1);
+                block.push_str(raw);
+                block.push('\n');
+                dag_block = Some((lineno, block));
+            }
+            "end" => return Err(ParseError::Dag(graph_io::ParseError::MissingHeader)),
+            other => {
+                return Err(unexpected(
+                    lineno,
+                    other,
+                    "'model', 'r', 'sources', 'sinks', or the 'dag <n>' section",
+                ))
+            }
+        }
+    }
+    if !header_seen {
+        return Err(ParseError::MissingHeader);
+    }
+    if !ended {
+        return Err(ParseError::MissingEnd);
+    }
+    let model = model.ok_or(ParseError::MissingField { field: "model" })?;
+    let r = r.ok_or(ParseError::MissingField { field: "r" })?;
+    let (dag_line, block) = dag_block.expect("ended implies a dag section");
+    let dag = graph_io::parse_dag_at(&block, dag_line)?;
+    Ok(Instance::new(dag, r, model)
+        .with_source_convention(sources.unwrap_or_default())
+        .with_sink_convention(sinks.unwrap_or_default()))
+}
+
+/// Structural equality of two instances (the `Instance` type itself
+/// deliberately has no `PartialEq`: solvers compare costs, not
+/// problems). Used by round-trip tests and the service cache's
+/// exactness checks.
+pub fn same_instance(a: &Instance, b: &Instance) -> bool {
+    a.red_limit() == b.red_limit()
+        && a.model() == b.model()
+        && a.source_convention() == b.source_convention()
+        && a.sink_convention() == b.sink_convention()
+        && a.dag() == b.dag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_graph::DagBuilder;
+
+    fn diamond_instance() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        Instance::new(b.build().unwrap(), 3, CostModel::oneshot())
+    }
+
+    #[test]
+    fn round_trip_all_models_and_conventions() {
+        for model in [
+            CostModel::base(),
+            CostModel::oneshot(),
+            CostModel::nodel(),
+            CostModel::compcost(),
+            CostModel::compcost_with(Ratio::new(3, 7)),
+        ] {
+            for source in [
+                SourceConvention::FreeCompute,
+                SourceConvention::InitiallyBlue,
+            ] {
+                for sink in [SinkConvention::AnyPebble, SinkConvention::RequireBlue] {
+                    let inst = diamond_instance()
+                        .with_model(model)
+                        .with_source_convention(source)
+                        .with_sink_convention(sink);
+                    let text = write_instance(&inst);
+                    let back = parse_instance(&text).unwrap();
+                    assert!(same_instance(&inst, &back), "{text}");
+                    // serialization is stable: write∘parse∘write is identity
+                    assert_eq!(write_instance(&back), text);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conventions_default_when_omitted() {
+        let text = "instance v1\nmodel base\nr 3\ndag 2\nedge 0 1\nend\n";
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.source_convention(), SourceConvention::FreeCompute);
+        assert_eq!(inst.sink_convention(), SinkConvention::AnyPebble);
+        assert_eq!(inst.red_limit(), 3);
+    }
+
+    #[test]
+    fn labels_and_comments_survive() {
+        let text =
+            "# job 17\ninstance v1\nmodel oneshot\nr 4\n\ndag 2\nlabel 0 input x\nedge 0 1\nend\n";
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.dag().label(rbp_graph::NodeId::new(0)), "input x");
+    }
+
+    #[test]
+    fn header_errors() {
+        assert_eq!(parse_instance("").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            parse_instance("model base\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
+        assert_eq!(
+            parse_instance("instance v9\nmodel base\nr 3\ndag 1\nend\n").unwrap_err(),
+            ParseError::UnsupportedVersion {
+                line: 1,
+                found: "v9".into()
+            }
+        );
+    }
+
+    #[test]
+    fn field_errors_carry_line_numbers() {
+        let text = "instance v1\nmodel base\nmodel oneshot\nr 3\ndag 1\nend\n";
+        assert_eq!(
+            parse_instance(text).unwrap_err(),
+            ParseError::DuplicateField {
+                line: 3,
+                field: "model"
+            }
+        );
+        let text = "instance v1\nmodel quantum\nr 3\ndag 1\nend\n";
+        match parse_instance(text).unwrap_err() {
+            ParseError::UnexpectedToken { line: 2, token, .. } => assert_eq!(token, "quantum"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_instance("instance v1\nr 3\ndag 1\nend\n").unwrap_err(),
+            ParseError::MissingField { field: "model" }
+        );
+        assert_eq!(
+            parse_instance("instance v1\nmodel base\nr 3\ndag 1\n").unwrap_err(),
+            ParseError::MissingEnd
+        );
+    }
+
+    #[test]
+    fn dag_errors_report_document_lines() {
+        // the bad edge sits on document line 5
+        let text = "instance v1\nmodel base\nr 3\ndag 2\nedge 0\nend\n";
+        match parse_instance(text).unwrap_err() {
+            ParseError::Dag(rbp_graph::io::ParseError::Malformed { line, .. }) => {
+                assert_eq!(line, 5)
+            }
+            other => panic!("{other:?}"),
+        }
+        // and with a stream offset, line numbers shift accordingly
+        match parse_instance_at(text, 11).unwrap_err() {
+            ParseError::Dag(rbp_graph::io::ParseError::Malformed { line, .. }) => {
+                assert_eq!(line, 15)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_statements_rejected() {
+        let text = "instance v1\nmodel base\nr 3\ndag 1\nend\ninstance v1\n";
+        match parse_instance(text).unwrap_err() {
+            ParseError::UnexpectedToken { line: 6, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // trailing blanks and comments are fine
+        let text = "instance v1\nmodel base\nr 3\ndag 1\nend\n\n# done\n";
+        assert!(parse_instance(text).is_ok());
+    }
+
+    #[test]
+    fn compcost_epsilon_validated() {
+        for bad in [
+            "compcost 0/5",
+            "compcost 5/5",
+            "compcost 7/5",
+            "compcost x/y",
+        ] {
+            let text = format!("instance v1\nmodel {bad}\nr 3\ndag 1\nend\n");
+            assert!(
+                matches!(
+                    parse_instance(&text),
+                    Err(ParseError::UnexpectedToken { line: 2, .. })
+                ),
+                "{bad} must be rejected"
+            );
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod instance;
+pub mod io;
 pub mod model;
 pub mod moves;
 pub mod state;
@@ -55,7 +56,8 @@ pub use analysis::{analyze, NodeTraffic, TraceAnalysis};
 pub use cost::{Cost, Ratio};
 pub use engine::{cost_of, simulate, simulate_prefix, SimReport};
 pub use error::{PebblingError, TraceError};
-pub use instance::{Instance, SinkConvention, SourceConvention};
+pub use instance::{CanonicalKey, Instance, SinkConvention, SourceConvention};
+pub use io::{parse_instance, write_instance};
 pub use model::{CostModel, ModelKind};
 pub use moves::Move;
 pub use state::State;

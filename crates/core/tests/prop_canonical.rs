@@ -1,0 +1,128 @@
+//! Property tests for [`Instance::canonical_key`] and the instance wire
+//! format: relabeling invariance (when refinement individualizes),
+//! parameter separation, and serialize/parse round trips.
+
+use proptest::prelude::*;
+use rbp_core::{io, CostModel, Instance, SinkConvention, SourceConvention};
+use rbp_graph::{Dag, DagBuilder};
+
+fn arb_model() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        Just(CostModel::base()),
+        Just(CostModel::oneshot()),
+        Just(CostModel::nodel()),
+        Just(CostModel::compcost()),
+    ]
+}
+
+/// Upper-triangular coin-flip DAGs (the prop_engine strategy).
+fn arb_dag(max_n: usize) -> impl Strategy<Value = Dag> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.4), pairs).prop_map(move |coins| {
+            let mut b = DagBuilder::new(n);
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coins[idx] {
+                        b.add_edge(i, j);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Rebuilds `dag` under the node permutation `perm` (old id → new id),
+/// preserving labels.
+fn relabel(dag: &Dag, perm: &[usize]) -> Dag {
+    let mut b = DagBuilder::new(dag.n());
+    for (u, v) in dag.edges() {
+        b.add_edge(perm[u.index()], perm[v.index()]);
+    }
+    b.build().expect("a permuted DAG is still a DAG")
+}
+
+/// A deterministic permutation of `0..n` from a seed (Fisher–Yates over
+/// an xorshift stream).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let j = (seed % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    /// Isomorphic relabelings collide whenever the key claims
+    /// relabeling invariance (and the claim itself is iso-invariant).
+    #[test]
+    fn relabelings_collide_when_canonical(
+        dag in arb_dag(9),
+        model in arb_model(),
+        seed in any::<u64>(),
+    ) {
+        let r = dag.max_indegree() + 2;
+        let perm = permutation(dag.n(), seed | 1);
+        let relabeled = relabel(&dag, &perm);
+        let a = Instance::new(dag, r, model).canonical_key();
+        let b = Instance::new(relabeled, r, model).canonical_key();
+        prop_assert_eq!(
+            a.is_relabeling_invariant(),
+            b.is_relabeling_invariant(),
+            "discreteness of refinement is itself an isomorphism invariant"
+        );
+        if a.is_relabeling_invariant() {
+            prop_assert_eq!(a, b, "canonical keys must ignore node labeling");
+        }
+    }
+
+    /// Distinct red budgets and distinct models never collide on the
+    /// same DAG.
+    #[test]
+    fn parameters_separate_keys(dag in arb_dag(8), seed in any::<u64>()) {
+        let r = dag.max_indegree() + 2;
+        let inst = Instance::new(dag, r, CostModel::base());
+        let key = inst.canonical_key();
+        prop_assert_ne!(key, inst.with_red_limit(r + 1 + (seed % 3) as usize).canonical_key());
+        for other in [CostModel::oneshot(), CostModel::nodel(), CostModel::compcost()] {
+            prop_assert_ne!(key, inst.with_model(other).canonical_key());
+        }
+    }
+
+    /// The wire format round-trips any instance, and the round-tripped
+    /// copy keys identically (the service's cache contract: a submitted
+    /// document hits the same cache slot as the in-process instance).
+    #[test]
+    fn wire_round_trip_preserves_instance_and_key(
+        dag in arb_dag(8),
+        model in arb_model(),
+        blue_sources in any::<bool>(),
+        blue_sinks in any::<bool>(),
+    ) {
+        let r = dag.max_indegree() + 1;
+        let inst = Instance::new(dag, r, model)
+            .with_source_convention(if blue_sources {
+                SourceConvention::InitiallyBlue
+            } else {
+                SourceConvention::FreeCompute
+            })
+            .with_sink_convention(if blue_sinks {
+                SinkConvention::RequireBlue
+            } else {
+                SinkConvention::AnyPebble
+            });
+        let text = io::write_instance(&inst);
+        let back = io::parse_instance(&text).expect("own output must parse");
+        prop_assert!(io::same_instance(&inst, &back));
+        prop_assert_eq!(inst.canonical_key(), back.canonical_key());
+        // stable serialization
+        prop_assert_eq!(io::write_instance(&back), text);
+    }
+}

@@ -10,27 +10,58 @@
 //! Node ids are dense indices `0..n`. The parser validates ranges and
 //! acyclicity through [`DagBuilder`], so a loaded graph carries the same
 //! invariants as a built one.
+//!
+//! This block is also the graph section of the versioned instance and
+//! solution documents (`rbp-core`'s `io` module and the `rbp-service`
+//! wire protocol). Embedding parsers call [`parse_dag_at`] with the
+//! block's position in the enclosing document so every [`ParseError`]
+//! reports the *document* line number, not the block-relative one.
 
 use crate::builder::DagBuilder;
 use crate::dag::{Dag, GraphError};
 use std::fmt::Write as _;
 
-/// Errors from [`parse_dag`].
+/// Errors from [`parse_dag`] / [`parse_dag_at`]. Every syntactic variant
+/// carries the 1-based line number it was raised on (offset by the
+/// `first_line` of [`parse_dag_at`] when the block is embedded in a
+/// larger document) plus the offending token, so wire-protocol callers
+/// can report errors without re-lexing the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The first non-comment line must be `dag <n>`.
     MissingHeader,
-    /// A line could not be parsed; contains the 1-based line number.
-    Malformed { line: usize },
+    /// A statement could not be parsed.
+    Malformed {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// The token (or statement fragment) that was rejected.
+        token: String,
+        /// What the parser expected in its place.
+        expected: &'static str,
+    },
     /// The edge set was rejected (cycle, range, self-loop).
     Graph(GraphError),
+}
+
+impl ParseError {
+    fn malformed(line: usize, token: impl Into<String>, expected: &'static str) -> Self {
+        ParseError::Malformed {
+            line,
+            token: token.into(),
+            expected,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::MissingHeader => write!(f, "missing 'dag <n>' header"),
-            ParseError::Malformed { line } => write!(f, "malformed statement on line {line}"),
+            ParseError::Malformed {
+                line,
+                token,
+                expected,
+            } => write!(f, "line {line}: unexpected '{token}', expected {expected}"),
             ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
     }
@@ -57,8 +88,17 @@ pub fn write_dag(dag: &Dag) -> String {
 
 /// Parses the text format back into a validated [`Dag`].
 pub fn parse_dag(text: &str) -> Result<Dag, ParseError> {
+    parse_dag_at(text, 1)
+}
+
+/// Like [`parse_dag`], for a `dag` block embedded in a larger document:
+/// `first_line` is the 1-based line number (in the enclosing document)
+/// of the first line of `text`, and every reported [`ParseError`] line
+/// number is in document coordinates.
+pub fn parse_dag_at(text: &str, first_line: usize) -> Result<Dag, ParseError> {
     let mut builder: Option<DagBuilder> = None;
     for (i, raw) in text.lines().enumerate() {
+        let lineno = first_line + i;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -67,10 +107,10 @@ pub fn parse_dag(text: &str) -> Result<Dag, ParseError> {
         let keyword = parts.next().expect("nonempty line");
         match (keyword, &mut builder) {
             ("dag", b @ None) => {
-                let n: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ParseError::Malformed { line: i + 1 })?;
+                let token = parts.next().unwrap_or("");
+                let n: usize = token
+                    .parse()
+                    .map_err(|_| ParseError::malformed(lineno, token, "node count in 'dag <n>'"))?;
                 *b = Some(DagBuilder::new(n));
             }
             ("edge", Some(b)) => {
@@ -78,22 +118,41 @@ pub fn parse_dag(text: &str) -> Result<Dag, ParseError> {
                     parts.next().and_then(|s| s.parse::<usize>().ok()),
                     parts.next().and_then(|s| s.parse::<usize>().ok()),
                 ) else {
-                    return Err(ParseError::Malformed { line: i + 1 });
+                    return Err(ParseError::malformed(
+                        lineno,
+                        line,
+                        "two node ids in 'edge <from> <to>'",
+                    ));
                 };
                 b.add_edge(u, v);
             }
             ("label", Some(b)) => {
-                let Some(v) = parts.next().and_then(|s| s.parse::<usize>().ok()) else {
-                    return Err(ParseError::Malformed { line: i + 1 });
+                let token = parts.next().unwrap_or("");
+                let Ok(v) = token.parse::<usize>() else {
+                    return Err(ParseError::malformed(
+                        lineno,
+                        token,
+                        "node id in 'label <node> <text>'",
+                    ));
                 };
                 if v >= b.n() {
-                    return Err(ParseError::Malformed { line: i + 1 });
+                    return Err(ParseError::malformed(
+                        lineno,
+                        token,
+                        "node id within the declared 'dag <n>' range",
+                    ));
                 }
                 let label: Vec<&str> = parts.collect();
                 b.set_label(crate::dag::NodeId::new(v), label.join(" "));
             }
             (_, None) => return Err(ParseError::MissingHeader),
-            _ => return Err(ParseError::Malformed { line: i + 1 }),
+            _ => {
+                return Err(ParseError::malformed(
+                    lineno,
+                    keyword,
+                    "'edge', 'label', or a comment after the 'dag <n>' header",
+                ))
+            }
         }
     }
     builder
@@ -107,6 +166,13 @@ mod tests {
     use super::*;
     use crate::builder::DagBuilder;
     use crate::generate;
+
+    fn line_of(err: ParseError) -> usize {
+        match err {
+            ParseError::Malformed { line, .. } => line,
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
 
     #[test]
     fn round_trip_preserves_structure_and_labels() {
@@ -149,15 +215,31 @@ mod tests {
 
     #[test]
     fn malformed_lines_located() {
-        assert_eq!(
-            parse_dag("dag 2\nedge 0\n"),
-            Err(ParseError::Malformed { line: 2 })
-        );
-        assert_eq!(parse_dag("dag x\n"), Err(ParseError::Malformed { line: 1 }));
-        assert_eq!(
-            parse_dag("dag 2\nfrob 1 2\n"),
-            Err(ParseError::Malformed { line: 2 })
-        );
+        assert_eq!(line_of(parse_dag("dag 2\nedge 0\n").unwrap_err()), 2);
+        assert_eq!(line_of(parse_dag("dag x\n").unwrap_err()), 1);
+        assert_eq!(line_of(parse_dag("dag 2\nfrob 1 2\n").unwrap_err()), 2);
+    }
+
+    #[test]
+    fn malformed_errors_name_the_offending_token() {
+        let err = parse_dag("dag 2\nfrob 1 2\n").unwrap_err();
+        match &err {
+            ParseError::Malformed { token, .. } => assert_eq!(token, "frob"),
+            other => panic!("{other:?}"),
+        }
+        assert!(err.to_string().contains("frob"), "{err}");
+        let err = parse_dag("dag x\n").unwrap_err();
+        assert!(err.to_string().contains("'x'"), "{err}");
+    }
+
+    #[test]
+    fn embedded_blocks_report_document_line_numbers() {
+        // the block starts on document line 5, the bad edge is its 2nd line
+        let err = parse_dag_at("dag 2\nedge 0\n", 5).unwrap_err();
+        assert_eq!(line_of(err), 6);
+        // offset parsing succeeds on a valid block
+        let dag = parse_dag_at("dag 2\nedge 0 1\n", 40).unwrap();
+        assert_eq!(dag.num_edges(), 1);
     }
 
     #[test]
@@ -175,9 +257,6 @@ mod tests {
 
     #[test]
     fn out_of_range_label_rejected() {
-        assert_eq!(
-            parse_dag("dag 1\nlabel 5 x\n"),
-            Err(ParseError::Malformed { line: 2 })
-        );
+        assert_eq!(line_of(parse_dag("dag 1\nlabel 5 x\n").unwrap_err()), 2);
     }
 }

@@ -16,6 +16,7 @@ pub mod builder;
 pub mod dag;
 pub mod dot;
 pub mod generate;
+pub mod hash;
 pub mod io;
 pub mod topo;
 pub mod undirected;

@@ -1,0 +1,98 @@
+//! `rbp-serve`: the batch-solve server on stdin/stdout.
+//!
+//! ```text
+//! rbp-serve [--workers N] [--queue N]
+//! rbp-serve --tcp ADDR:PORT [--workers N] [--queue N]   (feature "tcp")
+//! ```
+//!
+//! Reads protocol requests from stdin and writes responses to stdout
+//! (see `rbp_service::protocol` for the grammar); diagnostics go to
+//! stderr. With `--tcp`, listens instead and serves each connection the
+//! same protocol against one shared server and cache.
+
+use rbp_service::{serve_session, Server, ServerConfig};
+use std::io::{BufReader, Write as _};
+use std::process::ExitCode;
+
+struct Args {
+    workers: usize,
+    queue: usize,
+    tcp: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workers: 0,
+        queue: 64,
+        tcp: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers takes an integer".to_string())?;
+            }
+            "--queue" => {
+                args.queue = take("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue takes an integer".to_string())?;
+            }
+            "--tcp" => args.tcp = Some(take("--tcp")?),
+            "--help" | "-h" => {
+                return Err("usage: rbp-serve [--workers N] [--queue N] [--tcp ADDR:PORT]".into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Server::start(ServerConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+    });
+
+    if let Some(addr) = args.tcp {
+        return serve_tcp(addr, server);
+    }
+
+    let stdin = std::io::stdin();
+    let result = serve_session(BufReader::new(stdin.lock()), std::io::stdout(), &server);
+    server.shutdown();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "session failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(feature = "tcp")]
+fn serve_tcp(addr: String, server: Server) -> ExitCode {
+    eprintln!("rbp-serve listening on {addr}");
+    match rbp_service::tcp::serve_tcp(addr, std::sync::Arc::new(server)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(feature = "tcp"))]
+fn serve_tcp(_addr: String, _server: Server) -> ExitCode {
+    eprintln!("this build has no TCP support; rebuild with --features tcp");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,273 @@
+//! The quality-aware memoization cache: canonical instance key →
+//! best-known [`Solution`].
+//!
+//! Keys come from [`Instance::canonical_key`], so two submissions of
+//! the same instance — even under a node relabeling, when the
+//! refinement individualizes — land in the same slot. Entries carry a
+//! quality rank, and [`SolutionCache::insert_or_upgrade`] only ever
+//! *improves* a slot: a proved [`Quality::Optimal`] (or
+//! [`Quality::Infeasible`]) result is final; an
+//! [`Quality::UpperBound`] is replaced by any cheaper bound, any
+//! tighter lower bound at equal cost, and any proved result.
+//!
+//! Whether a cached entry can answer a request without re-solving is
+//! the *request's* choice ([`AcceptPolicy`]): by default only proved
+//! entries short-circuit, so a client asking for `exact` never gets a
+//! heuristic bound just because one is cached; `accept=bound` opts in
+//! to serving cached upper bounds.
+//!
+//! [`Instance::canonical_key`]: rbp_core::Instance::canonical_key
+
+use rbp_core::CanonicalKey;
+use rbp_solvers::{Quality, Solution};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What cached quality suffices to answer a request without solving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AcceptPolicy {
+    /// Only proved results ([`Quality::Optimal`] /
+    /// [`Quality::Infeasible`]) short-circuit (the default).
+    #[default]
+    Optimal,
+    /// Any cached entry short-circuits, including heuristic
+    /// [`Quality::UpperBound`]s.
+    Bound,
+}
+
+/// One cached result: the best solution known for an instance, the
+/// registry spec that produced it, and its scaled cost (computed by the
+/// inserter, which holds the instance; the cache itself never needs the
+/// instance back).
+#[derive(Clone, Debug)]
+pub struct CachedEntry {
+    /// The best-known solution.
+    pub solution: Solution,
+    /// The registry spec that produced it.
+    pub spec: String,
+    /// `solution.cost` scaled by the instance's model ε (the comparison
+    /// key for upper-bound upgrades).
+    pub scaled_cost: u128,
+}
+
+/// Counters describing cache behaviour since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing acceptable.
+    pub misses: u64,
+    /// Entries created for a previously unseen key.
+    pub insertions: u64,
+    /// Entries replaced by a strictly better result.
+    pub upgrades: u64,
+    /// Live entries.
+    pub entries: u64,
+}
+
+/// A thread-safe canonical-key → best-solution map with monotone
+/// quality: entries only improve.
+#[derive(Default)]
+pub struct SolutionCache {
+    map: Mutex<HashMap<CanonicalKey, CachedEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    upgrades: AtomicU64,
+}
+
+/// Quality rank for upgrade decisions: higher wins at equal cost class.
+fn rank(q: &Quality) -> u8 {
+    match q {
+        Quality::UpperBound { .. } => 0,
+        Quality::Optimal | Quality::Infeasible => 1,
+    }
+}
+
+/// Whether `candidate` (at `candidate_cost`) is strictly better than
+/// `incumbent`: proved beats bounded; among bounds, cheaper cost beats,
+/// then a tighter lower bound at equal cost.
+fn improves(candidate: &Solution, candidate_cost: u128, incumbent: &CachedEntry) -> bool {
+    let (new_rank, old_rank) = (rank(&candidate.quality), rank(&incumbent.solution.quality));
+    if new_rank != old_rank {
+        return new_rank > old_rank;
+    }
+    if new_rank == 1 {
+        return false; // both proved: nothing left to improve
+    }
+    if candidate_cost != incumbent.scaled_cost {
+        return candidate_cost < incumbent.scaled_cost;
+    }
+    match (&candidate.quality, &incumbent.solution.quality) {
+        (Quality::UpperBound { lower_bound: new }, Quality::UpperBound { lower_bound: old }) => {
+            new > old
+        }
+        _ => false,
+    }
+}
+
+impl SolutionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SolutionCache::default()
+    }
+
+    /// Looks up `key`; returns a clone of the entry when its quality
+    /// satisfies `accept`. Counts a hit or a miss either way.
+    pub fn lookup(&self, key: &CanonicalKey, accept: AcceptPolicy) -> Option<CachedEntry> {
+        let map = self.map.lock().unwrap();
+        let found = map.get(key).filter(|e| match accept {
+            AcceptPolicy::Optimal => rank(&e.solution.quality) == 1,
+            AcceptPolicy::Bound => true,
+        });
+        match found {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a fresh result, or upgrades the incumbent when the new
+    /// result is strictly better (see module docs). Returns `true` when
+    /// the slot changed.
+    pub fn insert_or_upgrade(
+        &self,
+        key: CanonicalKey,
+        spec: &str,
+        solution: Solution,
+        scaled_cost: u128,
+    ) -> bool {
+        let mut map = self.map.lock().unwrap();
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(CachedEntry {
+                    solution,
+                    spec: spec.to_string(),
+                    scaled_cost,
+                });
+                self.insertions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if improves(&solution, scaled_cost, slot.get()) {
+                    slot.insert(CachedEntry {
+                        solution,
+                        spec: spec.to_string(),
+                        scaled_cost,
+                    });
+                    self.upgrades.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_graph::generate;
+    use rbp_solvers::Stats;
+
+    fn key_of(n: usize) -> CanonicalKey {
+        Instance::new(generate::chain(n), 2, CostModel::base()).canonical_key()
+    }
+
+    fn sol(quality: Quality) -> Solution {
+        Solution {
+            trace: rbp_core::Pebbling::new(),
+            cost: rbp_core::Cost::ZERO,
+            quality,
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn optimal_policy_skips_bounds_and_bound_policy_serves_them() {
+        let cache = SolutionCache::new();
+        let key = key_of(4);
+        cache.insert_or_upgrade(
+            key,
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 2 }),
+            10,
+        );
+        assert!(cache.lookup(&key, AcceptPolicy::Optimal).is_none());
+        assert!(cache.lookup(&key, AcceptPolicy::Bound).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn upper_bounds_upgrade_to_optimal_but_never_back() {
+        let cache = SolutionCache::new();
+        let key = key_of(5);
+        assert!(cache.insert_or_upgrade(
+            key,
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 2 }),
+            10
+        ));
+        // cheaper bound upgrades
+        assert!(cache.insert_or_upgrade(
+            key,
+            "beam:8",
+            sol(Quality::UpperBound { lower_bound: 2 }),
+            8
+        ));
+        // equal-cost tighter lower bound upgrades
+        assert!(cache.insert_or_upgrade(
+            key,
+            "beam:16",
+            sol(Quality::UpperBound { lower_bound: 4 }),
+            8
+        ));
+        // worse bound does not
+        assert!(!cache.insert_or_upgrade(
+            key,
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 1 }),
+            12
+        ));
+        // proved result wins
+        assert!(cache.insert_or_upgrade(key, "exact", sol(Quality::Optimal), 8));
+        // and is final
+        assert!(!cache.insert_or_upgrade(
+            key,
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 5 }),
+            6
+        ));
+        let entry = cache.lookup(&key, AcceptPolicy::Optimal).unwrap();
+        assert_eq!(entry.spec, "exact");
+        assert_eq!(cache.stats().upgrades, 3);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn distinct_instances_do_not_collide() {
+        let cache = SolutionCache::new();
+        cache.insert_or_upgrade(key_of(4), "exact", sol(Quality::Optimal), 3);
+        assert!(cache.lookup(&key_of(6), AcceptPolicy::Bound).is_none());
+    }
+}

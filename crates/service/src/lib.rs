@@ -1,0 +1,62 @@
+//! # rbp-service
+//!
+//! Pebbling-as-a-service: a long-running batch-solve server over the
+//! [`rbp_solvers`] registry, fronted by a line-oriented wire protocol
+//! and a quality-aware memoization cache.
+//!
+//! The pieces:
+//! - [`server::Server`]: bounded priority queue + worker pool +
+//!   per-request budgets/cancellation, streaming [`server::Event`]s per
+//!   job;
+//! - [`cache::SolutionCache`]: canonical-key → best-known-solution map
+//!   with monotone quality (a cached heuristic bound upgrades in place
+//!   when a later solve proves optimality), keyed by
+//!   [`rbp_core::Instance::canonical_key`];
+//! - [`protocol`]: the `submit`/`cancel`/`stats`/`shutdown` request
+//!   grammar and the response renderer, built on the `instance v1`
+//!   (`rbp_core::io`) and `solution v1` ([`rbp_solvers::wire`])
+//!   document formats;
+//! - [`session::serve_session`]: one protocol session over any byte
+//!   streams (stdin/stdout in the `rbp-serve` binary);
+//! - `tcp` (behind the `tcp` feature): the same sessions over a TCP
+//!   listener.
+//!
+//! Everything is std-only: threads, channels, and condvars — no async
+//! runtime.
+//!
+//! # Example
+//! ```
+//! use rbp_core::{CostModel, Instance};
+//! use rbp_graph::generate;
+//! use rbp_service::{Event, JobOptions, JobRequest, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig { workers: 1, queue_capacity: 8 });
+//! let req = JobRequest {
+//!     id: "demo".into(),
+//!     spec: "exact".into(),
+//!     instance: Instance::new(generate::chain(5), 2, CostModel::oneshot()),
+//!     options: JobOptions::default(),
+//! };
+//! let events = server.submit_collect(req).unwrap();
+//! let done = events.iter().find(|e| e.is_terminal()).unwrap();
+//! match done {
+//!     Event::Done { cached, solution, .. } => {
+//!         assert!(!cached);
+//!         assert!(solution.is_optimal());
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod session;
+#[cfg(feature = "tcp")]
+pub mod tcp;
+
+pub use cache::{AcceptPolicy, CacheStats, SolutionCache};
+pub use protocol::{ProtocolError, Request, RequestReader};
+pub use server::{Event, JobOptions, JobRequest, Server, ServerConfig, ServerStats, SubmitError};
+pub use session::serve_session;

@@ -1,0 +1,487 @@
+//! The line-oriented batch protocol: request parsing and response
+//! rendering.
+//!
+//! ## Requests (client → server)
+//!
+//! ```text
+//! submit <id> <spec> [deadline-ms=N] [max-expansions=N] [priority=N]
+//!                    [accept=optimal|bound] [cache=on|off]
+//! <instance document>                 # instance v1 … end (rbp_core::io)
+//! cancel <id>
+//! stats
+//! shutdown
+//! ```
+//!
+//! A `submit` line is immediately followed by one `instance v1`
+//! document; the document's `end` terminates the request. Blank lines
+//! and `#` comments are ignored everywhere.
+//!
+//! ## Responses (server → client)
+//!
+//! ```text
+//! queued <id>
+//! cache-hit <id> <spec>
+//! progress <id> <states_expanded> <states_per_sec>
+//! result <id> spec=<spec> cached=<true|false>
+//! <solution document>                 # solution v1 … end (rbp_solvers::wire)
+//! failed <id> <message>
+//! cancelled <id>
+//! ack cancel <id> found=<true|false>
+//! stats submitted=N completed=N solves=N queued=N cache-entries=N
+//!       cache-hits=N cache-misses=N cache-insertions=N cache-upgrades=N
+//! protocol-error <message>
+//! bye
+//! ```
+//!
+//! Every accepted `submit` ends in exactly one of `result`, `failed`,
+//! or `cancelled`; `bye` is the final line of a session. The `stats`
+//! response is a single line (wrapped above for readability).
+
+use crate::cache::AcceptPolicy;
+use crate::server::{Event, JobOptions, JobRequest, ServerStats};
+use rbp_core::io as core_io;
+use rbp_solvers::wire;
+use std::io::BufRead;
+use std::time::Duration;
+
+/// One parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// `submit …` plus its instance document.
+    Submit(JobRequest),
+    /// `cancel <id>`.
+    Cancel {
+        /// The job id to cancel.
+        id: String,
+    },
+    /// `stats`.
+    Stats,
+    /// `shutdown` — ends the session.
+    Shutdown,
+}
+
+/// Errors from [`RequestReader`]. Line numbers are 1-based positions in
+/// the session stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The first token of a request line is not a known verb.
+    UnknownCommand {
+        /// Line of the rejected verb.
+        line: usize,
+        /// The rejected token.
+        token: String,
+    },
+    /// A request line could not be parsed.
+    Malformed {
+        /// Line of the offending statement.
+        line: usize,
+        /// The token (or fragment) that was rejected.
+        token: String,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// A `key=value` option on a `submit` line was rejected.
+    BadOption {
+        /// Line of the submit statement.
+        line: usize,
+        /// The offending option, verbatim.
+        option: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The instance document under a `submit` failed to parse (line
+    /// numbers inside are already in session coordinates).
+    Instance(core_io::ParseError),
+    /// The stream ended inside a `submit` body.
+    UnterminatedSubmit {
+        /// Line of the submit statement.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownCommand { line, token } => {
+                write!(
+                    f,
+                    "line {line}: unknown command '{token}' (expected submit, cancel, stats, or shutdown)"
+                )
+            }
+            ProtocolError::Malformed {
+                line,
+                token,
+                expected,
+            } => write!(f, "line {line}: unexpected '{token}', expected {expected}"),
+            ProtocolError::BadOption {
+                line,
+                option,
+                reason,
+            } => write!(f, "line {line}: bad option '{option}': {reason}"),
+            ProtocolError::Instance(e) => write!(f, "bad instance document: {e}"),
+            ProtocolError::UnterminatedSubmit { line } => write!(
+                f,
+                "line {line}: stream ended inside the submit body (missing 'end'?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<core_io::ParseError> for ProtocolError {
+    fn from(e: core_io::ParseError) -> Self {
+        ProtocolError::Instance(e)
+    }
+}
+
+/// Incremental request parser over a buffered byte stream, tracking
+/// session line numbers for error reports.
+pub struct RequestReader<R> {
+    reader: R,
+    line: usize,
+}
+
+impl<R: BufRead> RequestReader<R> {
+    /// Wraps a stream; line numbering starts at 1.
+    pub fn new(reader: R) -> Self {
+        RequestReader { reader, line: 0 }
+    }
+
+    /// Reads one raw line; `Ok(None)` at EOF.
+    fn next_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some(buf))
+    }
+
+    /// Reads the next request. `Ok(None)` at end of stream;
+    /// `Ok(Some(Err(_)))` reports a protocol error after resynchronizing
+    /// (a malformed `submit` still consumes its body through `end`, so
+    /// the next call starts at a request boundary).
+    #[allow(clippy::type_complexity)]
+    pub fn next_request(&mut self) -> std::io::Result<Option<Result<Request, ProtocolError>>> {
+        loop {
+            let Some(raw) = self.next_line()? else {
+                return Ok(None);
+            };
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = self.line;
+            let mut parts = line.split_whitespace();
+            let verb = parts.next().expect("nonempty line");
+            return Ok(Some(match verb {
+                "submit" => self.read_submit(lineno, parts),
+                "cancel" => match (parts.next(), parts.next()) {
+                    (Some(id), None) => Ok(Request::Cancel { id: id.to_string() }),
+                    _ => Err(ProtocolError::Malformed {
+                        line: lineno,
+                        token: line.to_string(),
+                        expected: "'cancel <id>'",
+                    }),
+                },
+                "stats" => Ok(Request::Stats),
+                "shutdown" => Ok(Request::Shutdown),
+                other => Err(ProtocolError::UnknownCommand {
+                    line: lineno,
+                    token: other.to_string(),
+                }),
+            }));
+        }
+    }
+
+    /// Parses a `submit` head and its instance-document body. The body
+    /// is always consumed through its `end` terminator — even when the
+    /// head is bad — so the stream stays request-aligned.
+    fn read_submit(
+        &mut self,
+        head_line: usize,
+        mut parts: std::str::SplitWhitespace<'_>,
+    ) -> Result<Request, ProtocolError> {
+        let head: Result<(String, String, JobOptions), ProtocolError> = (|| {
+            let id = parts
+                .next()
+                .ok_or(ProtocolError::Malformed {
+                    line: head_line,
+                    token: "submit".to_string(),
+                    expected: "'submit <id> <spec> [options…]'",
+                })?
+                .to_string();
+            let spec = parts
+                .next()
+                .ok_or(ProtocolError::Malformed {
+                    line: head_line,
+                    token: id.clone(),
+                    expected: "a registry spec after the job id",
+                })?
+                .to_string();
+            let mut options = JobOptions::default();
+            for opt in parts {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| bad_option(head_line, opt, "options are 'key=value'"))?;
+                match key {
+                    "deadline-ms" => {
+                        let ms: u64 = value.parse().map_err(|_| {
+                            bad_option(head_line, opt, "deadline-ms takes an integer")
+                        })?;
+                        options.deadline = Some(Duration::from_millis(ms));
+                    }
+                    "max-expansions" => {
+                        options.max_expansions = Some(value.parse().map_err(|_| {
+                            bad_option(head_line, opt, "max-expansions takes an integer")
+                        })?);
+                    }
+                    "priority" => {
+                        options.priority = value
+                            .parse()
+                            .map_err(|_| bad_option(head_line, opt, "priority takes an integer"))?;
+                    }
+                    "accept" => {
+                        options.accept = match value {
+                            "optimal" => AcceptPolicy::Optimal,
+                            "bound" => AcceptPolicy::Bound,
+                            _ => {
+                                return Err(bad_option(
+                                    head_line,
+                                    opt,
+                                    "accept is 'optimal' or 'bound'",
+                                ))
+                            }
+                        };
+                    }
+                    "cache" => {
+                        options.use_cache = match value {
+                            "on" => true,
+                            "off" => false,
+                            _ => return Err(bad_option(head_line, opt, "cache is 'on' or 'off'")),
+                        };
+                    }
+                    _ => {
+                        return Err(bad_option(
+                            head_line,
+                            opt,
+                            "known options: deadline-ms, max-expansions, priority, accept, cache",
+                        ))
+                    }
+                }
+            }
+            Ok((id, spec, options))
+        })();
+
+        // consume the body through `end` regardless, for resync
+        let mut body = String::new();
+        let body_first_line = self.line + 1;
+        let terminated = loop {
+            let Some(raw) = self
+                .next_line()
+                .map_err(|_| ProtocolError::UnterminatedSubmit { line: head_line })?
+            else {
+                break false;
+            };
+            let done = raw.trim() == "end";
+            body.push_str(&raw);
+            if done {
+                break true;
+            }
+        };
+        if !terminated {
+            return Err(ProtocolError::UnterminatedSubmit { line: head_line });
+        }
+
+        let (id, spec, options) = head?;
+        let instance = core_io::parse_instance_at(&body, body_first_line)?;
+        Ok(Request::Submit(JobRequest {
+            id,
+            spec,
+            instance,
+            options,
+        }))
+    }
+}
+
+fn bad_option(line: usize, option: &str, reason: &'static str) -> ProtocolError {
+    ProtocolError::BadOption {
+        line,
+        option: option.to_string(),
+        reason,
+    }
+}
+
+/// Renders one server [`Event`] in the response grammar. `Done` renders
+/// as a `result` line followed by a full `solution v1` document.
+pub fn render_event(ev: &Event) -> String {
+    match ev {
+        Event::Queued { id } => format!("queued {id}\n"),
+        Event::CacheHit { id, spec } => format!("cache-hit {id} {spec}\n"),
+        Event::Progress {
+            id,
+            states_expanded,
+            states_per_sec,
+        } => format!("progress {id} {states_expanded} {states_per_sec}\n"),
+        Event::Done {
+            id,
+            spec,
+            cached,
+            solution,
+        } => {
+            let mut out = format!("result {id} spec={spec} cached={cached}\n");
+            out.push_str(&wire::write_solution(spec, solution));
+            out
+        }
+        Event::Failed { id, error } => format!("failed {id} {error}\n"),
+        Event::Cancelled { id } => format!("cancelled {id}\n"),
+    }
+}
+
+/// Renders the one-line `stats` response.
+pub fn render_stats(s: &ServerStats) -> String {
+    format!(
+        "stats submitted={} completed={} solves={} queued={} cache-entries={} cache-hits={} cache-misses={} cache-insertions={} cache-upgrades={}\n",
+        s.submitted,
+        s.completed,
+        s.solves,
+        s.queued,
+        s.cache.entries,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.insertions,
+        s.cache.upgrades,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{write_instance, CostModel, Instance};
+    use rbp_graph::generate;
+
+    fn submit_doc(id: &str, spec: &str, opts: &str, inst: &Instance) -> String {
+        let tail = if opts.is_empty() {
+            String::new()
+        } else {
+            format!(" {opts}")
+        };
+        format!("submit {id} {spec}{tail}\n{}", write_instance(inst))
+    }
+
+    fn read_all(text: &str) -> Vec<Result<Request, ProtocolError>> {
+        let mut rr = RequestReader::new(std::io::Cursor::new(text.to_string()));
+        let mut out = Vec::new();
+        while let Some(r) = rr.next_request().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn submit_round_trips_instance_and_options() {
+        let inst = Instance::new(generate::chain(5), 2, CostModel::base());
+        let text = submit_doc(
+            "job-1",
+            "exact",
+            "max-expansions=100 priority=3 accept=bound cache=on",
+            &inst,
+        );
+        let reqs = read_all(&text);
+        assert_eq!(reqs.len(), 1);
+        match reqs.into_iter().next().unwrap().unwrap() {
+            Request::Submit(req) => {
+                assert_eq!(req.id, "job-1");
+                assert_eq!(req.spec, "exact");
+                assert_eq!(req.options.max_expansions, Some(100));
+                assert_eq!(req.options.priority, 3);
+                assert_eq!(req.options.accept, AcceptPolicy::Bound);
+                assert!(req.options.use_cache);
+                assert!(core_io::same_instance(&req.instance, &inst));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        let reqs = read_all("cancel j7\nstats\nshutdown\n");
+        assert!(matches!(&reqs[0], Ok(Request::Cancel { id }) if id == "j7"));
+        assert!(matches!(&reqs[1], Ok(Request::Stats)));
+        assert!(matches!(&reqs[2], Ok(Request::Shutdown)));
+    }
+
+    #[test]
+    fn bad_head_still_resyncs_past_the_body() {
+        let inst = Instance::new(generate::chain(3), 2, CostModel::base());
+        let text = format!(
+            "{}stats\n",
+            submit_doc("j1", "exact", "accept=maybe", &inst)
+        );
+        let reqs = read_all(&text);
+        assert_eq!(reqs.len(), 2, "body consumed, next request seen");
+        assert!(matches!(
+            &reqs[0],
+            Err(ProtocolError::BadOption { option, .. }) if option == "accept=maybe"
+        ));
+        assert!(matches!(&reqs[1], Ok(Request::Stats)));
+    }
+
+    #[test]
+    fn instance_errors_carry_session_line_numbers() {
+        // line 1: submit head; line 2: instance header; line 3: bad model
+        let text = "submit j1 exact\ninstance v1\nmodel quantum\nr 2\ndag 1\nend\n";
+        let reqs = read_all(text);
+        match &reqs[0] {
+            Err(ProtocolError::Instance(core_io::ParseError::UnexpectedToken {
+                line,
+                token,
+                ..
+            })) => {
+                assert_eq!(*line, 3);
+                assert_eq!(token, "quantum");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_submit_is_reported() {
+        let text = "submit j1 exact\ninstance v1\nmodel base\n";
+        let reqs = read_all(text);
+        assert!(matches!(
+            &reqs[0],
+            Err(ProtocolError::UnterminatedSubmit { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_commands_skip_one_line_only() {
+        let reqs = read_all("frobnicate\nstats\n");
+        assert!(
+            matches!(&reqs[0], Err(ProtocolError::UnknownCommand { token, .. }) if token == "frobnicate")
+        );
+        assert!(matches!(&reqs[1], Ok(Request::Stats)));
+    }
+
+    #[test]
+    fn done_renders_a_parseable_solution_document() {
+        let inst = Instance::new(generate::chain(4), 2, CostModel::oneshot());
+        let sol = rbp_solvers::registry::solve("greedy", &inst).unwrap();
+        let ev = Event::Done {
+            id: "j1".into(),
+            spec: "greedy:most-red-inputs/min-uses".into(),
+            cached: false,
+            solution: sol.clone(),
+        };
+        let text = render_event(&ev);
+        let mut lines = text.lines();
+        let head = lines.next().unwrap();
+        assert!(head.starts_with("result j1 spec=greedy:most-red-inputs/min-uses cached=false"));
+        let rest: String = lines.map(|l| format!("{l}\n")).collect();
+        let parsed = wire::parse_solution(&rest).unwrap();
+        assert_eq!(parsed.solution.cost, sol.cost);
+    }
+}

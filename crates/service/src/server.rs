@@ -1,0 +1,629 @@
+//! The batch-solve server: a bounded priority queue of jobs, a worker
+//! pool draining it, and the [`SolutionCache`] in front of the solvers.
+//!
+//! ## Scheduling
+//!
+//! [`Server::submit`] enqueues a [`JobRequest`] onto a bounded priority
+//! queue (highest [`JobOptions::priority`] first, FIFO within a
+//! priority). When the queue is full the submitter **blocks** — the
+//! server applies backpressure instead of dropping work, so every
+//! accepted job produces a terminal event. Worker threads pop jobs and
+//! drive them through cache lookup → registry dispatch → solve, sending
+//! [`Event`]s to the per-job channel the submitter supplied.
+//!
+//! ## Cancellation
+//!
+//! Every job carries an `Arc<AtomicBool>` cancel flag, registered under
+//! the job id. [`Server::cancel`] sets it: a still-queued job is
+//! dropped at pop time with [`Event::Cancelled`]; an in-flight job
+//! stops at the solver's next budget poll (the flag rides the
+//! [`Budget`]), and its partial result is reported as `Cancelled`, not
+//! `Done`, and is never cached.
+//!
+//! ## Memoization
+//!
+//! Results are keyed by [`Instance::canonical_key`]. A cache entry of
+//! sufficient quality (per the request's [`AcceptPolicy`]) answers
+//! without solving ([`Event::CacheHit`] then [`Event::Done`] with
+//! `cached: true`); fresh results are inserted through
+//! [`SolutionCache::insert_or_upgrade`], so a later exact solve
+//! upgrades a cached heuristic bound in place.
+//!
+//! [`Instance::canonical_key`]: rbp_core::Instance::canonical_key
+
+use crate::cache::{AcceptPolicy, CacheStats, SolutionCache};
+use rbp_core::Instance;
+use rbp_solvers::{Budget, Progress, Registry, Solution, SolveCtx};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-job options (the `key=value` tail of a `submit` line).
+#[derive(Clone, Debug)]
+pub struct JobOptions {
+    /// Wall-clock budget for the solve.
+    pub deadline: Option<Duration>,
+    /// Expansion-count budget for the solve (deterministic, unlike the
+    /// deadline — what tests and reproducible workloads should use).
+    pub max_expansions: Option<u64>,
+    /// Scheduling priority; higher runs first. Default 0.
+    pub priority: i64,
+    /// What cached quality may answer this request without solving.
+    pub accept: AcceptPolicy,
+    /// Whether to consult and populate the cache at all.
+    pub use_cache: bool,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            deadline: None,
+            max_expansions: None,
+            priority: 0,
+            accept: AcceptPolicy::Optimal,
+            use_cache: true,
+        }
+    }
+}
+
+/// One unit of work: an instance, the registry spec to solve it with,
+/// and the options.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Client-chosen id, echoed in every event for this job. Resubmitting
+    /// an id re-points [`Server::cancel`] at the newest job.
+    pub id: String,
+    /// Registry spec (`"exact"`, `"greedy:most-red-inputs/lru"`, …).
+    pub spec: String,
+    /// The instance to pebble.
+    pub instance: Instance,
+    /// Budget, priority, and cache policy.
+    pub options: JobOptions,
+}
+
+/// Lifecycle events delivered to the submitter's channel. Every
+/// accepted job ends with exactly one terminal event: `Done`, `Failed`,
+/// or `Cancelled`.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The job was accepted onto the queue.
+    Queued {
+        /// The job id.
+        id: String,
+    },
+    /// The cache answered; a `Done { cached: true }` follows.
+    CacheHit {
+        /// The job id.
+        id: String,
+        /// The spec that originally produced the cached entry.
+        spec: String,
+    },
+    /// A progress snapshot from the running solver.
+    Progress {
+        /// The job id.
+        id: String,
+        /// States expanded so far.
+        states_expanded: u64,
+        /// Expansion throughput since the solve started.
+        states_per_sec: u64,
+    },
+    /// Terminal: the job produced a solution.
+    Done {
+        /// The job id.
+        id: String,
+        /// The exact spec that produced the solution
+        /// ([`rbp_solvers::Solver::spec`] of the solver that ran, or of
+        /// the cached producer when `cached`).
+        spec: String,
+        /// Whether the cache answered instead of a solver run.
+        cached: bool,
+        /// The (engine-validated) solution.
+        solution: Solution,
+    },
+    /// Terminal: the job failed (bad spec, infeasible budget, …).
+    Failed {
+        /// The job id.
+        id: String,
+        /// Human-readable cause.
+        error: String,
+    },
+    /// Terminal: the job was cancelled before or during its solve.
+    Cancelled {
+        /// The job id.
+        id: String,
+    },
+}
+
+impl Event {
+    /// The job id this event belongs to.
+    pub fn id(&self) -> &str {
+        match self {
+            Event::Queued { id }
+            | Event::CacheHit { id, .. }
+            | Event::Progress { id, .. }
+            | Event::Done { id, .. }
+            | Event::Failed { id, .. }
+            | Event::Cancelled { id } => id,
+        }
+    }
+
+    /// Whether this is the job's final event.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Done { .. } | Event::Failed { .. } | Event::Cancelled { .. }
+        )
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Server sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (0 resolves to `available_parallelism`).
+    pub workers: usize,
+    /// Queue slots before [`Server::submit`] blocks (min 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Point-in-time server counters ([`Server::stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Jobs accepted since start.
+    pub submitted: u64,
+    /// Jobs that reached a terminal event.
+    pub completed: u64,
+    /// Solver runs actually started (cache hits and cancellations
+    /// before start do not count).
+    pub solves: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+}
+
+struct QueuedJob {
+    priority: i64,
+    seq: u64,
+    req: JobRequest,
+    events: Sender<Event>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // max-heap: higher priority first, then lower seq (FIFO)
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    open: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    cache: SolutionCache,
+    registry: Registry,
+    jobs: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    seq: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    solves: AtomicU64,
+}
+
+/// The running batch server. Dropping it without [`Server::shutdown`]
+/// also drains and joins (via `Drop`), so tests cannot leak workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool with the built-in solver registry.
+    pub fn start(cfg: ServerConfig) -> Server {
+        Server::with_registry(cfg, Registry::with_builtins())
+    }
+
+    /// Starts the worker pool with a caller-extended registry.
+    pub fn with_registry(cfg: ServerConfig, registry: Registry) -> Server {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: cfg.queue_capacity.max(1),
+            cache: SolutionCache::new(),
+            registry,
+            jobs: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job; its events flow to `events`. Blocks while the
+    /// queue is full (backpressure). The job's `Queued` event is sent
+    /// before this returns.
+    pub fn submit(&self, req: JobRequest, events: Sender<Event>) -> Result<(), SubmitError> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.open && q.heap.len() >= self.shared.capacity {
+            q = self.shared.not_full.wait(q).unwrap();
+        }
+        if !q.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        self.shared
+            .jobs
+            .lock()
+            .unwrap()
+            .insert(req.id.clone(), Arc::clone(&cancel));
+        let _ = events.send(Event::Queued { id: req.id.clone() });
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        q.heap.push(QueuedJob {
+            priority: req.options.priority,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            req,
+            events,
+            cancel,
+        });
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Convenience for tests and one-shot callers: submit and get the
+    /// receiving end of a fresh channel.
+    pub fn submit_collect(
+        &self,
+        req: JobRequest,
+    ) -> Result<std::sync::mpsc::Receiver<Event>, SubmitError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(req, tx)?;
+        Ok(rx)
+    }
+
+    /// Requests cancellation of the newest job submitted under `id`.
+    /// Returns whether such a job existed (it may already have
+    /// finished; cancellation is cooperative and best-effort).
+    pub fn cancel(&self, id: &str) -> bool {
+        match self.shared.jobs.lock().unwrap().get(id) {
+            Some(flag) => {
+                flag.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            solves: self.shared.solves.load(Ordering::Relaxed),
+            queued: self.shared.queue.lock().unwrap().heap.len() as u64,
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// Shared access to the cache (for reporting and tests).
+    pub fn cache(&self) -> &SolutionCache {
+        &self.shared.cache
+    }
+
+    /// Stops accepting work, drains the queue (already-accepted jobs
+    /// still run to their terminal event), and joins the workers.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.open = false;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.heap.pop() {
+                    shared.not_full.notify_one();
+                    break Some(j);
+                }
+                if !q.open {
+                    break None;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(j) => run_job(shared, j),
+            None => return,
+        }
+    }
+}
+
+/// Drops the job's cancel-flag registration (only if it is still *this*
+/// job's flag — a resubmitted id re-points the slot) and counts the
+/// completion.
+fn finish_job(shared: &Shared, id: &str, cancel: &Arc<AtomicBool>) {
+    let mut jobs = shared.jobs.lock().unwrap();
+    if jobs.get(id).is_some_and(|f| Arc::ptr_eq(f, cancel)) {
+        jobs.remove(id);
+    }
+    drop(jobs);
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let QueuedJob {
+        req,
+        events,
+        cancel,
+        ..
+    } = job;
+    let id = req.id.clone();
+
+    if cancel.load(Ordering::Relaxed) {
+        finish_job(shared, &id, &cancel);
+        let _ = events.send(Event::Cancelled { id: id.clone() });
+        return;
+    }
+
+    let key = req.instance.canonical_key();
+    if req.options.use_cache {
+        if let Some(entry) = shared.cache.lookup(&key, req.options.accept) {
+            finish_job(shared, &id, &cancel);
+            let _ = events.send(Event::CacheHit {
+                id: id.clone(),
+                spec: entry.spec.clone(),
+            });
+            let _ = events.send(Event::Done {
+                id: id.clone(),
+                spec: entry.spec,
+                cached: true,
+                solution: entry.solution,
+            });
+            return;
+        }
+    }
+
+    let solver = match shared.registry.parse(&req.spec) {
+        Ok(s) => s,
+        Err(e) => {
+            finish_job(shared, &id, &cancel);
+            let _ = events.send(Event::Failed {
+                id: id.clone(),
+                error: e.to_string(),
+            });
+            return;
+        }
+    };
+    let spec = solver.spec();
+
+    let mut budget = Budget::none().with_cancel(Arc::clone(&cancel));
+    if let Some(d) = req.options.deadline {
+        budget = budget.with_deadline(d);
+    }
+    if let Some(m) = req.options.max_expansions {
+        budget = budget.with_max_expansions(m);
+    }
+    shared.solves.fetch_add(1, Ordering::Relaxed);
+
+    // mpsc::Sender is !Sync; the observer contract requires Sync.
+    let progress_tx = Mutex::new(events.clone());
+    let progress_id = id.clone();
+    let observer = move |p: &Progress| {
+        let _ = progress_tx.lock().unwrap().send(Event::Progress {
+            id: progress_id.clone(),
+            states_expanded: p.states_expanded,
+            states_per_sec: p.states_per_sec,
+        });
+    };
+    let ctx = SolveCtx::with_progress(budget, &observer);
+
+    let outcome = solver.solve_lenient(&req.instance, &ctx);
+    let terminal = match outcome {
+        Ok(solution) => {
+            if cancel.load(Ordering::Relaxed) {
+                // a cancelled solve may still degrade to a valid bound;
+                // report the cancellation and keep it out of the cache
+                Event::Cancelled { id: id.clone() }
+            } else {
+                if req.options.use_cache {
+                    let scaled = solution.scaled_cost(&req.instance);
+                    shared
+                        .cache
+                        .insert_or_upgrade(key, &spec, solution.clone(), scaled);
+                }
+                Event::Done {
+                    id: id.clone(),
+                    spec,
+                    cached: false,
+                    solution,
+                }
+            }
+        }
+        Err(e) => {
+            if cancel.load(Ordering::Relaxed) {
+                Event::Cancelled { id: id.clone() }
+            } else {
+                Event::Failed {
+                    id: id.clone(),
+                    error: e.to_string(),
+                }
+            }
+        }
+    };
+    finish_job(shared, &id, &cancel);
+    let _ = events.send(terminal);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{CostModel, Instance};
+    use rbp_graph::generate;
+
+    fn chain_req(id: &str, n: usize, spec: &str) -> JobRequest {
+        JobRequest {
+            id: id.to_string(),
+            spec: spec.to_string(),
+            instance: Instance::new(generate::chain(n), 2, CostModel::oneshot()),
+            options: JobOptions::default(),
+        }
+    }
+
+    fn terminal(rx: &std::sync::mpsc::Receiver<Event>) -> Event {
+        loop {
+            let ev = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("job must reach a terminal event");
+            if ev.is_terminal() {
+                return ev;
+            }
+        }
+    }
+
+    #[test]
+    fn solve_then_cache_hit() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let rx = server.submit_collect(chain_req("a", 6, "exact")).unwrap();
+        match terminal(&rx) {
+            Event::Done { cached, spec, .. } => {
+                assert!(!cached);
+                assert_eq!(spec, "exact");
+            }
+            other => panic!("{other:?}"),
+        }
+        let rx = server.submit_collect(chain_req("b", 6, "exact")).unwrap();
+        match terminal(&rx) {
+            Event::Done { cached, .. } => assert!(cached),
+            other => panic!("{other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.solves, 1, "second request must not run a solver");
+        assert_eq!(stats.cache.hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_spec_fails_cleanly() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let rx = server.submit_collect(chain_req("x", 4, "exat")).unwrap();
+        match terminal(&rx) {
+            Event::Failed { error, .. } => assert!(error.contains("exat"), "{error}"),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn infeasible_is_a_payload_not_a_fault() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let req = JobRequest {
+            id: "inf".into(),
+            spec: "exact".into(),
+            instance: Instance::new(generate::chain(3), 1, CostModel::oneshot()),
+            options: JobOptions::default(),
+        };
+        let rx = server.submit_collect(req).unwrap();
+        match terminal(&rx) {
+            Event::Done { solution, .. } => {
+                assert_eq!(solution.quality, rbp_solvers::Quality::Infeasible);
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,181 @@
+//! One protocol session: read requests from a byte stream, dispatch
+//! them to a [`Server`], and write responses back — the same loop
+//! behind the `rbp-serve` stdin/stdout mode and each TCP connection.
+//!
+//! Responses from concurrently running jobs are multiplexed onto the
+//! single output stream by a dedicated writer thread; ordering is
+//! per-job (each job's events arrive in lifecycle order) but jobs
+//! interleave. The session ends at EOF or on a `shutdown` request, and
+//! always waits for every job it submitted to reach its terminal event
+//! before writing the final `bye` — no lost responses, even when the
+//! reader hits backpressure or quits early.
+
+use crate::protocol::{render_event, render_stats, ProtocolError, Request, RequestReader};
+use crate::server::Server;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+/// Runs one session over the given streams. Returns once every
+/// response (and the trailing `bye`) has been written.
+pub fn serve_session<R, W>(reader: R, writer: W, server: &Server) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+    let (ev_tx, ev_rx) = mpsc::channel();
+
+    std::thread::scope(|scope| {
+        // events → rendered response chunks
+        let forwarder_out = out_tx.clone();
+        scope.spawn(move || {
+            for ev in ev_rx {
+                if forwarder_out.send(render_event(&ev)).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // rendered chunks → the output stream (sole writer)
+        let writer_handle = scope.spawn(move || -> std::io::Result<()> {
+            let mut writer = writer;
+            for chunk in out_rx {
+                writer.write_all(chunk.as_bytes())?;
+                writer.flush()?;
+            }
+            writer.write_all(b"bye\n")?;
+            writer.flush()
+        });
+
+        let mut requests = RequestReader::new(reader);
+        let read_result = loop {
+            match requests.next_request() {
+                Ok(None) => break Ok(()),
+                Ok(Some(Ok(Request::Submit(req)))) => {
+                    let id = req.id.clone();
+                    if let Err(e) = server.submit(req, ev_tx.clone()) {
+                        let _ = out_tx.send(format!("failed {id} {e}\n"));
+                    }
+                }
+                Ok(Some(Ok(Request::Cancel { id }))) => {
+                    let found = server.cancel(&id);
+                    let _ = out_tx.send(format!("ack cancel {id} found={found}\n"));
+                }
+                Ok(Some(Ok(Request::Stats))) => {
+                    let _ = out_tx.send(render_stats(&server.stats()));
+                }
+                Ok(Some(Ok(Request::Shutdown))) => break Ok(()),
+                Ok(Some(Err(e @ ProtocolError::UnterminatedSubmit { .. }))) => {
+                    // the stream ended mid-request; report and stop reading
+                    let _ = out_tx.send(format!("protocol-error {e}\n"));
+                    break Ok(());
+                }
+                Ok(Some(Err(e))) => {
+                    let _ = out_tx.send(format!("protocol-error {e}\n"));
+                }
+                Err(io_err) => break Err(io_err),
+            }
+        };
+
+        // Dropping our senders lets the pipeline drain: the forwarder
+        // exits once the last in-flight job drops its event sender, the
+        // writer exits (writing `bye`) once the forwarder is gone.
+        drop(ev_tx);
+        drop(out_tx);
+        let write_result = writer_handle.join().expect("writer thread must not panic");
+        read_result.and(write_result)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use rbp_core::{write_instance, CostModel, Instance};
+    use rbp_graph::generate;
+    use std::io::Cursor;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write + Send` sink tests can read back after the session.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn full_transcript_solve_hit_stats_bye() {
+        let inst = Instance::new(generate::chain(6), 2, CostModel::oneshot());
+        let doc = write_instance(&inst);
+        let script = format!("submit a exact\n{doc}submit b exact\n{doc}stats\nshutdown\n");
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let out = SharedBuf::default();
+        serve_session(Cursor::new(script), out.clone(), &server).unwrap();
+        let text = out.contents();
+        assert!(text.contains("queued a\n"), "{text}");
+        assert!(text.contains("queued b\n"), "{text}");
+        assert!(
+            text.contains("result a spec=exact cached=false\n"),
+            "{text}"
+        );
+        // single worker: b runs after a completed, so it must hit
+        assert!(text.contains("cache-hit b exact\n"), "{text}");
+        assert!(text.contains("result b spec=exact cached=true\n"), "{text}");
+        assert!(text.trim_end().ends_with("bye"), "{text}");
+        let stats = server.stats();
+        assert_eq!(stats.solves, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_do_not_kill_the_session() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let out = SharedBuf::default();
+        serve_session(
+            Cursor::new("frob\nstats\n".to_string()),
+            out.clone(),
+            &server,
+        )
+        .unwrap();
+        let text = out.contents();
+        assert!(text.contains("protocol-error"), "{text}");
+        assert!(text.contains("stats submitted=0"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_ack_reports_unknown_ids() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let out = SharedBuf::default();
+        serve_session(
+            Cursor::new("cancel nope\n".to_string()),
+            out.clone(),
+            &server,
+        )
+        .unwrap();
+        assert!(out.contents().contains("ack cancel nope found=false"));
+        server.shutdown();
+    }
+}

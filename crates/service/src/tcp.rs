@@ -1,0 +1,72 @@
+//! TCP front end (feature `tcp`): the same session loop as
+//! stdin/stdout, one thread per connection, all connections sharing one
+//! [`Server`] — and therefore one cache and one solver pool.
+
+use crate::server::Server;
+use crate::session::serve_session;
+use std::io::BufReader;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Binds `addr` and serves protocol sessions until the process exits.
+/// Each accepted connection runs [`serve_session`] on its own thread
+/// against the shared server.
+pub fn serve_tcp(addr: impl ToSocketAddrs, server: Arc<Server>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on(listener, server)
+}
+
+/// Serves sessions on an already-bound listener (what tests use: bind
+/// to port 0, read back the local address, connect).
+pub fn serve_on(listener: TcpListener, server: Arc<Server>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = serve_session(reader, stream, &server);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use rbp_core::{write_instance, CostModel, Instance};
+    use rbp_graph::generate;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn tcp_session_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+        }));
+        {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let _ = serve_on(listener, server);
+            });
+        }
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let inst = Instance::new(generate::chain(5), 2, CostModel::oneshot());
+        write!(conn, "submit t1 exact\n{}shutdown\n", write_instance(&inst)).unwrap();
+        let mut lines = Vec::new();
+        for line in BufReader::new(conn.try_clone().unwrap()).lines() {
+            lines.push(line.unwrap());
+        }
+        let text = lines.join("\n");
+        assert!(text.contains("queued t1"), "{text}");
+        assert!(text.contains("result t1 spec=exact cached=false"), "{text}");
+        assert!(lines.last().unwrap() == "bye", "{text}");
+    }
+}

@@ -1,0 +1,460 @@
+//! End-to-end service tests: concurrent clients over a saturated queue,
+//! deterministic cache-hit accounting, cancellation, priorities, and
+//! the quality-upgrade path (`UpperBound` → `Optimal`) observable
+//! across requests.
+
+use rbp_core::{CostModel, Instance};
+use rbp_graph::{generate, DagBuilder};
+use rbp_service::{AcceptPolicy, Event, JobOptions, JobRequest, Server, ServerConfig};
+use rbp_solvers::{GreedySolver, Quality, Registry, Solution, SolveCtx, SolveError, Solver};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A test solver that holds its worker for a while, then answers with
+/// greedy — deterministic occupancy for queue/cancellation scenarios.
+struct Sleeper(Duration);
+
+impl Solver for Sleeper {
+    fn name(&self) -> &str {
+        "sleeper"
+    }
+    fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
+        std::thread::sleep(self.0);
+        GreedySolver::new().solve(instance, ctx)
+    }
+}
+
+fn registry_with_sleeper() -> Registry {
+    let mut reg = Registry::with_builtins();
+    reg.register("sleeper", "test: sleep <ms>, then greedy", |arg| {
+        let ms: u64 = arg
+            .unwrap_or("50")
+            .parse()
+            .map_err(|_| SolveError::BadSpec {
+                spec: format!("sleeper:{}", arg.unwrap_or("")),
+                reason: "sleeper takes milliseconds".into(),
+            })?;
+        Ok(Box::new(Sleeper(Duration::from_millis(ms))))
+    });
+    reg
+}
+
+fn chain_req(id: &str, n: usize, spec: &str, options: JobOptions) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        spec: spec.to_string(),
+        instance: Instance::new(generate::chain(n), 2, CostModel::oneshot()),
+        options,
+    }
+}
+
+/// stencil(4, 2, 1) under base at R=4: a real search (greedy does not
+/// meet the trivial lower bound), still subsecond in debug builds.
+fn grid4_base() -> Instance {
+    Instance::new(
+        rbp_workloads::stencil::build(4, 2, 1).dag,
+        4,
+        CostModel::base(),
+    )
+}
+
+fn terminal(rx: &mpsc::Receiver<Event>) -> Event {
+    loop {
+        let ev = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("job must reach a terminal event");
+        if ev.is_terminal() {
+            return ev;
+        }
+    }
+}
+
+#[test]
+fn duplicates_hit_the_cache_without_resolving() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+    });
+    let mut cached_flags = Vec::new();
+    for i in 0..5 {
+        let rx = server
+            .submit_collect(chain_req(
+                &format!("d{i}"),
+                7,
+                "exact",
+                JobOptions::default(),
+            ))
+            .unwrap();
+        match terminal(&rx) {
+            Event::Done { cached, .. } => cached_flags.push(cached),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(cached_flags, [false, true, true, true, true]);
+    let stats = server.stats();
+    assert_eq!(stats.solves, 1, "one solver run serves five requests");
+    assert_eq!(stats.cache.hits, 4);
+    assert_eq!(stats.cache.entries, 1);
+    server.shutdown();
+}
+
+#[test]
+fn relabeled_instances_share_a_cache_slot() {
+    // the same chain under a scrambled node numbering: refinement
+    // individualizes a chain, so both submissions key identically
+    let mut b = DagBuilder::new(4);
+    for (u, v) in [(2, 0), (0, 3), (3, 1)] {
+        b.add_edge(u, v);
+    }
+    let scrambled = Instance::new(b.build().unwrap(), 2, CostModel::oneshot());
+    let straight = Instance::new(generate::chain(4), 2, CostModel::oneshot());
+    assert_eq!(straight.canonical_key(), scrambled.canonical_key());
+
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+    });
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "straight".into(),
+            spec: "exact".into(),
+            instance: straight,
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    assert!(matches!(terminal(&rx), Event::Done { cached: false, .. }));
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "scrambled".into(),
+            spec: "exact".into(),
+            instance: scrambled,
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    assert!(matches!(terminal(&rx), Event::Done { cached: true, .. }));
+    server.shutdown();
+}
+
+#[test]
+fn upper_bound_upgrades_to_optimal_across_requests() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+    });
+
+    // 1: a strangled budget degrades to the greedy incumbent's bound,
+    // which is cached as UpperBound
+    let opts = JobOptions {
+        max_expansions: Some(1),
+        ..JobOptions::default()
+    };
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "tight".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: opts,
+        })
+        .unwrap();
+    let bound_cost = match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(!cached);
+            assert!(
+                matches!(solution.quality, Quality::UpperBound { .. }),
+                "budgeted solve must degrade, got {:?}",
+                solution.quality
+            );
+            solution.cost
+        }
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(server.stats().cache.insertions, 1);
+
+    // 2: accept=bound is answered by the cached UpperBound, no solve
+    let opts = JobOptions {
+        accept: AcceptPolicy::Bound,
+        ..JobOptions::default()
+    };
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "bound-ok".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: opts,
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(cached);
+            assert!(matches!(solution.quality, Quality::UpperBound { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // 3: the default accept=optimal refuses the bound, solves for real,
+    // and upgrades the entry in place
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "full".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(!cached);
+            assert!(solution.is_optimal());
+            assert!(solution.cost.transfers <= bound_cost.transfers);
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache.upgrades, 1, "the slot was upgraded in place");
+    assert_eq!(stats.cache.entries, 1, "upgrade, not a second entry");
+
+    // 4: now even accept=optimal is a cache hit, carrying Optimal
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "hit".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(cached);
+            assert!(solution.is_optimal());
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.stats().solves, 2, "only the two genuine solves ran");
+    server.shutdown();
+}
+
+#[test]
+fn queued_jobs_cancel_cleanly_and_priorities_reorder() {
+    let server = Server::with_registry(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+        },
+        registry_with_sleeper(),
+    );
+    let (tx, rx) = mpsc::channel();
+
+    // occupy the single worker so everything below stays queued
+    server
+        .submit(
+            chain_req("occupy", 4, "sleeper:400", JobOptions::default()),
+            tx.clone(),
+        )
+        .unwrap();
+    // wait for the worker to actually pick 'occupy' up, so everything
+    // submitted below is competing in the queue, not with it
+    while server.stats().solves == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let low = JobOptions {
+        priority: 0,
+        use_cache: false,
+        ..JobOptions::default()
+    };
+    let high = JobOptions {
+        priority: 5,
+        ..low.clone()
+    };
+    server
+        .submit(chain_req("low", 5, "greedy", low.clone()), tx.clone())
+        .unwrap();
+    server
+        .submit(chain_req("high", 6, "greedy", high), tx.clone())
+        .unwrap();
+    server
+        .submit(chain_req("doomed", 7, "greedy", low), tx.clone())
+        .unwrap();
+    assert!(server.cancel("doomed"), "queued job is cancellable");
+    drop(tx);
+
+    let mut terminal_order = Vec::new();
+    for ev in rx.iter() {
+        match ev {
+            Event::Done { id, .. } | Event::Cancelled { id } => terminal_order.push(id),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        terminal_order,
+        ["occupy", "high", "low", "doomed"],
+        "priority 5 jumps the queue; equal priorities stay FIFO; the \
+         cancelled job still reports a terminal event (at pop time)"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_over_a_saturated_queue_lose_nothing() {
+    const CLIENTS: usize = 4;
+    const JOBS_PER_CLIENT: usize = 5;
+    let server = Server::with_registry(
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 2, // deliberately tiny: submits must block, not drop
+        },
+        registry_with_sleeper(),
+    );
+
+    let results: Vec<Vec<Event>> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut terminals = Vec::new();
+                    for j in 0..JOBS_PER_CLIENT {
+                        let id = format!("c{t}-j{j}");
+                        let req = match j % 3 {
+                            // duplicates: every client submits the same instance
+                            0 => chain_req(&id, 9, "exact", JobOptions::default()),
+                            // budget-limited: unique instances, tiny budgets
+                            1 => {
+                                let o = JobOptions {
+                                    max_expansions: Some(2),
+                                    ..JobOptions::default()
+                                };
+                                chain_req(&id, 10 + t * JOBS_PER_CLIENT + j, "exact", o)
+                            }
+                            // slow + sometimes cancelled mid-flight
+                            _ => {
+                                let o = JobOptions {
+                                    use_cache: false,
+                                    ..JobOptions::default()
+                                };
+                                chain_req(&id, 5, "sleeper:30", o)
+                            }
+                        };
+                        let rx = server.submit_collect(req).unwrap();
+                        if j % 3 == 2 && t % 2 == 0 {
+                            server.cancel(&id);
+                        }
+                        terminals.push(terminal(&rx));
+                    }
+                    terminals
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // every submission reached exactly one terminal event, in order
+    for (t, events) in results.iter().enumerate() {
+        assert_eq!(events.len(), JOBS_PER_CLIENT);
+        for (j, ev) in events.iter().enumerate() {
+            assert_eq!(ev.id(), format!("c{t}-j{j}"), "responses matched to jobs");
+            match (j % 3, ev) {
+                (0 | 1, Event::Done { .. }) => {}
+                (2, Event::Done { .. } | Event::Cancelled { .. }) => {}
+                other => panic!("unexpected terminal {other:?}"),
+            }
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, (CLIENTS * JOBS_PER_CLIENT) as u64);
+    assert_eq!(stats.completed, stats.submitted, "no job was dropped");
+    // 8 duplicate submissions of one instance across 2 workers: at most
+    // two can race past the empty cache before the first insert lands
+    assert!(
+        stats.cache.hits >= 6,
+        "duplicates must be served from cache (hits={})",
+        stats.cache.hits
+    );
+    server.shutdown();
+}
+
+/// The ISSUE acceptance flow on the real grid5/base cell. Release-only:
+/// the exact solve takes seconds optimized and the debug-assert-laden
+/// debug build pushes it into minutes.
+#[cfg(not(debug_assertions))]
+#[test]
+fn grid5_base_acceptance_flow() {
+    let grid5 = || {
+        Instance::new(
+            rbp_workloads::stencil::build(5, 2, 1).dag,
+            4,
+            CostModel::base(),
+        )
+    };
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+    });
+
+    // tight deadline first: the cache learns an UpperBound
+    let tight = JobOptions {
+        deadline: Some(Duration::from_millis(50)),
+        ..JobOptions::default()
+    };
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "tight".into(),
+            spec: "exact".into(),
+            instance: grid5(),
+            options: tight,
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done { solution, .. } => {
+            assert!(matches!(solution.quality, Quality::UpperBound { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // unbudgeted: solves for real and upgrades the entry to Optimal
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "full".into(),
+            spec: "exact".into(),
+            instance: grid5(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(!cached);
+            assert!(solution.is_optimal());
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.stats().cache.upgrades, 1);
+
+    // resubmit: answered from cache, no third solver run
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "again".into(),
+            spec: "exact".into(),
+            instance: grid5(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(cached);
+            assert!(solution.is_optimal());
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.stats().solves, 2);
+    server.shutdown();
+}

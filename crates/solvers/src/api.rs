@@ -232,9 +232,11 @@ pub enum Quality {
 /// Structured per-solver statistics: a small ordered map of `u64`
 /// counters (`"states_expanded"`, `"states_seen"`, `"threads"`,
 /// `"width"`, …). One shape for every solver, so report code does not
-/// need to know which solver produced a [`Solution`].
+/// need to know which solver produced a [`Solution`]. Keys are owned
+/// strings so stats survive a round trip through the wire format
+/// ([`crate::wire`]), where they arrive parsed, not `'static`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Stats(BTreeMap<&'static str, u64>);
+pub struct Stats(BTreeMap<String, u64>);
 
 impl Stats {
     /// An empty stats map.
@@ -243,8 +245,8 @@ impl Stats {
     }
 
     /// Sets one counter (overwriting).
-    pub fn set(&mut self, key: &'static str, value: u64) {
-        self.0.insert(key, value);
+    pub fn set(&mut self, key: impl Into<String>, value: u64) {
+        self.0.insert(key.into(), value);
     }
 
     /// Reads one counter.
@@ -253,8 +255,8 @@ impl Stats {
     }
 
     /// Iterates `(key, value)` pairs in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.0.iter().map(|(k, v)| (*k, *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.0.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Number of counters.
@@ -380,6 +382,17 @@ pub(crate) fn upper_bound_quality(instance: &Instance, cost: Cost) -> Quality {
 pub trait Solver: Send + Sync {
     /// The solver's registry family name (`"exact"`, `"greedy"`, …).
     fn name(&self) -> &str;
+
+    /// The full registry spec this solver answers to, arguments
+    /// included (`"greedy:most-red-inputs/lru"`, `"exact-parallel:4"`).
+    /// The string round-trips: feeding it back through
+    /// [`crate::registry::solver`] yields an equivalently configured
+    /// solver, so services and stats reports can record *exactly* which
+    /// configuration produced a result. Defaults to [`Solver::name`]
+    /// for argument-free solvers.
+    fn spec(&self) -> String {
+        self.name().to_string()
+    }
 
     /// Solves the instance under the given context.
     fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError>;
@@ -528,6 +541,14 @@ impl Solver for ExactSolver {
         }
     }
 
+    fn spec(&self) -> String {
+        match (self.name(), self.seed_incumbent) {
+            ("reference", _) => "reference".to_string(),
+            (_, true) => "exact".to_string(),
+            (_, false) => "exact:unseeded".to_string(),
+        }
+    }
+
     fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
         run_exact_family(instance, self.cfg, 1, self.seed_incumbent, ctx)
     }
@@ -567,6 +588,10 @@ impl ParallelExactSolver {
 impl Solver for ParallelExactSolver {
     fn name(&self) -> &str {
         "exact-parallel"
+    }
+
+    fn spec(&self) -> String {
+        format!("exact-parallel:{}", self.cfg.threads)
     }
 
     fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
@@ -622,6 +647,10 @@ impl Solver for GreedySolver {
         "greedy"
     }
 
+    fn spec(&self) -> String {
+        format!("greedy:{}", self.cfg)
+    }
+
     fn solve(&self, instance: &Instance, _ctx: &SolveCtx) -> Result<Solution, SolveError> {
         let rep = solve_greedy_with(instance, self.cfg)?;
         heuristic_solution(instance, rep, Stats::new())
@@ -655,6 +684,10 @@ impl BeamSolver {
 impl Solver for BeamSolver {
     fn name(&self) -> &str {
         "beam"
+    }
+
+    fn spec(&self) -> String {
+        format!("beam:{}", self.cfg.width)
     }
 
     fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {

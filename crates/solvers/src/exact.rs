@@ -196,7 +196,7 @@ pub struct ExactReport {
 /// ```
 /// use rbp_core::{CostModel, Instance};
 /// use rbp_graph::generate;
-/// use rbp_solvers::solve_exact;
+/// use rbp_solvers::exact::solve_exact;
 ///
 /// // a dependency chain fits in 2 red pebbles at zero I/O cost
 /// let inst = Instance::new(generate::chain(8), 2, CostModel::oneshot());

@@ -117,6 +117,14 @@ impl Default for GreedyConfig {
     }
 }
 
+impl std::fmt::Display for GreedyConfig {
+    /// The registry argument form, `RULE/EVICT` — `format!("greedy:{cfg}")`
+    /// parses back to this configuration.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.rule, self.eviction)
+    }
+}
+
 /// Result of a greedy run.
 #[derive(Clone, Debug)]
 pub struct GreedyReport {
@@ -134,7 +142,7 @@ pub struct GreedyReport {
 /// # Example
 /// ```
 /// use rbp_core::{CostModel, Instance};
-/// use rbp_solvers::solve_greedy;
+/// use rbp_solvers::greedy::solve_greedy;
 ///
 /// let mut b = rbp_graph::DagBuilder::new(3);
 /// b.add_edge(0, 2);

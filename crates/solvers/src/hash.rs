@@ -1,125 +1,10 @@
-//! A fast, non-cryptographic hasher for pebbling-state keys.
+//! Re-export of [`rbp_graph::hash`], the fast word hasher the solver
+//! arenas intern states with.
 //!
-//! The exact solver hashes millions of short `u64`-word keys; SipHash is
-//! needlessly slow for that, and HashDoS is not a concern for solver
-//! internals. This is the Fx/rustc multiply-rotate scheme specialized to
-//! word-sized writes.
+//! The implementation moved down to `rbp-graph` so that `rbp-core` can
+//! share the same digest scheme (notably
+//! `rbp_core::Instance::canonical_key`, the service-layer cache key)
+//! without depending on this crate. Existing `rbp_solvers::hash::*`
+//! paths keep working through this module.
 
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Multiplicative word hasher (the rustc "Fx" scheme).
-#[derive(Default, Clone)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl FxHasher {
-    #[inline]
-    fn add_word(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        // Only used for padding/odd cases; keys hash via write_u64 below.
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.add_word(u64::from_le_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add_word(v);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add_word(v as u64);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add_word(v as u64);
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// Hashes a `u64` word slice directly, bypassing the `Hash` trait's
-/// length-prefix and byte-slice machinery. This is the hot hash of the
-/// exact solver's arena intern table: one rotate-xor-multiply per word.
-#[inline]
-pub fn hash_words(words: &[u64]) -> u64 {
-    let mut h = FxHasher::default();
-    for &w in words {
-        h.add_word(w);
-    }
-    h.finish()
-}
-
-/// A `HashMap` keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn distinct_words_hash_differently() {
-        let mut a = FxHasher::default();
-        a.write_u64(1);
-        let mut b = FxHasher::default();
-        b.write_u64(2);
-        assert_ne!(a.finish(), b.finish());
-    }
-
-    #[test]
-    fn hash_depends_on_order() {
-        let mut a = FxHasher::default();
-        a.write_u64(1);
-        a.write_u64(2);
-        let mut b = FxHasher::default();
-        b.write_u64(2);
-        b.write_u64(1);
-        assert_ne!(a.finish(), b.finish());
-    }
-
-    #[test]
-    fn map_works_with_fx() {
-        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
-        m.insert(42, "x");
-        assert_eq!(m.get(&42), Some(&"x"));
-    }
-
-    #[test]
-    fn byte_writes_cover_padding_path() {
-        let mut a = FxHasher::default();
-        a.write(&[1, 2, 3]);
-        let mut b = FxHasher::default();
-        b.write(&[1, 2, 4]);
-        assert_ne!(a.finish(), b.finish());
-    }
-
-    #[test]
-    fn hash_words_matches_sequential_u64_writes() {
-        let words = [0u64, 7, u64::MAX, 42];
-        let mut h = FxHasher::default();
-        for &w in &words {
-            h.write_u64(w);
-        }
-        assert_eq!(hash_words(&words), h.finish());
-        assert_ne!(hash_words(&words), hash_words(&words[..3]));
-    }
-}
+pub use rbp_graph::hash::{hash_words, FxBuildHasher, FxHashMap, FxHasher};

@@ -36,7 +36,9 @@
 //! `UpperBound { lower_bound }` / `Infeasible`), and structured
 //! [`api::Stats`] — one shape replacing the old per-solver
 //! `ExactReport`/`GreedyReport`/`OrderResult` zoo (those remain as the
-//! internal carrier types and deprecated shims).
+//! internal carrier types). Solutions serialize over the wire through
+//! [`wire`], the solution half of the versioned instance/solution text
+//! format the `rbp-service` batch server speaks.
 //!
 //! ## Solver families
 //!
@@ -75,6 +77,7 @@ pub mod portfolio;
 pub mod registry;
 pub mod sweep;
 pub mod visit;
+pub mod wire;
 
 pub use api::{
     BeamSolver, Budget, ExactSolver, GreedySolver, ParallelExactSolver, PortfolioSolver, Progress,
@@ -93,76 +96,4 @@ pub use sweep::{check_tradeoff_laws, sweep_r, sweep_r_serial, sweep_r_with, Swee
 pub use visit::{
     best_order, best_order_from, held_karp, GroupSpec, GroupedDag, OrderResult, VisitOrderSolver,
 };
-
-// ---------------------------------------------------------------------
-// deprecated shims for the pre-trait free functions
-// ---------------------------------------------------------------------
-
-/// Deprecated shim for [`exact::solve_exact`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"exact\", &inst)`")]
-pub fn solve_exact(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
-    exact::solve_exact(instance)
-}
-
-/// Deprecated shim for [`exact::solve_exact_with`].
-#[deprecated(note = "use `api::ExactSolver::with_config(cfg)` via the Solver trait")]
-pub fn solve_exact_with(
-    instance: &rbp_core::Instance,
-    cfg: ExactConfig,
-) -> Result<ExactReport, SolveError> {
-    exact::solve_exact_with(instance, cfg)
-}
-
-/// Deprecated shim for [`exact::solve_reference`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"reference\", &inst)`")]
-pub fn solve_reference(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
-    exact::solve_reference(instance)
-}
-
-/// Deprecated shim for [`parallel::solve_exact_parallel`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"exact-parallel\", &inst)`")]
-pub fn solve_exact_parallel(instance: &rbp_core::Instance) -> Result<ExactReport, SolveError> {
-    parallel::solve_exact_parallel(instance)
-}
-
-/// Deprecated shim for [`parallel::solve_exact_parallel_with`].
-#[deprecated(note = "use `api::ParallelExactSolver` via the Solver trait")]
-pub fn solve_exact_parallel_with(
-    instance: &rbp_core::Instance,
-    cfg: ParallelConfig,
-) -> Result<ExactReport, SolveError> {
-    parallel::solve_exact_parallel_with(instance, cfg)
-}
-
-/// Deprecated shim for [`greedy::solve_greedy`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"greedy\", &inst)`")]
-pub fn solve_greedy(instance: &rbp_core::Instance) -> Result<GreedyReport, SolveError> {
-    greedy::solve_greedy(instance)
-}
-
-/// Deprecated shim for [`greedy::solve_greedy_with`].
-#[deprecated(note = "use `api::GreedySolver::with_config(cfg)` via the Solver trait")]
-pub fn solve_greedy_with(
-    instance: &rbp_core::Instance,
-    cfg: GreedyConfig,
-) -> Result<GreedyReport, SolveError> {
-    greedy::solve_greedy_with(instance, cfg)
-}
-
-/// Deprecated shim for [`beam::solve_beam`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"beam:WIDTH\", &inst)`")]
-pub fn solve_beam(
-    instance: &rbp_core::Instance,
-    cfg: BeamConfig,
-) -> Result<GreedyReport, SolveError> {
-    beam::solve_beam(instance, cfg)
-}
-
-/// Deprecated shim for [`portfolio::solve_portfolio`].
-#[deprecated(note = "use the Solver trait: `registry::solve(\"portfolio\", &inst)`")]
-pub fn solve_portfolio(
-    instance: &rbp_core::Instance,
-    configs: &[GreedyConfig],
-) -> Result<(GreedyConfig, GreedyReport), SolveError> {
-    portfolio::solve_portfolio(instance, configs)
-}
+pub use wire::{parse_solution, write_solution, WireSolution};

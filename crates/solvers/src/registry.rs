@@ -299,6 +299,66 @@ mod tests {
     }
 
     #[test]
+    fn solver_specs_round_trip_through_the_registry() {
+        // spec → solver → .spec() → solver must be a fixed point after
+        // one normalization step (defaults become explicit: `beam` →
+        // `beam:8`, `exact-parallel` → `exact-parallel:<cores>`).
+        for spec in [
+            "exact",
+            "exact:unseeded",
+            "exact-parallel",
+            "exact-parallel:2",
+            "reference",
+            "greedy",
+            "greedy:most-red-inputs",
+            "greedy:fewest-blue-inputs/lru",
+            "greedy:highest-red-ratio/fifo",
+            "greedy:most-red-inputs/random(7)",
+            "beam",
+            "beam:4",
+            "portfolio",
+        ] {
+            let canonical = solver(spec).unwrap().spec();
+            let reparsed = solver(&canonical)
+                .unwrap_or_else(|e| panic!("{spec} -> {canonical}: {e}"))
+                .spec();
+            assert_eq!(reparsed, canonical, "canonical specs are fixed points");
+        }
+        // explicit arguments survive verbatim
+        assert_eq!(solver("beam:4").unwrap().spec(), "beam:4");
+        assert_eq!(
+            solver("exact-parallel:2").unwrap().spec(),
+            "exact-parallel:2"
+        );
+        assert_eq!(
+            solver("greedy:fewest-blue-inputs/lru").unwrap().spec(),
+            "greedy:fewest-blue-inputs/lru"
+        );
+        assert_eq!(
+            solver("greedy").unwrap().spec(),
+            "greedy:most-red-inputs/min-uses",
+            "defaults are spelled out"
+        );
+    }
+
+    #[test]
+    fn unknown_family_error_names_the_token() {
+        let err = solver("exat").err().expect("unknown family is rejected");
+        match &err {
+            SolveError::BadSpec { reason, .. } => {
+                assert!(reason.contains("'exat'"), "{reason}");
+                assert!(reason.contains("exact"), "lists known families: {reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = solver("greedy:topo").err().expect("bad rule is rejected");
+        match &err {
+            SolveError::BadSpec { spec, .. } => assert!(spec.contains("topo"), "{spec}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_specs_are_bad_spec_errors() {
         for spec in [
             "exat",

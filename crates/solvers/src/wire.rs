@@ -1,0 +1,445 @@
+//! The solution half of the versioned wire format: a line-oriented text
+//! document carrying a [`Solution`] plus the registry spec that
+//! produced it.
+//!
+//! The instance half lives in `rbp_core::io` (it only needs core
+//! types); solutions live here because [`Solution`], [`Quality`], and
+//! [`Stats`] are solver types. Together they are the payloads of the
+//! `rbp-service` batch protocol: a client submits an instance document,
+//! the server answers with a solution document.
+//!
+//! ## Grammar (line-oriented, `#` comments allowed)
+//!
+//! ```text
+//! solution v1
+//! spec <registry-spec>            # e.g. exact, greedy:most-red-inputs/lru
+//! quality optimal | upper-bound <lower_bound> | infeasible
+//! cost <transfers> <computes>
+//! stat <key> <value>              # zero or more, one per counter
+//! trace <len>                     # followed by exactly <len> move lines
+//! load <v> | store <v> | compute <v> | delete <v>
+//! end
+//! ```
+//!
+//! A parsed solution is **as transmitted**: the cost and quality are
+//! whatever the document claims, because validation needs the instance
+//! the trace pebbles. Callers that hold the instance should replay
+//! `solution.trace` through `rbp_core::engine::simulate` before
+//! trusting the numbers — exactly what the service does on receipt.
+
+use crate::api::{Quality, Solution, Stats};
+use rbp_core::{Cost, Move, Pebbling};
+use rbp_graph::NodeId;
+use std::fmt::Write as _;
+
+/// The version token [`write_solution`] emits and [`parse_solution`]
+/// accepts.
+pub const SOLUTION_VERSION: &str = "v1";
+
+/// A parsed solution document: the registry spec that (claims to have)
+/// produced the solution, plus the solution itself.
+#[derive(Clone, Debug)]
+pub struct WireSolution {
+    /// The registry spec string from the `spec` line.
+    pub spec: String,
+    /// The transmitted solution (unvalidated; see the module docs).
+    pub solution: Solution,
+}
+
+/// Errors from [`parse_solution`]. Line numbers are 1-based document
+/// coordinates (offset by `first_line` in [`parse_solution_at`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first non-comment line must be `solution v1`.
+    MissingHeader,
+    /// The header names a version this parser does not speak.
+    UnsupportedVersion {
+        /// Line of the header.
+        line: usize,
+        /// The version token found.
+        found: String,
+    },
+    /// A statement could not be parsed.
+    UnexpectedToken {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// The token (or fragment) that was rejected.
+        token: String,
+        /// What the parser expected in its place.
+        expected: &'static str,
+    },
+    /// A single-valued field appeared twice.
+    DuplicateField {
+        /// Line of the second occurrence.
+        line: usize,
+        /// The field name.
+        field: &'static str,
+    },
+    /// A required field never appeared.
+    MissingField {
+        /// The field name.
+        field: &'static str,
+    },
+    /// The document ended without the `end` terminator.
+    MissingEnd,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing 'solution v1' header"),
+            ParseError::UnsupportedVersion { line, found } => {
+                write!(f, "line {line}: unsupported solution version '{found}'")
+            }
+            ParseError::UnexpectedToken {
+                line,
+                token,
+                expected,
+            } => write!(f, "line {line}: unexpected '{token}', expected {expected}"),
+            ParseError::DuplicateField { line, field } => {
+                write!(f, "line {line}: duplicate '{field}' field")
+            }
+            ParseError::MissingField { field } => write!(f, "missing required '{field}' field"),
+            ParseError::MissingEnd => write!(f, "missing 'end' terminator"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn unexpected(line: usize, token: impl Into<String>, expected: &'static str) -> ParseError {
+    ParseError::UnexpectedToken {
+        line,
+        token: token.into(),
+        expected,
+    }
+}
+
+/// Serializes a solution (and the spec that produced it) as a `solution
+/// v1` document. Stable output: fixed field order, stats in key order,
+/// moves in trace order.
+pub fn write_solution(spec: &str, sol: &Solution) -> String {
+    let mut out = String::with_capacity(64 + sol.trace.len() * 12 + sol.stats.len() * 24);
+    let _ = writeln!(out, "solution {SOLUTION_VERSION}");
+    let _ = writeln!(out, "spec {spec}");
+    match sol.quality {
+        Quality::Optimal => out.push_str("quality optimal\n"),
+        Quality::UpperBound { lower_bound } => {
+            let _ = writeln!(out, "quality upper-bound {lower_bound}");
+        }
+        Quality::Infeasible => out.push_str("quality infeasible\n"),
+    }
+    let _ = writeln!(out, "cost {} {}", sol.cost.transfers, sol.cost.computes);
+    for (k, v) in sol.stats.iter() {
+        let _ = writeln!(out, "stat {k} {v}");
+    }
+    let _ = writeln!(out, "trace {}", sol.trace.len());
+    for mv in sol.trace.moves() {
+        let (kw, v) = match mv {
+            Move::Load(v) => ("load", v),
+            Move::Store(v) => ("store", v),
+            Move::Compute(v) => ("compute", v),
+            Move::Delete(v) => ("delete", v),
+        };
+        let _ = writeln!(out, "{kw} {}", v.index());
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a `solution v1` document.
+pub fn parse_solution(text: &str) -> Result<WireSolution, ParseError> {
+    parse_solution_at(text, 1)
+}
+
+/// Like [`parse_solution`], for a document embedded in a larger stream:
+/// `first_line` is the 1-based line number of the first line of `text`
+/// in the enclosing document, and every reported error line is in
+/// document coordinates.
+pub fn parse_solution_at(text: &str, first_line: usize) -> Result<WireSolution, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| (first_line + i, raw.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, header) = lines.next().ok_or(ParseError::MissingHeader)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("solution") {
+        return Err(ParseError::MissingHeader);
+    }
+    let version = parts.next().unwrap_or("");
+    if version != SOLUTION_VERSION {
+        return Err(ParseError::UnsupportedVersion {
+            line: hline,
+            found: version.to_string(),
+        });
+    }
+
+    let mut spec: Option<String> = None;
+    let mut quality: Option<Quality> = None;
+    let mut cost: Option<Cost> = None;
+    let mut stats = Stats::new();
+    let mut trace: Option<Pebbling> = None;
+    let mut remaining_moves: usize = 0;
+    let mut saw_end = false;
+
+    for (lineno, line) in lines {
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("nonempty line");
+        if remaining_moves > 0 {
+            if !matches!(keyword, "load" | "store" | "compute" | "delete") {
+                return Err(unexpected(
+                    lineno,
+                    keyword,
+                    "a move line: 'load|store|compute|delete <node>' ('trace <len>' declared more moves)",
+                ));
+            }
+            let v = parse_node(lineno, parts.next())?;
+            let t = trace.as_mut().expect("trace started");
+            match keyword {
+                "load" => t.load(v),
+                "store" => t.store(v),
+                "compute" => t.compute(v),
+                "delete" => t.delete(v),
+                _ => unreachable!(),
+            }
+            remaining_moves -= 1;
+            continue;
+        }
+        match keyword {
+            "spec" => {
+                if spec.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "spec",
+                    });
+                }
+                let rest = line["spec".len()..].trim();
+                if rest.is_empty() {
+                    return Err(unexpected(lineno, line, "a registry spec after 'spec'"));
+                }
+                spec = Some(rest.to_string());
+            }
+            "quality" => {
+                if quality.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "quality",
+                    });
+                }
+                quality = Some(match parts.next() {
+                    Some("optimal") => Quality::Optimal,
+                    Some("infeasible") => Quality::Infeasible,
+                    Some("upper-bound") => {
+                        let token = parts.next().unwrap_or("");
+                        let lower_bound = token.parse().map_err(|_| {
+                            unexpected(lineno, token, "a lower bound after 'upper-bound'")
+                        })?;
+                        Quality::UpperBound { lower_bound }
+                    }
+                    other => {
+                        return Err(unexpected(
+                            lineno,
+                            other.unwrap_or(""),
+                            "'optimal', 'upper-bound <lb>', or 'infeasible'",
+                        ))
+                    }
+                });
+            }
+            "cost" => {
+                if cost.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "cost",
+                    });
+                }
+                let t = parse_u64(lineno, parts.next(), "transfer count in 'cost <t> <c>'")?;
+                let c = parse_u64(lineno, parts.next(), "compute count in 'cost <t> <c>'")?;
+                cost = Some(Cost {
+                    transfers: t,
+                    computes: c,
+                });
+            }
+            "stat" => {
+                let key = parts
+                    .next()
+                    .ok_or_else(|| unexpected(lineno, line, "a key in 'stat <key> <value>'"))?;
+                let value = parse_u64(lineno, parts.next(), "a value in 'stat <key> <value>'")?;
+                stats.set(key, value);
+            }
+            "trace" => {
+                if trace.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "trace",
+                    });
+                }
+                let len =
+                    parse_u64(lineno, parts.next(), "a move count in 'trace <len>'")? as usize;
+                trace = Some(Pebbling::with_capacity(len));
+                remaining_moves = len;
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            other => {
+                return Err(unexpected(
+                    lineno,
+                    other,
+                    "'spec', 'quality', 'cost', 'stat', 'trace', or 'end'",
+                ))
+            }
+        }
+    }
+
+    if remaining_moves > 0 || !saw_end {
+        return Err(ParseError::MissingEnd);
+    }
+    let spec = spec.ok_or(ParseError::MissingField { field: "spec" })?;
+    let quality = quality.ok_or(ParseError::MissingField { field: "quality" })?;
+    let cost = cost.ok_or(ParseError::MissingField { field: "cost" })?;
+    let trace = trace.ok_or(ParseError::MissingField { field: "trace" })?;
+    Ok(WireSolution {
+        spec,
+        solution: Solution {
+            trace,
+            cost,
+            quality,
+            stats,
+        },
+    })
+}
+
+fn parse_u64(line: usize, token: Option<&str>, expected: &'static str) -> Result<u64, ParseError> {
+    let token = token.unwrap_or("");
+    token.parse().map_err(|_| unexpected(line, token, expected))
+}
+
+fn parse_node(line: usize, token: Option<&str>) -> Result<NodeId, ParseError> {
+    let token = token.unwrap_or("");
+    let v: usize = token
+        .parse()
+        .map_err(|_| unexpected(line, token, "a node id in a move line"))?;
+    Ok(NodeId::new(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use rbp_core::{engine, CostModel, Instance};
+    use rbp_graph::DagBuilder;
+
+    fn diamond() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        Instance::new(b.build().unwrap(), 3, CostModel::oneshot())
+    }
+
+    #[test]
+    fn solver_output_round_trips() {
+        let inst = diamond();
+        for spec in ["exact", "greedy:fewest-blue-inputs/lru", "beam:4"] {
+            let sol = registry::solve(spec, &inst).unwrap();
+            let text = write_solution(spec, &sol);
+            let back = parse_solution(&text).unwrap();
+            assert_eq!(back.spec, spec);
+            assert_eq!(back.solution.quality, sol.quality);
+            assert_eq!(back.solution.cost, sol.cost);
+            assert_eq!(back.solution.stats, sol.stats);
+            assert_eq!(back.solution.trace.moves(), sol.trace.moves());
+            // the transmitted trace replays to the transmitted cost
+            let sim = engine::simulate(&inst, &back.solution.trace).unwrap();
+            assert_eq!(sim.cost, back.solution.cost);
+            // stable serialization
+            assert_eq!(write_solution(&back.spec, &back.solution), text);
+        }
+    }
+
+    #[test]
+    fn upper_bound_and_infeasible_round_trip() {
+        let mut sol = Solution::infeasible();
+        let text = write_solution("greedy", &sol);
+        assert_eq!(
+            parse_solution(&text).unwrap().solution.quality,
+            Quality::Infeasible
+        );
+        sol.quality = Quality::UpperBound { lower_bound: 17 };
+        let back = parse_solution(&write_solution("beam:8", &sol)).unwrap();
+        assert_eq!(
+            back.solution.quality,
+            Quality::UpperBound { lower_bound: 17 }
+        );
+        assert_eq!(back.spec, "beam:8");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\nsolution v1\n\nspec exact\nquality optimal\n# mid\ncost 2 3\ntrace 1\ncompute 0\nend\n";
+        let w = parse_solution(text).unwrap();
+        assert_eq!(w.solution.cost.transfers, 2);
+        assert_eq!(w.solution.trace.len(), 1);
+    }
+
+    #[test]
+    fn header_and_version_checked() {
+        assert_eq!(parse_solution("").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            parse_solution("spec exact\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
+        assert_eq!(
+            parse_solution("solution v7\nend\n").unwrap_err(),
+            ParseError::UnsupportedVersion {
+                line: 1,
+                found: "v7".into()
+            }
+        );
+    }
+
+    #[test]
+    fn structural_errors_located() {
+        let text = "solution v1\nspec exact\nquality optimal\ncost 0 3\ntrace 2\ncompute 0\nend\n";
+        // 'end' arrives while a move is still owed
+        match parse_solution(text).unwrap_err() {
+            ParseError::UnexpectedToken { line: 7, token, .. } => assert_eq!(token, "end"),
+            other => panic!("{other:?}"),
+        }
+        // ...and a document that simply stops short is MissingEnd
+        let text = "solution v1\nspec exact\nquality optimal\ncost 0 3\ntrace 2\ncompute 0\n";
+        assert_eq!(parse_solution(text).unwrap_err(), ParseError::MissingEnd);
+        let text = "solution v1\nspec exact\nquality perfect\ncost 0 3\ntrace 0\nend\n";
+        match parse_solution(text).unwrap_err() {
+            ParseError::UnexpectedToken { line: 3, token, .. } => assert_eq!(token, "perfect"),
+            other => panic!("{other:?}"),
+        }
+        let text = "solution v1\nspec exact\nquality optimal\ntrace 0\nend\n";
+        assert_eq!(
+            parse_solution(text).unwrap_err(),
+            ParseError::MissingField { field: "cost" }
+        );
+    }
+
+    #[test]
+    fn embedded_documents_report_document_lines() {
+        let err = parse_solution_at("solution v1\nspec exact\nquality good\n", 10).unwrap_err();
+        match err {
+            ParseError::UnexpectedToken { line, .. } => assert_eq!(line, 12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_with_spaces_is_rejected_cleanly() {
+        // registry specs are single tokens today, but the parser takes
+        // the whole rest of the line so future arg grammars survive
+        let text = "solution v1\nspec greedy:most-red-inputs/random(3)\nquality optimal\ncost 0 0\ntrace 0\nend\n";
+        assert_eq!(
+            parse_solution(text).unwrap().spec,
+            "greedy:most-red-inputs/random(3)"
+        );
+    }
+}

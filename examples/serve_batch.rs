@@ -1,0 +1,128 @@
+//! Pebbling-as-a-service: drive the batch-solve server both ways —
+//! through the in-process API, and through the wire protocol that
+//! `rbp-serve` speaks on stdin/stdout.
+//!
+//! Run with: `cargo run --release --example serve_batch`
+
+use red_blue_pebbling::core::{io as core_io, CostModel, Instance};
+use red_blue_pebbling::service::{
+    serve_session, AcceptPolicy, Event, JobOptions, JobRequest, Server, ServerConfig,
+};
+use red_blue_pebbling::workloads::stencil;
+use std::io::BufReader;
+
+fn main() {
+    let grid = stencil::build(4, 2, 1);
+    let instance = Instance::new(grid.dag.clone(), 4, CostModel::base());
+
+    // ---- in-process: submit a batch and watch the cache work --------
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+    });
+
+    println!("== in-process batch ==");
+    // a budget-limited solve first: caches an upper bound
+    let events = server
+        .submit_collect(JobRequest {
+            id: "bounded".into(),
+            spec: "exact".into(),
+            instance: instance.clone(),
+            options: JobOptions {
+                max_expansions: Some(1),
+                ..JobOptions::default()
+            },
+        })
+        .unwrap();
+    report(&events);
+
+    // accept=bound is answered by the cached upper bound, no solve
+    let events = server
+        .submit_collect(JobRequest {
+            id: "any-bound".into(),
+            spec: "exact".into(),
+            instance: instance.clone(),
+            options: JobOptions {
+                accept: AcceptPolicy::Bound,
+                ..JobOptions::default()
+            },
+        })
+        .unwrap();
+    report(&events);
+
+    // the default accept=optimal forces a real solve, which upgrades
+    // the cached entry in place
+    let events = server
+        .submit_collect(JobRequest {
+            id: "prove-it".into(),
+            spec: "exact".into(),
+            instance: instance.clone(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    report(&events);
+
+    // …and now every duplicate is a cache hit at full quality
+    let events = server
+        .submit_collect(JobRequest {
+            id: "again".into(),
+            spec: "exact".into(),
+            instance: instance.clone(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    report(&events);
+
+    let stats = server.stats();
+    println!(
+        "server: submitted={} completed={} solves={} cache: entries={} hits={} upgrades={}\n",
+        stats.submitted,
+        stats.completed,
+        stats.solves,
+        stats.cache.entries,
+        stats.cache.hits,
+        stats.cache.upgrades,
+    );
+
+    // ---- over the wire: the same protocol rbp-serve speaks ----------
+    // A scripted session: submit the (already cached) instance and ask
+    // for stats. `serve_session` works over any byte streams; here a
+    // String stands in for the socket.
+    println!("== wire session ==");
+    let mut script = String::new();
+    script.push_str("submit wire-1 exact\n");
+    script.push_str(&core_io::write_instance(&instance));
+    script.push_str("stats\n");
+    script.push_str("shutdown\n");
+
+    let mut response = Vec::new();
+    serve_session(BufReader::new(script.as_bytes()), &mut response, &server).unwrap();
+    print!("{}", String::from_utf8(response).unwrap());
+
+    server.shutdown();
+}
+
+fn report(events: &std::sync::mpsc::Receiver<Event>) {
+    for ev in events.iter() {
+        match ev {
+            Event::Queued { id } => println!("[{id}] queued"),
+            Event::CacheHit { id, spec } => println!("[{id}] cache hit (produced by '{spec}')"),
+            Event::Progress {
+                id,
+                states_expanded,
+                ..
+            } => println!("[{id}] progress: {states_expanded} states"),
+            Event::Done {
+                id,
+                spec,
+                cached,
+                solution,
+            } => println!(
+                "[{id}] done: spec={spec} cached={cached} quality={:?} cost={}",
+                solution.quality, solution.cost
+            ),
+            Event::Failed { id, error } => println!("[{id}] failed: {error}"),
+            Event::Cancelled { id } => println!("[{id}] cancelled"),
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`gadgets`] | `rbp-gadgets` | H2C, CD ladder, pyramid, tradeoff chain, greedy grid |
 //! | [`reductions`] | `rbp-reductions` | Hamiltonian Path & Vertex Cover reductions + solvers |
 //! | [`workloads`] | `rbp-workloads` | matmul, FFT, stencil, trees |
+//! | [`service`] | `rbp-service` | batch-solve server, memoization cache, wire protocol |
 //!
 //! ## Quickstart
 //! ```
@@ -43,6 +44,7 @@ pub use rbp_core as core;
 pub use rbp_gadgets as gadgets;
 pub use rbp_graph as graph;
 pub use rbp_reductions as reductions;
+pub use rbp_service as service;
 pub use rbp_solvers as solvers;
 pub use rbp_workloads as workloads;
 

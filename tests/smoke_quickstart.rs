@@ -109,6 +109,66 @@ fn readme_registry_specs_parse_and_solve() {
     }
 }
 
+/// Public-API smoke test for the "Serving" section: the exact protocol
+/// session printed in the README is fed to an in-process server, and
+/// the solution document it streams back must replay on the engine.
+/// If the wire grammar drifts from the README, this fails here.
+#[test]
+fn readme_serving_protocol_round_trip() {
+    use red_blue_pebbling::service::{serve_session, Server, ServerConfig};
+    use std::io::BufReader;
+
+    let readme = include_str!("../README.md");
+    let section = readme
+        .split("## Serving")
+        .nth(1)
+        .expect("README must keep a 'Serving' section");
+    let section = section.split("\n## ").next().unwrap();
+    let session = section
+        .split("```text\n")
+        .nth(1)
+        .and_then(|s| s.split("```").next())
+        .expect("the Serving section shows a protocol session in a text fence");
+    assert!(
+        session.starts_with("submit job-1 "),
+        "README session must open with a submit: {session:?}"
+    );
+
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+    });
+    let mut response = Vec::new();
+    serve_session(BufReader::new(session.as_bytes()), &mut response, &server)
+        .expect("session runs clean");
+    server.shutdown();
+    let response = String::from_utf8(response).unwrap();
+
+    assert!(
+        !response.contains("protocol-error") && !response.contains("failed job-1"),
+        "README session must be accepted verbatim:\n{response}"
+    );
+    assert!(response.contains("queued job-1"));
+    assert!(response.contains("result job-1 spec=exact cached=false"));
+    assert!(response.trim_end().ends_with("bye"));
+
+    // the streamed solution document replays on the engine at its
+    // advertised cost, against the instance embedded in the session
+    let instance_doc: String = {
+        let start = session.find("instance v1").unwrap();
+        let end = session[start..].find("\nend").unwrap() + start + "\nend\n".len();
+        session[start..end].to_string()
+    };
+    let inst = red_blue_pebbling::core::io::parse_instance(&instance_doc).expect("valid instance");
+    let sol_start = response.find("solution v1").unwrap();
+    let sol_end = response[sol_start..].find("\nend").unwrap() + sol_start + "\nend".len();
+    let wire = red_blue_pebbling::solvers::wire::parse_solution(&response[sol_start..sol_end])
+        .expect("valid solution document");
+    assert_eq!(wire.spec, "exact");
+    let report = engine::simulate(&inst, &wire.solution.trace).expect("trace must replay");
+    assert_eq!(report.cost, wire.solution.cost);
+}
+
 /// Every model variant solves the quickstart diamond and validates.
 #[test]
 fn quickstart_all_models_validate() {
