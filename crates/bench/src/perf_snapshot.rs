@@ -19,9 +19,11 @@
 //!
 //! The same instance matrix backs the `bench_exact_hotpath` and
 //! `bench_exact_parallel` criterion targets, so interactive `cargo
-//! bench` numbers and the recorded JSON stay comparable. Two extra
+//! bench` numbers and the recorded JSON stay comparable. Four extra
 //! rows ([`measure_service`]) record the batch-solve service's
-//! round-trip latency on a cache miss and a cache hit.
+//! round-trip latency on a cache miss, a cache hit, a structured
+//! overload shed (`service-shed`), and a crash-recovery snapshot
+//! reload (`cache-reload`).
 
 use crate::report::Table;
 use rand::rngs::StdRng;
@@ -250,6 +252,7 @@ pub fn measure_service(samples: usize) -> Vec<CellResult> {
     let config = ServerConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServerConfig::default()
     };
     let request = |id: &str| JobRequest {
         id: id.to_string(),
@@ -289,7 +292,7 @@ pub fn measure_service(samples: usize) -> Vec<CellResult> {
     assert_eq!(server.stats().solves, 1, "hits must not re-solve");
     server.shutdown();
 
-    let mut results = Vec::with_capacity(2);
+    let mut results = Vec::with_capacity(4);
     for (workload, mut runs) in [("service-miss", miss_runs), ("service-hit", hit_runs)] {
         runs.sort_unstable_by_key(|(ns, _)| *ns);
         let (median_ns, sol) = &runs[runs.len() / 2];
@@ -308,7 +311,169 @@ pub fn measure_service(samples: usize) -> Vec<CellResult> {
             scaled_cost: sol.scaled_cost(&instance),
         });
     }
+    results.push(measure_service_shed(samples));
+    results.push(measure_cache_reload(samples));
     results
+}
+
+/// `service-shed` — the cost of a structured overload rejection: a
+/// server with a full queue, a busy worker, and a zero admission wait
+/// turns a submission around as `Overloaded` without blocking. The row
+/// keeps the perf trajectory of the hot shed path (hold it cheap: a
+/// loaded server says "come back later" thousands of times a second).
+/// `states_per_sec` doubles as sheds/sec; the states and cost columns
+/// carry the solve of the job that was occupying the worker.
+fn measure_service_shed(samples: usize) -> CellResult {
+    use rbp_solvers::{Registry, SolveCtx, SolveError, Solver};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    /// Blocks until the shared gate opens, then answers with greedy —
+    /// deterministic worker occupancy without timing assumptions.
+    struct Gate(Arc<(Mutex<bool>, Condvar)>);
+    impl Solver for Gate {
+        fn name(&self) -> &str {
+            "gate"
+        }
+        fn solve(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
+            let (lock, cv) = &*self.0;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            rbp_solvers::GreedySolver::new().solve(instance, ctx)
+        }
+    }
+
+    let instance = Instance::new(
+        rbp_workloads::stencil::build(4, 2, 1).dag,
+        4,
+        CostModel::oneshot(),
+    );
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut reg = Registry::with_builtins();
+    {
+        let gate = Arc::clone(&gate);
+        reg.register(
+            "gate",
+            "perf: blocks until opened, then greedy",
+            move |_| Ok(Box::new(Gate(Arc::clone(&gate)))),
+        );
+    }
+    let server = rbp_service::Server::with_registry(
+        rbp_service::ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            admission_wait: Duration::ZERO, // pure shedding, no blocking
+        },
+        reg,
+    );
+    let request = |id: &str, spec: &str| rbp_service::JobRequest {
+        id: id.to_string(),
+        spec: spec.to_string(),
+        instance: instance.clone(),
+        options: Default::default(),
+    };
+    // occupy the only worker, then fill the one queue slot
+    let rx_busy = server
+        .submit_collect(request("busy", "gate"))
+        .expect("first job is accepted");
+    while server.stats().queued > 0 {
+        std::thread::yield_now();
+    }
+    let rx_fill = server
+        .submit_collect(request("fill", "gate"))
+        .expect("second job fills the queue");
+
+    let mut runs: Vec<u128> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let t0 = Instant::now();
+        let err = server.submit(request(&format!("shed-{i}"), "exact"), tx);
+        runs.push(t0.elapsed().as_nanos());
+        assert!(
+            matches!(err, Err(rbp_service::SubmitError::Overloaded { .. })),
+            "a full queue with zero admission wait must shed"
+        );
+    }
+
+    // release the gated jobs and keep their solution for the row
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    let solution = [rx_busy, rx_fill]
+        .iter()
+        .find_map(|rx| {
+            rx.iter().find_map(|ev| match ev {
+                rbp_service::Event::Done { solution, .. } => Some(solution),
+                _ => None,
+            })
+        })
+        .expect("gated jobs complete after release");
+    server.shutdown();
+
+    runs.sort_unstable();
+    let median_ns = runs[runs.len() / 2].max(1);
+    CellResult {
+        workload: "service-shed".to_string(),
+        model: "oneshot".to_string(),
+        n: instance.dag().n(),
+        r: instance.red_limit(),
+        spec: "exact".to_string(),
+        threads: 1,
+        median_ns,
+        states_seen: solution.states_seen().unwrap_or(0) as usize,
+        states_expanded: solution.states_expanded().unwrap_or(0) as usize,
+        states_per_sec: (1_000_000_000 / median_ns) as u64,
+        scaled_cost: solution.scaled_cost(&instance),
+    }
+}
+
+/// `cache-reload` — crash-recovery throughput: the time to load a
+/// `cache v1` snapshot of 64 solved chain instances into a cold
+/// [`rbp_service::SolutionCache`]. `states_seen` records the entry
+/// count; `states_per_sec` doubles as reloads/sec.
+fn measure_cache_reload(samples: usize) -> CellResult {
+    const ENTRIES: usize = 64;
+    let warm = rbp_service::SolutionCache::new();
+    let mut last = None;
+    for n in 0..ENTRIES {
+        let inst = Instance::new(generate::chain(3 + n), 2, CostModel::oneshot());
+        let sol = registry::solve("greedy", &inst).expect("chains solve");
+        let scaled = sol.scaled_cost(&inst);
+        warm.insert_or_upgrade(inst.canonical_key(), "greedy", sol.clone(), scaled);
+        last = Some((inst, sol));
+    }
+    let snapshot = warm.write_snapshot();
+    let (instance, solution) = last.expect("at least one entry");
+
+    let mut runs: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let cold = rbp_service::SolutionCache::new();
+        let t0 = Instant::now();
+        let report = cold.load_snapshot(&snapshot);
+        runs.push(t0.elapsed().as_nanos());
+        assert_eq!(report.recovered, ENTRIES as u64, "lossless reload");
+        assert_eq!(report.skipped, 0);
+    }
+    runs.sort_unstable();
+    let median_ns = runs[runs.len() / 2].max(1);
+    CellResult {
+        workload: "cache-reload".to_string(),
+        model: "oneshot".to_string(),
+        n: instance.dag().n(),
+        r: instance.red_limit(),
+        spec: "greedy".to_string(),
+        threads: 1,
+        median_ns,
+        states_seen: ENTRIES,
+        states_expanded: 0,
+        states_per_sec: (1_000_000_000 / median_ns) as u64,
+        scaled_cost: solution.scaled_cost(&instance),
+    }
 }
 
 /// Writes the snapshot as `<dir>/BENCH_exact.json` and returns the path.
@@ -667,18 +832,22 @@ mod tests {
     }
 
     #[test]
-    fn service_cells_record_hit_and_miss_round_trips() {
+    fn service_cells_record_hit_miss_shed_and_reload_round_trips() {
         let rows = measure_service(1);
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].workload, "service-miss");
         assert_eq!(rows[1].workload, "service-hit");
+        assert_eq!(rows[2].workload, "service-shed");
+        assert_eq!(rows[3].workload, "cache-reload");
         for row in &rows {
-            assert_eq!(row.spec, "exact");
             assert!(row.states_per_sec > 0, "requests/sec must be recorded");
         }
         // the hit is answered from the cache, so both rows carry the
         // same engine-validated optimum
         assert_eq!(rows[0].scaled_cost, rows[1].scaled_cost);
+        // the shed path must be far cheaper than an actual solve
+        assert!(rows[2].median_ns <= rows[0].median_ns);
+        assert_eq!(rows[3].states_seen, 64, "reload row records entry count");
     }
 
     #[test]

@@ -257,6 +257,23 @@ impl CanonicalKey {
     pub fn to_hex(&self) -> String {
         format!("{:016x}{:016x}", self.digest[0], self.digest[1])
     }
+
+    /// Rebuilds a key from its [`CanonicalKey::to_hex`] form plus the
+    /// [`CanonicalKey::is_relabeling_invariant`] flag — the persistence
+    /// path for cache snapshots, which must restore keys without the
+    /// original instance. Returns `None` unless `hex` is exactly 32 hex
+    /// digits.
+    pub fn from_hex(hex: &str, relabeling_invariant: bool) -> Option<CanonicalKey> {
+        if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let d0 = u64::from_str_radix(&hex[..16], 16).ok()?;
+        let d1 = u64::from_str_radix(&hex[16..], 16).ok()?;
+        Some(CanonicalKey {
+            digest: [d0, d1],
+            canonical: relabeling_invariant,
+        })
+    }
 }
 
 impl fmt::Display for CanonicalKey {
@@ -461,6 +478,20 @@ mod tests {
         assert!(!key.is_relabeling_invariant());
         // still deterministic
         assert_eq!(key, inst.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_hex_round_trips() {
+        let inst = Instance::new(star_into(2), 3, CostModel::base());
+        let key = inst.canonical_key();
+        let back = CanonicalKey::from_hex(&key.to_hex(), key.is_relabeling_invariant())
+            .expect("own hex form must parse");
+        assert_eq!(back, key);
+        // malformed forms are rejected, not mis-parsed
+        assert!(CanonicalKey::from_hex("", true).is_none());
+        assert!(CanonicalKey::from_hex("deadbeef", true).is_none());
+        assert!(CanonicalKey::from_hex(&"g".repeat(32), true).is_none());
+        assert!(CanonicalKey::from_hex(&key.to_hex()[..31], true).is_none());
     }
 
     #[test]

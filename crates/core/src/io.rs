@@ -469,6 +469,20 @@ mod tests {
     }
 
     #[test]
+    fn hostile_dag_declaration_is_a_parse_error_not_an_abort() {
+        // an instance document declaring billions of nodes must surface
+        // as a located dag-section error (the graph layer's wire cap),
+        // never as an allocation abort in the embedding parser
+        let text = "instance v1\nmodel base\nr 3\ndag 99999999999\nend\n";
+        match parse_instance(text).unwrap_err() {
+            ParseError::Dag(rbp_graph::io::ParseError::Malformed { line, .. }) => {
+                assert_eq!(line, 4)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn trailing_statements_rejected() {
         let text = "instance v1\nmodel base\nr 3\ndag 1\nend\ninstance v1\n";
         match parse_instance(text).unwrap_err() {

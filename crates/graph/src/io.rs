@@ -21,6 +21,16 @@ use crate::builder::DagBuilder;
 use crate::dag::{Dag, GraphError};
 use std::fmt::Write as _;
 
+/// Largest node count [`parse_dag`] accepts from a `dag <n>` header.
+///
+/// The header is untrusted wire input and the builder sizes per-node
+/// storage from it, so an absurd declaration (`dag 99999999999`) would
+/// otherwise abort the process on an impossible allocation before a
+/// single node line is read. 16M nodes is orders of magnitude beyond
+/// any instance this workspace generates while keeping the eager
+/// reservation in the tens of megabytes.
+pub const MAX_WIRE_NODES: usize = 1 << 24;
+
 /// Errors from [`parse_dag`] / [`parse_dag_at`]. Every syntactic variant
 /// carries the 1-based line number it was raised on (offset by the
 /// `first_line` of [`parse_dag_at`] when the block is embedded in a
@@ -111,6 +121,13 @@ pub fn parse_dag_at(text: &str, first_line: usize) -> Result<Dag, ParseError> {
                 let n: usize = token
                     .parse()
                     .map_err(|_| ParseError::malformed(lineno, token, "node count in 'dag <n>'"))?;
+                if n > MAX_WIRE_NODES {
+                    return Err(ParseError::malformed(
+                        lineno,
+                        token,
+                        "a node count within the wire limit (see MAX_WIRE_NODES)",
+                    ));
+                }
                 *b = Some(DagBuilder::new(n));
             }
             ("edge", Some(b)) => {
@@ -258,5 +275,14 @@ mod tests {
     #[test]
     fn out_of_range_label_rejected() {
         assert_eq!(line_of(parse_dag("dag 1\nlabel 5 x\n").unwrap_err()), 2);
+    }
+
+    #[test]
+    fn hostile_node_count_rejected_without_allocating() {
+        // a hostile header must be a located parse error, not an abort
+        // on a multi-gigabyte reservation
+        assert_eq!(line_of(parse_dag("dag 99999999999\n").unwrap_err()), 1);
+        let just_over = format!("dag {}\n", MAX_WIRE_NODES + 1);
+        assert_eq!(line_of(parse_dag(&just_over).unwrap_err()), 1);
     }
 }

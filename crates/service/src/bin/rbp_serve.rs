@@ -1,23 +1,32 @@
 //! `rbp-serve`: the batch-solve server on stdin/stdout.
 //!
 //! ```text
-//! rbp-serve [--workers N] [--queue N]
-//! rbp-serve --tcp ADDR:PORT [--workers N] [--queue N]   (feature "tcp")
+//! rbp-serve [--workers N] [--queue N] [--snapshot PATH]
+//! rbp-serve --tcp ADDR:PORT [--workers N] [--queue N] [--snapshot PATH]
+//!                                                     (feature "tcp")
 //! ```
 //!
 //! Reads protocol requests from stdin and writes responses to stdout
 //! (see `rbp_service::protocol` for the grammar); diagnostics go to
 //! stderr. With `--tcp`, listens instead and serves each connection the
 //! same protocol against one shared server and cache.
+//!
+//! With `--snapshot PATH`, the solution cache is reloaded from PATH at
+//! startup (a missing file is an empty cache; damaged entries are
+//! skipped and counted, never fatal) and written back when the process
+//! exits normally — so a kill-and-restart retains every cached result
+//! that made it to the last snapshot.
 
 use rbp_service::{serve_session, Server, ServerConfig};
 use std::io::{BufReader, Write as _};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     workers: usize,
     queue: usize,
     tcp: Option<String>,
+    snapshot: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         queue: 64,
         tcp: None,
+        snapshot: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,13 +51,48 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--queue takes an integer".to_string())?;
             }
             "--tcp" => args.tcp = Some(take("--tcp")?),
-            "--help" | "-h" => {
-                return Err("usage: rbp-serve [--workers N] [--queue N] [--tcp ADDR:PORT]".into())
-            }
+            "--snapshot" => args.snapshot = Some(PathBuf::from(take("--snapshot")?)),
+            "--help" | "-h" => return Err(
+                "usage: rbp-serve [--workers N] [--queue N] [--snapshot PATH] [--tcp ADDR:PORT]"
+                    .into(),
+            ),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     Ok(args)
+}
+
+fn load_snapshot(server: &Server, path: &std::path::Path) {
+    match server.cache().load_from(path) {
+        Ok(report) => {
+            if report.recovered > 0 || report.skipped > 0 {
+                eprintln!(
+                    "rbp-serve: snapshot {}: recovered {} entries, skipped {}",
+                    path.display(),
+                    report.recovered,
+                    report.skipped
+                );
+            }
+        }
+        Err(e) => eprintln!(
+            "rbp-serve: could not read snapshot {}: {e} (starting cold)",
+            path.display()
+        ),
+    }
+}
+
+fn save_snapshot(server: &Server, path: &std::path::Path) {
+    match server.cache().save_to(path) {
+        Ok(()) => eprintln!(
+            "rbp-serve: wrote {} cache entries to {}",
+            server.cache().stats().entries,
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "rbp-serve: could not write snapshot {}: {e}",
+            path.display()
+        ),
+    }
 }
 
 fn main() -> ExitCode {
@@ -61,14 +106,21 @@ fn main() -> ExitCode {
     let server = Server::start(ServerConfig {
         workers: args.workers,
         queue_capacity: args.queue,
+        ..ServerConfig::default()
     });
+    if let Some(path) = &args.snapshot {
+        load_snapshot(&server, path);
+    }
 
     if let Some(addr) = args.tcp {
-        return serve_tcp(addr, server);
+        return serve_tcp(addr, server, args.snapshot);
     }
 
     let stdin = std::io::stdin();
     let result = serve_session(BufReader::new(stdin.lock()), std::io::stdout(), &server);
+    if let Some(path) = &args.snapshot {
+        save_snapshot(&server, path);
+    }
     server.shutdown();
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -80,9 +132,14 @@ fn main() -> ExitCode {
 }
 
 #[cfg(feature = "tcp")]
-fn serve_tcp(addr: String, server: Server) -> ExitCode {
+fn serve_tcp(addr: String, server: Server, snapshot: Option<PathBuf>) -> ExitCode {
     eprintln!("rbp-serve listening on {addr}");
-    match rbp_service::tcp::serve_tcp(addr, std::sync::Arc::new(server)) {
+    let server = std::sync::Arc::new(server);
+    let result = rbp_service::tcp::serve_tcp(addr, std::sync::Arc::clone(&server));
+    if let Some(path) = &snapshot {
+        save_snapshot(&server, path);
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("listener failed: {e}");
@@ -92,7 +149,7 @@ fn serve_tcp(addr: String, server: Server) -> ExitCode {
 }
 
 #[cfg(not(feature = "tcp"))]
-fn serve_tcp(_addr: String, _server: Server) -> ExitCode {
+fn serve_tcp(_addr: String, _server: Server, _snapshot: Option<PathBuf>) -> ExitCode {
     eprintln!("this build has no TCP support; rebuild with --features tcp");
     ExitCode::FAILURE
 }

@@ -16,13 +16,34 @@
 //! heuristic bound just because one is cached; `accept=bound` opts in
 //! to serving cached upper bounds.
 //!
+//! ## Crash recovery
+//!
+//! The cache snapshots to a versioned text format
+//! ([`SolutionCache::write_snapshot`]) — a `cache v1` header, then one
+//! `entry <key-hex> <canonical> <scaled-cost>` line per slot followed
+//! by the entry's embedded `solution v1` document (the same framing
+//! the wire protocol uses). Loading ([`SolutionCache::load_snapshot`])
+//! is tolerant by design: a truncated or corrupted entry is skipped
+//! and counted ([`SnapshotReport`]), never fatal, and surviving
+//! entries merge through the same monotone upgrade path as live
+//! inserts — so a restarted server keeps every proven `Optimal` it can
+//! still read, and a stale snapshot can never downgrade fresher
+//! results. Snapshot files are the server's own state (entries are
+//! served back without re-validation, like live cache entries), so
+//! they belong in a trusted state directory, not a network input.
+//!
 //! [`Instance::canonical_key`]: rbp_core::Instance::canonical_key
 
 use rbp_core::CanonicalKey;
-use rbp_solvers::{Quality, Solution};
+use rbp_solvers::{wire, Quality, Solution};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The version token [`SolutionCache::write_snapshot`] emits and
+/// [`SolutionCache::load_snapshot`] accepts.
+pub const CACHE_SNAPSHOT_VERSION: &str = "v1";
 
 /// What cached quality suffices to answer a request without solving.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -64,6 +85,21 @@ pub struct CacheStats {
     pub upgrades: u64,
     /// Live entries.
     pub entries: u64,
+    /// Snapshot entries successfully parsed back at load time.
+    pub recovered: u64,
+    /// Snapshot entries dropped as truncated/corrupt at load time.
+    pub skipped: u64,
+}
+
+/// What one [`SolutionCache::load_snapshot`] call managed to read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Entries parsed and offered to the cache (an entry that loses to
+    /// a strictly better live incumbent still counts as recovered).
+    pub recovered: u64,
+    /// Entries dropped: truncated, corrupted, or under an unreadable
+    /// header. Never fatal.
+    pub skipped: u64,
 }
 
 /// A thread-safe canonical-key → best-solution map with monotone
@@ -75,6 +111,17 @@ pub struct SolutionCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     upgrades: AtomicU64,
+    recovered: AtomicU64,
+    skipped: AtomicU64,
+}
+
+/// Locks the map, recovering from poisoning: map mutations are
+/// single-statement consistent, so a panicking peer thread (a
+/// supervised worker death) cannot leave the map half-updated.
+fn lock_map(
+    m: &Mutex<HashMap<CanonicalKey, CachedEntry>>,
+) -> MutexGuard<'_, HashMap<CanonicalKey, CachedEntry>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Quality rank for upgrade decisions: higher wins at equal cost class.
@@ -116,7 +163,7 @@ impl SolutionCache {
     /// Looks up `key`; returns a clone of the entry when its quality
     /// satisfies `accept`. Counts a hit or a miss either way.
     pub fn lookup(&self, key: &CanonicalKey, accept: AcceptPolicy) -> Option<CachedEntry> {
-        let map = self.map.lock().unwrap();
+        let map = lock_map(&self.map);
         let found = map.get(key).filter(|e| match accept {
             AcceptPolicy::Optimal => rank(&e.solution.quality) == 1,
             AcceptPolicy::Bound => true,
@@ -143,7 +190,7 @@ impl SolutionCache {
         solution: Solution,
         scaled_cost: u128,
     ) -> bool {
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock_map(&self.map);
         match map.entry(key) {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(CachedEntry {
@@ -170,6 +217,118 @@ impl SolutionCache {
         }
     }
 
+    /// Serializes every entry as a `cache v1` snapshot document:
+    /// stable output (entries in key-hex order), each entry an `entry`
+    /// line followed by its embedded `solution v1` document.
+    pub fn write_snapshot(&self) -> String {
+        let map = lock_map(&self.map);
+        let mut entries: Vec<(&CanonicalKey, &CachedEntry)> = map.iter().collect();
+        entries.sort_by_key(|(k, _)| k.to_hex());
+        let mut out = String::with_capacity(32 + entries.len() * 256);
+        let _ = writeln!(out, "cache {CACHE_SNAPSHOT_VERSION}");
+        for (key, entry) in entries {
+            let _ = writeln!(
+                out,
+                "entry {} {} {}",
+                key.to_hex(),
+                key.is_relabeling_invariant() as u8,
+                entry.scaled_cost
+            );
+            out.push_str(&wire::write_solution(&entry.spec, &entry.solution));
+        }
+        out
+    }
+
+    /// Loads a snapshot produced by [`SolutionCache::write_snapshot`],
+    /// merging entries through the monotone upgrade path (a loaded
+    /// entry can never downgrade a better live incumbent).
+    ///
+    /// Tolerant by contract: a malformed `entry` line, a truncated or
+    /// corrupt embedded solution document, or an unreadable header
+    /// skips to the next `entry` line and counts the loss — loading
+    /// never panics and never aborts, so a server restarting over a
+    /// damaged snapshot recovers everything still readable.
+    pub fn load_snapshot(&self, text: &str) -> SnapshotReport {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut report = SnapshotReport::default();
+
+        // header: first non-blank, non-comment line must be `cache v1`
+        let header_ok = lines
+            .iter()
+            .map(|l| l.trim())
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .is_some_and(|l| {
+                let mut parts = l.split_whitespace();
+                parts.next() == Some("cache") && parts.next() == Some(CACHE_SNAPSHOT_VERSION)
+            });
+
+        // entry blocks: each starts at an `entry ` line and runs to the
+        // next one (the embedded solution document is self-terminated,
+        // so a truncated document simply fails its own parse)
+        let starts: Vec<usize> = (0..lines.len())
+            .filter(|&i| lines[i].trim_start().starts_with("entry "))
+            .collect();
+        for (si, &start) in starts.iter().enumerate() {
+            let end = starts.get(si + 1).copied().unwrap_or(lines.len());
+            if header_ok && self.load_entry(&lines[start..end], start + 1) {
+                report.recovered += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        self.recovered
+            .fetch_add(report.recovered, Ordering::Relaxed);
+        self.skipped.fetch_add(report.skipped, Ordering::Relaxed);
+        report
+    }
+
+    /// Parses one entry block (`entry` line + solution document) and
+    /// offers it to the cache. Any parse failure returns `false`.
+    fn load_entry(&self, block: &[&str], first_line: usize) -> bool {
+        let mut parts = block[0].split_whitespace();
+        let (Some("entry"), Some(hex), Some(canonical), Some(cost), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return false;
+        };
+        let canonical = match canonical {
+            "0" => false,
+            "1" => true,
+            _ => return false,
+        };
+        let Some(key) = CanonicalKey::from_hex(hex, canonical) else {
+            return false;
+        };
+        let Ok(scaled_cost) = cost.parse::<u128>() else {
+            return false;
+        };
+        let doc = block[1..].join("\n");
+        let Ok(parsed) = wire::parse_solution_at(&doc, first_line + 1) else {
+            return false;
+        };
+        self.insert_or_upgrade(key, &parsed.spec, parsed.solution, scaled_cost);
+        true
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.write_snapshot())
+    }
+
+    /// Loads a snapshot file; a missing file is an empty snapshot (the
+    /// first boot of a fresh server), other I/O errors propagate.
+    pub fn load_from(&self, path: &std::path::Path) -> std::io::Result<SnapshotReport> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(self.load_snapshot(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(SnapshotReport::default()),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -177,7 +336,9 @@ impl SolutionCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             upgrades: self.upgrades.load(Ordering::Relaxed),
-            entries: self.map.lock().unwrap().len() as u64,
+            entries: lock_map(&self.map).len() as u64,
+            recovered: self.recovered.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -269,5 +430,121 @@ mod tests {
         let cache = SolutionCache::new();
         cache.insert_or_upgrade(key_of(4), "exact", sol(Quality::Optimal), 3);
         assert!(cache.lookup(&key_of(6), AcceptPolicy::Bound).is_none());
+    }
+
+    /// A populated cache with a proved and a bounded entry.
+    fn populated() -> SolutionCache {
+        let cache = SolutionCache::new();
+        cache.insert_or_upgrade(key_of(4), "exact", sol(Quality::Optimal), 3);
+        cache.insert_or_upgrade(
+            key_of(6),
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 2 }),
+            9,
+        );
+        cache
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_entry() {
+        let cache = populated();
+        let text = cache.write_snapshot();
+        let fresh = SolutionCache::new();
+        let report = fresh.load_snapshot(&text);
+        assert_eq!(
+            report,
+            SnapshotReport {
+                recovered: 2,
+                skipped: 0
+            }
+        );
+        // the proved entry answers an Optimal-policy lookup again
+        let entry = fresh.lookup(&key_of(4), AcceptPolicy::Optimal).unwrap();
+        assert_eq!(entry.spec, "exact");
+        // the bound survives with its scaled cost
+        let entry = fresh.lookup(&key_of(6), AcceptPolicy::Bound).unwrap();
+        assert_eq!(entry.scaled_cost, 9);
+        assert_eq!(fresh.stats().recovered, 2);
+        // stable output: a reloaded cache snapshots identically
+        assert_eq!(fresh.write_snapshot(), text);
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped_not_fatal() {
+        let cache = populated();
+        let text = cache.write_snapshot();
+        // mangle the first entry's key hex; the second must survive
+        let mangled = text.replacen("entry ", "entry zz", 1);
+        let fresh = SolutionCache::new();
+        let report = fresh.load_snapshot(&mangled);
+        assert_eq!(
+            report,
+            SnapshotReport {
+                recovered: 1,
+                skipped: 1
+            }
+        );
+        assert_eq!(fresh.stats().entries, 1);
+        assert_eq!(fresh.stats().skipped, 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_keeps_complete_entries() {
+        let cache = populated();
+        let text = cache.write_snapshot();
+        // cut the file mid-way through the last embedded document
+        let cut = text.len() - 20;
+        let truncated = &text[..cut];
+        let fresh = SolutionCache::new();
+        let report = fresh.load_snapshot(truncated);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn unreadable_header_skips_everything() {
+        let cache = populated();
+        let text = cache.write_snapshot();
+        let bad = text.replacen("cache v1", "cache v9", 1);
+        let fresh = SolutionCache::new();
+        let report = fresh.load_snapshot(&bad);
+        assert_eq!(
+            report,
+            SnapshotReport {
+                recovered: 0,
+                skipped: 2
+            }
+        );
+        assert_eq!(fresh.stats().entries, 0);
+        // garbage and empty input are quietly empty, never a panic
+        assert_eq!(
+            SolutionCache::new().load_snapshot(""),
+            SnapshotReport::default()
+        );
+        assert_eq!(
+            SolutionCache::new().load_snapshot("total garbage\n\u{0}\u{0}"),
+            SnapshotReport::default()
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_never_downgrades_a_live_entry() {
+        // snapshot holds only a bound...
+        let old = SolutionCache::new();
+        old.insert_or_upgrade(
+            key_of(5),
+            "greedy",
+            sol(Quality::UpperBound { lower_bound: 1 }),
+            20,
+        );
+        let text = old.write_snapshot();
+        // ...the live cache has since proved optimality
+        let live = SolutionCache::new();
+        live.insert_or_upgrade(key_of(5), "exact", sol(Quality::Optimal), 8);
+        let report = live.load_snapshot(&text);
+        assert_eq!(report.recovered, 1);
+        let entry = live.lookup(&key_of(5), AcceptPolicy::Optimal).unwrap();
+        assert_eq!(entry.spec, "exact");
+        assert_eq!(entry.scaled_cost, 8);
     }
 }

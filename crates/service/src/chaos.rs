@@ -1,0 +1,285 @@
+//! Deterministic fault injection for the service stack (the `chaos`
+//! feature).
+//!
+//! A [`FaultPlan`] is a pure function from `(seed, site, token)` to a
+//! fault decision: no RNG state, no time dependence, no ordering
+//! dependence. Two runs with the same seed and the same job ids inject
+//! *exactly* the same faults regardless of thread interleaving — which
+//! is what lets the soak harness replay thousands of jobs under
+//! injected solver panics, worker deaths, routing delays, mid-stream
+//! disconnects, and snapshot corruption, and still assert the
+//! exactly-one-terminal-event invariant per job.
+//!
+//! The plan is threaded through the stack behind `cfg(feature =
+//! "chaos")`:
+//! - `server.rs` consults [`FaultPlan::routing_delay`],
+//!   [`FaultPlan::worker_dies`] (a panic *outside* the solve guard,
+//!   exercising worker respawn), and [`FaultPlan::solve_panics`] (a
+//!   panic *inside* the solve guard, exercising structured
+//!   `SolveError::Panicked` containment);
+//! - sessions wrap their writer in a [`ChaosWriter`] to inject
+//!   mid-stream disconnects ([`FaultPlan::disconnect_after`]);
+//! - snapshots pass through [`FaultPlan::corrupt_snapshot`] to model
+//!   on-disk damage before a reload.
+//!
+//! Default builds compile none of this: the hooks in the service
+//! sources vanish with the feature, so the zero-fault production path
+//! is byte-identical to a build without chaos.
+
+use std::io::Write;
+use std::time::Duration;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fault-site discriminants, so the same token rolls independently at
+/// each injection point.
+mod site {
+    pub const SOLVE_PANIC: u64 = 0x01;
+    pub const WORKER_DEATH: u64 = 0x02;
+    pub const ROUTING_DELAY: u64 = 0x03;
+    pub const DISCONNECT: u64 = 0x04;
+    pub const CORRUPT: u64 = 0x05;
+}
+
+/// A seeded, deterministic fault plan. Rates are per-mille (0–1000);
+/// a zero rate disables that fault class entirely.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-mille of solves that panic inside the solve guard.
+    pub solve_panic_per_mille: u16,
+    /// Per-mille of jobs whose worker thread dies outside the guard.
+    pub worker_death_per_mille: u16,
+    /// Per-mille of jobs delayed before routing to a solver.
+    pub routing_delay_per_mille: u16,
+    /// Ceiling for injected routing delays.
+    pub max_routing_delay: Duration,
+    /// Per-mille of sessions whose writer disconnects mid-stream.
+    pub disconnect_per_mille: u16,
+    /// Per-mille of snapshot entries corrupted by
+    /// [`FaultPlan::corrupt_snapshot`].
+    pub corrupt_entry_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero) — the identity
+    /// baseline a soak run diffs against.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            solve_panic_per_mille: 0,
+            worker_death_per_mille: 0,
+            routing_delay_per_mille: 0,
+            max_routing_delay: Duration::from_millis(2),
+            disconnect_per_mille: 0,
+            corrupt_entry_per_mille: 0,
+        }
+    }
+
+    /// The soak default: every fault class on at a low rate.
+    pub fn storm(seed: u64) -> FaultPlan {
+        FaultPlan {
+            solve_panic_per_mille: 60,
+            worker_death_per_mille: 30,
+            routing_delay_per_mille: 100,
+            disconnect_per_mille: 150,
+            corrupt_entry_per_mille: 120,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// The seed this plan rolls under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The deterministic roll for `(site, token)` under this seed.
+    fn roll(&self, site: u64, token: &str) -> u64 {
+        let mut h = self.seed ^ mix64(site);
+        for b in token.bytes() {
+            h = mix64(h ^ u64::from(b));
+        }
+        mix64(h)
+    }
+
+    fn hits(&self, site: u64, token: &str, per_mille: u16) -> bool {
+        per_mille > 0 && self.roll(site, token) % 1000 < u64::from(per_mille)
+    }
+
+    /// Whether the solve for job `id` should panic inside the guard.
+    pub fn solve_panics(&self, id: &str) -> bool {
+        self.hits(site::SOLVE_PANIC, id, self.solve_panic_per_mille)
+    }
+
+    /// Whether the worker routing job `id` should die (an unguarded
+    /// panic, exercising supervision and respawn).
+    pub fn worker_dies(&self, id: &str) -> bool {
+        self.hits(site::WORKER_DEATH, id, self.worker_death_per_mille)
+    }
+
+    /// An injected queue/routing delay for job `id`, if any.
+    pub fn routing_delay(&self, id: &str) -> Option<Duration> {
+        if !self.hits(site::ROUTING_DELAY, id, self.routing_delay_per_mille) {
+            return None;
+        }
+        let max = self.max_routing_delay.as_micros().max(1) as u64;
+        Some(Duration::from_micros(
+            self.roll(site::ROUTING_DELAY ^ 0xff, id) % max,
+        ))
+    }
+
+    /// After how many writes the session writer for `token` should
+    /// fail with a broken pipe, if this session disconnects at all.
+    pub fn disconnect_after(&self, token: &str) -> Option<usize> {
+        if !self.hits(site::DISCONNECT, token, self.disconnect_per_mille) {
+            return None;
+        }
+        Some((self.roll(site::DISCONNECT ^ 0xff, token) % 16) as usize)
+    }
+
+    /// Deterministically damages a snapshot document: each `entry`
+    /// line rolls against [`FaultPlan::corrupt_entry_per_mille`] and a
+    /// hit mangles the line (flipping its key hex into garbage), as if
+    /// that record had rotted on disk. The surrounding entries stay
+    /// intact, so a tolerant loader must recover exactly the untouched
+    /// ones.
+    pub fn corrupt_snapshot(&self, text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        for line in text.lines() {
+            if line.starts_with("entry ")
+                && self.hits(site::CORRUPT, line, self.corrupt_entry_per_mille)
+            {
+                out.push_str("entry #rotted# 9 notanumber\n");
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A writer that fails with `BrokenPipe` after a planned number of
+/// writes — a client that vanished mid-stream. Wrap a session's output
+/// in one to drive the disconnect fault class end to end.
+pub struct ChaosWriter<W> {
+    inner: W,
+    /// Writes remaining before the pipe "breaks"; `None` never breaks.
+    remaining: Option<usize>,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner`, disconnecting per `plan`'s roll for `token`
+    /// (no-op pass-through when the roll says this session survives).
+    pub fn new(inner: W, plan: &FaultPlan, token: &str) -> ChaosWriter<W> {
+        ChaosWriter {
+            inner,
+            remaining: plan.disconnect_after(token),
+        }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match &mut self.remaining {
+            Some(0) => Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "chaos: session writer disconnected",
+            )),
+            Some(n) => {
+                *n -= 1;
+                self.inner.write(buf)
+            }
+            None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if matches!(self.remaining, Some(0)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "chaos: session writer disconnected",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::storm(42);
+        let b = FaultPlan::storm(42);
+        let c = FaultPlan::storm(43);
+        let ids: Vec<String> = (0..2000).map(|i| format!("job-{i}")).collect();
+        let picks =
+            |p: &FaultPlan| -> Vec<bool> { ids.iter().map(|i| p.solve_panics(i)).collect() };
+        assert_eq!(picks(&a), picks(&b), "same seed, same plan");
+        assert_ne!(picks(&a), picks(&c), "different seed, different plan");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = FaultPlan::storm(7);
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|i| p.solve_panics(&format!("job-{i}")))
+            .count();
+        // 60‰ of 10k = 600 expected; allow wide slack, determinism is
+        // what matters, not the exact binomial tail
+        assert!((300..1200).contains(&hits), "{hits} hits");
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let p = FaultPlan::quiet(99);
+        for i in 0..500 {
+            let id = format!("job-{i}");
+            assert!(!p.solve_panics(&id));
+            assert!(!p.worker_dies(&id));
+            assert!(p.routing_delay(&id).is_none());
+            assert!(p.disconnect_after(&id).is_none());
+        }
+        let doc = "cache v1\nentry aa 1 5\nsolution v1\nend\n";
+        assert_eq!(p.corrupt_snapshot(doc), doc);
+    }
+
+    #[test]
+    fn chaos_writer_breaks_after_planned_writes() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.disconnect_per_mille = 1000; // always disconnect
+        let token = "session-x";
+        let after = plan.disconnect_after(token).unwrap();
+        let mut w = ChaosWriter::new(Vec::new(), &plan, token);
+        for _ in 0..after {
+            w.write_all(b"x").unwrap();
+        }
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn corruption_only_touches_entry_lines() {
+        let mut plan = FaultPlan::quiet(3);
+        plan.corrupt_entry_per_mille = 1000; // rot every entry
+        let doc = "cache v1\nentry aabb 1 5\nsolution v1\nspec exact\nend\n";
+        let rotted = plan.corrupt_snapshot(doc);
+        assert!(rotted.contains("cache v1\n"), "{rotted}");
+        assert!(rotted.contains("spec exact\n"), "{rotted}");
+        assert!(!rotted.contains("entry aabb"), "{rotted}");
+    }
+}

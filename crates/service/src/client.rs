@@ -1,0 +1,160 @@
+//! Client-side resilience helpers: retrying shed submissions with
+//! capped, jittered exponential backoff.
+//!
+//! [`Server::submit`] sheds work under overload
+//! ([`SubmitError::Overloaded`]) instead of blocking forever; the
+//! polite client response is to back off and resubmit. That loop —
+//! bounded attempts, exponential delay, deterministic jitter so a
+//! thundering herd of identical clients decorrelates — is
+//! [`Server::submit_with_retry`], driven by a [`RetryPolicy`]. Wire
+//! clients facing transient I/O (interrupted syscalls, timeouts,
+//! resets) can reuse the same policy via [`is_transient_io`].
+
+use crate::server::{Event, JobRequest, Server, SubmitError};
+use std::sync::mpsc::Sender;
+use std::time::Duration;
+
+/// splitmix64 finalizer, for deterministic jitter without an RNG.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Backoff schedule for retrying retryable failures (shed submissions,
+/// transient I/O).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. 1 means never retry.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay (the cap in "capped jittered
+    /// exponential backoff").
+    pub max_delay: Duration,
+    /// Jitter seed: same seed + same salt = same schedule, so tests
+    /// and soak replays are reproducible; distinct clients should use
+    /// distinct seeds to decorrelate.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based: the delay after
+    /// the first failure is `delay_for(0, ..)`): exponential from
+    /// [`RetryPolicy::base_delay`], capped at
+    /// [`RetryPolicy::max_delay`], jittered deterministically into
+    /// `[50%, 100%]` of the capped value by `(seed, salt, retry)`.
+    pub fn delay_for(&self, retry: u32, salt: &str) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_delay);
+        let micros = exp.as_micros().min(u128::from(u64::MAX)) as u64;
+        if micros == 0 {
+            return Duration::ZERO;
+        }
+        let mut h = self.seed ^ u64::from(retry);
+        for b in salt.bytes() {
+            h = mix64(h ^ u64::from(b));
+        }
+        // jitter into [half, full]
+        let half = micros / 2;
+        Duration::from_micros(half + mix64(h) % (micros - half + 1))
+    }
+}
+
+/// Whether an I/O error is worth retrying under a [`RetryPolicy`]
+/// (flaky, not fatal): interruptions, timeouts, and peer resets.
+/// `BrokenPipe` and everything else are permanent for this stream.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::ConnectionReset
+    )
+}
+
+impl Server {
+    /// [`Server::submit`], retried under `policy` when the submission
+    /// is shed ([`SubmitError::Overloaded`]). Sleeps the policy's
+    /// jittered backoff between attempts, counts each resubmission in
+    /// [`crate::ServerStats::retries_observed`], and returns the last
+    /// shed error once attempts run out. Non-retryable errors
+    /// (shutdown) return immediately.
+    pub fn submit_with_retry(
+        &self,
+        req: JobRequest,
+        events: Sender<Event>,
+        policy: &RetryPolicy,
+    ) -> Result<(), SubmitError> {
+        let mut retry = 0u32;
+        loop {
+            match self.submit(req.clone(), events.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && retry + 1 < policy.max_attempts.max(1) => {
+                    std::thread::sleep(policy.delay_for(retry, &req.id));
+                    self.note_retry();
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            seed: 1,
+        };
+        for retry in 0..8 {
+            let d = p.delay_for(retry, "job-1");
+            assert!(d <= p.max_delay, "retry {retry}: {d:?} over cap");
+            assert!(
+                d >= p.base_delay / 2,
+                "retry {retry}: {d:?} under half-base"
+            );
+            // deterministic
+            assert_eq!(d, p.delay_for(retry, "job-1"));
+        }
+        // late retries sit in the capped band [max/2, max]
+        assert!(p.delay_for(7, "job-1") >= p.max_delay / 2);
+        // different salts decorrelate at least somewhere in the schedule
+        let diverges = (0..8).any(|r| p.delay_for(r, "job-1") != p.delay_for(r, "job-2"));
+        assert!(diverges, "jitter must depend on the salt");
+    }
+
+    #[test]
+    fn huge_retry_indices_do_not_overflow() {
+        let p = RetryPolicy::default();
+        assert!(p.delay_for(u32::MAX, "x") <= p.max_delay);
+        // zero-delay policies stay zero
+        let z = RetryPolicy {
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(z.delay_for(3, "x"), Duration::ZERO);
+    }
+}

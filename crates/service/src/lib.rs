@@ -18,11 +18,28 @@
 //!   document formats;
 //! - [`session::serve_session`]: one protocol session over any byte
 //!   streams (stdin/stdout in the `rbp-serve` binary);
+//! - [`client::RetryPolicy`]: capped, jittered, deterministic backoff
+//!   for resubmitting shed work
+//!   ([`server::Server::submit_with_retry`]);
 //! - `tcp` (behind the `tcp` feature): the same sessions over a TCP
-//!   listener.
+//!   listener;
+//! - `chaos` (feature, test/soak builds only): seeded deterministic
+//!   fault injection — solver panics, worker deaths, routing delays,
+//!   mid-stream disconnects, snapshot corruption.
 //!
 //! Everything is std-only: threads, channels, and condvars — no async
 //! runtime.
+//!
+//! ## Failure containment
+//!
+//! Every fault is contained at the narrowest boundary that can absorb
+//! it: a panicking solver becomes a structured
+//! [`Event::Failed`] (never a lost job), a dying worker thread is
+//! respawned by its supervisor guard, an overloaded queue sheds new
+//! work with a retry-after hint instead of blocking forever, and a
+//! corrupt cache snapshot loads every intact entry rather than
+//! aborting. See the README's "Operational hardening" section for the
+//! full failure matrix.
 //!
 //! # Example
 //! ```
@@ -30,7 +47,11 @@
 //! use rbp_graph::generate;
 //! use rbp_service::{Event, JobOptions, JobRequest, Server, ServerConfig};
 //!
-//! let server = Server::start(ServerConfig { workers: 1, queue_capacity: 8 });
+//! let server = Server::start(ServerConfig {
+//!     workers: 1,
+//!     queue_capacity: 8,
+//!     ..ServerConfig::default()
+//! });
 //! let req = JobRequest {
 //!     id: "demo".into(),
 //!     spec: "exact".into(),
@@ -50,13 +71,17 @@
 //! ```
 
 pub mod cache;
+#[cfg(feature = "chaos")]
+pub mod chaos;
+pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod session;
 #[cfg(feature = "tcp")]
 pub mod tcp;
 
-pub use cache::{AcceptPolicy, CacheStats, SolutionCache};
+pub use cache::{AcceptPolicy, CacheStats, SnapshotReport, SolutionCache, CACHE_SNAPSHOT_VERSION};
+pub use client::{is_transient_io, RetryPolicy};
 pub use protocol::{ProtocolError, Request, RequestReader};
 pub use server::{Event, JobOptions, JobRequest, Server, ServerConfig, ServerStats, SubmitError};
-pub use session::serve_session;
+pub use session::{serve_session, SessionError};

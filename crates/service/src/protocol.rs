@@ -26,16 +26,23 @@
 //! <solution document>                 # solution v1 … end (rbp_solvers::wire)
 //! failed <id> <message>
 //! cancelled <id>
+//! shed <id> retry-after-ms=N
 //! ack cancel <id> found=<true|false>
-//! stats submitted=N completed=N solves=N queued=N cache-entries=N
+//! stats submitted=N completed=N solves=N queued=N panics=N
+//!       worker-restarts=N shed=N retries=N cache-entries=N
 //!       cache-hits=N cache-misses=N cache-insertions=N cache-upgrades=N
+//!       cache-recovered=N cache-skipped=N
 //! protocol-error <message>
 //! bye
 //! ```
 //!
 //! Every accepted `submit` ends in exactly one of `result`, `failed`,
-//! or `cancelled`; `bye` is the final line of a session. The `stats`
-//! response is a single line (wrapped above for readability).
+//! or `cancelled`. A `shed` response means the submission was *not*
+//! accepted — the queue stayed full past the admission wait — and the
+//! client should back off roughly `retry-after-ms` before resubmitting;
+//! no further events arrive for a shed id. `bye` is the final line of a
+//! session. The `stats` response is a single line (wrapped above for
+//! readability).
 
 use crate::cache::AcceptPolicy;
 use crate::server::{Event, JobOptions, JobRequest, ServerStats};
@@ -343,16 +350,22 @@ pub fn render_event(ev: &Event) -> String {
 /// Renders the one-line `stats` response.
 pub fn render_stats(s: &ServerStats) -> String {
     format!(
-        "stats submitted={} completed={} solves={} queued={} cache-entries={} cache-hits={} cache-misses={} cache-insertions={} cache-upgrades={}\n",
+        "stats submitted={} completed={} solves={} queued={} panics={} worker-restarts={} shed={} retries={} cache-entries={} cache-hits={} cache-misses={} cache-insertions={} cache-upgrades={} cache-recovered={} cache-skipped={}\n",
         s.submitted,
         s.completed,
         s.solves,
         s.queued,
+        s.panics,
+        s.worker_restarts,
+        s.shed,
+        s.retries_observed,
         s.cache.entries,
         s.cache.hits,
         s.cache.misses,
         s.cache.insertions,
         s.cache.upgrades,
+        s.cache.recovered,
+        s.cache.skipped,
     )
 }
 

@@ -11,13 +11,61 @@
 //! reader hits backpressure or quits early.
 
 use crate::protocol::{render_event, render_stats, ProtocolError, Request, RequestReader};
-use crate::server::Server;
+use crate::server::{Server, SubmitError};
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
+/// Why a session ended abnormally. The *server* outlives any of these:
+/// a broken client stream or a writer-thread fault costs that one
+/// session, nothing else.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The session's byte streams failed (EOF mid-frame is not an
+    /// error; this is a real read/write failure such as a broken pipe).
+    Io(std::io::Error),
+    /// The writer thread panicked. Contained here instead of unwinding
+    /// through the session (which would take the acceptor down with
+    /// it); the jobs the session submitted still ran to their terminal
+    /// events.
+    WriterPanicked {
+        /// Stringified panic payload, for logs.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "session i/o error: {e}"),
+            SessionError::WriterPanicked { payload } => {
+                write!(f, "session writer thread panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<SessionError> for std::io::Error {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Io(e) => e,
+            SessionError::WriterPanicked { payload } => std::io::Error::other(payload),
+        }
+    }
+}
+
 /// Runs one session over the given streams. Returns once every
-/// response (and the trailing `bye`) has been written.
-pub fn serve_session<R, W>(reader: R, writer: W, server: &Server) -> std::io::Result<()>
+/// response (and the trailing `bye`) has been written — or with a
+/// structured [`SessionError`] when the streams or the writer thread
+/// die first; either way the [`Server`] stays healthy.
+pub fn serve_session<R, W>(reader: R, writer: W, server: &Server) -> Result<(), SessionError>
 where
     R: BufRead,
     W: Write + Send,
@@ -53,8 +101,19 @@ where
                 Ok(None) => break Ok(()),
                 Ok(Some(Ok(Request::Submit(req)))) => {
                     let id = req.id.clone();
-                    if let Err(e) = server.submit(req, ev_tx.clone()) {
-                        let _ = out_tx.send(format!("failed {id} {e}\n"));
+                    match server.submit(req, ev_tx.clone()) {
+                        Ok(()) => {}
+                        Err(SubmitError::Overloaded { retry_after }) => {
+                            // structured shed: the client should back
+                            // off about retry-after-ms and resubmit
+                            let _ = out_tx.send(format!(
+                                "shed {id} retry-after-ms={}\n",
+                                retry_after.as_millis()
+                            ));
+                        }
+                        Err(e) => {
+                            let _ = out_tx.send(format!("failed {id} {e}\n"));
+                        }
                     }
                 }
                 Ok(Some(Ok(Request::Cancel { id }))) => {
@@ -82,8 +141,16 @@ where
         // writer exits (writing `bye`) once the forwarder is gone.
         drop(ev_tx);
         drop(out_tx);
-        let write_result = writer_handle.join().expect("writer thread must not panic");
-        read_result.and(write_result)
+        // a writer panic is contained as a structured error — it must
+        // not unwind through whoever runs sessions (the TCP acceptor,
+        // the stdin loop); the server and its jobs are unaffected
+        let write_result = match writer_handle.join() {
+            Ok(r) => r.map_err(SessionError::from),
+            Err(payload) => Err(SessionError::WriterPanicked {
+                payload: rbp_solvers::panic_payload_to_string(payload),
+            }),
+        };
+        read_result.map_err(SessionError::from).and(write_result)
     })
 }
 
@@ -124,6 +191,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         });
         let out = SharedBuf::default();
         serve_session(Cursor::new(script), out.clone(), &server).unwrap();
@@ -148,6 +216,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_capacity: 2,
+            ..ServerConfig::default()
         });
         let out = SharedBuf::default();
         serve_session(
@@ -162,11 +231,91 @@ mod tests {
         server.shutdown();
     }
 
+    /// A writer that panics on its first write.
+    struct PanickyWriter;
+    impl Write for PanickyWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            panic!("writer exploded");
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A writer whose pipe is already broken.
+    struct BrokenPipeWriter;
+    impl Write for BrokenPipeWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client went away",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_panic_is_a_structured_error_and_the_server_survives() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let err = serve_session(Cursor::new("stats\n".to_string()), PanickyWriter, &server)
+            .expect_err("a panicking writer must surface as an error");
+        match err {
+            SessionError::WriterPanicked { payload } => {
+                assert_eq!(payload, "writer exploded")
+            }
+            other => panic!("{other:?}"),
+        }
+        // the server is untouched: a fresh session works end to end
+        let out = SharedBuf::default();
+        serve_session(Cursor::new("stats\n".to_string()), out.clone(), &server).unwrap();
+        assert!(out.contents().contains("stats submitted=0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn broken_pipe_is_an_io_error_and_submitted_jobs_still_finish() {
+        let inst = Instance::new(generate::chain(5), 2, CostModel::oneshot());
+        let doc = write_instance(&inst);
+        let script = format!("submit j exact\n{doc}shutdown\n");
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let err = serve_session(Cursor::new(script), BrokenPipeWriter, &server)
+            .expect_err("a dead client stream must surface as an error");
+        match err {
+            SessionError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+            other => panic!("{other:?}"),
+        }
+        // the job the session submitted reaches its terminal event and
+        // populates the cache even though nobody could hear the answer
+        // (the dead session does not wait for it, so poll briefly)
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let stats = server.stats();
+            if stats.submitted == 1 && stats.completed == 1 {
+                assert_eq!(stats.cache.insertions, 1);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
     #[test]
     fn cancel_ack_reports_unknown_ids() {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_capacity: 2,
+            ..ServerConfig::default()
         });
         let out = SharedBuf::default();
         serve_session(

@@ -49,6 +49,7 @@ mod tests {
         let server = Arc::new(Server::start(ServerConfig {
             workers: 1,
             queue_capacity: 4,
+            ..ServerConfig::default()
         }));
         {
             let server = Arc::clone(&server);

@@ -1,0 +1,283 @@
+//! The chaos soak harness (`--features chaos`): thousands of jobs
+//! through a server under seeded fault injection — solver panics,
+//! worker deaths, routing delays, shed/retry storms, mid-stream client
+//! disconnects, and snapshot corruption — asserting the service's two
+//! load-bearing invariants the whole way:
+//!
+//! 1. **Exactly one terminal event per accepted job.** No job is lost
+//!    to a panicking solver or a dying worker, and none reports twice.
+//! 2. **The server object survives everything.** Faults cost at most
+//!    the faulted job/session; subsequent work completes normally.
+//!
+//! Every decision derives from fixed seeds, so a failure here replays
+//! identically under the same build.
+
+#![cfg(feature = "chaos")]
+
+use rbp_core::{CostModel, Instance};
+use rbp_graph::generate;
+use rbp_service::chaos::{ChaosWriter, FaultPlan};
+use rbp_service::{
+    serve_session, Event, JobOptions, JobRequest, RetryPolicy, Server, ServerConfig, SessionError,
+};
+use rbp_solvers::Registry;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SOAK_SEED: u64 = 0xC0FFEE;
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: usize = 300; // 1200 jobs ≥ the 1k soak floor
+
+fn req(id: &str, j: usize) -> JobRequest {
+    let spec = match j % 3 {
+        0 => "exact",
+        1 => "greedy",
+        _ => "beam:4",
+    };
+    JobRequest {
+        id: id.to_string(),
+        spec: spec.to_string(),
+        // a small rotating pool of instances: repeats exercise the
+        // cache, sizes keep the soak fast even in debug builds
+        instance: Instance::new(generate::chain(3 + (j % 8)), 2, CostModel::oneshot()),
+        options: JobOptions::default(),
+    }
+}
+
+#[test]
+fn storm_soak_preserves_exactly_one_terminal_per_job() {
+    let server = Server::with_faults(
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 16,
+            admission_wait: Duration::from_millis(50),
+        },
+        Registry::with_builtins(),
+        FaultPlan::storm(SOAK_SEED),
+    );
+
+    let accepted = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 100,
+                        base_delay: Duration::from_millis(2),
+                        max_delay: Duration::from_millis(40),
+                        seed: SOAK_SEED ^ t as u64,
+                    };
+                    let mut accepted = 0u64;
+                    for j in 0..JOBS_PER_CLIENT {
+                        let id = format!("c{t}-j{j}");
+                        let (tx, rx) = std::sync::mpsc::channel();
+                        match server.submit_with_retry(req(&id, j), tx, &policy) {
+                            Ok(()) => accepted += 1,
+                            // a final shed delivers no events at all
+                            Err(e) => {
+                                assert!(e.is_retryable(), "unexpected {e}");
+                                assert!(rx.try_iter().next().is_none());
+                                continue;
+                            }
+                        }
+                        // drain this job's whole event stream (the
+                        // sender drops at job completion) and hold the
+                        // exactly-one-terminal invariant
+                        let events: Vec<Event> = rx.iter().collect();
+                        let terminals: Vec<&Event> =
+                            events.iter().filter(|e| e.is_terminal()).collect();
+                        assert_eq!(
+                            terminals.len(),
+                            1,
+                            "job {id}: expected exactly one terminal, got {events:?}"
+                        );
+                        assert_eq!(terminals[0].id(), id);
+                        // injected faults surface as structured Failed
+                        // events, never as hangs or losses
+                        if let Event::Failed { error, .. } = terminals[0] {
+                            assert!(
+                                error.contains("panicked") || error.contains("worker thread died"),
+                                "job {id}: unexpected failure: {error}"
+                            );
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.submitted, accepted, "accepted = counted");
+    assert_eq!(stats.completed, accepted, "every accepted job terminated");
+    assert!(
+        accepted >= (CLIENTS * JOBS_PER_CLIENT) as u64 * 9 / 10,
+        "retries should land the vast majority of jobs (accepted={accepted})"
+    );
+    // the storm actually stormed: injected fault classes all fired
+    assert!(stats.panics > 0, "no injected solver panics observed");
+    assert!(stats.worker_restarts > 0, "no worker deaths observed");
+    assert!(stats.cache.hits > 0, "repeat instances must hit the cache");
+
+    // after the storm the server still serves clean work
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "after-the-storm".into(),
+            spec: "greedy".into(),
+            instance: Instance::new(generate::chain(40), 2, CostModel::oneshot()),
+            options: JobOptions {
+                use_cache: false,
+                ..JobOptions::default()
+            },
+        })
+        .unwrap();
+    let term = rx.iter().find(|e| e.is_terminal()).unwrap();
+    assert!(matches!(term, Event::Done { .. }), "{term:?}");
+    server.shutdown();
+}
+
+/// A `Write + Send` sink tests can read back after the session.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sessions_with_injected_disconnects_never_hurt_the_server() {
+    let plan = FaultPlan::storm(SOAK_SEED ^ 0xD15C);
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        admission_wait: Duration::from_secs(600),
+    });
+    let inst = Instance::new(generate::chain(6), 2, CostModel::oneshot());
+    let doc = rbp_core::write_instance(&inst);
+
+    let mut sessions = 0u64;
+    let mut disconnects = 0u64;
+    for s in 0..60 {
+        let token = format!("sess-{s}");
+        let script =
+            format!("submit {token}-a exact\n{doc}submit {token}-b greedy\n{doc}stats\nshutdown\n");
+        let out = SharedBuf::default();
+        let writer = ChaosWriter::new(out.clone(), &plan, &token);
+        sessions += 1;
+        match serve_session(std::io::Cursor::new(script), writer, &server) {
+            Ok(()) => {}
+            Err(SessionError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "{e}");
+                disconnects += 1;
+            }
+            Err(other) => panic!("{other}"),
+        }
+    }
+    assert!(disconnects > 0, "the disconnect fault class never fired");
+    assert!(disconnects < sessions, "some sessions must survive");
+
+    // disconnected sessions abandoned their streams, not their jobs:
+    // every accepted submission still reaches its terminal event
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        if stats.completed == stats.submitted && stats.queued == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "jobs stranded: {stats:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn kill_and_restart_recovers_optimals_even_from_a_rotted_snapshot() {
+    // first life: a server learns a handful of Optimals
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    });
+    for n in 3..11 {
+        let rx = server
+            .submit_collect(JobRequest {
+                id: format!("warm-{n}"),
+                spec: "exact".into(),
+                instance: Instance::new(generate::chain(n), 2, CostModel::oneshot()),
+                options: JobOptions::default(),
+            })
+            .unwrap();
+        let term = rx.iter().find(|e| e.is_terminal()).unwrap();
+        assert!(matches!(term, Event::Done { .. }), "{term:?}");
+    }
+    let entries = server.cache().stats().entries;
+    assert_eq!(entries, 8);
+    let snapshot = server.cache().write_snapshot();
+    server.shutdown(); // the "kill"
+
+    // clean restart: everything comes back
+    let clean = Server::start(ServerConfig::default());
+    let report = clean.cache().load_snapshot(&snapshot);
+    assert_eq!(report.recovered, entries);
+    assert_eq!(report.skipped, 0);
+    assert_eq!(clean.cache().stats().entries, entries);
+    clean.shutdown();
+
+    // rotted restart: the corrupt entries are skipped and counted, the
+    // intact ones recover, and the load never aborts
+    let mut plan = FaultPlan::quiet(SOAK_SEED);
+    plan.corrupt_entry_per_mille = 400;
+    let rotted = plan.corrupt_snapshot(&snapshot);
+    assert_ne!(rotted, snapshot, "the rot must actually bite");
+    let server = Server::start(ServerConfig::default());
+    let report = server.cache().load_snapshot(&rotted);
+    assert_eq!(
+        report.recovered + report.skipped,
+        entries,
+        "every entry is accounted for, one way or the other"
+    );
+    assert!(report.skipped > 0, "rot was injected");
+    assert!(report.recovered > 0, "rot must not take out intact entries");
+
+    // a recovered instance is a cache hit carrying Optimal, no re-solve
+    let solves_before = server.stats().solves;
+    let mut hits = 0;
+    for n in 3..11 {
+        let rx = server
+            .submit_collect(JobRequest {
+                id: format!("reheat-{n}"),
+                spec: "exact".into(),
+                instance: Instance::new(generate::chain(n), 2, CostModel::oneshot()),
+                options: JobOptions::default(),
+            })
+            .unwrap();
+        match rx.iter().find(|e| e.is_terminal()).unwrap() {
+            Event::Done {
+                cached, solution, ..
+            } => {
+                assert!(solution.is_optimal());
+                if cached {
+                    hits += 1;
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(
+        hits as u64, report.recovered,
+        "exactly the recovered entries answer from cache"
+    );
+    assert_eq!(
+        server.stats().solves - solves_before,
+        8 - report.recovered,
+        "only the rotted entries re-solve"
+    );
+    server.shutdown();
+}

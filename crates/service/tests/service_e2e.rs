@@ -74,6 +74,7 @@ fn duplicates_hit_the_cache_without_resolving() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 8,
+        ..ServerConfig::default()
     });
     let mut cached_flags = Vec::new();
     for i in 0..5 {
@@ -113,6 +114,7 @@ fn relabeled_instances_share_a_cache_slot() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServerConfig::default()
     });
     let rx = server
         .submit_collect(JobRequest {
@@ -140,6 +142,7 @@ fn upper_bound_upgrades_to_optimal_across_requests() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServerConfig::default()
     });
 
     // 1: a strangled budget degrades to the greedy incumbent's bound,
@@ -247,6 +250,7 @@ fn queued_jobs_cancel_cleanly_and_priorities_reorder() {
         ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         },
         registry_with_sleeper(),
     );
@@ -309,6 +313,9 @@ fn concurrent_clients_over_a_saturated_queue_lose_nothing() {
         ServerConfig {
             workers: 2,
             queue_capacity: 2, // deliberately tiny: submits must block, not drop
+            // this test is about backpressure, not shedding: give the
+            // admission wait enough headroom that no submission sheds
+            admission_wait: Duration::from_secs(600),
         },
         registry_with_sleeper(),
     );
@@ -379,6 +386,111 @@ fn concurrent_clients_over_a_saturated_queue_lose_nothing() {
     server.shutdown();
 }
 
+#[test]
+fn deadline_is_clocked_from_submission_not_solve_start() {
+    let server = Server::with_registry(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+        registry_with_sleeper(),
+    );
+    let (tx, _rx_occupy) = mpsc::channel();
+    // occupy the only worker long enough that the deadlined job spends
+    // its whole deadline waiting in the queue
+    server
+        .submit(
+            chain_req("occupy", 4, "sleeper:300", JobOptions::default()),
+            tx,
+        )
+        .unwrap();
+    while server.stats().solves == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let opts = JobOptions {
+        deadline: Some(Duration::from_millis(100)),
+        use_cache: false,
+        ..JobOptions::default()
+    };
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "late".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: opts,
+        })
+        .unwrap();
+    // by the time the worker frees up, the submission-clocked deadline
+    // has passed: the exact solver must degrade at its first budget
+    // poll instead of burning a fresh 100ms from solve start
+    match terminal(&rx) {
+        Event::Done { solution, .. } => {
+            assert!(
+                matches!(solution.quality, Quality::UpperBound { .. }),
+                "a queue-expired deadline must degrade, got {:?}",
+                solution.quality
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_round_trips_optimals_across_a_server_restart() {
+    // first life: solve for real, then snapshot
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    });
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "warm".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done { solution, .. } => assert!(solution.is_optimal()),
+        other => panic!("{other:?}"),
+    }
+    let snapshot = server.cache().write_snapshot();
+    server.shutdown();
+
+    // second life: reload the snapshot; the same instance is a cache
+    // hit carrying Optimal, with no solver run at all
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    });
+    let report = server.cache().load_snapshot(&snapshot);
+    assert_eq!(report.recovered, 1);
+    assert_eq!(report.skipped, 0);
+    let rx = server
+        .submit_collect(JobRequest {
+            id: "reheat".into(),
+            spec: "exact".into(),
+            instance: grid4_base(),
+            options: JobOptions::default(),
+        })
+        .unwrap();
+    match terminal(&rx) {
+        Event::Done {
+            cached, solution, ..
+        } => {
+            assert!(cached, "restart must not lose the Optimal");
+            assert!(solution.is_optimal());
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.stats().solves, 0, "no re-solve after recovery");
+    server.shutdown();
+}
+
 /// The ISSUE acceptance flow on the real grid5/base cell. Release-only:
 /// the exact solve takes seconds optimized and the debug-assert-laden
 /// debug build pushes it into minutes.
@@ -395,6 +507,7 @@ fn grid5_base_acceptance_flow() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServerConfig::default()
     });
 
     // tight deadline first: the cache learns an UpperBound

@@ -411,6 +411,38 @@ pub trait Solver: Send + Sync {
             other => other,
         }
     }
+
+    /// Like [`Solver::solve_lenient`], but additionally contains solver
+    /// panics: an unwind out of the solve is caught and surfaced as
+    /// [`SolveError::Panicked`] instead of killing the calling thread.
+    ///
+    /// Unwind safety: every solver in this crate keeps its search state
+    /// (arena, node tables, heaps, routing channels) local to the solve
+    /// call, so an unwound solve cannot leave broken state visible to a
+    /// later call — the `AssertUnwindSafe` below asserts exactly that
+    /// per-job locality. Long-running hosts (the service worker pool)
+    /// use this entry point so one poisoned job cannot strand a worker.
+    fn solve_caught(&self, instance: &Instance, ctx: &SolveCtx) -> Result<Solution, SolveError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        match catch_unwind(AssertUnwindSafe(|| self.solve_lenient(instance, ctx))) {
+            Ok(result) => result,
+            Err(payload) => Err(SolveError::Panicked {
+                payload: panic_payload_to_string(payload),
+            }),
+        }
+    }
+}
+
+/// Renders a caught panic payload for logs: the common `&str`/`String`
+/// payloads verbatim, anything else as an opaque marker.
+pub fn panic_payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -801,6 +833,31 @@ mod tests {
             ExactSolver::new().solve_default(&inst),
             Err(SolveError::Pebbling(_))
         ));
+    }
+
+    #[test]
+    fn solve_caught_contains_panics_as_structured_errors() {
+        struct Bomb;
+        impl Solver for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn solve(&self, _: &Instance, _: &SolveCtx) -> Result<Solution, SolveError> {
+                panic!("kaboom in the search");
+            }
+        }
+        let err = Bomb
+            .solve_caught(&diamond(), &SolveCtx::default())
+            .unwrap_err();
+        match err {
+            SolveError::Panicked { payload } => assert_eq!(payload, "kaboom in the search"),
+            other => panic!("{other:?}"),
+        }
+        // non-panicking solves pass through unchanged
+        let sol = ExactSolver::new()
+            .solve_caught(&diamond(), &SolveCtx::default())
+            .unwrap();
+        assert!(sol.is_optimal());
     }
 
     #[test]

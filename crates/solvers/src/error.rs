@@ -42,6 +42,15 @@ pub enum SolveError {
     /// degrade to. Solvers that hold an incumbent return it as
     /// [`crate::api::Quality::UpperBound`] instead of this error.
     Interrupted,
+    /// The solver panicked mid-solve and the panic was contained by
+    /// [`crate::api::Solver::solve_caught`]. The per-job search state
+    /// (arena, node table, heaps) died with the unwound stack, so the
+    /// containing process stays healthy; `payload` is the stringified
+    /// panic message for operator logs.
+    Panicked {
+        /// The panic payload, downcast to a string when possible.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -64,6 +73,9 @@ impl fmt::Display for SolveError {
                     f,
                     "solve interrupted by its budget before any incumbent existed"
                 )
+            }
+            SolveError::Panicked { payload } => {
+                write!(f, "solver panicked: {payload}")
             }
         }
     }

@@ -80,8 +80,8 @@ pub mod visit;
 pub mod wire;
 
 pub use api::{
-    BeamSolver, Budget, ExactSolver, GreedySolver, ParallelExactSolver, PortfolioSolver, Progress,
-    Quality, Solution, SolveCtx, Solver, Stats,
+    panic_payload_to_string, BeamSolver, Budget, ExactSolver, GreedySolver, ParallelExactSolver,
+    PortfolioSolver, Progress, Quality, Solution, SolveCtx, Solver, Stats,
 };
 pub use arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
 pub use beam::BeamConfig;

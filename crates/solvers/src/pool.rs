@@ -14,14 +14,24 @@
 //! (e.g. seeding an incumbent from a greedy portfolio before a
 //! microsecond-scale exact solve) free of thread-spawn overhead.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A caught panic payload from one task.
+type Payload = Box<dyn std::any::Any + Send>;
 
 /// Runs `f(0..tasks)` across at most `available_parallelism` threads
 /// (caller included) and returns the results in index order.
 ///
 /// `f` is called exactly once per index, in an unspecified order and
-/// possibly concurrently; panics in `f` propagate to the caller.
+/// possibly concurrently. A panic in `f` is contained per task: the
+/// remaining tasks still run to completion (no half-claimed work, no
+/// deadlocked collector), and the first panic payload is re-raised on
+/// the calling thread afterwards — so callers still observe `f`'s
+/// panics, but a poisoned task can never wedge its siblings. Tasks are
+/// independent by contract, so an unwound task leaves no state a later
+/// task could observe broken (the `AssertUnwindSafe` below).
 pub fn run_indexed<T, F>(tasks: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -35,14 +45,15 @@ where
         .unwrap_or(1)
         .min(tasks);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, Payload>)>();
 
-    let worker = |tx: mpsc::Sender<(usize, T)>| loop {
+    let worker = |tx: mpsc::Sender<(usize, Result<T, Payload>)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= tasks {
             break;
         }
-        tx.send((i, f(i))).expect("collector outlives workers");
+        let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+        let _ = tx.send((i, result.map_err(|p| p as Payload)));
     };
 
     std::thread::scope(|scope| {
@@ -57,9 +68,18 @@ where
     });
 
     let mut out: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let mut first_panic: Option<Payload> = None;
     for (i, v) in rx {
         debug_assert!(out[i].is_none(), "task {i} ran twice");
-        out[i] = Some(v);
+        match v {
+            Ok(v) => out[i] = Some(v),
+            Err(p) => {
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
     }
     out.into_iter()
         .map(|v| v.expect("every task sends exactly one result"))
@@ -92,6 +112,26 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 64);
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_but_does_not_wedge_siblings() {
+        let calls = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(16, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("task 3 bomb");
+                }
+                i
+            })
+        }));
+        // the panic reaches the caller with its payload intact...
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 3 bomb");
+        // ...but only after every task ran (no half-claimed work left)
+        assert_eq!(calls.load(Ordering::Relaxed), 16);
     }
 
     #[test]

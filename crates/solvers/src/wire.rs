@@ -36,6 +36,12 @@ use std::fmt::Write as _;
 /// accepts.
 pub const SOLUTION_VERSION: &str = "v1";
 
+/// Ceiling on the move-vector preallocation taken from an untrusted
+/// `trace <len>` declaration. Documents with genuinely longer traces
+/// still parse (the vector grows move by move); a hostile length alone
+/// can no longer reserve gigabytes up front.
+const TRACE_PREALLOC_CAP: usize = 1 << 16;
+
 /// A parsed solution document: the registry spec that (claims to have)
 /// produced the solution, plus the solution itself.
 #[derive(Clone, Debug)]
@@ -277,7 +283,11 @@ pub fn parse_solution_at(text: &str, first_line: usize) -> Result<WireSolution, 
                 }
                 let len =
                     parse_u64(lineno, parts.next(), "a move count in 'trace <len>'")? as usize;
-                trace = Some(Pebbling::with_capacity(len));
+                // the declared length is untrusted wire input: clamp the
+                // preallocation so `trace 99999999999` cannot abort the
+                // process on an impossible reservation — the vector still
+                // grows naturally if the moves actually arrive
+                trace = Some(Pebbling::with_capacity(len.min(TRACE_PREALLOC_CAP)));
                 remaining_moves = len;
             }
             "end" => {
@@ -428,6 +438,17 @@ mod tests {
         let err = parse_solution_at("solution v1\nspec exact\nquality good\n", 10).unwrap_err();
         match err {
             ParseError::UnexpectedToken { line, .. } => assert_eq!(line, 12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_trace_length_does_not_preallocate() {
+        // a declared length in the billions must fail as a normal parse
+        // error (moves owed at `end`), not abort on a huge reservation
+        let text = "solution v1\nspec exact\nquality optimal\ncost 0 0\ntrace 99999999999\nend\n";
+        match parse_solution(text).unwrap_err() {
+            ParseError::UnexpectedToken { line: 6, token, .. } => assert_eq!(token, "end"),
             other => panic!("{other:?}"),
         }
     }

@@ -19,6 +19,7 @@ fn main() {
     let server = Server::start(ServerConfig {
         workers: 2,
         queue_capacity: 16,
+        ..ServerConfig::default()
     });
 
     println!("== in-process batch ==");

@@ -137,6 +137,7 @@ fn readme_serving_protocol_round_trip() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServerConfig::default()
     });
     let mut response = Vec::new();
     serve_session(BufReader::new(session.as_bytes()), &mut response, &server)
