@@ -15,7 +15,9 @@
 //! hot-path baselines — sequential-with-incumbent and hash-sharded
 //! parallel — to `BENCH_exact.json` at the workspace root, and
 //! `perf-check` diffs a fresh measurement against that committed
-//! baseline — see [`perf_snapshot`].
+//! baseline — see [`perf_snapshot`]. Likewise `gap-atlas` records the
+//! worst observed heuristic/optimal ratios per (model, spec) to
+//! `GAP_ATLAS.json`, diffed by `gap-check` — see [`gap_atlas`].
 
 pub mod exp_ablation;
 pub mod exp_fig1;
@@ -27,6 +29,7 @@ pub mod exp_fig8;
 pub mod exp_table1;
 pub mod exp_table2;
 pub mod exp_workloads;
+pub mod gap_atlas;
 pub mod perf_snapshot;
 pub mod report;
 
@@ -67,9 +70,15 @@ pub fn run_experiment(id: &str, out: &Path) {
         "perf-check" => {
             perf_snapshot::check(&report::workspace_root());
         }
+        // worst heuristic/optimal ratios, committed like BENCH_exact.json
+        "gap-atlas" => gap_atlas::run(&report::workspace_root()),
+        // non-gating diff of the atlas against the committed baseline
+        "gap-check" => {
+            gap_atlas::check(&report::workspace_root());
+        }
         other => panic!(
-            "unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?} plus 'perf-snapshot' \
-             and 'perf-check'"
+            "unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?} plus 'perf-snapshot', \
+             'perf-check', 'gap-atlas', and 'gap-check'"
         ),
     }
 }

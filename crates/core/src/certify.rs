@@ -1,0 +1,348 @@
+//! Independent solution certification.
+//!
+//! [`certify`] re-executes a pebbling trace against the rules of its
+//! instance's model using a **separate minimal interpreter** — it shares
+//! no code with [`crate::state::State`] or [`crate::engine`]: its board
+//! is a plain `Vec<Color>`, its cost accounting is two integer counters
+//! scaled directly by ε, and its legality guards are written from the
+//! paper's move rules (Section 2 plus the Section 4 model deltas and the
+//! Appendix C conventions), not from the engine's. A bug in the engine
+//! and a matching bug in a solver therefore cannot cancel out here: any
+//! solution the system emits can be certified end-to-end by code with a
+//! disjoint failure surface. Differential agreement between certifier
+//! and engine (accept/reject *and* costs) is itself property-tested in
+//! `tests/prop_certify.rs`.
+//!
+//! The only inputs the certifier consults are problem *data*: the DAG's
+//! predecessor lists, R, the model kind/ε, and the two conventions.
+
+use crate::cost::Cost;
+use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::model::ModelKind;
+use crate::moves::Move;
+use crate::trace::Pebbling;
+use rbp_graph::NodeId;
+use std::fmt;
+
+/// What a node's board cell holds. A node has at most one pebble.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Color {
+    Empty,
+    Red,
+    Blue,
+}
+
+/// The outcome of a successful certification: independently recomputed
+/// cost figures for the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Certificate {
+    /// Load + store moves executed.
+    pub transfers: u64,
+    /// Compute moves executed.
+    pub computes: u64,
+    /// The canonical integer comparison key, recomputed from scratch:
+    /// `transfers·den(ε) + computes·num(ε)`.
+    pub scaled_cost: u128,
+    /// Moves in the trace.
+    pub steps: usize,
+}
+
+impl Certificate {
+    /// Whether this certificate realizes exactly the claimed engine cost.
+    pub fn matches(&self, cost: &Cost) -> bool {
+        self.transfers == cost.transfers && self.computes == cost.computes
+    }
+}
+
+/// Why certification rejected a trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CertifyError {
+    /// A move at `step` (0-based) broke a rule of the model.
+    Rejected {
+        /// Index of the offending move.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+        /// Plain-language rule that was violated.
+        rule: &'static str,
+    },
+    /// The trace ran to completion but left a sink unsatisfied.
+    Incomplete {
+        /// The first sink without the required pebble.
+        sink: NodeId,
+    },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Rejected { step, mv, rule } => {
+                write!(f, "certifier rejected step {step} ({mv:?}): {rule}")
+            }
+            CertifyError::Incomplete { sink } => {
+                write!(f, "certifier: trace ends with sink {sink:?} unsatisfied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Re-executes `trace` on `instance` with the independent interpreter
+/// and checks the finishing condition. Returns the recomputed cost
+/// figures, or the first rule violation.
+pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, CertifyError> {
+    let dag = instance.dag();
+    let n = dag.n();
+    let r_limit = instance.red_limit();
+    let kind = instance.model().kind();
+    let recompute_ok = kind != ModelKind::Oneshot;
+    let delete_ok = kind != ModelKind::NoDel;
+    let sources_locked = instance.source_convention() == SourceConvention::InitiallyBlue;
+
+    let mut board = vec![Color::Empty; n];
+    let mut computed = vec![false; n];
+    let mut reds: usize = 0;
+    if sources_locked {
+        for s in dag.sources() {
+            board[s.index()] = Color::Blue;
+            computed[s.index()] = true;
+        }
+    }
+
+    let mut transfers: u64 = 0;
+    let mut computes: u64 = 0;
+    let reject =
+        |step: usize, mv: Move, rule: &'static str| CertifyError::Rejected { step, mv, rule };
+    for (step, &mv) in trace.moves().iter().enumerate() {
+        match mv {
+            Move::Load(v) => {
+                let i = v.index();
+                if i >= n || board[i] != Color::Blue {
+                    return Err(reject(step, mv, "load requires a blue pebble on the node"));
+                }
+                if reds >= r_limit {
+                    return Err(reject(step, mv, "load would exceed the red budget R"));
+                }
+                board[i] = Color::Red;
+                reds += 1;
+                transfers += 1;
+            }
+            Move::Store(v) => {
+                let i = v.index();
+                if i >= n || board[i] != Color::Red {
+                    return Err(reject(step, mv, "store requires a red pebble on the node"));
+                }
+                board[i] = Color::Blue;
+                reds -= 1;
+                transfers += 1;
+            }
+            Move::Compute(v) => {
+                let i = v.index();
+                if i >= n {
+                    return Err(reject(step, mv, "compute on a node outside the DAG"));
+                }
+                if board[i] == Color::Red {
+                    return Err(reject(step, mv, "compute onto a red pebble"));
+                }
+                if !recompute_ok && computed[i] {
+                    return Err(reject(step, mv, "oneshot model forbids recomputation"));
+                }
+                if sources_locked && dag.is_source(v) {
+                    return Err(reject(
+                        step,
+                        mv,
+                        "initially-blue sources are not computable",
+                    ));
+                }
+                if dag.preds(v).iter().any(|p| board[p.index()] != Color::Red) {
+                    return Err(reject(step, mv, "compute needs every input red"));
+                }
+                if reds >= r_limit {
+                    return Err(reject(step, mv, "compute would exceed the red budget R"));
+                }
+                // computing replaces any blue pebble on the node
+                board[i] = Color::Red;
+                reds += 1;
+                computed[i] = true;
+                computes += 1;
+            }
+            Move::Delete(v) => {
+                let i = v.index();
+                if !delete_ok {
+                    return Err(reject(step, mv, "nodel model forbids deletion"));
+                }
+                if i >= n || board[i] == Color::Empty {
+                    return Err(reject(step, mv, "delete on an unpebbled node"));
+                }
+                if board[i] == Color::Red {
+                    reds -= 1;
+                }
+                board[i] = Color::Empty;
+            }
+        }
+    }
+
+    let need_blue = instance.sink_convention() == SinkConvention::RequireBlue;
+    for v in dag.sinks() {
+        let satisfied = match board[v.index()] {
+            Color::Blue => true,
+            Color::Red => !need_blue,
+            Color::Empty => false,
+        };
+        if !satisfied {
+            return Err(CertifyError::Incomplete { sink: v });
+        }
+    }
+
+    let eps = instance.model().epsilon();
+    Ok(Certificate {
+        transfers,
+        computes,
+        scaled_cost: transfers as u128 * eps.den() as u128 + computes as u128 * eps.num() as u128,
+        steps: trace.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+    use rbp_graph::DagBuilder;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 -> 2, 1 -> 2
+    fn join(model: CostModel, r: usize) -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        Instance::new(b.build().unwrap(), r, model)
+    }
+
+    #[test]
+    fn certifies_a_valid_trace_with_exact_cost() {
+        let inst = join(CostModel::oneshot(), 3);
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        p.store(v(0));
+        p.compute(v(1));
+        p.load(v(0));
+        p.compute(v(2));
+        let cert = certify(&inst, &p).unwrap();
+        assert_eq!(cert.transfers, 2);
+        assert_eq!(cert.computes, 3);
+        assert_eq!(cert.scaled_cost, 2, "computes free under oneshot ε = 0");
+        assert_eq!(cert.steps, 5);
+    }
+
+    #[test]
+    fn compcost_scaling_recomputed_independently() {
+        let inst = join(CostModel::compcost(), 3);
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        p.compute(v(1));
+        p.compute(v(2));
+        let cert = certify(&inst, &p).unwrap();
+        // ε = 1/100: scaled = 0·100 + 3·1
+        assert_eq!(cert.scaled_cost, 3);
+    }
+
+    #[test]
+    fn rejects_rule_violations() {
+        let inst = join(CostModel::oneshot(), 3);
+        // compute the sink without red inputs
+        let p = Pebbling::from_moves(vec![Move::Compute(v(2))]);
+        match certify(&inst, &p).unwrap_err() {
+            CertifyError::Rejected { step: 0, .. } => {}
+            other => panic!("wrong rejection: {other}"),
+        }
+        // recompute under oneshot
+        let p = Pebbling::from_moves(vec![
+            Move::Compute(v(0)),
+            Move::Delete(v(0)),
+            Move::Compute(v(0)),
+        ]);
+        match certify(&inst, &p).unwrap_err() {
+            CertifyError::Rejected { step: 2, .. } => {}
+            other => panic!("wrong rejection: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_traces() {
+        let inst = join(CostModel::base(), 3);
+        let p = Pebbling::from_moves(vec![Move::Compute(v(0))]);
+        assert_eq!(
+            certify(&inst, &p).unwrap_err(),
+            CertifyError::Incomplete { sink: v(2) }
+        );
+    }
+
+    #[test]
+    fn enforces_conventions() {
+        let inst = join(CostModel::base(), 3)
+            .with_source_convention(SourceConvention::InitiallyBlue)
+            .with_sink_convention(SinkConvention::RequireBlue);
+        // sources must be loaded, sink must end blue
+        let mut p = Pebbling::new();
+        p.load(v(0));
+        p.load(v(1));
+        p.compute(v(2));
+        p.store(v(2));
+        let cert = certify(&inst, &p).unwrap();
+        assert_eq!(cert.transfers, 3);
+        // computing a locked source is rejected
+        let bad = Pebbling::from_moves(vec![Move::Compute(v(0))]);
+        assert!(matches!(
+            certify(&inst, &bad),
+            Err(CertifyError::Rejected { .. })
+        ));
+        // red pebble on the sink does not satisfy RequireBlue
+        let mut red_end = Pebbling::new();
+        red_end.load(v(0));
+        red_end.load(v(1));
+        red_end.compute(v(2));
+        assert_eq!(
+            certify(&inst, &red_end).unwrap_err(),
+            CertifyError::Incomplete { sink: v(2) }
+        );
+    }
+
+    #[test]
+    fn nodel_delete_rejected_red_budget_enforced() {
+        let inst = join(CostModel::nodel(), 2);
+        let p = Pebbling::from_moves(vec![Move::Compute(v(0)), Move::Delete(v(0))]);
+        assert!(matches!(
+            certify(&inst, &p),
+            Err(CertifyError::Rejected { step: 1, .. })
+        ));
+        let p = Pebbling::from_moves(vec![
+            Move::Compute(v(0)),
+            Move::Compute(v(1)),
+            Move::Compute(v(2)), // third red pebble, R = 2
+        ]);
+        assert!(matches!(
+            certify(&inst, &p),
+            Err(CertifyError::Rejected { step: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn certificate_matches_engine_cost_type() {
+        let inst = join(CostModel::base(), 3);
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        p.compute(v(1));
+        p.compute(v(2));
+        let cert = certify(&inst, &p).unwrap();
+        let engine_cost = crate::engine::cost_of(&inst, &p).unwrap();
+        assert!(cert.matches(&engine_cost));
+        assert!(!cert.matches(&Cost {
+            transfers: 1,
+            computes: 3
+        }));
+    }
+}

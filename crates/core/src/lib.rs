@@ -16,6 +16,9 @@
 //! - [`Pebbling`]: a move trace;
 //! - [`engine::simulate`]: the validating replayer every reported cost
 //!   goes through;
+//! - [`mod@certify`]: an *independent* second interpreter (no shared code
+//!   with the engine or any solver) that re-executes solutions for
+//!   end-to-end certification;
 //! - [`bounds`]: the Section-3 structural bounds with constructive
 //!   witnesses;
 //! - [`transform`]: the super-source and Appendix-C convention adapters.
@@ -41,6 +44,7 @@
 
 pub mod analysis;
 pub mod bounds;
+pub mod certify;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -53,6 +57,7 @@ pub mod trace;
 pub mod transform;
 
 pub use analysis::{analyze, NodeTraffic, TraceAnalysis};
+pub use certify::{certify, Certificate, CertifyError};
 pub use cost::{Cost, Ratio};
 pub use engine::{cost_of, simulate, simulate_prefix, SimReport};
 pub use error::{PebblingError, TraceError};

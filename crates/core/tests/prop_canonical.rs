@@ -59,7 +59,101 @@ fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
     perm
 }
 
+/// All permutations of `0..n` (Heap's algorithm); callers keep n ≤ 6.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, arr, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    heap(n, &mut (0..n).collect::<Vec<_>>(), &mut out);
+    out
+}
+
+/// Ground-truth DAG isomorphism by brute force over all node
+/// permutations — viable exactly because the anti-collision tests stay
+/// at n ≤ 6 (≤ 720 candidates).
+fn is_isomorphic(a: &Dag, b: &Dag) -> bool {
+    if a.n() != b.n() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    let eb: std::collections::HashSet<(usize, usize)> =
+        b.edges().map(|(u, v)| (u.index(), v.index())).collect();
+    let ea: Vec<(usize, usize)> = a.edges().map(|(u, v)| (u.index(), v.index())).collect();
+    permutations(a.n())
+        .iter()
+        .any(|perm| ea.iter().all(|&(u, v)| eb.contains(&(perm[u], perm[v]))))
+}
+
+/// Exhaustive anti-collision smoke: over *every* DAG on 2–4 nodes
+/// (all upper-triangular edge masks), two instances share a canonical
+/// key only if their DAGs are isomorphic. Complements the
+/// relabeling-collision property with the opposite direction.
+#[test]
+fn exhaustive_small_dags_collide_only_when_isomorphic() {
+    let mut all: Vec<(Dag, rbp_core::CanonicalKey)> = Vec::new();
+    for n in 2..=4usize {
+        let pairs = n * (n - 1) / 2;
+        for mask in 0u32..(1 << pairs) {
+            let mut b = DagBuilder::new(n);
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if mask & (1 << idx) != 0 {
+                        b.add_edge(i, j);
+                    }
+                    idx += 1;
+                }
+            }
+            let dag = b.build().unwrap();
+            let key = Instance::new(dag.clone(), dag.max_indegree() + 1, CostModel::base())
+                .canonical_key();
+            all.push((dag, key));
+        }
+    }
+    for (i, (da, ka)) in all.iter().enumerate() {
+        for (db, kb) in &all[i + 1..] {
+            if ka == kb {
+                assert!(
+                    is_isomorphic(da, db),
+                    "canonical-key collision on non-isomorphic DAGs:\n{da:?}\n{db:?}"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
+    /// Random-pair anti-collision smoke at n ≤ 6: whenever two sampled
+    /// instances share a key, brute-force isomorphism must confirm the
+    /// DAGs really are the same graph.
+    #[test]
+    fn non_isomorphic_small_dags_never_collide(
+        a in arb_dag(6),
+        b in arb_dag(6),
+        model in arb_model(),
+    ) {
+        let r = a.max_indegree().max(b.max_indegree()) + 1;
+        let ka = Instance::new(a.clone(), r, model).canonical_key();
+        let kb = Instance::new(b.clone(), r, model).canonical_key();
+        if ka == kb {
+            prop_assert!(
+                is_isomorphic(&a, &b),
+                "canonical-key collision on non-isomorphic DAGs"
+            );
+        }
+    }
+
     /// Isomorphic relabelings collide whenever the key claims
     /// relabeling invariance (and the claim itself is iso-invariant).
     #[test]

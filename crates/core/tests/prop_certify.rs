@@ -1,0 +1,173 @@
+//! Differential property tests: the independent certifier and the
+//! validating engine must agree — on acceptance, on rejection, and on
+//! every cost figure — across random instances, random *legal* traces,
+//! and random *garbage* traces. The two interpreters share no code, so
+//! agreement here is evidence neither has drifted from the paper's
+//! rules.
+
+use proptest::prelude::*;
+use rbp_core::{certify, engine, CertifyError, CostModel, Instance, Move, Pebbling, State};
+use rbp_graph::{DagBuilder, NodeId};
+
+fn arb_model() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        Just(CostModel::base()),
+        Just(CostModel::oneshot()),
+        Just(CostModel::nodel()),
+        Just(CostModel::compcost()),
+    ]
+}
+
+fn arb_dag(max_n: usize) -> impl Strategy<Value = rbp_graph::Dag> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.35), pairs).prop_map(move |coins| {
+            let mut b = DagBuilder::new(n);
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coins[idx] {
+                        b.add_edge(i, j);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (
+        arb_dag(max_n),
+        arb_model(),
+        0..3usize,
+        proptest::bool::weighted(0.25),
+        proptest::bool::weighted(0.25),
+    )
+        .prop_map(|(dag, model, slack, blue_sources, blue_sinks)| {
+            let base = Instance::new(dag, 1, model);
+            let mut inst = base.with_red_limit(base.min_feasible_r() + slack);
+            if blue_sources {
+                inst = inst.with_source_convention(rbp_core::SourceConvention::InitiallyBlue);
+            }
+            if blue_sinks {
+                inst = inst.with_sink_convention(rbp_core::SinkConvention::RequireBlue);
+            }
+            inst
+        })
+}
+
+/// A pseudo-random walk of legal moves — yields traces the engine
+/// accepts as prefixes (completion not guaranteed).
+fn legal_walk(inst: &Instance, steps: usize, seed: u64) -> Pebbling {
+    let mut state = State::initial(inst);
+    let mut trace = Pebbling::new();
+    let n = inst.dag().n();
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for _ in 0..steps {
+        let mut legal: Vec<Move> = Vec::new();
+        for i in 0..n {
+            let v = NodeId::new(i);
+            for mv in [
+                Move::Load(v),
+                Move::Store(v),
+                Move::Compute(v),
+                Move::Delete(v),
+            ] {
+                if state.is_legal(mv, inst) {
+                    legal.push(mv);
+                }
+            }
+        }
+        if legal.is_empty() {
+            break;
+        }
+        let mv = legal[(next() % legal.len() as u64) as usize];
+        state.apply(mv, inst).unwrap();
+        trace.push(mv);
+    }
+    trace
+}
+
+/// An unconstrained random move sequence — mostly illegal.
+fn garbage_trace(n: usize, moves: &[(u8, u8)]) -> Pebbling {
+    let mut p = Pebbling::new();
+    for &(kind, node) in moves {
+        let v = NodeId::new(node as usize % n.max(1));
+        p.push(match kind % 4 {
+            0 => Move::Load(v),
+            1 => Move::Store(v),
+            2 => Move::Compute(v),
+            _ => Move::Delete(v),
+        });
+    }
+    p
+}
+
+/// Certifier and engine must return the same verdict for `trace`, and
+/// on acceptance the same cost; on rejection the same failing step.
+fn assert_agreement(inst: &Instance, trace: &Pebbling) {
+    let engine_verdict = engine::simulate(inst, trace);
+    let certifier_verdict = certify::certify(inst, trace);
+    match (engine_verdict, certifier_verdict) {
+        (Ok(rep), Ok(cert)) => {
+            assert_eq!(cert.transfers, rep.cost.transfers, "transfer counts differ");
+            assert_eq!(cert.computes, rep.cost.computes, "compute counts differ");
+            assert_eq!(
+                cert.scaled_cost,
+                rep.scaled_cost(inst),
+                "scaled costs differ"
+            );
+            assert!(cert.matches(&rep.cost));
+        }
+        (Err(e), Err(c)) => {
+            // both reject; the failing step must agree (engine encodes
+            // the completeness failure as step usize::MAX)
+            let engine_step = e.step;
+            match c {
+                CertifyError::Rejected { step, .. } => {
+                    assert_eq!(step, engine_step, "rejection steps differ")
+                }
+                CertifyError::Incomplete { .. } => {
+                    assert_eq!(engine_step, usize::MAX, "engine rejected mid-trace")
+                }
+            }
+        }
+        (Ok(_), Err(c)) => panic!("engine accepted, certifier rejected: {c}"),
+        (Err(e), Ok(_)) => panic!("certifier accepted, engine rejected: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Legal walks: both interpreters replay them identically (accept
+    /// as prefix or agree the finishing condition fails).
+    #[test]
+    fn certifier_agrees_with_engine_on_legal_walks(
+        inst in arb_instance(7),
+        steps in 0..40usize,
+        seed in any::<u64>(),
+    ) {
+        let trace = legal_walk(&inst, steps, seed);
+        assert_agreement(&inst, &trace);
+    }
+
+    /// Garbage: both interpreters reject at the same step, or both
+    /// accept (a garbage trace can be legal by luck).
+    #[test]
+    fn certifier_agrees_with_engine_on_garbage(
+        inst in arb_instance(6),
+        moves in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..30),
+    ) {
+        let trace = garbage_trace(inst.dag().n(), &moves);
+        assert_agreement(&inst, &trace);
+    }
+}

@@ -70,6 +70,44 @@ pub fn random_in_tree<R: Rng>(n: usize, max_indegree: usize, rng: &mut R) -> Dag
     b.build().expect("tree is acyclic")
 }
 
+/// A random two-terminal series-parallel DAG on `n ≥ 2` nodes.
+///
+/// Grown by repeated expansion from the single edge `0 → 1`: each step
+/// picks a random edge `(u, v)` and either *series-splits* it into
+/// `u → w → v` or adds a *parallel* branch `u → w → v` alongside it
+/// (only while `v`'s indegree stays below `max_indegree`). Every DAG
+/// produced this way is series-parallel, which matters for the
+/// verification harness: SP DAGs are the tractable frontier where many
+/// pebbling heuristics are conjectured near-optimal, so they probe a
+/// different failure surface than layered or G(n,p) ensembles.
+pub fn series_parallel<R: Rng>(n: usize, max_indegree: usize, rng: &mut R) -> Dag {
+    assert!(n >= 2, "a two-terminal SP DAG needs at least 2 nodes");
+    let max_indegree = max_indegree.max(1);
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut indeg = vec![0usize; n];
+    indeg[1] = 1;
+    for w in 2..n {
+        let ei = rng.gen_range(0..edges.len());
+        let (u, v) = edges[ei];
+        if indeg[v] < max_indegree && rng.gen_bool(0.5) {
+            // parallel: keep (u, v), add the branch u → w → v
+            edges.push((u, w));
+            edges.push((w, v));
+            indeg[v] += 1;
+        } else {
+            // series: replace (u, v) with u → w → v
+            edges[ei] = (u, w);
+            edges.push((w, v));
+        }
+        indeg[w] = 1;
+    }
+    let mut b = DagBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().expect("series-parallel expansion is acyclic")
+}
+
 /// A long dependency chain of `n` nodes — the minimal sequential workload.
 pub fn chain(n: usize) -> Dag {
     let mut b = DagBuilder::new(n);

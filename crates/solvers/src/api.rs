@@ -289,7 +289,10 @@ pub struct Solution {
 impl Solution {
     /// Validates `trace` on the engine and wraps it. The stored cost is
     /// the engine's, so a solver can never report a cost its trace does
-    /// not realize.
+    /// not realize. A [`Quality::UpperBound`] whose `lower_bound`
+    /// exceeds the engine cost is an impossible bracket and is rejected
+    /// here with [`SolveError::BoundViolation`] — the invariant is
+    /// enforced at construction, not trusted to each solver.
     pub(crate) fn validated(
         instance: &Instance,
         trace: Pebbling,
@@ -297,6 +300,15 @@ impl Solution {
         stats: Stats,
     ) -> Result<Solution, SolveError> {
         let sim = engine::simulate(instance, &trace).map_err(|e| SolveError::Pebbling(e.error))?;
+        if let Quality::UpperBound { lower_bound } = quality {
+            let scaled = sim.scaled_cost(instance);
+            if lower_bound > scaled {
+                return Err(SolveError::BoundViolation {
+                    lower_bound,
+                    cost: scaled,
+                });
+            }
+        }
         Ok(Solution {
             trace,
             cost: sim.cost,
@@ -362,6 +374,12 @@ impl Solution {
 pub(crate) fn upper_bound_quality(instance: &Instance, cost: Cost) -> Quality {
     let eps = instance.model().epsilon();
     let lb = bounds::trivial_lower_bound(instance).scaled(eps);
+    debug_assert!(
+        lb <= cost.scaled(eps),
+        "structural lower bound {lb} exceeds a realized cost {} — \
+         bounds::trivial_lower_bound is unsound",
+        cost.scaled(eps)
+    );
     if cost.scaled(eps) == lb {
         Quality::Optimal
     } else {
@@ -901,6 +919,41 @@ mod tests {
         let inst = Instance::new(dag, 5, CostModel::oneshot());
         let sol = ExactSolver::new().solve(&inst, &ctx).unwrap();
         assert!(engine::simulate(&inst, &sol.trace).is_ok());
+    }
+
+    #[test]
+    fn impossible_bound_bracket_rejected_at_construction() {
+        // 0 -> 1, R = 2: computing both nodes costs 0 transfers
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 1);
+        let inst = Instance::new(b.build().unwrap(), 2, CostModel::oneshot());
+        let mut trace = Pebbling::new();
+        trace.compute(rbp_graph::NodeId::new(0));
+        trace.compute(rbp_graph::NodeId::new(1));
+        // a claimed lower bound of 7 on a cost-0 trace is an impossible
+        // bracket and must be refused with the structured error
+        let err = Solution::validated(
+            &inst,
+            trace.clone(),
+            Quality::UpperBound { lower_bound: 7 },
+            Stats::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::BoundViolation {
+                lower_bound: 7,
+                cost: 0
+            }
+        );
+        // a consistent bracket still passes
+        let ok = Solution::validated(
+            &inst,
+            trace,
+            Quality::UpperBound { lower_bound: 0 },
+            Stats::new(),
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

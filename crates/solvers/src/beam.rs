@@ -16,7 +16,7 @@ use crate::api::SolveCtx;
 use crate::error::SolveError;
 use crate::greedy::GreedyReport;
 use crate::hash::FxHashMap;
-use rbp_core::{bounds, engine, Instance, Move, Pebbling, SourceConvention, State};
+use rbp_core::{bounds, engine, Instance, Move, Pebbling, SinkConvention, SourceConvention, State};
 use rbp_graph::NodeId;
 
 /// Beam-search configuration.
@@ -174,6 +174,14 @@ pub(crate) fn solve_beam_budgeted(
                 ensure_slot(instance, &mut best.state, &best.uses, &[], &mut best.trace)?;
                 apply(instance, &mut best.state, &mut best.trace, Move::Compute(v))?;
                 best.order.push(v);
+            }
+        }
+    }
+    // under RequireBlue, sinks that finished red must be written out
+    if instance.sink_convention() == SinkConvention::RequireBlue {
+        for v in dag.nodes() {
+            if dag.is_sink(v) && best.state.is_red(v) {
+                apply(instance, &mut best.state, &mut best.trace, Move::Store(v))?;
             }
         }
     }
@@ -368,5 +376,19 @@ mod tests {
         let inst = Instance::new(dag, 3, CostModel::oneshot());
         let rep = solve_beam(&inst, BeamConfig::default()).unwrap();
         assert_eq!(rep.order.len(), 3);
+    }
+
+    #[test]
+    fn beam_satisfies_require_blue_sinks() {
+        let mut b = rbp_graph::DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot())
+            .with_sink_convention(SinkConvention::RequireBlue);
+        let rep = solve_beam(&inst, BeamConfig::default()).unwrap();
+        // the engine's completeness check enforces the blue sink; the
+        // final store is the only required transfer
+        assert!(engine::simulate(&inst, &rep.trace).is_ok());
+        assert_eq!(rep.cost.transfers, 1);
     }
 }

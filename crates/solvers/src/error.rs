@@ -37,6 +37,18 @@ pub enum SolveError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A solver tried to return [`crate::api::Quality::UpperBound`]
+    /// whose claimed `lower_bound` exceeds the trace's actual cost —
+    /// an impossible bracket (`lower_bound ≤ optimum ≤ cost` must
+    /// hold). Enforced centrally at [`crate::api::Solution`]
+    /// construction so no individual solver is trusted with the
+    /// invariant. Both figures are scaled by the model's ε.
+    BoundViolation {
+        /// The claimed lower bound (scaled).
+        lower_bound: u128,
+        /// The trace's engine-computed cost (scaled).
+        cost: u128,
+    },
     /// The solve was stopped by its [`crate::api::Budget`] (deadline,
     /// cancellation, or expansion cap) before any incumbent existed to
     /// degrade to. Solvers that hold an incumbent return it as
@@ -67,6 +79,12 @@ impl fmt::Display for SolveError {
             SolveError::BadConfig { reason } => write!(f, "bad solver configuration: {reason}"),
             SolveError::BadSpec { spec, reason } => {
                 write!(f, "bad solver spec '{spec}': {reason}")
+            }
+            SolveError::BoundViolation { lower_bound, cost } => {
+                write!(
+                    f,
+                    "solver claimed lower bound {lower_bound} above its own cost {cost}"
+                )
             }
             SolveError::Interrupted => {
                 write!(

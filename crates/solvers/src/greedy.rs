@@ -22,7 +22,9 @@
 //! (Appendix A.4).
 
 use crate::error::SolveError;
-use rbp_core::{bounds, engine, Cost, Instance, Move, Pebbling, SourceConvention, State};
+use rbp_core::{
+    bounds, engine, Cost, Instance, Move, Pebbling, SinkConvention, SourceConvention, State,
+};
 use rbp_graph::NodeId;
 
 /// Rule for choosing the next node to compute (Section 8).
@@ -317,6 +319,15 @@ pub fn solve_greedy_with(
         }
     }
 
+    // under RequireBlue, sinks that finished red must be written out
+    if instance.sink_convention() == SinkConvention::RequireBlue {
+        for v in dag.nodes() {
+            if dag.is_sink(v) && state.is_red(v) {
+                apply(&mut state, &mut trace, Move::Store(v))?;
+            }
+        }
+    }
+
     let report = engine::simulate(instance, &trace).map_err(|e| SolveError::Pebbling(e.error))?;
     Ok(GreedyReport {
         trace,
@@ -459,6 +470,20 @@ mod tests {
         let rep = solve_greedy(&inst).unwrap();
         assert_eq!(rep.cost.transfers, 0);
         assert_eq!(rep.order.len(), 10);
+    }
+
+    #[test]
+    fn greedy_satisfies_require_blue_sinks_in_all_models() {
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            let dag = generate::gnp_dag(10, 0.3, 3, &mut rng);
+            let r = dag.max_indegree() + 1;
+            let inst = Instance::new(dag, r, CostModel::of_kind(kind))
+                .with_sink_convention(SinkConvention::RequireBlue);
+            let rep = solve_greedy(&inst).unwrap();
+            // simulate's completeness check enforces every sink blue
+            assert!(engine::simulate(&inst, &rep.trace).is_ok(), "model {kind}");
+        }
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! The bounded fuzz-soak entry point the CI job runs.
+//!
+//! ```text
+//! fuzz-soak [--instances N] [--seed S] [--time-budget-secs T]
+//!           [--max-nodes M] [--out DIR] [--replay FILE]
+//! ```
+//!
+//! Default mode: runs the gadget set plus `N` seeded random ensemble
+//! instances through the differential harness. Any violating instance
+//! is greedily shrunk and written as a replayable counterexample under
+//! `--out` (default `results/counterexamples/`). Exit status:
+//!
+//! - `0` — target instance count certified, zero violations;
+//! - `1` — at least one invariant violation or certifier rejection
+//!   (counterexamples written);
+//! - `2` — wall-clock budget exhausted before the target count (no
+//!   violations found in what did run).
+//!
+//! Replay mode (`--replay FILE`): parses one `instance v1` document
+//! (counterexample comments included) and runs the full lattice over
+//! exactly that instance.
+
+use rbp_verify::{check_instance, shrink, write_counterexample, HarnessConfig};
+use rbp_workloads::ensemble::EnsembleConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    instances: usize,
+    seed: u64,
+    time_budget: Duration,
+    max_nodes: usize,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        instances: 10_000,
+        seed: 0xB1E55ED,
+        time_budget: Duration::from_secs(600),
+        max_nodes: 10,
+        out: PathBuf::from("results/counterexamples"),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--instances" => {
+                args.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--time-budget-secs" => {
+                args.time_budget = Duration::from_secs(
+                    value("--time-budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--time-budget-secs: {e}"))?,
+                )
+            }
+            "--max-nodes" => {
+                args.max_nodes = value("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--max-nodes: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz-soak [--instances N] [--seed S] [--time-budget-secs T] \
+                     [--max-nodes M] [--out DIR] [--replay FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay(path: &PathBuf, cfg: &HarnessConfig) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fuzz-soak: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let inst = match rbp_core::parse_instance(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!(
+                "fuzz-soak: {} is not an instance v1 document: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying {} ({:?})", path.display(), inst);
+    let out = check_instance(&inst, cfg);
+    println!(
+        "  {} solves, {} certified, {} violations",
+        out.solves,
+        out.certified,
+        out.violations.len()
+    );
+    for v in &out.violations {
+        println!("  VIOLATION {v}");
+    }
+    if out.violations.is_empty() {
+        println!("replay clean: the counterexample no longer reproduces");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let harness_cfg = HarnessConfig::default();
+    if let Some(path) = &args.replay {
+        return replay(path, &harness_cfg);
+    }
+
+    let ensemble_cfg = EnsembleConfig {
+        max_nodes: args.max_nodes,
+        ..EnsembleConfig::default()
+    };
+    let start = Instant::now();
+    let deadline = start + args.time_budget;
+    let mut counterexamples: Vec<PathBuf> = Vec::new();
+    let mut budget_hit = false;
+
+    // Run in chunks so the wall-clock budget is honored between chunks
+    // without threading a deadline through the harness.
+    let chunk = 500usize;
+    let mut done = 0usize;
+    let mut report = rbp_verify::Report::default();
+    while done < args.instances {
+        if Instant::now() >= deadline {
+            budget_hit = true;
+            break;
+        }
+        let take = chunk.min(args.instances - done);
+        // each chunk continues the same ensemble: instance indices are
+        // offset by re-deriving the stream and skipping, which the
+        // seeded per-index generator makes free
+        let chunk_report = run_chunk(
+            args.seed,
+            done,
+            take,
+            done == 0,
+            &harness_cfg,
+            &ensemble_cfg,
+            &args.out,
+            &mut counterexamples,
+        );
+        done += take;
+        merge(&mut report, chunk_report);
+    }
+
+    let elapsed = start.elapsed();
+    let gadget_count = rbp_verify::gadget_instances().len().min(report.instances);
+    println!(
+        "fuzz-soak: {} instances ({} gadget + {} random), {} solves, {} certified, \
+         {} skipped infeasible, {} violations in {:.1?}",
+        report.instances,
+        gadget_count,
+        report.instances - gadget_count,
+        report.solves,
+        report.certified,
+        report.skipped_infeasible,
+        report.violations.len(),
+        elapsed
+    );
+    for path in &counterexamples {
+        println!("  counterexample: {}", path.display());
+    }
+    if !report.violations.is_empty() {
+        ExitCode::FAILURE
+    } else if budget_hit {
+        eprintln!(
+            "fuzz-soak: wall-clock budget {:?} exhausted at {}/{} instances",
+            args.time_budget, done, args.instances
+        );
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    seed: u64,
+    offset: usize,
+    count: usize,
+    include_gadgets: bool,
+    harness_cfg: &HarnessConfig,
+    ensemble_cfg: &EnsembleConfig,
+    out_dir: &std::path::Path,
+    counterexamples: &mut Vec<PathBuf>,
+) -> rbp_verify::Report {
+    use rbp_workloads::ensemble;
+    let mut report = rbp_verify::Report::default();
+    let mut handle_violation =
+        |name: &str, inst: &rbp_core::Instance, violations: &[rbp_verify::Violation]| {
+            eprintln!("VIOLATION on {name}:");
+            for v in violations {
+                eprintln!("  {v}");
+            }
+            let (small, steps) = shrink(inst, |candidate| {
+                !check_instance(candidate, harness_cfg).clean()
+            });
+            let final_violations = check_instance(&small, harness_cfg).violations;
+            eprintln!(
+                "  shrunk {} -> {} nodes in {} steps",
+                inst.dag().n(),
+                small.dag().n(),
+                steps
+            );
+            match write_counterexample(out_dir, name, &small, &final_violations) {
+                Ok(path) => counterexamples.push(path),
+                Err(e) => eprintln!("  failed to write counterexample: {e}"),
+            }
+        };
+    if include_gadgets {
+        for (name, inst) in rbp_verify::gadget_instances() {
+            let outcome = check_instance(&inst, harness_cfg);
+            if !outcome.clean() {
+                handle_violation(&name, &inst, &outcome.violations);
+            }
+            report.absorb(outcome);
+        }
+    }
+    for g in (offset..offset + count).map(|i| ensemble::instance_at(seed, i as u64, ensemble_cfg)) {
+        if !g.instance.is_feasible() {
+            report.skipped_infeasible += 1;
+            continue;
+        }
+        let outcome = check_instance(&g.instance, harness_cfg);
+        if !outcome.clean() {
+            handle_violation(&g.name, &g.instance, &outcome.violations);
+        }
+        report.absorb(outcome);
+    }
+    report
+}
+
+fn merge(into: &mut rbp_verify::Report, from: rbp_verify::Report) {
+    into.instances += from.instances;
+    into.skipped_infeasible += from.skipped_infeasible;
+    into.solves += from.solves;
+    into.certified += from.certified;
+    into.violations.extend(from.violations);
+}

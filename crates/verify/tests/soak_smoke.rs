@@ -1,0 +1,51 @@
+//! Smoke-scale soak: the harness must certify a few hundred seeded
+//! ensemble instances (plus the gadget set) with zero violations. The
+//! CI fuzz-soak job runs the same pipeline at 10,000+ instances in
+//! release; this keeps the debug test suite fast while still
+//! exercising every invariant row and all four models end-to-end.
+
+use rbp_verify::{ensemble_report, HarnessConfig};
+use rbp_workloads::ensemble::EnsembleConfig;
+
+#[test]
+fn ensemble_soak_is_clean() {
+    let report = ensemble_report(
+        0xB1E55ED,
+        150,
+        &HarnessConfig::default(),
+        &EnsembleConfig {
+            max_nodes: 8,
+            ..EnsembleConfig::default()
+        },
+        |name, inst, violations| {
+            panic!("violations on {name} ({inst:?}): {violations:#?}");
+        },
+    );
+    assert!(report.violations.is_empty());
+    assert!(report.instances >= 150, "gadgets + ensemble all checked");
+    assert!(
+        report.certified > report.instances * rbp_verify::SPECS.len() / 2,
+        "certifier ran across the spec set ({} certs, {} instances)",
+        report.certified,
+        report.instances
+    );
+    assert_eq!(
+        report.skipped_infeasible, 0,
+        "ensembles are always feasible"
+    );
+}
+
+#[test]
+fn distinct_seeds_change_the_ensemble_but_not_cleanliness() {
+    let report = ensemble_report(
+        7,
+        40,
+        &HarnessConfig::default(),
+        &EnsembleConfig {
+            max_nodes: 7,
+            ..EnsembleConfig::default()
+        },
+        |name, _, violations| panic!("violations on {name}: {violations:#?}"),
+    );
+    assert!(report.violations.is_empty());
+}

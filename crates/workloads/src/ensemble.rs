@@ -1,0 +1,241 @@
+//! Seeded random instance ensembles for the verification harness.
+//!
+//! Each ensemble maps `(base_seed, index)` deterministically to a
+//! complete [`Instance`] — DAG family, size, red budget, cost model,
+//! and start/finish conventions are all drawn from the vendored
+//! [`rand::rngs::StdRng`], so a violating instance found by the fuzz
+//! soak can always be regenerated from its `(base_seed, index)` pair
+//! (or replayed from the written `instance v1` counterexample file).
+//!
+//! Four random DAG families are rotated through:
+//!
+//! | family | generator | probes |
+//! |---|---|---|
+//! | `layered` | [`generate::layered`] | staged pipelines, controlled Δ |
+//! | `series-parallel` | [`generate::series_parallel`] | the tractable SP frontier |
+//! | `random-order` | [`generate::gnp_dag`] | unstructured G(n,p) forward DAGs |
+//! | `in-tree` | [`generate::random_in_tree`] | reduction trees to a single sink |
+//!
+//! Gadget families (pyramids, grids, CD gadgets, …) live in
+//! `rbp-gadgets`; the `rbp-verify` harness composes both sources, since
+//! the dependency arrow points gadgets → solvers → core and this crate
+//! must stay below the solvers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbp_core::{CostModel, Instance, SinkConvention, SourceConvention};
+use rbp_graph::generate;
+
+/// The random DAG families an ensemble rotates through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Staged layered DAGs ([`generate::layered`]).
+    Layered,
+    /// Two-terminal series-parallel DAGs ([`generate::series_parallel`]).
+    SeriesParallel,
+    /// G(n,p) forward DAGs over a random topological order
+    /// ([`generate::gnp_dag`]).
+    RandomOrder,
+    /// Random in-trees with a single sink ([`generate::random_in_tree`]).
+    InTree,
+}
+
+impl Family {
+    /// All families, in rotation order.
+    pub const ALL: [Family; 4] = [
+        Family::Layered,
+        Family::SeriesParallel,
+        Family::RandomOrder,
+        Family::InTree,
+    ];
+
+    /// Short name used in generated-instance labels and counterexample
+    /// file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Layered => "layered",
+            Family::SeriesParallel => "series-parallel",
+            Family::RandomOrder => "random-order",
+            Family::InTree => "in-tree",
+        }
+    }
+}
+
+/// Size and shape bounds for generated instances.
+///
+/// The defaults are tuned for the differential harness: every registry
+/// spec (including the unpruned reference solver and the parallel exact
+/// family) must finish in well under a millisecond per instance so the
+/// CI soak can afford ≥ 10,000 instances in a short wall-clock budget.
+#[derive(Clone, Copy, Debug)]
+pub struct EnsembleConfig {
+    /// Largest DAG, in nodes (inclusive). Instances are drawn between
+    /// 3 and this bound.
+    pub max_nodes: usize,
+    /// Indegree cap Δ handed to the generators; feasibility then only
+    /// needs R ≥ Δ+1.
+    pub max_indegree: usize,
+    /// Red budgets are drawn from `min_feasible_r()` to
+    /// `min_feasible_r() + r_slack` inclusive; slack 0 pins every
+    /// instance to the feasibility threshold (the hardest regime),
+    /// larger slack exercises the eviction-policy code paths.
+    pub r_slack: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            max_nodes: 10,
+            max_indegree: 3,
+            r_slack: 2,
+        }
+    }
+}
+
+/// One generated instance, with enough provenance to regenerate or
+/// report it.
+#[derive(Clone, Debug)]
+pub struct GeneratedInstance {
+    /// Human-readable label: `"<family>-n<nodes>-i<index>"`.
+    pub name: String,
+    /// The family the DAG was drawn from.
+    pub family: Family,
+    /// The ensemble index this instance occupies.
+    pub index: u64,
+    /// The complete, feasible pebbling instance.
+    pub instance: Instance,
+}
+
+/// Deterministically generates the `index`-th instance of the ensemble
+/// rooted at `base_seed`.
+///
+/// The same `(base_seed, index, cfg)` triple always yields a
+/// byte-identical instance; distinct indices use independently seeded
+/// RNG streams (SplitMix64 over `base_seed ⊕ f(index)`), so ensembles
+/// can be sampled in any order or in parallel.
+pub fn instance_at(base_seed: u64, index: u64, cfg: &EnsembleConfig) -> GeneratedInstance {
+    let mut rng = StdRng::seed_from_u64(base_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let family = Family::ALL[(index % Family::ALL.len() as u64) as usize];
+    let max_n = cfg.max_nodes.max(3);
+    let max_d = cfg.max_indegree.max(1);
+    let dag = match family {
+        Family::Layered => {
+            let layers = rng.gen_range(2..=4usize);
+            let width = rng.gen_range(1..=(max_n / layers).max(1));
+            generate::layered(layers, width, max_d, &mut rng)
+        }
+        Family::SeriesParallel => {
+            let n = rng.gen_range(3..=max_n);
+            generate::series_parallel(n, max_d, &mut rng)
+        }
+        Family::RandomOrder => {
+            let n = rng.gen_range(3..=max_n);
+            let p = 0.15 + 0.5 * rng.gen_range(0..=100u32) as f64 / 100.0;
+            generate::gnp_dag(n, p, max_d, &mut rng)
+        }
+        Family::InTree => {
+            let n = rng.gen_range(3..=max_n);
+            generate::random_in_tree(n, max_d, &mut rng)
+        }
+    };
+    let model = match rng.gen_range(0..4u32) {
+        0 => CostModel::base(),
+        1 => CostModel::oneshot(),
+        2 => CostModel::nodel(),
+        _ => CostModel::compcost(),
+    };
+    let n = dag.n();
+    let base = Instance::new(dag, 1, model);
+    let r_max = (base.min_feasible_r() + cfg.r_slack).min(n.max(base.min_feasible_r()));
+    let r = rng.gen_range(base.min_feasible_r()..=r_max.max(base.min_feasible_r()));
+    let mut inst = base.with_red_limit(r);
+    // occasionally flip to the Hong–Kung / blue-output conventions so the
+    // harness also exercises the Appendix C variants
+    if rng.gen_bool(0.2) {
+        inst = inst.with_source_convention(SourceConvention::InitiallyBlue);
+    }
+    if rng.gen_bool(0.2) {
+        inst = inst.with_sink_convention(SinkConvention::RequireBlue);
+    }
+    GeneratedInstance {
+        name: format!("{}-n{}-i{}", family.name(), n, index),
+        family,
+        index,
+        instance: inst,
+    }
+}
+
+/// An endless deterministic stream of ensemble instances starting at
+/// index 0. `stream(seed, cfg).take(k)` is the canonical way to sample
+/// a k-instance ensemble.
+pub fn stream(base_seed: u64, cfg: EnsembleConfig) -> impl Iterator<Item = GeneratedInstance> {
+    (0u64..).map(move |i| instance_at(base_seed, i, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::ModelKind;
+
+    #[test]
+    fn ensembles_are_deterministic() {
+        let cfg = EnsembleConfig::default();
+        for i in 0..32 {
+            let a = instance_at(7, i, &cfg);
+            let b = instance_at(7, i, &cfg);
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.instance.canonical_key(),
+                b.instance.canonical_key(),
+                "index {i} must regenerate identically"
+            );
+        }
+    }
+
+    #[test]
+    fn ensembles_are_always_feasible_and_bounded() {
+        let cfg = EnsembleConfig::default();
+        for g in stream(42, cfg).take(200) {
+            assert!(g.instance.is_feasible(), "{} must be feasible", g.name);
+            assert!(g.instance.dag().n() <= 16, "{} too large", g.name);
+            assert!(g.instance.dag().n() >= 2);
+        }
+    }
+
+    #[test]
+    fn ensembles_rotate_families_and_models() {
+        let cfg = EnsembleConfig::default();
+        let sample: Vec<_> = stream(3, cfg).take(64).collect();
+        for f in Family::ALL {
+            assert!(
+                sample.iter().any(|g| g.family == f),
+                "family {} missing from rotation",
+                f.name()
+            );
+        }
+        for kind in [
+            ModelKind::Base,
+            ModelKind::Oneshot,
+            ModelKind::NoDel,
+            ModelKind::CompCost,
+        ] {
+            assert!(
+                sample.iter().any(|g| g.instance.model().kind() == kind),
+                "model {kind:?} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_ensembles() {
+        let cfg = EnsembleConfig::default();
+        let a: Vec<_> = stream(1, cfg).take(16).collect();
+        let b: Vec<_> = stream(2, cfg).take(16).collect();
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.instance.canonical_key() != y.instance.canonical_key()),
+            "seeds 1 and 2 generated identical ensembles"
+        );
+    }
+}

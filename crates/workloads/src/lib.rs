@@ -7,11 +7,17 @@
 //! - [`matmul`]: dense matrix multiplication (I/O bound Ω(n³/√R));
 //! - [`fft`]: the radix-2 butterfly (Θ(n·log n / log R));
 //! - [`stencil`]: iterated 1-D stencils of configurable radius;
-//! - [`tree`]: k-ary reduction trees.
+//! - [`tree`]: k-ary reduction trees;
+//! - [`ensemble`]: seeded random *instance* ensembles (layered,
+//!   series-parallel, random-order, in-tree) for the `rbp-verify`
+//!   differential harness.
 //!
-//! Random layered/G(n,p)/chain generators live in
-//! [`rbp_graph::generate`].
+//! Random layered/G(n,p)/series-parallel/chain DAG generators live in
+//! [`rbp_graph::generate`]; [`ensemble`] lifts them to complete
+//! [`rbp_core::Instance`]s with models, budgets, and conventions drawn
+//! deterministically from a seed.
 
+pub mod ensemble;
 pub mod fft;
 pub mod matmul;
 pub mod stencil;

@@ -18,6 +18,7 @@
 //! | [`reductions`] | `rbp-reductions` | Hamiltonian Path & Vertex Cover reductions + solvers |
 //! | [`workloads`] | `rbp-workloads` | matmul, FFT, stencil, trees |
 //! | [`service`] | `rbp-service` | batch-solve server, memoization cache, wire protocol |
+//! | [`verify`] | `rbp-verify` | differential fuzz harness, shrinker, counterexamples |
 //!
 //! ## Quickstart
 //! ```
@@ -46,6 +47,7 @@ pub use rbp_graph as graph;
 pub use rbp_reductions as reductions;
 pub use rbp_service as service;
 pub use rbp_solvers as solvers;
+pub use rbp_verify as verify;
 pub use rbp_workloads as workloads;
 
 /// The most common imports in one place.
