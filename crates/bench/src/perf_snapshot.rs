@@ -15,7 +15,11 @@
 //! (`"exact"` — the sequential path with the greedy incumbent seed —
 //! and `"exact-parallel:4"` — the hash-sharded search). Diffs are keyed
 //! by `(workload, model, spec)`, so adding a solver to the matrix is
-//! one more spec string, not a schema change.
+//! one more spec string, not a schema change — which is exactly how the
+//! multiprocessor rows ride along: [`mpp_cells`] adds `chain-mpp` and
+//! `pyramid-mpp` cells measured under `exact@mpp:1` / `exact@mpp:2` /
+//! `greedy@mpp:2`, with the `exact@mpp:1` optimum pinned equal to the
+//! classic `exact` optimum on the same instance.
 //!
 //! The same instance matrix backs the `bench_exact_hotpath` and
 //! `bench_exact_parallel` criterion targets, so interactive `cargo
@@ -46,6 +50,14 @@ pub const SCHEMA: &str = "rbp-perf-exact/v3";
 /// incumbent-seeded sequential path and the hash-sharded parallel
 /// search.
 pub const SNAPSHOT_SPECS: [&str; 2] = ["exact", "exact-parallel:4"];
+
+/// The registry specs the multiprocessor rows ([`mpp_cells`]) are
+/// measured under. `exact@mpp:1` doubles as a continuously-pinned
+/// correctness cell: its recorded optimum must equal the classic
+/// `exact` optimum on the same instance (the two state spaces are
+/// isomorphic at `p = 1`), which
+/// `mpp_rows_pin_the_single_processor_optimum` asserts.
+pub const MPP_SNAPSHOT_SPECS: [&str; 3] = ["exact@mpp:1", "exact@mpp:2", "greedy@mpp:2"];
 
 /// The thread count behind the parallel snapshot spec (also used by the
 /// `bench_exact_parallel` criterion target).
@@ -142,6 +154,32 @@ pub fn extra_cells() -> Vec<PerfCase> {
     ]
 }
 
+/// Multiprocessor rows: a chain and a pyramid, each under the three
+/// tracked models, solved by every spec in [`MPP_SNAPSHOT_SPECS`].
+/// The `@mpp:P` specs lift the instance themselves
+/// ([`rbp_core::Instance::with_procs`]), so the cells stay classic
+/// instances and the `exact@mpp:1` rows remain directly comparable to
+/// a classic `exact` solve. Sizes are smaller than the classic matrix
+/// because the product state space carries one red plane *per
+/// processor*.
+pub fn mpp_cells() -> Vec<PerfCase> {
+    let dags: Vec<(&'static str, rbp_graph::Dag, usize)> = vec![
+        ("chain-mpp", generate::chain(8), 2),
+        ("pyramid-mpp", rbp_gadgets::pyramid::build(3).dag, 3),
+    ];
+    let mut cases = Vec::with_capacity(dags.len() * MODELS.len());
+    for (workload, dag, r) in dags {
+        for (model, kind) in MODELS {
+            cases.push(PerfCase {
+                workload,
+                model,
+                instance: Instance::new(dag.clone(), r, CostModel::of_kind(kind)),
+            });
+        }
+    }
+    cases
+}
+
 /// The full recorded matrix: the classic 6×3 cells plus the larger ones.
 pub fn all_cells() -> Vec<PerfCase> {
     let mut cs = cells();
@@ -202,6 +240,14 @@ pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<
             let (median_ns, sol) = &runs[runs.len() / 2];
             let median_ns = (*median_ns).max(1);
             let states_seen = sol.states_seen().unwrap_or(0) as usize;
+            // specs that report no search effort (the greedy family)
+            // record solves/sec instead, mirroring the service rows, so
+            // the perf-check throughput diff stays meaningful for them
+            let states_per_sec = if states_seen == 0 {
+                (1_000_000_000 / median_ns) as u64
+            } else {
+                ((states_seen as u128 * 1_000_000_000) / median_ns) as u64
+            };
             results.push(CellResult {
                 workload: case.workload.to_string(),
                 model: case.model.to_string(),
@@ -212,7 +258,7 @@ pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<
                 median_ns,
                 states_seen,
                 states_expanded: sol.states_expanded().unwrap_or(0) as usize,
-                states_per_sec: ((states_seen as u128 * 1_000_000_000) / median_ns) as u64,
+                states_per_sec,
                 scaled_cost: sol.scaled_cost(&case.instance),
             });
         }
@@ -220,10 +266,12 @@ pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<
     results
 }
 
-/// Measures the full recorded matrix at [`SNAPSHOT_SPECS`], plus the
-/// batch-solve service round-trip cells ([`measure_service`]).
+/// Measures the full recorded matrix at [`SNAPSHOT_SPECS`], the
+/// multiprocessor rows ([`mpp_cells`] at [`MPP_SNAPSHOT_SPECS`]), plus
+/// the batch-solve service round-trip cells ([`measure_service`]).
 pub fn measure(samples: usize) -> Vec<CellResult> {
     let mut results = measure_cases(&all_cells(), samples, &SNAPSHOT_SPECS);
+    results.extend(measure_cases(&mpp_cells(), samples, &MPP_SNAPSHOT_SPECS));
     results.extend(measure_service(samples));
     results
 }
@@ -865,6 +913,34 @@ mod tests {
         assert_eq!(extra.len(), 4, "larger incumbent-tractable cells");
         assert!(extra.iter().all(|c| c.instance.is_feasible()));
         assert_eq!(all_cells().len(), 22);
+        let mpp = mpp_cells();
+        assert_eq!(mpp.len(), 6, "2 mpp workloads x 3 models");
+        assert!(mpp.iter().all(|c| c.instance.is_feasible()));
+        // the cells stay classic: the @mpp:P specs do the lifting
+        assert!(mpp.iter().all(|c| c.instance.mpp().is_none()));
+    }
+
+    #[test]
+    fn mpp_rows_pin_the_single_processor_optimum() {
+        // every recorded exact@mpp:1 cell must carry the same scaled
+        // optimum as the classic exact solver on the same instance —
+        // the acceptance bar for the p = 1 ≡ sequential equivalence
+        let rows = measure_cases(&mpp_cells(), 1, &["exact@mpp:1"]);
+        for (row, case) in rows.iter().zip(mpp_cells().iter()) {
+            let classic = registry::solve("exact", &case.instance).expect("mpp cells solve");
+            assert_eq!(
+                row.scaled_cost,
+                classic.scaled_cost(&case.instance),
+                "{}/{}: exact@mpp:1 drifted from the classic optimum",
+                row.workload,
+                row.model
+            );
+        }
+        // greedy rows report no search effort; their throughput column
+        // must fall back to solves/sec rather than recording zero
+        // (zero would trip perf-check's ratio test forever)
+        let greedy = measure_cases(&mpp_cells()[..1], 1, &["greedy@mpp:2"]);
+        assert!(greedy[0].states_seen == 0 && greedy[0].states_per_sec > 0);
     }
 
     #[test]

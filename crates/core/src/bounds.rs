@@ -32,9 +32,11 @@ pub fn universal_upper_bound(instance: &Instance) -> Cost {
 }
 
 /// A trivial lower bound on the optimal cost per model (Section 4):
-/// 0 for base/oneshot, `computed − R` transfers for nodel (every node
+/// 0 for base/oneshot, `computed − p·R` transfers for nodel (every node
 /// computed holds a red pebble that can only leave via a store, and at
-/// most R may remain red at the end), and ε·`computed` for compcost.
+/// most R may remain red *per processor* at the end — `p·R` in total,
+/// which is just `R` for classic instances), and ε·`computed` for
+/// compcost (a compute-count bound, valid for any p).
 ///
 /// `computed` is the number of nodes that must receive a compute: all n
 /// under `FreeCompute`, but under `InitiallyBlue` the sources start
@@ -51,7 +53,8 @@ pub fn trivial_lower_bound(instance: &Instance) -> Cost {
     match instance.model().kind() {
         ModelKind::Base | ModelKind::Oneshot => Cost::ZERO,
         ModelKind::NoDel => {
-            Cost::transfers(computed_nodes.saturating_sub(instance.red_limit() as u64))
+            let red_capacity = instance.red_limit() as u64 * instance.procs() as u64;
+            Cost::transfers(computed_nodes.saturating_sub(red_capacity))
         }
         ModelKind::CompCost => Cost {
             transfers: 0,
@@ -252,6 +255,19 @@ mod tests {
         let inst = Instance::new(chain, 2, CostModel::nodel())
             .with_source_convention(SourceConvention::InitiallyBlue);
         assert_eq!(trivial_lower_bound(&inst).transfers, 7);
+    }
+
+    #[test]
+    fn nodel_bound_uses_total_red_capacity_under_mpp() {
+        // 10-chain, R = 2: classic bound is 8 stores, but with p = 4
+        // processors the total red capacity is 8, so only 2 stores are
+        // forced — the classic figure would overclaim and break
+        // upper_bound_quality on multiprocessor optima.
+        let dag = generate::chain(10);
+        let inst = Instance::new(dag, 2, CostModel::nodel());
+        assert_eq!(trivial_lower_bound(&inst).transfers, 8);
+        assert_eq!(trivial_lower_bound(&inst.with_procs(4)).transfers, 2);
+        assert_eq!(trivial_lower_bound(&inst.with_procs(8)).transfers, 0);
     }
 
     #[test]

@@ -2,19 +2,26 @@
 //!
 //! [`certify`] re-executes a pebbling trace against the rules of its
 //! instance's model using a **separate minimal interpreter** — it shares
-//! no code with [`crate::state::State`] or [`crate::engine`]: its board
-//! is a plain `Vec<Color>`, its cost accounting is two integer counters
-//! scaled directly by ε, and its legality guards are written from the
-//! paper's move rules (Section 2 plus the Section 4 model deltas and the
-//! Appendix C conventions), not from the engine's. A bug in the engine
-//! and a matching bug in a solver therefore cannot cancel out here: any
-//! solution the system emits can be certified end-to-end by code with a
-//! disjoint failure surface. Differential agreement between certifier
-//! and engine (accept/reject *and* costs) is itself property-tested in
-//! `tests/prop_certify.rs`.
+//! no code with [`crate::state::State`], [`crate::engine`], or
+//! [`crate::mpp`]: its board is a plain `Vec<Color>` whose red cells
+//! remember the owning processor, its cost accounting is two integer
+//! counters scaled by the instance's objective weights, and its
+//! legality guards are written from the paper's move rules (Section 2
+//! plus the Section 4 model deltas and the Appendix C conventions) and
+//! the multiprocessor deltas of Böhnlein/Papp/Yzelman 2024, not from
+//! the engine's. A bug in the engine and a matching bug in a solver
+//! therefore cannot cancel out here: any solution the system emits can
+//! be certified end-to-end by code with a disjoint failure surface.
+//! Differential agreement between certifier and engine (accept/reject
+//! *and* costs) is itself property-tested in `tests/prop_certify.rs`.
+//!
+//! The single-processor game is certified as the `p = 1` special case
+//! of the same interpreter — one code path, so the equivalence between
+//! the two games is structural rather than asserted.
 //!
 //! The only inputs the certifier consults are problem *data*: the DAG's
-//! predecessor lists, R, the model kind/ε, and the two conventions.
+//! predecessor lists, R, the model kind/ε, p, the cost weights, and the
+//! two conventions.
 
 use crate::cost::Cost;
 use crate::instance::{Instance, SinkConvention, SourceConvention};
@@ -24,12 +31,22 @@ use crate::trace::Pebbling;
 use rbp_graph::NodeId;
 use std::fmt;
 
-/// What a node's board cell holds. A node has at most one pebble.
+/// What a node's board cell holds. A node has at most one pebble
+/// globally; a red pebble records the processor whose private memory
+/// holds it (always 0 in the single-processor game, so the p = 1 board
+/// is the classic board under a different name — there is deliberately
+/// only one code path).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Color {
     Empty,
-    Red,
+    Red(u16),
     Blue,
+}
+
+impl Color {
+    fn is_red(self) -> bool {
+        matches!(self, Color::Red(_))
+    }
 }
 
 /// The outcome of a successful certification: independently recomputed
@@ -41,7 +58,9 @@ pub struct Certificate {
     /// Compute moves executed.
     pub computes: u64,
     /// The canonical integer comparison key, recomputed from scratch:
-    /// `transfers·den(ε) + computes·num(ε)`.
+    /// `transfers·den(ε) + computes·num(ε)` classically, or the
+    /// comm/comp-weighted equivalent for multiprocessor instances
+    /// (identical numbers under the default weights).
     pub scaled_cost: u128,
     /// Moves in the trace.
     pub steps: usize,
@@ -99,10 +118,14 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
     let recompute_ok = kind != ModelKind::Oneshot;
     let delete_ok = kind != ModelKind::NoDel;
     let sources_locked = instance.source_convention() == SourceConvention::InitiallyBlue;
+    // The multiprocessor dimension: processor count and per-processor
+    // red budgets. The single-processor game is exactly the p = 1 case
+    // of the same rules, so there is one interpreter, not two.
+    let procs = instance.procs();
 
     let mut board = vec![Color::Empty; n];
     let mut computed = vec![false; n];
-    let mut reds: usize = 0;
+    let mut reds = vec![0usize; procs];
     if sources_locked {
         for s in dag.sources() {
             board[s.index()] = Color::Blue;
@@ -115,26 +138,31 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
     let reject =
         |step: usize, mv: Move, rule: &'static str| CertifyError::Rejected { step, mv, rule };
     for (step, &mv) in trace.moves().iter().enumerate() {
+        let p = trace.proc_of(step);
+        if p as usize >= procs {
+            return Err(reject(step, mv, "processor index out of range"));
+        }
+        let pi = p as usize;
         match mv {
             Move::Load(v) => {
                 let i = v.index();
                 if i >= n || board[i] != Color::Blue {
                     return Err(reject(step, mv, "load requires a blue pebble on the node"));
                 }
-                if reds >= r_limit {
+                if reds[pi] >= r_limit {
                     return Err(reject(step, mv, "load would exceed the red budget R"));
                 }
-                board[i] = Color::Red;
-                reds += 1;
+                board[i] = Color::Red(p);
+                reds[pi] += 1;
                 transfers += 1;
             }
             Move::Store(v) => {
                 let i = v.index();
-                if i >= n || board[i] != Color::Red {
+                if i >= n || board[i] != Color::Red(p) {
                     return Err(reject(step, mv, "store requires a red pebble on the node"));
                 }
                 board[i] = Color::Blue;
-                reds -= 1;
+                reds[pi] -= 1;
                 transfers += 1;
             }
             Move::Compute(v) => {
@@ -142,7 +170,7 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
                 if i >= n {
                     return Err(reject(step, mv, "compute on a node outside the DAG"));
                 }
-                if board[i] == Color::Red {
+                if board[i].is_red() {
                     return Err(reject(step, mv, "compute onto a red pebble"));
                 }
                 if !recompute_ok && computed[i] {
@@ -155,15 +183,23 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
                         "initially-blue sources are not computable",
                     ));
                 }
-                if dag.preds(v).iter().any(|p| board[p.index()] != Color::Red) {
-                    return Err(reject(step, mv, "compute needs every input red"));
+                if dag
+                    .preds(v)
+                    .iter()
+                    .any(|q| board[q.index()] != Color::Red(p))
+                {
+                    return Err(reject(
+                        step,
+                        mv,
+                        "compute needs every input red on the computing processor",
+                    ));
                 }
-                if reds >= r_limit {
+                if reds[pi] >= r_limit {
                     return Err(reject(step, mv, "compute would exceed the red budget R"));
                 }
                 // computing replaces any blue pebble on the node
-                board[i] = Color::Red;
-                reds += 1;
+                board[i] = Color::Red(p);
+                reds[pi] += 1;
                 computed[i] = true;
                 computes += 1;
             }
@@ -172,11 +208,16 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
                 if !delete_ok {
                     return Err(reject(step, mv, "nodel model forbids deletion"));
                 }
-                if i >= n || board[i] == Color::Empty {
+                // a red pebble in another processor's memory is not
+                // deletable by this processor (shared blue always is)
+                if i >= n
+                    || board[i] == Color::Empty
+                    || (board[i].is_red() && board[i] != Color::Red(p))
+                {
                     return Err(reject(step, mv, "delete on an unpebbled node"));
                 }
-                if board[i] == Color::Red {
-                    reds -= 1;
+                if board[i] == Color::Red(p) {
+                    reds[pi] -= 1;
                 }
                 board[i] = Color::Empty;
             }
@@ -187,7 +228,7 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
     for v in dag.sinks() {
         let satisfied = match board[v.index()] {
             Color::Blue => true,
-            Color::Red => !need_blue,
+            Color::Red(_) => !need_blue,
             Color::Empty => false,
         };
         if !satisfied {
@@ -195,11 +236,22 @@ pub fn certify(instance: &Instance, trace: &Pebbling) -> Result<Certificate, Cer
         }
     }
 
-    let eps = instance.model().epsilon();
+    // Recompute the scalar objective from scratch: the classic ε scale,
+    // or the MPP comm/comp weights over their common denominator.
+    let (comm_scale, comp_scale) = match instance.mpp() {
+        Some(dim) => (
+            dim.comm.num() * dim.comp.den(),
+            dim.comp.num() * dim.comm.den(),
+        ),
+        None => {
+            let eps = instance.model().epsilon();
+            (eps.den(), eps.num())
+        }
+    };
     Ok(Certificate {
         transfers,
         computes,
-        scaled_cost: transfers as u128 * eps.den() as u128 + computes as u128 * eps.num() as u128,
+        scaled_cost: transfers as u128 * comm_scale as u128 + computes as u128 * comp_scale as u128,
         steps: trace.len(),
     })
 }
@@ -328,6 +380,106 @@ mod tests {
             certify(&inst, &p),
             Err(CertifyError::Rejected { step: 2, .. })
         ));
+    }
+
+    #[test]
+    fn certifies_multiprocessor_traces() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        t.push_on(Move::Store(v(1)), 1);
+        t.push_on(Move::Load(v(1)), 0);
+        t.push_on(Move::Compute(v(2)), 0);
+        let cert = certify(&inst, &t).unwrap();
+        assert_eq!(cert.transfers, 2);
+        assert_eq!(cert.computes, 3);
+        // default weights: comm = 1, comp = ε = 0 → scaled = transfers
+        assert_eq!(cert.scaled_cost, 2);
+        // the engine agrees move for move
+        let rep = crate::engine::simulate(&inst, &t).unwrap();
+        assert!(cert.matches(&rep.cost));
+        assert_eq!(cert.scaled_cost, rep.scaled_cost(&inst));
+    }
+
+    #[test]
+    fn rejects_multiprocessor_rule_violations() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        // inputs red on the wrong processor
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        t.push_on(Move::Compute(v(2)), 0);
+        match certify(&inst, &t).unwrap_err() {
+            CertifyError::Rejected { step: 2, rule, .. } => {
+                assert_eq!(
+                    rule,
+                    "compute needs every input red on the computing processor"
+                )
+            }
+            other => panic!("wrong rejection: {other}"),
+        }
+        // storing another processor's red pebble
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Store(v(0)), 1);
+        assert!(matches!(
+            certify(&inst, &t),
+            Err(CertifyError::Rejected { step: 1, .. })
+        ));
+        // processor index beyond p
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 5);
+        match certify(&inst, &t).unwrap_err() {
+            CertifyError::Rejected { step: 0, rule, .. } => {
+                assert_eq!(rule, "processor index out of range")
+            }
+            other => panic!("wrong rejection: {other}"),
+        }
+        // per-processor budgets: R = 1 each, two values on one proc
+        let tight = join(CostModel::base(), 1).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 0);
+        assert!(matches!(
+            certify(&tight, &t),
+            Err(CertifyError::Rejected { step: 1, .. })
+        ));
+        // ...but fine on separate processors
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        assert!(matches!(
+            certify(&tight, &t),
+            Err(CertifyError::Incomplete { .. })
+        ));
+    }
+
+    #[test]
+    fn mpp_weights_scale_the_certificate() {
+        use crate::cost::Ratio;
+        use crate::instance::MppDim;
+        let inst = join(CostModel::base(), 3).with_mpp(MppDim {
+            p: 2,
+            comm: Ratio::new(1, 1),
+            comp: Ratio::new(1, 1),
+        });
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        t.push_on(Move::Store(v(1)), 1);
+        t.push_on(Move::Load(v(1)), 0);
+        t.push_on(Move::Compute(v(2)), 0);
+        let cert = certify(&inst, &t).unwrap();
+        // comm = comp = 1: scaled = 2 + 3
+        assert_eq!(cert.scaled_cost, 5);
+        assert_eq!(
+            cert.scaled_cost,
+            inst.scaled_cost(&crate::cost::Cost {
+                transfers: cert.transfers,
+                computes: cert.computes,
+            })
+        );
     }
 
     #[test]

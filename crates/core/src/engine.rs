@@ -25,16 +25,22 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// The cost weighed by the instance's ε, as the canonical integer
-    /// comparison key.
+    /// The cost weighed by the instance's objective (ε for classic
+    /// instances, the MPP comm/comp weights otherwise), as the
+    /// canonical integer comparison key.
     pub fn scaled_cost(&self, instance: &Instance) -> u128 {
-        self.cost.scaled(instance.model().epsilon())
+        instance.scaled_cost(&self.cost)
     }
 }
 
 /// Replays `trace` from the initial configuration, validating every move,
 /// and requires the finishing condition (every sink pebbled per the sink
 /// convention). Returns the exact cost or the first violation.
+///
+/// Multiprocessor instances (p > 1) and processor-tagged traces are
+/// dispatched to the [`crate::mpp`] simulator transparently: the report
+/// carries the same global cost and the projected final configuration
+/// (red = union of the per-processor red sets).
 pub fn simulate(instance: &Instance, trace: &Pebbling) -> Result<SimReport, TraceError> {
     let report = simulate_prefix(instance, trace)?;
     if let Some(sink) = report.final_state.first_unsatisfied_sink(instance) {
@@ -49,6 +55,18 @@ pub fn simulate(instance: &Instance, trace: &Pebbling) -> Result<SimReport, Trac
 /// Like [`simulate`] but without the completeness requirement — validates
 /// and costs a partial pebbling.
 pub fn simulate_prefix(instance: &Instance, trace: &Pebbling) -> Result<SimReport, TraceError> {
+    if instance.procs() > 1 || trace.has_proc_tags() {
+        // The multiprocessor path also covers tagged traces on classic
+        // instances: any nonzero tag is then rejected as out of range,
+        // which is the correct verdict rather than a silent reinterpretation.
+        let rep = crate::mpp::simulate_mpp_prefix(instance, trace)?;
+        return Ok(SimReport {
+            cost: rep.cost,
+            peak_red: rep.peak_red,
+            steps: rep.steps,
+            final_state: rep.final_state,
+        });
+    }
     let mut state = State::initial(instance);
     let mut cost = Cost::ZERO;
     let mut peak_red = state.red_count();
@@ -205,6 +223,45 @@ mod tests {
             Cost {
                 transfers: 0,
                 computes: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mpp_instances_dispatch_to_the_multiprocessor_simulator() {
+        let inst = join_instance(CostModel::base(), 3).with_procs(2);
+        let mut p = Pebbling::new();
+        p.push_on(Move::Compute(v(0)), 0);
+        p.push_on(Move::Compute(v(1)), 1);
+        p.push_on(Move::Store(v(1)), 1);
+        p.push_on(Move::Load(v(1)), 0);
+        p.push_on(Move::Compute(v(2)), 0);
+        let rep = simulate(&inst, &p).unwrap();
+        assert_eq!(rep.cost.transfers, 2);
+        assert_eq!(rep.cost.computes, 3);
+        // the projected final state unions both red sets
+        assert!(rep.final_state.is_red(v(0)));
+        assert!(rep.final_state.is_red(v(2)));
+        // an untagged trace on a p > 1 instance is a valid proc-0 schedule
+        let mut serial = Pebbling::new();
+        serial.compute(v(0));
+        serial.compute(v(1));
+        serial.compute(v(2));
+        assert_eq!(simulate(&inst, &serial).unwrap().cost.transfers, 0);
+    }
+
+    #[test]
+    fn tagged_trace_on_classic_instance_rejected() {
+        let inst = join_instance(CostModel::base(), 3);
+        let mut p = Pebbling::new();
+        p.push_on(Move::Compute(v(0)), 1);
+        let err = simulate_prefix(&inst, &p).unwrap_err();
+        assert_eq!(
+            err.error,
+            PebblingError::ProcOutOfRange {
+                node: v(0),
+                proc: 1,
+                procs: 1
             }
         );
     }

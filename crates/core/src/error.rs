@@ -32,6 +32,14 @@ pub enum PebblingError {
     Incomplete { sink: NodeId },
     /// The instance itself is unpebblable: R < Δ+1 (Section 3).
     Infeasible { required: usize, available: usize },
+    /// A move is tagged with a processor index ≥ the instance's p
+    /// (multiprocessor traces only; classic instances have p = 1, so any
+    /// nonzero tag trips this).
+    ProcOutOfRange {
+        node: NodeId,
+        proc: u16,
+        procs: usize,
+    },
 }
 
 impl PebblingError {
@@ -46,7 +54,8 @@ impl PebblingError {
             | PebblingError::SourceNotComputable { node }
             | PebblingError::DeleteForbidden { node }
             | PebblingError::DeleteEmpty { node }
-            | PebblingError::RedLimitExceeded { node, .. } => Some(node),
+            | PebblingError::RedLimitExceeded { node, .. }
+            | PebblingError::ProcOutOfRange { node, .. } => Some(node),
             PebblingError::Incomplete { sink } => Some(sink),
             PebblingError::Infeasible { .. } => None,
         }
@@ -108,6 +117,11 @@ impl fmt::Display for PebblingError {
             } => write!(
                 f,
                 "instance is infeasible: needs R >= {required} red pebbles, has {available}"
+            ),
+            PebblingError::ProcOutOfRange { node, proc, procs } => write!(
+                f,
+                "move on v{} tagged for processor {proc}, but the instance has only {procs} processor(s)",
+                node.index()
             ),
         }
     }

@@ -1,6 +1,8 @@
 //! A pebbling problem instance: DAG + red-pebble budget + model +
-//! start/finish conventions.
+//! start/finish conventions, optionally extended with the
+//! multiprocessor (MPP) dimension.
 
+use crate::cost::{Cost, Ratio};
 use crate::model::{CostModel, ModelKind};
 use rbp_graph::hash::hash_words;
 use rbp_graph::{levels, Dag};
@@ -31,6 +33,47 @@ pub enum SinkConvention {
     RequireBlue,
 }
 
+/// The multiprocessor (MPP) dimension of an instance, after
+/// Böhnlein/Papp/Yzelman 2024: `p` processors, each with a private fast
+/// memory of R red pebbles, sharing one blue slow memory.
+///
+/// The cost vector is weighed through exact [`Ratio`] arithmetic so
+/// argmins stay float-free: a transfer (load or store, on any
+/// processor) costs `comm`, a compute costs `comp`. With the default
+/// weights — `comm` = 1, `comp` = the model's ε — the scaled cost of a
+/// `p = 1` trace coincides *exactly* with the classic
+/// [`Cost::scaled`](crate::cost::Cost::scaled) value, which is what
+/// makes `mpp:1` a drop-in equivalent of the single-processor game.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MppDim {
+    /// Number of processors p ≥ 1.
+    pub p: u32,
+    /// Weight of one transfer (load or store) in the scalar objective.
+    pub comm: Ratio,
+    /// Weight of one compute in the scalar objective.
+    pub comp: Ratio,
+}
+
+impl MppDim {
+    /// The dimension with `p` processors and the default weights for
+    /// `model`: communication weighs 1, computation weighs the model's ε
+    /// (zero except under compcost) — exactly the classic objective.
+    pub fn with_default_weights(p: u32, model: CostModel) -> Self {
+        let eps = model.epsilon();
+        MppDim {
+            p,
+            comm: Ratio::new(1, 1),
+            comp: eps,
+        }
+    }
+
+    /// Whether the weights are the defaults for `model` (see
+    /// [`MppDim::with_default_weights`]).
+    pub fn has_default_weights(&self, model: CostModel) -> bool {
+        self.comm == Ratio::new(1, 1) && self.comp == model.epsilon()
+    }
+}
+
 /// A complete pebbling problem: *given DAG and R, pebble every sink*.
 ///
 /// The decision version asks whether a pebbling of cost at most C exists
@@ -45,6 +88,9 @@ pub struct Instance {
     model: CostModel,
     source_convention: SourceConvention,
     sink_convention: SinkConvention,
+    /// `None` = the classic single-processor game. `Some` lifts the
+    /// instance into the multiprocessor model.
+    mpp: Option<MppDim>,
 }
 
 impl Instance {
@@ -57,6 +103,7 @@ impl Instance {
             model,
             source_convention: SourceConvention::default(),
             sink_convention: SinkConvention::default(),
+            mpp: None,
         }
     }
 
@@ -68,6 +115,7 @@ impl Instance {
             model,
             source_convention: SourceConvention::default(),
             sink_convention: SinkConvention::default(),
+            mpp: None,
         }
     }
 
@@ -102,6 +150,43 @@ impl Instance {
     pub fn with_model(&self, model: CostModel) -> Self {
         let mut i = self.clone();
         i.model = model;
+        i
+    }
+
+    /// Returns a copy of this instance with `p` processors and the
+    /// existing cost weights (or the defaults if the instance was
+    /// classic). `p ≤ 1` with default weights drops back to the classic
+    /// single-processor game, so `with_procs` is self-normalizing:
+    /// `inst.with_procs(1)` on a classic instance is a no-op.
+    pub fn with_procs(&self, p: u32) -> Self {
+        let mut i = self.clone();
+        i.mpp = match self.mpp {
+            Some(dim) if !dim.has_default_weights(self.model) => {
+                Some(MppDim { p: p.max(1), ..dim })
+            }
+            _ if p <= 1 => None,
+            _ => Some(MppDim::with_default_weights(p, self.model)),
+        };
+        i
+    }
+
+    /// Returns a copy of this instance with an explicit MPP dimension
+    /// (processor count *and* cost weights). Unlike [`Instance::with_procs`]
+    /// this never normalizes away: `with_mpp` with `p = 1` and custom
+    /// weights keeps the MPP objective.
+    pub fn with_mpp(&self, dim: MppDim) -> Self {
+        let mut i = self.clone();
+        i.mpp = Some(MppDim {
+            p: dim.p.max(1),
+            ..dim
+        });
+        i
+    }
+
+    /// Returns a classic (single-processor, default-objective) copy.
+    pub fn without_mpp(&self) -> Self {
+        let mut i = self.clone();
+        i.mpp = None;
         i
     }
 
@@ -141,6 +226,46 @@ impl Instance {
         self.sink_convention
     }
 
+    /// The MPP dimension, if this instance is multiprocessor.
+    #[inline]
+    pub fn mpp(&self) -> Option<MppDim> {
+        self.mpp
+    }
+
+    /// Number of processors: the MPP `p`, or 1 for classic instances.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.mpp.map_or(1, |d| d.p as usize)
+    }
+
+    /// The integer `(comm_scale, comp_scale)` pair the scalar objective
+    /// is computed with: `scaled = transfers·comm_scale +
+    /// computes·comp_scale`. Both weights are brought to the common
+    /// denominator `comm.den·comp.den` (which cancels in comparisons),
+    /// so the scale stays exact integer arithmetic. For classic
+    /// instances this is `(den(ε), num(ε))` — the same scale
+    /// [`Cost::scaled`](crate::cost::Cost::scaled) uses — and MPP
+    /// instances with default weights produce identical values.
+    pub fn cost_scales(&self) -> (u64, u64) {
+        match self.mpp {
+            Some(dim) => (
+                dim.comm.num() * dim.comp.den(),
+                dim.comp.num() * dim.comm.den(),
+            ),
+            None => {
+                let eps = self.model.epsilon();
+                (eps.den(), eps.num())
+            }
+        }
+    }
+
+    /// The exact scalar objective of `cost` under this instance's
+    /// weights (see [`Instance::cost_scales`]).
+    pub fn scaled_cost(&self, cost: &Cost) -> u128 {
+        let (comm, comp) = self.cost_scales();
+        cost.transfers as u128 * comm as u128 + cost.computes as u128 * comp as u128
+    }
+
     /// A stable 128-bit digest of the *problem* this instance poses —
     /// the cache key of the batch-solve service.
     ///
@@ -177,7 +302,7 @@ impl Instance {
         // serialize: header, instance parameters, then per-node sorted
         // predecessor lists in serialized order
         let eps = self.model.epsilon();
-        let mut stream: Vec<u64> = Vec::with_capacity(10 + n + dag.num_edges());
+        let mut stream: Vec<u64> = Vec::with_capacity(15 + n + dag.num_edges());
         stream.extend_from_slice(&[
             0x7265_6462_6c75_6501, // "redblue" format marker, version 1
             canonical as u64,
@@ -190,6 +315,15 @@ impl Instance {
             self.source_convention as u64,
             self.sink_convention as u64,
         ]);
+        // The full model dimension: p and the objective weights. Classic
+        // instances serialize as the p = 1 / default-weight point of the
+        // same space, so `with_procs(1)` (a no-op) cannot change the key
+        // while any genuine MPP lift (p or weights) must.
+        let (p, comm, comp) = match self.mpp {
+            Some(dim) => (dim.p as u64, dim.comm, dim.comp),
+            None => (1, Ratio::new(1, 1), eps),
+        };
+        stream.extend_from_slice(&[p, comm.num(), comm.den(), comp.num(), comp.den()]);
         let mut preds: Vec<u32> = Vec::new();
         for pos in 0..n {
             let v = match &order {
@@ -365,12 +499,16 @@ impl fmt::Debug for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Instance(n={}, m={}, R={}, {})",
+            "Instance(n={}, m={}, R={}, {}",
             self.dag.n(),
             self.dag.num_edges(),
             self.red_limit,
             self.model
-        )
+        )?;
+        if let Some(dim) = self.mpp {
+            write!(f, ", p={}, comm={}, comp={}", dim.p, dim.comm, dim.comp)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -492,6 +630,89 @@ mod tests {
         assert!(CanonicalKey::from_hex("deadbeef", true).is_none());
         assert!(CanonicalKey::from_hex(&"g".repeat(32), true).is_none());
         assert!(CanonicalKey::from_hex(&key.to_hex()[..31], true).is_none());
+    }
+
+    #[test]
+    fn with_procs_normalizes_and_preserves_weights() {
+        let inst = Instance::new(star_into(2), 3, CostModel::base());
+        assert_eq!(inst.procs(), 1);
+        assert!(inst.mpp().is_none());
+        // p = 1 with default weights stays classic
+        assert!(inst.with_procs(1).mpp().is_none());
+        // p = 2 lifts with the default weights
+        let two = inst.with_procs(2);
+        let dim = two.mpp().unwrap();
+        assert_eq!(two.procs(), 2);
+        assert_eq!(dim.comm, Ratio::new(1, 1));
+        assert_eq!(dim.comp, Ratio::ZERO);
+        // dropping back to p = 1 normalizes away again
+        assert!(two.with_procs(1).mpp().is_none());
+        // custom weights survive a procs change and a p = 1 setting
+        let custom = inst.with_mpp(MppDim {
+            p: 2,
+            comm: Ratio::new(2, 1),
+            comp: Ratio::new(1, 3),
+        });
+        let back = custom.with_procs(1);
+        let dim = back.mpp().expect("custom weights must not normalize away");
+        assert_eq!(dim.p, 1);
+        assert_eq!(dim.comm, Ratio::new(2, 1));
+        assert!(back.without_mpp().mpp().is_none());
+    }
+
+    #[test]
+    fn cost_scales_default_to_the_classic_objective() {
+        use crate::cost::Cost;
+        let cost = Cost {
+            transfers: 7,
+            computes: 4,
+        };
+        for model in [
+            CostModel::base(),
+            CostModel::oneshot(),
+            CostModel::compcost(),
+        ] {
+            let inst = Instance::new(star_into(2), 3, model);
+            let eps = model.epsilon();
+            assert_eq!(inst.scaled_cost(&cost), cost.scaled(eps));
+            // the mpp:1 and mpp:4 lifts with default weights keep the
+            // exact same scalar objective
+            for p in [1, 4] {
+                let lifted = inst.with_mpp(MppDim::with_default_weights(p, model));
+                assert_eq!(lifted.scaled_cost(&cost), cost.scaled(eps), "p = {p}");
+            }
+        }
+        // custom weights: comm = 3/2, comp = 1/2 over the common
+        // denominator 4 give scales (6, 2)
+        let inst = Instance::new(star_into(2), 3, CostModel::base()).with_mpp(MppDim {
+            p: 2,
+            comm: Ratio::new(3, 2),
+            comp: Ratio::new(1, 2),
+        });
+        assert_eq!(inst.cost_scales(), (6, 2));
+        assert_eq!(inst.scaled_cost(&cost), 7 * 6 + 4 * 2);
+    }
+
+    #[test]
+    fn canonical_key_separates_the_mpp_dimension() {
+        let inst = Instance::new(star_into(2), 3, CostModel::oneshot());
+        let key = inst.canonical_key();
+        // with_procs(1) is a structural no-op, so the key must agree
+        assert_eq!(key, inst.with_procs(1).canonical_key());
+        // the explicit p = 1 default-weight lift poses the same problem
+        let one = inst.with_mpp(MppDim::with_default_weights(1, CostModel::oneshot()));
+        assert_eq!(key, one.canonical_key());
+        // p separates
+        let two = inst.with_procs(2);
+        assert_ne!(key, two.canonical_key());
+        assert_ne!(two.canonical_key(), inst.with_procs(4).canonical_key());
+        // weights separate at fixed p
+        let weighted = inst.with_mpp(MppDim {
+            p: 2,
+            comm: Ratio::new(1, 1),
+            comp: Ratio::new(1, 2),
+        });
+        assert_ne!(two.canonical_key(), weighted.canonical_key());
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! allowed anywhere):
 //!
 //! ```text
-//! instance v1
+//! instance v1                             # or v2 (multiprocessor header)
 //! model base|oneshot|nodel|compcost <num>/<den>
 //! r <R>
+//! procs <p>                               # v2 only: processor count
+//! weights <cn>/<cd> <pn>/<pd>             # v2 only: comm and comp weights
 //! sources free-compute|initially-blue     # optional (default free-compute)
 //! sinks any-pebble|require-blue           # optional (default any-pebble)
 //! dag <n>                                 # the rbp_graph::io block
@@ -17,6 +19,14 @@
 //! edge <from> <to>
 //! end
 //! ```
+//!
+//! Versioning: classic instances always serialize as byte-identical
+//! `instance v1` documents (back-compat readers keep working), and the
+//! parser accepts both versions. The `v2` header unlocks the
+//! multiprocessor fields — `procs` and `weights` are rejected under a
+//! `v1` header, so a v1-only reader never silently drops the MPP
+//! dimension of a document it cannot represent. A `v2` document without
+//! `procs` is a classic instance.
 //!
 //! The `dag … ` section is exactly [`rbp_graph::io`]'s format, parsed
 //! through [`rbp_graph::io::parse_dag_at`] so error line numbers are in
@@ -28,15 +38,19 @@
 //! Every [`ParseError`] variant carries the 1-based line number it was
 //! raised on and the offending token, mirroring [`rbp_graph::io::ParseError`].
 
-use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::instance::{Instance, MppDim, SinkConvention, SourceConvention};
 use crate::model::{CostModel, ModelKind};
 use crate::Ratio;
 use rbp_graph::io as graph_io;
 use std::fmt::Write as _;
 
-/// The version tag [`write_instance`] emits and [`parse_instance`]
-/// accepts.
+/// The version tag [`write_instance`] emits for classic instances (and
+/// the baseline version every reader must accept).
 pub const INSTANCE_VERSION: &str = "v1";
+
+/// The version tag [`write_instance`] emits for multiprocessor
+/// instances: carries the `procs` / `weights` header fields.
+pub const INSTANCE_VERSION_MPP: &str = "v2";
 
 /// Errors from [`parse_instance`]. Syntactic variants carry 1-based
 /// document line numbers and the offending token.
@@ -87,7 +101,7 @@ impl std::fmt::Display for ParseError {
             ParseError::UnsupportedVersion { line, found } => write!(
                 f,
                 "line {line}: unsupported instance version '{found}' (expected \
-                 '{INSTANCE_VERSION}')"
+                 '{INSTANCE_VERSION}' or '{INSTANCE_VERSION_MPP}')"
             ),
             ParseError::UnexpectedToken {
                 line,
@@ -161,15 +175,33 @@ fn parse_model(args: &[&str], line: usize) -> Result<CostModel, ParseError> {
     }
 }
 
-/// Serializes an instance as a complete `instance v1` document. All
-/// fields are emitted explicitly (including default conventions), so a
-/// document is self-describing on the wire.
+/// Serializes an instance as a complete document: `instance v1` for
+/// classic instances (byte-identical to the pre-MPP format), `instance
+/// v2` with `procs`/`weights` for multiprocessor ones. All fields are
+/// emitted explicitly (including default conventions and weights), so a
+/// document is self-describing on the wire and `write ∘ parse ∘ write`
+/// is the identity.
 pub fn write_instance(instance: &Instance) -> String {
     let dag_block = graph_io::write_dag(instance.dag());
     let mut out = String::with_capacity(96 + dag_block.len());
-    let _ = writeln!(out, "instance {INSTANCE_VERSION}");
+    let version = match instance.mpp() {
+        Some(_) => INSTANCE_VERSION_MPP,
+        None => INSTANCE_VERSION,
+    };
+    let _ = writeln!(out, "instance {version}");
     let _ = writeln!(out, "model {}", model_token(instance.model()));
     let _ = writeln!(out, "r {}", instance.red_limit());
+    if let Some(dim) = instance.mpp() {
+        let _ = writeln!(out, "procs {}", dim.p);
+        let _ = writeln!(
+            out,
+            "weights {}/{} {}/{}",
+            dim.comm.num(),
+            dim.comm.den(),
+            dim.comp.num(),
+            dim.comp.den()
+        );
+    }
     let sources = match instance.source_convention() {
         SourceConvention::FreeCompute => "free-compute",
         SourceConvention::InitiallyBlue => "initially-blue",
@@ -185,7 +217,8 @@ pub fn write_instance(instance: &Instance) -> String {
     out
 }
 
-/// Parses an `instance v1` document back into a validated [`Instance`].
+/// Parses an `instance v1`/`instance v2` document back into a validated
+/// [`Instance`].
 pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
     parse_instance_at(text, 1)
 }
@@ -194,8 +227,11 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
 /// (1-based) of a larger stream: reported line numbers are global.
 pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, ParseError> {
     let mut header_seen = false;
+    let mut mpp_header = false; // v2: the multiprocessor fields are legal
     let mut model: Option<CostModel> = None;
     let mut r: Option<usize> = None;
+    let mut procs: Option<u32> = None;
+    let mut weights: Option<(Ratio, Ratio)> = None;
     let mut sources: Option<SourceConvention> = None;
     let mut sinks: Option<SinkConvention> = None;
     // the dag block: (first document line, collected raw lines)
@@ -220,6 +256,10 @@ pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, Pars
             }
             match args.as_slice() {
                 [v] if *v == INSTANCE_VERSION => header_seen = true,
+                [v] if *v == INSTANCE_VERSION_MPP => {
+                    header_seen = true;
+                    mpp_header = true;
+                }
                 [v] => {
                     return Err(ParseError::UnsupportedVersion {
                         line: lineno,
@@ -230,7 +270,7 @@ pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, Pars
                     return Err(unexpected(
                         lineno,
                         line,
-                        "'instance v1' as the first statement",
+                        "'instance v1' or 'instance v2' as the first statement",
                     ))
                 }
             }
@@ -269,6 +309,56 @@ pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, Pars
                         .parse()
                         .map_err(|_| unexpected(lineno, token, "red-pebble budget in 'r <R>'"))?,
                 );
+            }
+            "procs" => {
+                if !mpp_header {
+                    return Err(unexpected(
+                        lineno,
+                        line,
+                        "no 'procs' under 'instance v1' (multiprocessor fields need v2)",
+                    ));
+                }
+                if procs.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "procs",
+                    });
+                }
+                let token = args.first().copied().unwrap_or("");
+                let p: u32 = token
+                    .parse()
+                    .map_err(|_| unexpected(lineno, token, "processor count in 'procs <p>'"))?;
+                if p == 0 {
+                    return Err(unexpected(lineno, token, "a processor count of at least 1"));
+                }
+                procs = Some(p);
+            }
+            "weights" => {
+                if !mpp_header {
+                    return Err(unexpected(
+                        lineno,
+                        line,
+                        "no 'weights' under 'instance v1' (multiprocessor fields need v2)",
+                    ));
+                }
+                if weights.is_some() {
+                    return Err(ParseError::DuplicateField {
+                        line: lineno,
+                        field: "weights",
+                    });
+                }
+                match args.as_slice() {
+                    [comm, comp] => {
+                        weights = Some((parse_weight(comm, lineno)?, parse_weight(comp, lineno)?));
+                    }
+                    _ => {
+                        return Err(unexpected(
+                            lineno,
+                            args.join(" "),
+                            "'weights <cn>/<cd> <pn>/<pd>'",
+                        ))
+                    }
+                }
             }
             "sources" => {
                 if sources.is_some() {
@@ -334,9 +424,42 @@ pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, Pars
     let r = r.ok_or(ParseError::MissingField { field: "r" })?;
     let (dag_line, block) = dag_block.expect("ended implies a dag section");
     let dag = graph_io::parse_dag_at(&block, dag_line)?;
-    Ok(Instance::new(dag, r, model)
+    let mut inst = Instance::new(dag, r, model)
         .with_source_convention(sources.unwrap_or_default())
-        .with_sink_convention(sinks.unwrap_or_default()))
+        .with_sink_convention(sinks.unwrap_or_default());
+    // v2 without 'procs' is a classic instance; 'weights' without
+    // 'procs' pins the objective on a single processor.
+    if procs.is_some() || weights.is_some() {
+        let p = procs.unwrap_or(1);
+        let (comm, comp) = match weights {
+            Some(w) => w,
+            None => {
+                let d = MppDim::with_default_weights(p, model);
+                (d.comm, d.comp)
+            }
+        };
+        inst = inst.with_mpp(MppDim { p, comm, comp });
+    }
+    Ok(inst)
+}
+
+/// Parses one `<num>/<den>` objective weight (any non-negative ratio;
+/// unlike ε there is no < 1 constraint — communication typically weighs
+/// 1/1 or more).
+fn parse_weight(token: &str, line: usize) -> Result<Ratio, ParseError> {
+    let (num, den) = token
+        .split_once('/')
+        .ok_or_else(|| unexpected(line, token, "a '<num>/<den>' weight"))?;
+    let num: u64 = num
+        .parse()
+        .map_err(|_| unexpected(line, token, "integer numerator in a '<num>/<den>' weight"))?;
+    let den: u64 = den
+        .parse()
+        .map_err(|_| unexpected(line, token, "integer denominator in a '<num>/<den>' weight"))?;
+    if den == 0 {
+        return Err(unexpected(line, token, "a weight with nonzero denominator"));
+    }
+    Ok(Ratio::new(num, den))
 }
 
 /// Structural equality of two instances (the `Instance` type itself
@@ -346,6 +469,7 @@ pub fn parse_instance_at(text: &str, first_line: usize) -> Result<Instance, Pars
 pub fn same_instance(a: &Instance, b: &Instance) -> bool {
     a.red_limit() == b.red_limit()
         && a.model() == b.model()
+        && a.mpp() == b.mpp()
         && a.source_convention() == b.source_convention()
         && a.sink_convention() == b.sink_convention()
         && a.dag() == b.dag()
@@ -389,6 +513,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mpp_instances_round_trip_through_v2() {
+        for (p, comm, comp) in [
+            (1u32, Ratio::new(1, 1), Ratio::new(1, 100)),
+            (2, Ratio::new(1, 1), Ratio::ZERO),
+            (4, Ratio::new(3, 2), Ratio::new(1, 2)),
+        ] {
+            let inst = diamond_instance().with_mpp(MppDim { p, comm, comp });
+            let text = write_instance(&inst);
+            assert!(text.starts_with("instance v2\n"), "{text}");
+            assert!(text.contains(&format!("procs {p}\n")));
+            let back = parse_instance(&text).unwrap();
+            assert!(same_instance(&inst, &back), "{text}");
+            assert_eq!(write_instance(&back), text);
+        }
+    }
+
+    #[test]
+    fn classic_instances_still_write_byte_identical_v1() {
+        let inst = diamond_instance();
+        let text = write_instance(&inst);
+        assert!(text.starts_with("instance v1\n"));
+        assert!(!text.contains("procs"));
+        assert!(!text.contains("weights"));
+        // a with_procs(1) no-op round-trip stays v1
+        assert_eq!(write_instance(&inst.with_procs(1)), text);
+    }
+
+    #[test]
+    fn v2_without_procs_is_classic_and_weights_imply_p1() {
+        let text = "instance v2\nmodel base\nr 3\ndag 2\nedge 0 1\nend\n";
+        let inst = parse_instance(text).unwrap();
+        assert!(inst.mpp().is_none());
+        let text = "instance v2\nmodel base\nr 3\nweights 2/1 1/1\ndag 2\nedge 0 1\nend\n";
+        let inst = parse_instance(text).unwrap();
+        let dim = inst.mpp().unwrap();
+        assert_eq!(dim.p, 1);
+        assert_eq!(dim.comm, Ratio::new(2, 1));
+        assert_eq!(dim.comp, Ratio::new(1, 1));
+        // and procs without weights takes the model's defaults
+        let text = "instance v2\nmodel compcost 1/100\nr 3\nprocs 3\ndag 2\nedge 0 1\nend\n";
+        let inst = parse_instance(text).unwrap();
+        let dim = inst.mpp().unwrap();
+        assert_eq!(dim.p, 3);
+        assert_eq!(dim.comm, Ratio::new(1, 1));
+        assert_eq!(dim.comp, Ratio::new(1, 100));
+    }
+
+    #[test]
+    fn mpp_fields_rejected_under_v1_header() {
+        for field in ["procs 2", "weights 1/1 0/1"] {
+            let text = format!("instance v1\nmodel base\nr 3\n{field}\ndag 2\nedge 0 1\nend\n");
+            match parse_instance(&text).unwrap_err() {
+                ParseError::UnexpectedToken { line: 4, .. } => {}
+                other => panic!("'{field}' under v1 must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_mpp_fields_rejected() {
+        for bad in [
+            "procs 0",
+            "procs x",
+            "procs",
+            "weights 1/1",
+            "weights 1/0 1/1",
+            "weights 1/1 x/y",
+            "weights one two",
+        ] {
+            let text = format!("instance v2\nmodel base\nr 3\n{bad}\ndag 2\nedge 0 1\nend\n");
+            assert!(
+                matches!(
+                    parse_instance(&text),
+                    Err(ParseError::UnexpectedToken { line: 4, .. })
+                ),
+                "'{bad}' must be rejected"
+            );
+        }
+        // duplicates are duplicate-field errors
+        let text = "instance v2\nmodel base\nr 3\nprocs 2\nprocs 2\ndag 2\nedge 0 1\nend\n";
+        assert_eq!(
+            parse_instance(text).unwrap_err(),
+            ParseError::DuplicateField {
+                line: 5,
+                field: "procs"
+            }
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   end-to-end certification;
 //! - [`bounds`]: the Section-3 structural bounds with constructive
 //!   witnesses;
-//! - [`transform`]: the super-source and Appendix-C convention adapters.
+//! - [`transform`]: the super-source and Appendix-C convention adapters;
+//! - [`mod@mpp`]: the multiprocessor (p-processor) extension of the
+//!   game, reached by lifting an [`Instance`] with
+//!   [`Instance::with_procs`].
 //!
 //! # Example
 //! ```
@@ -52,6 +55,7 @@ pub mod instance;
 pub mod io;
 pub mod model;
 pub mod moves;
+pub mod mpp;
 pub mod state;
 pub mod trace;
 pub mod transform;
@@ -61,9 +65,12 @@ pub use certify::{certify, Certificate, CertifyError};
 pub use cost::{Cost, Ratio};
 pub use engine::{cost_of, simulate, simulate_prefix, SimReport};
 pub use error::{PebblingError, TraceError};
-pub use instance::{CanonicalKey, Instance, SinkConvention, SourceConvention};
+pub use instance::{CanonicalKey, Instance, MppDim, SinkConvention, SourceConvention};
 pub use io::{parse_instance, write_instance};
 pub use model::{CostModel, ModelKind};
 pub use moves::Move;
+pub use mpp::{
+    cost_vector, simulate_mpp, simulate_mpp_prefix, MppCostVector, MppSimReport, MppState,
+};
 pub use state::State;
 pub use trace::{Pebbling, TraceStats};

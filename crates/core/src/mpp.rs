@@ -1,0 +1,610 @@
+//! Multiprocessor red-blue pebbling (MPP) semantics.
+//!
+//! The multiprocessor extension (Böhnlein/Papp/Yzelman 2024) runs the
+//! red-blue game on `p` processors: each processor `i` owns a *private*
+//! fast memory of at most R red pebbles, while blue slow memory is
+//! *shared*. Every move is executed by one processor:
+//!
+//! - `load(i, v)`: the shared blue pebble on `v` becomes a red pebble in
+//!   processor `i`'s memory (cost: one transfer);
+//! - `store(i, v)`: processor `i`'s red pebble on `v` becomes a shared
+//!   blue pebble (cost: one transfer);
+//! - `compute(i, v)`: processor `i` places a red pebble on `v`; **all
+//!   inputs must be red in `i`'s own memory** (cost: one compute);
+//! - `delete(i, v)`: removes `i`'s red pebble on `v`, or the shared
+//!   blue pebble (free).
+//!
+//! A node still holds at most one pebble *globally*: values live in
+//! exactly one place (empty, blue, or red on exactly one processor), so
+//! moving a value between processors costs a store + a load — two
+//! transfers through shared memory, exactly the communication the model
+//! charges for. With `p = 1` every rule above degenerates to the
+//! classic game, move for move and error for error; this equivalence is
+//! pinned by tests here and property-tested in the verify harness.
+//!
+//! The scalar objective stays *additive* — `transfers·comm +
+//! computes·comp` in exact [`Ratio`](crate::cost::Ratio) arithmetic via
+//! [`Instance::cost_scales`] — so Dijkstra-style exact search remains
+//! sound. The *makespan* (max over processors of weighted own work) is
+//! not additive and is therefore reported as a statistic
+//! ([`MppCostVector::time_scaled`]), never used as a search objective.
+
+use crate::cost::Cost;
+use crate::error::{PebblingError, TraceError};
+use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::state::State;
+use crate::trace::Pebbling;
+use rbp_graph::{BitSet, NodeId};
+
+/// A multiprocessor pebbling configuration: per-processor red sets over
+/// a shared blue set.
+///
+/// Invariants maintained by [`MppState::apply`]:
+/// - the `p + 1` sets `reds[0..p]`, `blue` are pairwise disjoint (a
+///   value lives in exactly one memory);
+/// - `reds[i].len() == red_counts[i] ≤ R` for every processor;
+/// - every pebbled node is in `computed`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MppState {
+    reds: Vec<BitSet>,
+    blue: BitSet,
+    computed: BitSet,
+    red_counts: Vec<u32>,
+}
+
+impl MppState {
+    /// The initial configuration for `instance` on `instance.procs()`
+    /// processors: empty, except initially-blue sources (shared memory
+    /// is shared — the convention is unchanged from the classic game).
+    pub fn initial(instance: &Instance) -> Self {
+        let n = instance.dag().n();
+        let p = instance.procs().max(1);
+        let mut s = MppState {
+            reds: vec![BitSet::new(n); p],
+            blue: BitSet::new(n),
+            computed: BitSet::new(n),
+            red_counts: vec![0; p],
+        };
+        if instance.source_convention() == SourceConvention::InitiallyBlue {
+            for v in instance.dag().sources() {
+                s.blue.insert(v.index());
+                s.computed.insert(v.index());
+            }
+        }
+        s
+    }
+
+    /// Number of processors this state is configured for.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.reds.len()
+    }
+
+    /// Whether `v` is red in processor `proc`'s memory.
+    #[inline]
+    pub fn is_red_on(&self, proc: usize, v: NodeId) -> bool {
+        self.reds[proc].contains(v.index())
+    }
+
+    /// Whether `v` is red in *any* processor's memory.
+    pub fn is_red_anywhere(&self, v: NodeId) -> bool {
+        self.reds.iter().any(|r| r.contains(v.index()))
+    }
+
+    /// Whether `v` holds the shared blue pebble.
+    #[inline]
+    pub fn is_blue(&self, v: NodeId) -> bool {
+        self.blue.contains(v.index())
+    }
+
+    /// Whether `v` has ever been computed.
+    #[inline]
+    pub fn is_computed(&self, v: NodeId) -> bool {
+        self.computed.contains(v.index())
+    }
+
+    /// Red pebbles currently in processor `proc`'s memory.
+    #[inline]
+    pub fn red_count_of(&self, proc: usize) -> usize {
+        self.red_counts[proc] as usize
+    }
+
+    /// Total red pebbles across all processors.
+    pub fn total_red(&self) -> usize {
+        self.red_counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Applies one move executed by processor `proc`, returning its
+    /// cost, or rejects it with the exact violation. On error the state
+    /// is unchanged. The guards mirror [`State::apply`] in both
+    /// condition and error priority, so a `p = 1` replay produces
+    /// byte-identical verdicts.
+    pub fn apply(
+        &mut self,
+        mv: crate::moves::Move,
+        proc: u16,
+        instance: &Instance,
+    ) -> Result<Cost, PebblingError> {
+        use crate::moves::Move;
+        let p = self.procs();
+        if proc as usize >= p {
+            return Err(PebblingError::ProcOutOfRange {
+                node: mv.node(),
+                proc,
+                procs: p,
+            });
+        }
+        let i = proc as usize;
+        let model = instance.model();
+        let r_limit = instance.red_limit();
+        match mv {
+            Move::Load(v) => {
+                if !self.is_blue(v) {
+                    return Err(PebblingError::LoadNotBlue { node: v });
+                }
+                if self.red_count_of(i) + 1 > r_limit {
+                    return Err(PebblingError::RedLimitExceeded {
+                        node: v,
+                        limit: r_limit,
+                    });
+                }
+                self.blue.remove(v.index());
+                self.reds[i].insert(v.index());
+                self.red_counts[i] += 1;
+                Ok(Cost::transfers(1))
+            }
+            Move::Store(v) => {
+                if !self.is_red_on(i, v) {
+                    return Err(PebblingError::StoreNotRed { node: v });
+                }
+                self.reds[i].remove(v.index());
+                self.blue.insert(v.index());
+                self.red_counts[i] -= 1;
+                Ok(Cost::transfers(1))
+            }
+            Move::Compute(v) => {
+                if self.is_red_anywhere(v) {
+                    return Err(PebblingError::ComputeOnRed { node: v });
+                }
+                if !model.allows_recompute() && self.is_computed(v) {
+                    return Err(PebblingError::RecomputeForbidden { node: v });
+                }
+                if instance.source_convention() == SourceConvention::InitiallyBlue
+                    && instance.dag().is_source(v)
+                {
+                    return Err(PebblingError::SourceNotComputable { node: v });
+                }
+                if let Some(&missing) = instance
+                    .dag()
+                    .preds(v)
+                    .iter()
+                    .find(|&&u| !self.is_red_on(i, u))
+                {
+                    return Err(PebblingError::InputNotRed {
+                        node: v,
+                        input: missing,
+                    });
+                }
+                if self.red_count_of(i) + 1 > r_limit {
+                    return Err(PebblingError::RedLimitExceeded {
+                        node: v,
+                        limit: r_limit,
+                    });
+                }
+                // computing onto a blue pebble replaces it
+                self.blue.remove(v.index());
+                self.reds[i].insert(v.index());
+                self.red_counts[i] += 1;
+                self.computed.insert(v.index());
+                Ok(Cost {
+                    transfers: 0,
+                    computes: 1,
+                })
+            }
+            Move::Delete(v) => {
+                if !model.allows_delete() {
+                    return Err(PebblingError::DeleteForbidden { node: v });
+                }
+                if self.reds[i].remove(v.index()) {
+                    self.red_counts[i] -= 1;
+                } else if !self.blue.remove(v.index()) {
+                    return Err(PebblingError::DeleteEmpty { node: v });
+                }
+                Ok(Cost::ZERO)
+            }
+        }
+    }
+
+    /// Whether the finishing condition holds: every sink pebbled (red on
+    /// any processor, or blue; blue only under
+    /// [`SinkConvention::RequireBlue`]).
+    pub fn is_complete(&self, instance: &Instance) -> bool {
+        self.first_unsatisfied_sink(instance).is_none()
+    }
+
+    /// The first sink violating the finishing condition, if any.
+    pub fn first_unsatisfied_sink(&self, instance: &Instance) -> Option<NodeId> {
+        let need_blue = instance.sink_convention() == SinkConvention::RequireBlue;
+        instance.dag().nodes().find(|&v| {
+            instance.dag().is_sink(v)
+                && if need_blue {
+                    !self.is_blue(v)
+                } else {
+                    !self.is_blue(v) && !self.is_red_anywhere(v)
+                }
+        })
+    }
+
+    /// Projects the multiprocessor configuration onto a classic
+    /// [`State`]: red = the union of the per-processor red sets.
+    pub fn project(&self) -> State {
+        let mut red = BitSet::new(self.blue.word_capacity());
+        for r in &self.reds {
+            red.union_with(r);
+        }
+        State::from_parts(red, self.blue.clone(), self.computed.clone())
+    }
+}
+
+/// The result of a successful multiprocessor simulation.
+#[derive(Clone, Debug)]
+pub struct MppSimReport {
+    /// Global accumulated cost: every transfer and compute, regardless
+    /// of the executing processor.
+    pub cost: Cost,
+    /// Per-processor cost split (`per_proc.len() == instance.procs()`).
+    pub per_proc: Vec<Cost>,
+    /// Maximum *total* red pebbles simultaneously held across all
+    /// processors.
+    pub peak_red: usize,
+    /// Number of moves executed.
+    pub steps: usize,
+    /// The projected single-board configuration after the last move
+    /// (red = union of the per-processor red sets).
+    pub final_state: State,
+}
+
+impl MppSimReport {
+    /// The additive scalar objective under the instance's weights.
+    pub fn scaled_cost(&self, instance: &Instance) -> u128 {
+        instance.scaled_cost(&self.cost)
+    }
+
+    /// The makespan statistic: the maximum over processors of that
+    /// processor's *own* weighted work. Not additive — reported, never
+    /// optimized directly.
+    pub fn time_scaled(&self, instance: &Instance) -> u128 {
+        self.per_proc
+            .iter()
+            .map(|c| instance.scaled_cost(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Replays `trace` (with its processor tags) from the initial
+/// multiprocessor configuration, validating every move, and requires
+/// the finishing condition. Returns the exact cost vector or the first
+/// violation.
+pub fn simulate_mpp(instance: &Instance, trace: &Pebbling) -> Result<MppSimReport, TraceError> {
+    let report = simulate_mpp_prefix(instance, trace)?;
+    if let Some(sink) = report.final_state.first_unsatisfied_sink(instance) {
+        return Err(TraceError {
+            step: usize::MAX,
+            error: PebblingError::Incomplete { sink },
+        });
+    }
+    Ok(report)
+}
+
+/// Like [`simulate_mpp`] but without the completeness requirement.
+pub fn simulate_mpp_prefix(
+    instance: &Instance,
+    trace: &Pebbling,
+) -> Result<MppSimReport, TraceError> {
+    let mut state = MppState::initial(instance);
+    let mut cost = Cost::ZERO;
+    let mut per_proc = vec![Cost::ZERO; state.procs()];
+    let mut peak_red = state.total_red();
+    for (step, &mv) in trace.moves().iter().enumerate() {
+        let proc = trace.proc_of(step);
+        match state.apply(mv, proc, instance) {
+            Ok(delta) => {
+                cost += delta;
+                per_proc[proc as usize] += delta;
+            }
+            Err(error) => return Err(TraceError { step, error }),
+        }
+        peak_red = peak_red.max(state.total_red());
+    }
+    Ok(MppSimReport {
+        cost,
+        per_proc,
+        peak_red,
+        steps: trace.len(),
+        final_state: state.project(),
+    })
+}
+
+/// The full multiprocessor cost vector of a complete trace: the
+/// trade-off surface coordinates (communication, computation, time) in
+/// one validated report.
+#[derive(Clone, Debug)]
+pub struct MppCostVector {
+    /// Global transfer count (the communication volume).
+    pub transfers: u64,
+    /// Global compute count.
+    pub computes: u64,
+    /// Per-processor cost split.
+    pub per_proc: Vec<Cost>,
+    /// The additive scalar objective `transfers·comm + computes·comp`.
+    pub scaled: u128,
+    /// The makespan statistic: max over processors of own weighted work.
+    pub time_scaled: u128,
+}
+
+/// Validates `trace` against `instance` and assembles its
+/// [`MppCostVector`].
+pub fn cost_vector(instance: &Instance, trace: &Pebbling) -> Result<MppCostVector, TraceError> {
+    let rep = simulate_mpp(instance, trace)?;
+    Ok(MppCostVector {
+        transfers: rep.cost.transfers,
+        computes: rep.cost.computes,
+        scaled: rep.scaled_cost(instance),
+        time_scaled: rep.time_scaled(instance),
+        per_proc: rep.per_proc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Ratio;
+    use crate::engine;
+    use crate::instance::MppDim;
+    use crate::model::CostModel;
+    use crate::moves::Move;
+    use rbp_graph::DagBuilder;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 -> 2, 1 -> 2 (two sources, one sink)
+    fn join(model: CostModel, r: usize) -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        Instance::new(b.build().unwrap(), r, model)
+    }
+
+    #[test]
+    fn p1_simulation_agrees_with_the_classic_engine() {
+        let inst = join(CostModel::oneshot(), 3);
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        p.store(v(0));
+        p.compute(v(1));
+        p.load(v(0));
+        p.compute(v(2));
+        let classic = engine::simulate(&inst, &p).unwrap();
+        let mpp = simulate_mpp(&inst, &p).unwrap();
+        assert_eq!(mpp.cost, classic.cost);
+        assert_eq!(mpp.peak_red, classic.peak_red);
+        assert_eq!(mpp.final_state, classic.final_state);
+        assert_eq!(mpp.per_proc, vec![classic.cost]);
+        assert_eq!(mpp.scaled_cost(&inst), classic.scaled_cost(&inst));
+        assert_eq!(mpp.time_scaled(&inst), classic.scaled_cost(&inst));
+    }
+
+    #[test]
+    fn cross_processor_movement_goes_through_shared_memory() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        // v1 lives on processor 1; processor 0 needs it to compute the
+        // sink — it must travel store(1) + load(0)
+        t.push_on(Move::Store(v(1)), 1);
+        t.push_on(Move::Load(v(1)), 0);
+        t.push_on(Move::Compute(v(2)), 0);
+        let rep = simulate_mpp(&inst, &t).unwrap();
+        assert_eq!(rep.cost.transfers, 2);
+        assert_eq!(rep.cost.computes, 3);
+        assert_eq!(rep.per_proc[0].transfers, 1);
+        assert_eq!(rep.per_proc[1].transfers, 1);
+        assert_eq!(rep.per_proc[0].computes, 2);
+        assert_eq!(rep.per_proc[1].computes, 1);
+    }
+
+    #[test]
+    fn compute_needs_inputs_red_on_the_computing_processor() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        // v1 is red on processor 1, not 0: the compute must be rejected
+        t.push_on(Move::Compute(v(2)), 0);
+        let err = simulate_mpp(&inst, &t).unwrap_err();
+        assert_eq!(err.step, 2);
+        assert_eq!(
+            err.error,
+            PebblingError::InputNotRed {
+                node: v(2),
+                input: v(1)
+            }
+        );
+    }
+
+    #[test]
+    fn store_requires_the_executing_processors_own_red() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Store(v(0)), 1); // not processor 1's pebble
+        let err = simulate_mpp(&inst, &t).unwrap_err();
+        assert_eq!(err.step, 1);
+        assert_eq!(err.error, PebblingError::StoreNotRed { node: v(0) });
+    }
+
+    #[test]
+    fn red_budget_is_private_per_processor() {
+        // R = 1: each processor holds one value, so p = 2 holds two
+        let inst = join(CostModel::base(), 1).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(1)), 1);
+        let rep = simulate_mpp_prefix(&inst, &t).unwrap();
+        assert_eq!(rep.peak_red, 2, "two private memories of one slot each");
+        // but a third value on processor 0 exceeds its own R
+        let mut t2 = Pebbling::new();
+        t2.push_on(Move::Compute(v(0)), 0);
+        t2.push_on(Move::Compute(v(1)), 0);
+        let err = simulate_mpp_prefix(&inst, &t2).unwrap_err();
+        assert_eq!(
+            err.error,
+            PebblingError::RedLimitExceeded {
+                node: v(1),
+                limit: 1
+            }
+        );
+    }
+
+    #[test]
+    fn proc_out_of_range_rejected() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 2);
+        let err = simulate_mpp_prefix(&inst, &t).unwrap_err();
+        assert_eq!(
+            err.error,
+            PebblingError::ProcOutOfRange {
+                node: v(0),
+                proc: 2,
+                procs: 2
+            }
+        );
+        // and a tagged trace on a classic instance trips the same guard
+        let classic = join(CostModel::base(), 3);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 1);
+        let err = simulate_mpp_prefix(&classic, &t).unwrap_err();
+        assert_eq!(
+            err.error,
+            PebblingError::ProcOutOfRange {
+                node: v(0),
+                proc: 1,
+                procs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn single_pebble_globally_no_duplicate_computes() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Compute(v(0)), 1); // already red on processor 0
+        let err = simulate_mpp_prefix(&inst, &t).unwrap_err();
+        assert_eq!(err.error, PebblingError::ComputeOnRed { node: v(0) });
+    }
+
+    #[test]
+    fn oneshot_computed_set_is_global() {
+        let inst = join(CostModel::oneshot(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Delete(v(0)), 0);
+        t.push_on(Move::Compute(v(0)), 1); // recompute on another proc
+        let err = simulate_mpp_prefix(&inst, &t).unwrap_err();
+        assert_eq!(err.error, PebblingError::RecomputeForbidden { node: v(0) });
+    }
+
+    #[test]
+    fn delete_only_touches_own_red_or_shared_blue() {
+        let inst = join(CostModel::base(), 3).with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Compute(v(0)), 0);
+        t.push_on(Move::Delete(v(0)), 1); // red on 0, not blue: nothing to delete on 1
+        let err = simulate_mpp_prefix(&inst, &t).unwrap_err();
+        assert_eq!(err.error, PebblingError::DeleteEmpty { node: v(0) });
+        // blue is shared: either processor may delete it
+        let mut t2 = Pebbling::new();
+        t2.push_on(Move::Compute(v(0)), 0);
+        t2.push_on(Move::Store(v(0)), 0);
+        t2.push_on(Move::Delete(v(0)), 1);
+        assert!(simulate_mpp_prefix(&inst, &t2).is_ok());
+    }
+
+    #[test]
+    fn makespan_drops_communication_rises_with_p() {
+        // two 2-chains feeding a common sink: 0→1→4, 2→3→4. With unit
+        // compute weight the serial makespan is 5; splitting the chains
+        // across two processors cuts the max own work to 4 at the price
+        // of shipping one value through shared memory (2 transfers).
+        let mut b = DagBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.add_edge(1, 4);
+        b.add_edge(3, 4);
+        let dag = b.build().unwrap();
+        let weights = |p| MppDim {
+            p,
+            comm: Ratio::new(1, 1),
+            comp: Ratio::new(1, 1),
+        };
+        let base = Instance::new(dag, 3, CostModel::base());
+        let serial = base.with_mpp(weights(1));
+        let mut t1 = Pebbling::new();
+        t1.compute(v(0));
+        t1.compute(v(1));
+        t1.delete(v(0));
+        t1.compute(v(2));
+        t1.compute(v(3));
+        t1.delete(v(2));
+        t1.compute(v(4));
+        let v1 = cost_vector(&serial, &t1).unwrap();
+        // parallel: one chain per processor, then ship v3 to processor 0
+        let par = base.with_mpp(weights(2));
+        let mut t2 = Pebbling::new();
+        t2.push_on(Move::Compute(v(0)), 0);
+        t2.push_on(Move::Compute(v(1)), 0);
+        t2.push_on(Move::Delete(v(0)), 0);
+        t2.push_on(Move::Compute(v(2)), 1);
+        t2.push_on(Move::Compute(v(3)), 1);
+        t2.push_on(Move::Store(v(3)), 1);
+        t2.push_on(Move::Load(v(3)), 0);
+        t2.push_on(Move::Compute(v(4)), 0);
+        let v2 = cost_vector(&par, &t2).unwrap();
+        assert_eq!(v1.transfers, 0);
+        assert_eq!(v2.transfers, 2, "communication rises with p");
+        assert_eq!(v1.time_scaled, 5);
+        assert_eq!(v2.time_scaled, 4, "makespan drops with p");
+        assert!(v2.per_proc[1].transfers == 1 && v2.per_proc[1].computes == 2);
+    }
+
+    #[test]
+    fn initially_blue_and_require_blue_conventions_hold() {
+        let inst = join(CostModel::base(), 3)
+            .with_source_convention(SourceConvention::InitiallyBlue)
+            .with_sink_convention(SinkConvention::RequireBlue)
+            .with_procs(2);
+        let mut t = Pebbling::new();
+        t.push_on(Move::Load(v(0)), 1);
+        t.push_on(Move::Load(v(1)), 1);
+        t.push_on(Move::Compute(v(2)), 1);
+        // sink red on proc 1 does not satisfy RequireBlue
+        let err = simulate_mpp(&inst, &t).unwrap_err();
+        assert_eq!(err.error, PebblingError::Incomplete { sink: v(2) });
+        t.push_on(Move::Store(v(2)), 1);
+        let rep = simulate_mpp(&inst, &t).unwrap();
+        assert_eq!(rep.cost.transfers, 3);
+        // computing a locked source is still rejected, on any processor
+        let mut bad = Pebbling::new();
+        bad.push_on(Move::Compute(v(0)), 1);
+        assert_eq!(
+            simulate_mpp_prefix(&inst, &bad).unwrap_err().error,
+            PebblingError::SourceNotComputable { node: v(0) }
+        );
+    }
+}

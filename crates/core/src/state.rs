@@ -43,6 +43,19 @@ impl State {
         s
     }
 
+    /// Assembles a state from raw pebble sets — the projection path the
+    /// multiprocessor simulator uses to report a final [`State`] whose
+    /// red set is the union of the per-processor red sets.
+    pub(crate) fn from_parts(red: BitSet, blue: BitSet, computed: BitSet) -> Self {
+        let red_count = red.len() as u32;
+        State {
+            red,
+            blue,
+            computed,
+            red_count,
+        }
+    }
+
     /// Whether `v` holds a red pebble.
     #[inline]
     pub fn is_red(&self, v: NodeId) -> bool {

@@ -9,33 +9,75 @@ use std::fmt;
 /// Traces are *not* validated on construction; run them through
 /// [`crate::engine::simulate`] to check legality against an instance and
 /// obtain the exact cost.
-#[derive(Clone, PartialEq, Eq, Default)]
+///
+/// # Processor tags
+///
+/// For the multiprocessor game each move carries the processor that
+/// executes it. The tags are stored lazily: a trace built through the
+/// classic single-processor API has an empty tag vector, which means
+/// *all moves run on processor 0*. [`Pebbling::push_on`] materializes
+/// the vector on first use, so classic code paths pay nothing.
+#[derive(Clone, Eq, Default)]
 pub struct Pebbling {
     moves: Vec<Move>,
+    /// Per-move processor tags; empty ≡ every move on processor 0.
+    /// Invariant: either empty or exactly `moves.len()` long.
+    procs: Vec<u16>,
 }
 
 impl Pebbling {
     /// An empty trace.
     pub fn new() -> Self {
-        Pebbling { moves: Vec::new() }
+        Pebbling::default()
     }
 
     /// An empty trace with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         Pebbling {
             moves: Vec::with_capacity(cap),
+            procs: Vec::new(),
         }
     }
 
-    /// Wraps an existing move sequence.
+    /// Wraps an existing move sequence (all on processor 0).
     pub fn from_moves(moves: Vec<Move>) -> Self {
-        Pebbling { moves }
+        Pebbling {
+            moves,
+            procs: Vec::new(),
+        }
     }
 
-    /// Appends a move.
+    /// Appends a move (on processor 0).
     #[inline]
     pub fn push(&mut self, mv: Move) {
         self.moves.push(mv);
+        if !self.procs.is_empty() {
+            self.procs.push(0);
+        }
+    }
+
+    /// Appends a move executed by processor `proc`. Backfills the lazy
+    /// tag vector with zeros the first time a nonzero tag appears.
+    pub fn push_on(&mut self, mv: Move, proc: u16) {
+        if proc != 0 && self.procs.is_empty() {
+            self.procs = vec![0; self.moves.len()];
+        }
+        self.moves.push(mv);
+        if !self.procs.is_empty() || proc != 0 {
+            self.procs.push(proc);
+        }
+    }
+
+    /// The processor executing move `i` (0 for untagged traces).
+    #[inline]
+    pub fn proc_of(&self, i: usize) -> u16 {
+        self.procs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Whether any move carries a nonzero processor tag. `false` means
+    /// the trace is a valid classic single-processor pebbling.
+    pub fn has_proc_tags(&self) -> bool {
+        self.procs.iter().any(|&p| p != 0)
     }
 
     /// Convenience: appends `Load(v)`.
@@ -58,9 +100,16 @@ impl Pebbling {
         self.push(Move::Delete(v));
     }
 
-    /// Appends all moves of `other`.
+    /// Appends all moves of `other`, preserving its processor tags.
     pub fn extend(&mut self, other: &Pebbling) {
+        if self.procs.is_empty() && other.has_proc_tags() {
+            self.procs = vec![0; self.moves.len()];
+        }
         self.moves.extend_from_slice(&other.moves);
+        if !self.procs.is_empty() {
+            self.procs
+                .extend((0..other.moves.len()).map(|i| other.proc_of(i)));
+        }
     }
 
     /// The moves in order.
@@ -112,6 +161,16 @@ impl Pebbling {
     }
 }
 
+impl PartialEq for Pebbling {
+    /// Semantic equality: same moves on the same processors. An empty
+    /// tag vector and an explicit all-zeros vector compare equal — both
+    /// mean "everything on processor 0".
+    fn eq(&self, other: &Self) -> bool {
+        self.moves == other.moves
+            && (0..self.moves.len()).all(|i| self.proc_of(i) == other.proc_of(i))
+    }
+}
+
 impl fmt::Debug for Pebbling {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.stats();
@@ -129,9 +188,15 @@ impl fmt::Debug for Pebbling {
 
 impl fmt::Display for Pebbling {
     /// Full move listing, one per line — for debugging small traces.
+    /// Multiprocessor traces append the executing processor.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tagged = self.has_proc_tags();
         for (i, m) in self.moves.iter().enumerate() {
-            writeln!(f, "{i:>4}: {m}")?;
+            if tagged {
+                writeln!(f, "{i:>4}: {m} p{}", self.proc_of(i))?;
+            } else {
+                writeln!(f, "{i:>4}: {m}")?;
+            }
         }
         Ok(())
     }
@@ -141,6 +206,7 @@ impl FromIterator<Move> for Pebbling {
     fn from_iter<T: IntoIterator<Item = Move>>(iter: T) -> Self {
         Pebbling {
             moves: iter.into_iter().collect(),
+            procs: Vec::new(),
         }
     }
 }
@@ -221,5 +287,71 @@ mod tests {
     fn from_iterator_collects() {
         let p: Pebbling = vec![Move::Compute(v(1))].into_iter().collect();
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn proc_tags_are_lazy_and_backfilled() {
+        let mut p = Pebbling::new();
+        p.compute(v(0));
+        assert!(!p.has_proc_tags());
+        assert_eq!(p.proc_of(0), 0);
+        p.push_on(Move::Compute(v(1)), 2);
+        assert!(p.has_proc_tags());
+        assert_eq!(p.proc_of(0), 0, "earlier moves backfill to processor 0");
+        assert_eq!(p.proc_of(1), 2);
+        // classic pushes after materialization keep the invariant
+        p.store(v(1));
+        assert_eq!(p.proc_of(2), 0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_tag_representation() {
+        let mut a = Pebbling::new();
+        a.compute(v(0));
+        let mut b = Pebbling::new();
+        b.push_on(Move::Compute(v(0)), 1); // materializes the vector...
+        let mut c = Pebbling::new();
+        c.push_on(Move::Compute(v(0)), 0); // ...this one stays lazy
+        assert_ne!(a, b, "different processors are different traces");
+        assert_eq!(a, c, "explicit p0 equals lazy p0");
+        // explicit all-zeros vector (via backfill then rebuild) == lazy
+        let mut d = Pebbling::new();
+        d.push_on(Move::Compute(v(0)), 3);
+        let e = Pebbling::from_moves(d.moves().to_vec());
+        let mut f = Pebbling::new();
+        f.compute(v(0));
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn extend_carries_proc_tags_both_ways() {
+        // untagged target absorbing a tagged source
+        let mut a = Pebbling::from_moves(vec![Move::Compute(v(0))]);
+        let mut tagged = Pebbling::new();
+        tagged.push_on(Move::Load(v(0)), 1);
+        a.extend(&tagged);
+        assert_eq!(a.proc_of(0), 0);
+        assert_eq!(a.proc_of(1), 1);
+        // tagged target absorbing an untagged source
+        let mut b = Pebbling::new();
+        b.push_on(Move::Compute(v(0)), 2);
+        b.extend(&Pebbling::from_moves(vec![Move::Store(v(0))]));
+        assert_eq!(b.proc_of(0), 2);
+        assert_eq!(b.proc_of(1), 0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn display_annotates_processors_only_when_tagged() {
+        let mut p = Pebbling::new();
+        p.push_on(Move::Compute(v(0)), 0);
+        assert!(!p.to_string().contains(" p0"));
+        let mut q = Pebbling::new();
+        q.compute(v(0));
+        q.push_on(Move::Load(v(1)), 3);
+        let text = q.to_string();
+        assert!(text.contains("compute v0 p0"));
+        assert!(text.contains("load v1 p3"));
     }
 }

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use rbp_core::{certify, engine, CertifyError, CostModel, Instance, Move, Pebbling, State};
+use rbp_core::{MppDim, MppState, Ratio};
 use rbp_graph::{DagBuilder, NodeId};
 
 fn arb_model() -> impl Strategy<Value = CostModel> {
@@ -58,6 +59,28 @@ fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
         })
 }
 
+/// Lifts a classic instance to the multiprocessor game: p ∈ {1, 2, 4},
+/// occasionally with non-unit exact cost weights.
+fn arb_mpp_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (
+        arb_instance(max_n),
+        0..3usize,
+        proptest::bool::weighted(0.3),
+    )
+        .prop_map(|(inst, p_idx, weighted)| {
+            let p = [1u32, 2, 4][p_idx];
+            if weighted {
+                inst.with_mpp(MppDim {
+                    p,
+                    comm: Ratio::new(3, 2),
+                    comp: Ratio::new(1, 4),
+                })
+            } else {
+                inst.with_procs(p)
+            }
+        })
+}
+
 /// A pseudo-random walk of legal moves — yields traces the engine
 /// accepts as prefixes (completion not guaranteed).
 fn legal_walk(inst: &Instance, steps: usize, seed: u64) -> Pebbling {
@@ -92,6 +115,47 @@ fn legal_walk(inst: &Instance, steps: usize, seed: u64) -> Pebbling {
         let mv = legal[(next() % legal.len() as u64) as usize];
         state.apply(mv, inst).unwrap();
         trace.push(mv);
+    }
+    trace
+}
+
+/// The multiprocessor analogue of [`legal_walk`]: a random walk over
+/// (move, processor) pairs, legality probed by applying on a clone.
+fn legal_walk_mpp(inst: &Instance, steps: usize, seed: u64) -> Pebbling {
+    let mut state = MppState::initial(inst);
+    let mut trace = Pebbling::new();
+    let n = inst.dag().n();
+    let p = inst.procs().max(1) as u16;
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for _ in 0..steps {
+        let mut legal: Vec<(Move, u16)> = Vec::new();
+        for i in 0..n {
+            let v = NodeId::new(i);
+            for proc in 0..p {
+                for mv in [
+                    Move::Load(v),
+                    Move::Store(v),
+                    Move::Compute(v),
+                    Move::Delete(v),
+                ] {
+                    if state.clone().apply(mv, proc, inst).is_ok() {
+                        legal.push((mv, proc));
+                    }
+                }
+            }
+        }
+        if legal.is_empty() {
+            break;
+        }
+        let (mv, proc) = legal[(next() % legal.len() as u64) as usize];
+        state.apply(mv, proc, inst).unwrap();
+        trace.push_on(mv, proc);
     }
     trace
 }
@@ -168,6 +232,42 @@ proptest! {
         moves in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..30),
     ) {
         let trace = garbage_trace(inst.dag().n(), &moves);
+        assert_agreement(&inst, &trace);
+    }
+
+    /// Multiprocessor legal walks: the mpp engine and the p-aware
+    /// certifier replay processor-tagged traces identically, exact
+    /// cost weights included.
+    #[test]
+    fn certifier_agrees_with_engine_on_mpp_walks(
+        inst in arb_mpp_instance(6),
+        steps in 0..40usize,
+        seed in any::<u64>(),
+    ) {
+        let trace = legal_walk_mpp(&inst, steps, seed);
+        assert_agreement(&inst, &trace);
+    }
+
+    /// Multiprocessor garbage: random (move, processor) sequences with
+    /// tags beyond the processor count must be rejected at the same
+    /// step by both interpreters.
+    #[test]
+    fn certifier_agrees_with_engine_on_mpp_garbage(
+        inst in arb_mpp_instance(5),
+        moves in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u16..6), 0..30),
+    ) {
+        let mut trace = Pebbling::new();
+        let n = inst.dag().n();
+        for &(kind, node, proc) in &moves {
+            let v = NodeId::new(node as usize % n.max(1));
+            let mv = match kind % 4 {
+                0 => Move::Load(v),
+                1 => Move::Store(v),
+                2 => Move::Compute(v),
+                _ => Move::Delete(v),
+            };
+            trace.push_on(mv, proc);
+        }
         assert_agreement(&inst, &trace);
     }
 }

@@ -432,6 +432,54 @@ mod tests {
         assert!(cache.lookup(&key_of(6), AcceptPolicy::Bound).is_none());
     }
 
+    #[test]
+    fn model_dimension_is_part_of_the_key() {
+        // two instances differing only in the multiprocessor dimension
+        // (processor count, or cost weights) must never share a slot: a
+        // p = 2 optimum can be strictly cheaper than the p = 1 optimum
+        use rbp_core::{MppDim, Ratio};
+        let base = Instance::new(generate::chain(4), 2, CostModel::base());
+        let cache = SolutionCache::new();
+        cache.insert_or_upgrade(base.canonical_key(), "exact", sol(Quality::Optimal), 3);
+        for lifted in [
+            base.with_procs(2),
+            base.with_procs(4),
+            base.with_mpp(MppDim {
+                p: 2,
+                comm: Ratio::new(3, 1),
+                comp: Ratio::new(1, 1),
+            }),
+            base.with_mpp(MppDim {
+                p: 2,
+                comm: Ratio::new(1, 1),
+                comp: Ratio::new(1, 2),
+            }),
+        ] {
+            assert_ne!(base.canonical_key(), lifted.canonical_key());
+            assert!(
+                cache
+                    .lookup(&lifted.canonical_key(), AcceptPolicy::Bound)
+                    .is_none(),
+                "classic entry served for a lifted instance"
+            );
+        }
+        // the two weighted variants must also differ from each other
+        assert_ne!(
+            base.with_mpp(MppDim {
+                p: 2,
+                comm: Ratio::new(3, 1),
+                comp: Ratio::new(1, 1),
+            })
+            .canonical_key(),
+            base.with_mpp(MppDim {
+                p: 2,
+                comm: Ratio::new(1, 1),
+                comp: Ratio::new(1, 2),
+            })
+            .canonical_key()
+        );
+    }
+
     /// A populated cache with a proved and a bounded entry.
     fn populated() -> SolutionCache {
         let cache = SolutionCache::new();

@@ -23,6 +23,25 @@ fn solution_doc() -> String {
     wire::write_solution("greedy:most-red-inputs/min-uses", &sol)
 }
 
+fn mpp_instance_doc() -> String {
+    // a v2 document exercising the multiprocessor header fields
+    use rbp_core::{MppDim, Ratio};
+    write_instance(
+        &Instance::new(generate::chain(6), 2, CostModel::base()).with_mpp(MppDim {
+            p: 2,
+            comm: Ratio::new(3, 2),
+            comp: Ratio::new(1, 4),
+        }),
+    )
+}
+
+fn mpp_solution_doc() -> String {
+    // proc-annotated move lines (`compute 3 p1`)
+    let inst = Instance::new(generate::chain(5), 2, CostModel::base()).with_procs(2);
+    let sol = rbp_solvers::registry::solve("greedy@mpp", &inst).unwrap();
+    wire::write_solution("greedy@mpp:2", &sol)
+}
+
 fn dag_doc() -> String {
     rbp_graph::io::write_dag(&generate::chain(6))
 }
@@ -171,6 +190,46 @@ proptest! {
                 }
             }
             (a, b) => prop_assert!(false, "offset changed the outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn mutated_mpp_instance_docs_never_panic_and_keep_document_coordinates(
+        op in 0usize..5, pos in any::<usize>(), byte in any::<u8>(),
+    ) {
+        let text = mutate(&mpp_instance_doc(), op, pos, byte);
+        let base = rbp_core::io::parse_instance(&text);
+        let shifted = rbp_core::io::parse_instance_at(&text, 101);
+        match (base, shifted) {
+            (Ok(a), Ok(b)) => prop_assert!(rbp_core::io::same_instance(&a, &b)),
+            (Err(e), Err(e_at)) => {
+                if let (Some(n), Some(n_at)) =
+                    (line_of(&format!("{e}")), line_of(&format!("{e_at}")))
+                {
+                    prop_assert_eq!(n_at, n + 100);
+                }
+            }
+            (a, b) => prop_assert!(false, "offset changed the outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn mutated_mpp_solution_docs_never_panic(
+        op in 0usize..5, pos in any::<usize>(), byte in any::<u8>(),
+    ) {
+        let text = mutate(&mpp_solution_doc(), op, pos, byte);
+        match wire::parse_solution(&text) {
+            Ok(ws) => {
+                // a surviving parse must still round-trip stably,
+                // processor tags included
+                let rewritten = wire::write_solution(&ws.spec, &ws.solution);
+                let back = wire::parse_solution(&rewritten).unwrap();
+                prop_assert_eq!(back.solution.trace, ws.solution.trace);
+            }
+            Err(e) => {
+                let msg = format!("{e}");
+                prop_assert!(!msg.is_empty());
+            }
         }
     }
 

@@ -333,9 +333,10 @@ impl Solution {
     }
 
     /// The scaled cost under the instance's model (the comparison key
-    /// all solvers rank by).
+    /// all solvers rank by). Multiprocessor instances weigh transfers
+    /// and computes by their exact cost-vector weights.
     pub fn scaled_cost(&self, instance: &Instance) -> u128 {
-        self.cost.scaled(instance.model().epsilon())
+        instance.scaled_cost(&self.cost)
     }
 
     /// States expanded, when the solver reports it.
@@ -372,15 +373,14 @@ impl Solution {
 /// cost meets the structural lower bound (then the heuristic *proved*
 /// optimality), otherwise an upper bound carrying that lower bound.
 pub(crate) fn upper_bound_quality(instance: &Instance, cost: Cost) -> Quality {
-    let eps = instance.model().epsilon();
-    let lb = bounds::trivial_lower_bound(instance).scaled(eps);
+    let lb = instance.scaled_cost(&bounds::trivial_lower_bound(instance));
+    let scaled = instance.scaled_cost(&cost);
     debug_assert!(
-        lb <= cost.scaled(eps),
-        "structural lower bound {lb} exceeds a realized cost {} — \
-         bounds::trivial_lower_bound is unsound",
-        cost.scaled(eps)
+        lb <= scaled,
+        "structural lower bound {lb} exceeds a realized cost {scaled} — \
+         bounds::trivial_lower_bound is unsound"
     );
-    if cost.scaled(eps) == lb {
+    if scaled == lb {
         Quality::Optimal
     } else {
         Quality::UpperBound { lower_bound: lb }
@@ -557,8 +557,13 @@ fn run_exact_family(
             stats.set("states_expanded", report.states_expanded as u64);
             stats.set("states_seen", report.states_seen as u64);
             stats.set("threads", threads as u64);
-            let quality = if optimal {
+            let quality = if optimal && instance.procs() <= 1 {
                 Quality::Optimal
+            } else if optimal {
+                // the classic search only explores single-processor
+                // schedules; on p > 1 the multiprocessor optimum can be
+                // strictly cheaper, so the result is only an upper bound
+                upper_bound_quality(instance, report.cost)
             } else {
                 stats.set("degraded", 1);
                 upper_bound_quality(instance, report.cost)

@@ -50,6 +50,9 @@
 //! - [`expand`]: the move generator both exact solvers share;
 //! - [`greedy`]: the three natural greedy rules of Section 8 with
 //!   pluggable eviction policies;
+//! - [`mpp`]: multiprocessor pebbling — exact Dijkstra over the
+//!   product state space of `p` private memories plus a greedy list
+//!   scheduler (`exact@mpp[:P]` / `greedy@mpp[:P]`);
 //! - [`beam`]: beam search over first-computation orderings;
 //! - [`portfolio`]: parallel best-of-greedy (also the incumbent seed);
 //! - [`visit`]: visit-order solvers for the paper's input-group
@@ -71,6 +74,7 @@ pub mod exact;
 pub mod expand;
 pub mod greedy;
 pub mod hash;
+pub mod mpp;
 pub mod parallel;
 pub mod pool;
 pub mod portfolio;
@@ -89,6 +93,10 @@ pub use error::SolveError;
 pub use exact::{ExactConfig, ExactReport};
 pub use expand::{Expander, Meta};
 pub use greedy::{EvictionPolicy, GreedyConfig, GreedyReport, SelectionRule};
+pub use mpp::{
+    solve_exact_mpp, solve_greedy_mpp, ExactMppSolver, GreedyMppSolver, MppExactReport,
+    MppGreedyReport,
+};
 pub use parallel::ParallelConfig;
 pub use portfolio::default_portfolio;
 pub use registry::Registry;

@@ -21,6 +21,10 @@
 //!     EVICT ∈ min-uses | lru | fifo | random(SEED)
 //! beam[:WIDTH]                  beam search; WIDTH ≥ 1 (default 8)
 //! portfolio                     best of the nine greedy configurations
+//! exact@mpp[:P]                 exact multiprocessor pebbling (Dijkstra over
+//!                               the product state space); P ≥ 1 overrides the
+//!                               instance's processor count
+//! greedy@mpp[:P]                greedy multiprocessor list scheduling
 //! ```
 //!
 //! Degenerate numeric arguments (`exact-parallel:0`, `beam:0`) parse
@@ -50,6 +54,7 @@ use crate::api::{
 use crate::beam::BeamConfig;
 use crate::error::SolveError;
 use crate::greedy::{EvictionPolicy, GreedyConfig, SelectionRule};
+use crate::mpp::{ExactMppSolver, GreedyMppSolver};
 use crate::parallel::ParallelConfig;
 use rbp_core::Instance;
 
@@ -153,6 +158,25 @@ impl Registry {
                 Some(other) => Err(bad_args("portfolio", other, "takes no arguments")),
             },
         );
+        r.register(
+            "exact@mpp",
+            "exact multiprocessor pebbling; arg = processor count (default: the instance's)",
+            |a| {
+                Ok(Box::new(ExactMppSolver {
+                    procs: parse_procs("exact@mpp", a)?,
+                    cfg: Default::default(),
+                }))
+            },
+        );
+        r.register(
+            "greedy@mpp",
+            "greedy multiprocessor list scheduling; arg = processor count (default: the instance's)",
+            |a| {
+                Ok(Box::new(GreedyMppSolver {
+                    procs: parse_procs("greedy@mpp", a)?,
+                }))
+            },
+        );
         r
     }
 
@@ -205,6 +229,21 @@ fn bad_args(family: &str, args: &str, reason: &str) -> SolveError {
     SolveError::BadSpec {
         spec: format!("{family}:{args}"),
         reason: reason.to_string(),
+    }
+}
+
+fn parse_procs(family: &'static str, a: Option<&str>) -> Result<Option<u32>, SolveError> {
+    match a {
+        None => Ok(None),
+        Some(p) => {
+            let procs: u32 = p
+                .parse()
+                .map_err(|_| bad_args(family, p, "processor count must be an integer"))?;
+            if procs == 0 {
+                return Err(bad_args(family, p, "processor count must be >= 1"));
+            }
+            Ok(Some(procs))
+        }
     }
 }
 
@@ -292,6 +331,10 @@ mod tests {
             "beam",
             "beam:4",
             "portfolio",
+            "exact@mpp",
+            "exact@mpp:2",
+            "greedy@mpp",
+            "greedy@mpp:2",
         ] {
             let sol = solve(spec, &inst).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(sol.cost.transfers, 0, "{spec}");
@@ -317,6 +360,10 @@ mod tests {
             "beam",
             "beam:4",
             "portfolio",
+            "exact@mpp",
+            "exact@mpp:2",
+            "greedy@mpp",
+            "greedy@mpp:4",
         ] {
             let canonical = solver(spec).unwrap().spec();
             let reparsed = solver(&canonical)
@@ -368,6 +415,9 @@ mod tests {
             "greedy:topo",
             "greedy:most-red-inputs/arc",
             "portfolio:3",
+            "exact@mpp:zero",
+            "exact@mpp:0",
+            "greedy@mpp:-1",
         ] {
             assert!(
                 matches!(solver(spec), Err(SolveError::BadSpec { .. })),

@@ -21,6 +21,12 @@
 //! end
 //! ```
 //!
+//! Multiprocessor traces append the executing processor to each move
+//! line as a `p<proc>` token (`load 3 p1`). The annotation is emitted
+//! only when the trace carries a nonzero processor tag, so classic
+//! single-processor documents are byte-identical to what they always
+//! were; the parser accepts the token on any move line.
+//!
 //! A parsed solution is **as transmitted**: the cost and quality are
 //! whatever the document claims, because validation needs the instance
 //! the trace pebbles. Callers that hold the instance should replay
@@ -140,14 +146,19 @@ pub fn write_solution(spec: &str, sol: &Solution) -> String {
         let _ = writeln!(out, "stat {k} {v}");
     }
     let _ = writeln!(out, "trace {}", sol.trace.len());
-    for mv in sol.trace.moves() {
+    let tagged = sol.trace.has_proc_tags();
+    for (i, mv) in sol.trace.moves().iter().enumerate() {
         let (kw, v) = match mv {
             Move::Load(v) => ("load", v),
             Move::Store(v) => ("store", v),
             Move::Compute(v) => ("compute", v),
             Move::Delete(v) => ("delete", v),
         };
-        let _ = writeln!(out, "{kw} {}", v.index());
+        if tagged {
+            let _ = writeln!(out, "{kw} {} p{}", v.index(), sol.trace.proc_of(i));
+        } else {
+            let _ = writeln!(out, "{kw} {}", v.index());
+        }
     }
     out.push_str("end\n");
     out
@@ -202,14 +213,16 @@ pub fn parse_solution_at(text: &str, first_line: usize) -> Result<WireSolution, 
                 ));
             }
             let v = parse_node(lineno, parts.next())?;
+            let proc = parse_proc(lineno, parts.next())?;
             let t = trace.as_mut().expect("trace started");
-            match keyword {
-                "load" => t.load(v),
-                "store" => t.store(v),
-                "compute" => t.compute(v),
-                "delete" => t.delete(v),
+            let mv = match keyword {
+                "load" => Move::Load(v),
+                "store" => Move::Store(v),
+                "compute" => Move::Compute(v),
+                "delete" => Move::Delete(v),
                 _ => unreachable!(),
-            }
+            };
+            t.push_on(mv, proc);
             remaining_moves -= 1;
             continue;
         }
@@ -335,6 +348,18 @@ fn parse_node(line: usize, token: Option<&str>) -> Result<NodeId, ParseError> {
     Ok(NodeId::new(v))
 }
 
+/// The optional trailing `p<proc>` annotation of a move line. Absent
+/// means processor 0 (a classic single-processor move).
+fn parse_proc(line: usize, token: Option<&str>) -> Result<u16, ParseError> {
+    match token {
+        None => Ok(0),
+        Some(t) => t
+            .strip_prefix('p')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| unexpected(line, t, "a 'p<proc>' annotation after the node id")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +475,39 @@ mod tests {
         match parse_solution(text).unwrap_err() {
             ParseError::UnexpectedToken { line: 6, token, .. } => assert_eq!(token, "end"),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiprocessor_solutions_round_trip_with_proc_tags() {
+        let inst = diamond().with_procs(2);
+        let sol = registry::solve("exact@mpp:2", &inst).unwrap();
+        let text = write_solution("exact@mpp:2", &sol);
+        let back = parse_solution(&text).unwrap();
+        assert_eq!(back.solution.trace, sol.trace, "processor tags survive");
+        assert_eq!(back.solution.cost, sol.cost);
+        assert_eq!(write_solution(&back.spec, &back.solution), text);
+        // untagged solutions stay in the classic single-proc shape
+        let classic = registry::solve("exact", &diamond()).unwrap();
+        let text = write_solution("exact", &classic);
+        assert!(!text.contains(" p"), "no annotation without tags:\n{text}");
+        // explicit p0 annotations parse back to an untagged trace
+        let text =
+            "solution v1\nspec exact\nquality optimal\ncost 0 1\ntrace 1\ncompute 0 p0\nend\n";
+        let w = parse_solution(text).unwrap();
+        assert!(!w.solution.trace.has_proc_tags());
+    }
+
+    #[test]
+    fn malformed_proc_annotations_rejected() {
+        for bad in ["compute 0 q1", "compute 0 p", "compute 0 px", "compute 0 1"] {
+            let text = format!(
+                "solution v1\nspec exact\nquality optimal\ncost 0 1\ntrace 1\n{bad}\nend\n"
+            );
+            match parse_solution(&text).unwrap_err() {
+                ParseError::UnexpectedToken { line: 6, .. } => {}
+                other => panic!("{bad}: {other:?}"),
+            }
         }
     }
 

@@ -245,7 +245,16 @@ fn run_chunk(
             report.absorb(outcome);
         }
     }
-    for g in (offset..offset + count).map(|i| ensemble::instance_at(seed, i as u64, ensemble_cfg)) {
+    // every fourth draw is lifted to the multiprocessor game, rotating
+    // p through {1, 2, 4} by index, so each soak also exercises the
+    // cross-p lattice on instances that carry the mpp dimension
+    for g in (offset..offset + count).map(|i| {
+        if i % 4 == 3 {
+            ensemble::mpp_instance_at(seed, i as u64, ensemble_cfg)
+        } else {
+            ensemble::instance_at(seed, i as u64, ensemble_cfg)
+        }
+    }) {
         if !g.instance.is_feasible() {
             report.skipped_infeasible += 1;
             continue;

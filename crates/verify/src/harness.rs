@@ -15,6 +15,7 @@
 //! | [`Invariant::InstanceRoundTrip`] | `write ∘ parse ∘ write` is identity for `instance v1` |
 //! | [`Invariant::SolutionRoundTrip`] | `write ∘ parse ∘ write` is identity for `solution v1` |
 //! | [`Invariant::Certification`] | the independent certifier accepts every returned trace at the exact claimed cost |
+//! | [`Invariant::MppMonotone`] | `exact@mpp:1 == exact`, and the multiprocessor optimum never rises with p |
 //!
 //! The optimum itself is anchored by the sequential `exact` solver;
 //! everything else is measured against it. A violation of *any* row is
@@ -69,6 +70,10 @@ pub enum Invariant {
     /// The independent certifier rejected a solution, or certified a
     /// different cost than the solver claimed.
     Certification,
+    /// The multiprocessor lattice failed: `exact@mpp:1` disagrees with
+    /// the classic optimum, or the optimum rose when processors were
+    /// added (more private memory can never hurt).
+    MppMonotone,
 }
 
 impl Invariant {
@@ -84,6 +89,7 @@ impl Invariant {
             Invariant::InstanceRoundTrip => "instance-round-trip",
             Invariant::SolutionRoundTrip => "solution-round-trip",
             Invariant::Certification => "certification",
+            Invariant::MppMonotone => "mpp-monotone",
         }
     }
 }
@@ -121,6 +127,11 @@ pub struct HarnessConfig {
     /// trip mid-search on most instances, exercising the `UpperBound`
     /// path.
     pub degraded_max_expansions: u64,
+    /// Run the exact multiprocessor lattice (`exact@mpp:p` for
+    /// p ∈ {1, 2, 4}) only on DAGs up to this many nodes — the product
+    /// state space is exponential in p. Larger instances still get the
+    /// greedy multiprocessor probe plus certification.
+    pub mpp_max_nodes: usize,
 }
 
 impl Default for HarnessConfig {
@@ -128,6 +139,7 @@ impl Default for HarnessConfig {
         HarnessConfig {
             reference_max_nodes: 8,
             degraded_max_expansions: 4,
+            mpp_max_nodes: 5,
         }
     }
 }
@@ -345,6 +357,97 @@ pub fn check_instance(instance: &Instance, cfg: &HarnessConfig) -> InstanceOutco
         }),
     }
 
+    // -- the multiprocessor lattice: lift classic instances over p ------
+    // Instances already carrying an mpp dimension arrive through the
+    // mpp ensembles and are exercised by the generic rows above; the
+    // lift here checks the cross-p laws, which need a classic baseline.
+    if instance.mpp().is_none() {
+        if anchored && instance.dag().n() <= cfg.mpp_max_nodes {
+            let mut chain: Vec<(u32, u128)> = Vec::new();
+            for p in [1u32, 2, 4] {
+                let lifted = instance.with_procs(p);
+                let spec = format!("exact@mpp:{p}");
+                out.solves += 1;
+                let sol = match registry::solve(&spec, instance) {
+                    Ok(sol) => sol,
+                    Err(SolveError::StateLimitExceeded { .. }) | Err(SolveError::Interrupted) => {
+                        continue
+                    }
+                    Err(e) => {
+                        out.violations.push(Violation {
+                            invariant: Invariant::SolverError,
+                            spec: spec.clone(),
+                            detail: format!("errored on a feasible instance: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                certify_solution(&lifted, &spec, &sol, &mut out);
+                let cost = sol.scaled_cost(&lifted);
+                if !sol.is_optimal() {
+                    continue; // degraded: no optimum to hang laws on
+                }
+                chain.push((p, cost));
+                if p == 1 && cost != opt {
+                    out.violations.push(Violation {
+                        invariant: Invariant::MppMonotone,
+                        spec: spec.clone(),
+                        detail: format!(
+                            "single-processor mpp optimum {cost} != classic optimum {opt}"
+                        ),
+                    });
+                }
+                let gspec = format!("greedy@mpp:{p}");
+                out.solves += 1;
+                match registry::solve(&gspec, instance) {
+                    Ok(g) => {
+                        certify_solution(&lifted, &gspec, &g, &mut out);
+                        let gcost = g.scaled_cost(&lifted);
+                        if gcost < cost {
+                            out.violations.push(Violation {
+                                invariant: Invariant::HeuristicDominated,
+                                spec: gspec,
+                                detail: format!(
+                                    "greedy cost {gcost} beats the mpp optimum {cost} at p={p}"
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => out.violations.push(Violation {
+                        invariant: Invariant::SolverError,
+                        spec: gspec,
+                        detail: format!("errored on a feasible instance: {e}"),
+                    }),
+                }
+            }
+            for w in chain.windows(2) {
+                let ((p_lo, c_lo), (p_hi, c_hi)) = (w[0], w[1]);
+                if c_hi > c_lo {
+                    out.violations.push(Violation {
+                        invariant: Invariant::MppMonotone,
+                        spec: format!("exact@mpp:{p_lo} vs exact@mpp:{p_hi}"),
+                        detail: format!(
+                            "optimum rose with processors: {c_lo} at p={p_lo}, {c_hi} at p={p_hi}"
+                        ),
+                    });
+                }
+            }
+        } else {
+            // too large for the exact product search: the greedy
+            // scheduler must still produce a certifiable schedule
+            let lifted = instance.with_procs(2);
+            out.solves += 1;
+            match registry::solve("greedy@mpp:2", instance) {
+                Ok(sol) => certify_solution(&lifted, "greedy@mpp:2", &sol, &mut out),
+                Err(e) => out.violations.push(Violation {
+                    invariant: Invariant::SolverError,
+                    spec: "greedy@mpp:2".to_string(),
+                    detail: format!("errored on a feasible instance: {e}"),
+                }),
+            }
+        }
+    }
+
     // -- cache hit must be byte-identical to the inserted solution ------
     let cache = SolutionCache::new();
     let key = instance.canonical_key();
@@ -424,6 +527,43 @@ mod tests {
         assert!(out.clean(), "violations: {:?}", out.violations);
         assert!(out.solves >= SPECS.len());
         assert!(out.certified >= SPECS.len(), "every solution certified");
+    }
+
+    #[test]
+    fn clean_on_a_lifted_multiprocessor_instance() {
+        // an instance already carrying the mpp dimension runs the
+        // generic rows (the classic anchor is only an upper bound
+        // there) and must stay violation-free
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::base()).with_procs(2);
+        let out = check_instance(&inst, &HarnessConfig::default());
+        assert!(out.clean(), "violations: {:?}", out.violations);
+    }
+
+    #[test]
+    fn mpp_lattice_runs_on_small_classic_instances() {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let inst = Instance::new(b.build().unwrap(), 3, CostModel::oneshot());
+        let cfg = HarnessConfig::default();
+        assert!(inst.dag().n() <= cfg.mpp_max_nodes);
+        let out = check_instance(&inst, &cfg);
+        assert!(out.clean(), "violations: {:?}", out.violations);
+        // the exact lattice adds 6 solves (exact+greedy at 3 values of p)
+        assert!(out.solves >= SPECS.len() + 6, "mpp lattice did not run");
+        // larger instances fall back to the greedy probe only
+        let big = HarnessConfig {
+            mpp_max_nodes: 3,
+            ..cfg
+        };
+        let out_big = check_instance(&inst, &big);
+        assert!(out_big.clean(), "violations: {:?}", out_big.violations);
+        assert!(out_big.solves < out.solves);
     }
 
     #[test]

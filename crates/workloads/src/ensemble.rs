@@ -23,7 +23,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rbp_core::{CostModel, Instance, SinkConvention, SourceConvention};
+use rbp_core::{CostModel, Instance, ModelKind, SinkConvention, SourceConvention};
 use rbp_graph::generate;
 
 /// The random DAG families an ensemble rotates through.
@@ -138,12 +138,10 @@ pub fn instance_at(base_seed: u64, index: u64, cfg: &EnsembleConfig) -> Generate
             generate::random_in_tree(n, max_d, &mut rng)
         }
     };
-    let model = match rng.gen_range(0..4u32) {
-        0 => CostModel::base(),
-        1 => CostModel::oneshot(),
-        2 => CostModel::nodel(),
-        _ => CostModel::compcost(),
-    };
+    // registry-driven model draw: a new ModelKind automatically joins
+    // the rotation instead of needing this match extended
+    let kind = ModelKind::ALL[rng.gen_range(0..ModelKind::ALL.len())];
+    let model = CostModel::of_kind(kind);
     let n = dag.n();
     let base = Instance::new(dag, 1, model);
     let r_max = (base.min_feasible_r() + cfg.r_slack).min(n.max(base.min_feasible_r()));
@@ -170,6 +168,28 @@ pub fn instance_at(base_seed: u64, index: u64, cfg: &EnsembleConfig) -> Generate
 /// a k-instance ensemble.
 pub fn stream(base_seed: u64, cfg: EnsembleConfig) -> impl Iterator<Item = GeneratedInstance> {
     (0u64..).map(move |i| instance_at(base_seed, i, &cfg))
+}
+
+/// The processor counts the multiprocessor ensemble rotates through.
+/// `p = 1` stays in the rotation deliberately: it pins the
+/// `mpp:1 ≡ classic` equivalence on every soak.
+pub const MPP_PROCS: [u32; 3] = [1, 2, 4];
+
+/// The multiprocessor variant of [`instance_at`]: the same underlying
+/// classic draw, lifted to `p` processors with `p` rotating through
+/// [`MPP_PROCS`] by index. Labels gain a `-p<procs>` suffix.
+pub fn mpp_instance_at(base_seed: u64, index: u64, cfg: &EnsembleConfig) -> GeneratedInstance {
+    let mut g = instance_at(base_seed, index, cfg);
+    let p = MPP_PROCS[(index % MPP_PROCS.len() as u64) as usize];
+    g.instance = g.instance.with_procs(p);
+    g.name = format!("{}-p{p}", g.name);
+    g
+}
+
+/// An endless deterministic stream of multiprocessor ensemble instances
+/// (the [`stream`] analogue of [`mpp_instance_at`]).
+pub fn mpp_stream(base_seed: u64, cfg: EnsembleConfig) -> impl Iterator<Item = GeneratedInstance> {
+    (0u64..).map(move |i| mpp_instance_at(base_seed, i, &cfg))
 }
 
 #[cfg(test)]
@@ -213,17 +233,36 @@ mod tests {
                 f.name()
             );
         }
-        for kind in [
-            ModelKind::Base,
-            ModelKind::Oneshot,
-            ModelKind::NoDel,
-            ModelKind::CompCost,
-        ] {
+        for kind in ModelKind::ALL {
             assert!(
                 sample.iter().any(|g| g.instance.model().kind() == kind),
                 "model {kind:?} never drawn"
             );
         }
+    }
+
+    #[test]
+    fn mpp_ensembles_rotate_processor_counts() {
+        let cfg = EnsembleConfig::default();
+        let sample: Vec<_> = mpp_stream(11, cfg).take(24).collect();
+        for p in MPP_PROCS {
+            assert!(
+                sample.iter().any(|g| g.instance.procs() == p as usize),
+                "processor count {p} missing from rotation"
+            );
+        }
+        for g in &sample {
+            assert!(g.instance.is_feasible(), "{} must stay feasible", g.name);
+            assert!(g.name.contains("-p"), "{} lacks the -p suffix", g.name);
+        }
+        // the mpp draw shares the classic draw: same DAG and model
+        let classic = instance_at(11, 5, &cfg);
+        let lifted = mpp_instance_at(11, 5, &cfg);
+        assert_eq!(
+            classic.instance.canonical_key(),
+            lifted.instance.without_mpp().canonical_key(),
+            "lifting must only change the processor dimension"
+        );
     }
 
     #[test]

@@ -109,6 +109,59 @@ fn readme_registry_specs_parse_and_solve() {
     }
 }
 
+/// Public-API smoke test for the "Multiprocessor pebbling" section:
+/// replays the documented session verbatim and checks every claim the
+/// prose makes — the `@mpp` grammar rows parse and solve, `p = 1`
+/// matches the classic optimum, a second processor strictly helps on
+/// the height-3 nodel pyramid, and the p = 2 schedule certifies on the
+/// lifted instance.
+#[test]
+fn readme_mpp_session_replays() {
+    let readme = include_str!("../README.md");
+    let section = readme
+        .split("## Multiprocessor pebbling")
+        .nth(1)
+        .expect("README must keep a 'Multiprocessor pebbling' section");
+    let section = section.split("\n## ").next().unwrap();
+
+    // the documented session
+    let pyr = red_blue_pebbling::gadgets::pyramid::build(3);
+    let inst = Instance::new(pyr.dag.clone(), 3, CostModel::nodel());
+    let classic = registry::solve("exact", &inst).expect("feasible");
+    let one = registry::solve("exact@mpp:1", &inst).expect("feasible");
+    let two = registry::solve("exact@mpp:2", &inst).expect("feasible");
+    assert_eq!(
+        one.scaled_cost(&inst),
+        classic.scaled_cost(&inst),
+        "p = 1 must be the classic game"
+    );
+    assert!(
+        two.scaled_cost(&inst) < one.scaled_cost(&inst),
+        "the README claims a second processor strictly helps here"
+    );
+
+    // the p = 2 schedule replays on the engine of the lifted instance
+    let lifted = inst.with_procs(2);
+    let report = engine::simulate(&lifted, &two.trace).expect("p = 2 trace must validate");
+    assert_eq!(report.cost, two.cost);
+
+    // every `@mpp` spec the section's grammar table lists parses and
+    // solves the same instance (the move-semantics table has no
+    // backticked spec column, so filtering on `@mpp` selects exactly
+    // the grammar rows)
+    let specs: Vec<&str> = section
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("| `"))
+        .map(|rest| rest.split('`').next().unwrap())
+        .filter(|s| s.contains("@mpp"))
+        .collect();
+    assert_eq!(specs.len(), 2, "grammar table lists both mpp families");
+    for spec in specs {
+        registry::solve(spec, &inst)
+            .unwrap_or_else(|e| panic!("README mpp spec `{spec}` failed: {e}"));
+    }
+}
+
 /// Public-API smoke test for the "Serving" section: the exact protocol
 /// session printed in the README is fed to an in-process server, and
 /// the solution document it streams back must replay on the engine.
