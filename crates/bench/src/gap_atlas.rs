@@ -21,9 +21,9 @@
 
 use crate::perf_snapshot;
 use crate::report::Table;
-use rbp_core::{Instance, ModelKind};
+use rbp_core::{bounds, Instance, ModelKind};
 use rbp_solvers::registry;
-use rbp_workloads::ensemble::{self, EnsembleConfig};
+use rbp_workloads::ensemble::{self, EnsembleConfig, LargeConfig};
 use std::io::Write as _;
 use std::path::Path;
 
@@ -49,6 +49,18 @@ pub const ATLAS_SEED: u64 = 0xA71A5;
 
 /// Number of seeded ensemble instances in the pool.
 pub const ENSEMBLE_COUNT: usize = 200;
+
+/// The hierarchical coarsening specs measured on the large ensemble.
+/// These rows are anchored on [`bounds::best_lower_bound`] instead of
+/// `exact`: the large instances (hundreds of nodes) sit far beyond the
+/// exact frontier, so the atlas records coarse-UB / fractional-LB
+/// milli-ratios — an *upper bound* on the true approximation gap. The
+/// `optimal_cost` column of these rows therefore holds the ε-scaled
+/// lower bound, not a certified optimum.
+pub const COARSE_SPECS: [&str; 2] = ["coarse", "coarse:auto/greedy"];
+
+/// Number of seeded large-ensemble instances behind the coarse rows.
+pub const LARGE_ENSEMBLE_COUNT: usize = 12;
 
 /// One worst-case row of the atlas: the largest observed
 /// heuristic/optimal ratio for a (model, spec) pair.
@@ -106,6 +118,72 @@ pub fn pool() -> Vec<(String, Instance)> {
     out
 }
 
+/// The large instance pool behind the coarse rows: [`LARGE_ENSEMBLE_COUNT`]
+/// seeded layered DAGs of 150–600 nodes ([`ensemble::large_layered_at`]),
+/// rotating all four cost models under the Hong–Kung conventions.
+pub fn large_pool() -> Vec<(String, Instance)> {
+    let cfg = LargeConfig::default();
+    (0..LARGE_ENSEMBLE_COUNT as u64)
+        .map(|i| {
+            let g = ensemble::large_layered_at(ATLAS_SEED, i, &cfg);
+            (g.name, g.instance)
+        })
+        .collect()
+}
+
+/// Sweeps [`COARSE_SPECS`] over [`large_pool`], anchoring each ratio on
+/// the fractional lower bound rather than an exact optimum (see
+/// [`COARSE_SPECS`]). Folds into one [`GapRow`] per (model, spec), same
+/// shape and sort order as [`measure`] so the rows merge into the same
+/// atlas file.
+pub fn measure_coarse() -> Vec<GapRow> {
+    let pool = large_pool();
+    let mut rows: Vec<GapRow> = Vec::new();
+    for kind in ModelKind::ALL {
+        for spec in COARSE_SPECS {
+            rows.push(GapRow {
+                model: kind_name(kind).to_string(),
+                spec: spec.to_string(),
+                worst_milli: 0,
+                instance: String::new(),
+                heuristic_cost: 0,
+                optimal_cost: 0,
+                cells: 0,
+                zero_opt_cells: 0,
+                worst_zero_opt_cost: 0,
+            });
+        }
+    }
+    for (name, inst) in &pool {
+        let lb = inst.scaled_cost(&bounds::best_lower_bound(inst));
+        let model = kind_name(inst.model().kind());
+        for spec in COARSE_SPECS {
+            let coarse = registry::solve(spec, inst)
+                .expect("coarse cannot exhaust resources on the large pool");
+            let cost = coarse.scaled_cost(inst);
+            let row = rows
+                .iter_mut()
+                .find(|r| r.model == model && r.spec == spec)
+                .expect("row pre-seeded");
+            if lb == 0 {
+                row.zero_opt_cells += 1;
+                row.worst_zero_opt_cost = row.worst_zero_opt_cost.max(cost);
+                continue;
+            }
+            row.cells += 1;
+            let milli = cost * 1000 / lb;
+            if milli > row.worst_milli {
+                row.worst_milli = milli;
+                row.instance = name.clone();
+                row.heuristic_cost = cost;
+                row.optimal_cost = lb;
+            }
+        }
+    }
+    rows.retain(|r| r.cells > 0 || r.zero_opt_cells > 0);
+    rows
+}
+
 /// Sweeps the pool and folds it into one [`GapRow`] per (model, spec).
 /// Rows come out sorted by (model, spec) so the JSON is byte-stable.
 pub fn measure() -> Vec<GapRow> {
@@ -158,6 +236,7 @@ pub fn measure() -> Vec<GapRow> {
         }
     }
     rows.retain(|r| r.cells > 0 || r.zero_opt_cells > 0);
+    rows.extend(measure_coarse());
     rows.sort_by(|a, b| (&a.model, &a.spec).cmp(&(&b.model, &b.spec)));
     rows
 }
@@ -428,6 +507,22 @@ mod tests {
             );
         }
         assert!(a.len() > 100, "pool too small to be an atlas");
+    }
+
+    #[test]
+    fn coarse_rows_anchor_on_a_positive_bound() {
+        // the large pool runs under InitiallyBlue + RequireBlue, so the
+        // fractional bound forces transfers — every coarse ratio is a
+        // real UB/LB bracket, never a division guard
+        let mut pool = large_pool();
+        assert_eq!(pool.len(), LARGE_ENSEMBLE_COUNT);
+        let (name, inst) = pool.swap_remove(0);
+        let lb = inst.scaled_cost(&bounds::best_lower_bound(&inst));
+        assert!(lb > 0, "{name}: conventions must force transfers");
+        for spec in COARSE_SPECS {
+            let cost = registry::solve(spec, &inst).unwrap().scaled_cost(&inst);
+            assert!(cost >= lb, "{spec} beat the lower bound on {name}");
+        }
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub const MPP_SNAPSHOT_SPECS: [&str; 3] = ["exact@mpp:1", "exact@mpp:2", "greedy
 /// `bench_exact_parallel` criterion target).
 pub const PARALLEL_THREADS: usize = 4;
 
+/// The registry spec the scale-out cells ([`coarse_cells`]) are
+/// measured under: hierarchical coarsening with the default
+/// auto-sized partition and portfolio inner solver. These cells are
+/// far beyond the exact frontier, so their `scaled_cost` column pins
+/// the coarse *upper bound* trajectory rather than an optimum.
+pub const COARSE_SNAPSHOT_SPECS: [&str; 1] = ["coarse"];
+
 /// One workload × model cell of the perf matrix.
 pub struct PerfCase {
     /// Workload family (`chain`, `pyramid`, `grid`, `layered`, `matmul`,
@@ -180,6 +187,32 @@ pub fn mpp_cells() -> Vec<PerfCase> {
     cases
 }
 
+/// Scale-out rows: matmul(16) and fft(64) under the Hong–Kung
+/// conventions (`InitiallyBlue` sources, `RequireBlue` sinks — the
+/// regime where the fractional bound engine has teeth), solved by the
+/// `coarse` solver. Thousands of nodes; no exact spec could touch
+/// these, which is the point of the hierarchical line.
+pub fn coarse_cells() -> Vec<PerfCase> {
+    use rbp_core::{SinkConvention, SourceConvention};
+    let dags: Vec<(&'static str, rbp_graph::Dag, usize)> = vec![
+        ("matmul16-coarse", rbp_workloads::matmul::build(16).dag, 4),
+        ("fft64-coarse", rbp_workloads::fft::build(6).dag, 4),
+    ];
+    let mut cases = Vec::with_capacity(dags.len() * MODELS.len());
+    for (workload, dag, r) in dags {
+        for (model, kind) in MODELS {
+            cases.push(PerfCase {
+                workload,
+                model,
+                instance: Instance::new(dag.clone(), r, CostModel::of_kind(kind))
+                    .with_source_convention(SourceConvention::InitiallyBlue)
+                    .with_sink_convention(SinkConvention::RequireBlue),
+            });
+        }
+    }
+    cases
+}
+
 /// The full recorded matrix: the classic 6×3 cells plus the larger ones.
 pub fn all_cells() -> Vec<PerfCase> {
     let mut cs = cells();
@@ -272,6 +305,11 @@ pub fn measure_cases(cases: &[PerfCase], samples: usize, specs: &[&str]) -> Vec<
 pub fn measure(samples: usize) -> Vec<CellResult> {
     let mut results = measure_cases(&all_cells(), samples, &SNAPSHOT_SPECS);
     results.extend(measure_cases(&mpp_cells(), samples, &MPP_SNAPSHOT_SPECS));
+    results.extend(measure_cases(
+        &coarse_cells(),
+        samples,
+        &COARSE_SNAPSHOT_SPECS,
+    ));
     results.extend(measure_service(samples));
     results
 }

@@ -1,0 +1,340 @@
+//! Fractional lower bounds: an exact solution of a small linear
+//! relaxation of the pebble game, composable group-by-group over an
+//! acyclic partition.
+//!
+//! The relaxation drops the pebbling's combinatorial structure and
+//! keeps only *linear* facts about move counts that hold for **every
+//! complete trace** in every model, source/sink convention, and
+//! processor count. Writing `L` for total loads, `S` for total stores,
+//! and `C` for total computes:
+//!
+//! 1. **Forced computes** — every node that is not an initially-blue
+//!    source is computed at least once. Proof (reverse topological
+//!    induction): every node has a directed path to a sink; sinks must
+//!    end pebbled, pebbles originate only from `Compute` (or the
+//!    initial blue on IB sources), and a `Load` needs a prior `Store`
+//!    which needs a prior `Compute`. Hence `C >= computed_nodes`.
+//! 2. **Forced loads** — under [`SourceConvention::InitiallyBlue`] a
+//!    source is never computable, so its value can only become red via
+//!    `Load`; if it has a successor, that successor's (forced) compute
+//!    needs it red. Hence `L >= ib_loads`, the number of IB sources
+//!    with at least one successor.
+//! 3. **Forced stores** — under [`SinkConvention::RequireBlue`] every
+//!    sink must end blue; blue arises only from `Store` (or the
+//!    initial blue on IB sources). Hence `S >= rb_stores`, the number
+//!    of sinks that do not start blue.
+//! 4. **Red-mass conservation (nodel only)** — with deletes forbidden,
+//!    every `Compute`/`Load` adds exactly one red pebble and every
+//!    `Store` drains one, so the final red mass is `C + L - S`, which
+//!    the per-processor capacity caps at `p·R`. Hence
+//!    `S >= C + L - p·R`.
+//!
+//! The bound is the optimum of the tiny LP `min L + S` subject to
+//! (2)–(4): a two-variable polytope whose optimum the greedy dual
+//! below reads off in closed form — `L* = ib_loads` (the objective is
+//! increasing in `L`, even through constraint 4), and `S*` is the most
+//! binding of its constraints. No external LP solver is involved, and
+//! every supporting hyperplane is one of the proved inequalities, so
+//! the result is a certified lower bound, never an estimate.
+//!
+//! All four facts are sums of per-node terms (plus one global capacity
+//! row), so the bound *composes over any acyclic partition*: summing
+//! the per-group rows of [`bound_with`] reproduces the whole-instance
+//! bound, and each row is a valid lower bound on the moves any global
+//! trace spends on that group's nodes — which is what lets the coarse
+//! solver report per-group brackets without assuming the optimum
+//! respects the partition.
+
+use crate::cost::Cost;
+use crate::instance::{Instance, SinkConvention, SourceConvention};
+use crate::model::ModelKind;
+use rbp_graph::{NodeId, Partition};
+
+/// The linear facts for one partition group: the moves any complete
+/// trace must spend on this group's nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupTerm {
+    /// Group index in the partition.
+    pub group: usize,
+    /// Nodes in the group.
+    pub nodes: u64,
+    /// Forced computes attributable to the group (fact 1).
+    pub computed: u64,
+    /// Forced loads attributable to the group (fact 2).
+    pub forced_loads: u64,
+    /// Forced stores attributable to the group (fact 3).
+    pub forced_stores: u64,
+    /// Distinct values entering the group from earlier groups.
+    pub interface_in: u64,
+    /// Values of this group consumed by later groups.
+    pub interface_out: u64,
+}
+
+/// The solved relaxation: the composed [`Cost`] lower bound plus the
+/// certificate rows it was assembled from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FractionalBound {
+    /// The composed lower bound (component-wise: transfers and
+    /// computes are each individually sound).
+    pub cost: Cost,
+    /// Total forced loads (fact 2).
+    pub forced_loads: u64,
+    /// Total forced stores (fact 3).
+    pub forced_stores: u64,
+    /// Total forced computes (fact 1).
+    pub computed_nodes: u64,
+    /// Total red capacity `p·R` (the right-hand side of fact 4).
+    pub red_capacity: u64,
+    /// Per-group decomposition over the partition handed to
+    /// [`bound_with`] (empty from [`bound`]).
+    pub per_group: Vec<GroupTerm>,
+}
+
+/// The global linear facts: `(forced_loads, forced_stores,
+/// computed_nodes)` for the whole instance. One `O(n)` scan.
+fn global_terms(instance: &Instance) -> (u64, u64, u64) {
+    let dag = instance.dag();
+    let ib = instance.source_convention() == SourceConvention::InitiallyBlue;
+    let rb = instance.sink_convention() == SinkConvention::RequireBlue;
+    let mut forced_loads = 0u64;
+    let mut forced_stores = 0u64;
+    let mut computed = 0u64;
+    for v in dag.nodes() {
+        let starts_blue = ib && dag.is_source(v);
+        if starts_blue {
+            if dag.outdegree(v) > 0 {
+                forced_loads += 1;
+            }
+        } else {
+            computed += 1;
+            if rb && dag.is_sink(v) {
+                forced_stores += 1;
+            }
+        }
+    }
+    (forced_loads, forced_stores, computed)
+}
+
+/// Solves the relaxation's tiny LP in closed form: minimize `L + S`
+/// over facts (2)–(4). `L` only ever makes the objective and the
+/// conservation row worse, so `L* = forced_loads`; `S*` is the larger
+/// of its two supporting rows.
+fn solve_lp(instance: &Instance, loads: u64, stores: u64, computed: u64) -> Cost {
+    let red_capacity = instance.red_limit() as u64 * instance.procs() as u64;
+    let store_floor = match instance.model().kind() {
+        // fact 4 binds only when deletes are forbidden
+        ModelKind::NoDel => stores.max((computed + loads).saturating_sub(red_capacity)),
+        _ => stores,
+    };
+    Cost {
+        transfers: loads + store_floor,
+        computes: computed,
+    }
+}
+
+/// The whole-instance fractional lower bound, without a partition
+/// breakdown. `O(n)`; this is the entry point the solver hot paths
+/// use via [`super::best_lower_bound`].
+pub fn bound(instance: &Instance) -> FractionalBound {
+    let (loads, stores, computed) = global_terms(instance);
+    FractionalBound {
+        cost: solve_lp(instance, loads, stores, computed),
+        forced_loads: loads,
+        forced_stores: stores,
+        computed_nodes: computed,
+        red_capacity: instance.red_limit() as u64 * instance.procs() as u64,
+        per_group: Vec::new(),
+    }
+}
+
+/// The fractional bound with its per-group certificate rows over an
+/// acyclic partition (the shape the coarse solver and the gap atlas
+/// report). The composed `cost` is identical to [`bound`]'s — the
+/// facts are per-node, so group rows sum to the global terms — but
+/// each row additionally carries the group's interface traffic.
+pub fn bound_with(instance: &Instance, partition: &Partition) -> FractionalBound {
+    let dag = instance.dag();
+    let ib = instance.source_convention() == SourceConvention::InitiallyBlue;
+    let rb = instance.sink_convention() == SinkConvention::RequireBlue;
+    let mut per_group = Vec::with_capacity(partition.k());
+    for (g, nodes) in partition.groups().enumerate() {
+        let mut term = GroupTerm {
+            group: g,
+            nodes: nodes.len() as u64,
+            computed: 0,
+            forced_loads: 0,
+            forced_stores: 0,
+            interface_in: partition.external_inputs(dag, g).len() as u64,
+            interface_out: 0,
+        };
+        for &v in nodes {
+            let starts_blue = ib && dag.is_source(v);
+            if starts_blue {
+                if dag.outdegree(v) > 0 {
+                    term.forced_loads += 1;
+                }
+            } else {
+                term.computed += 1;
+                if rb && dag.is_sink(v) {
+                    term.forced_stores += 1;
+                }
+            }
+            if dag.succs(v).iter().any(|&w| partition.group_of(w) != g) {
+                term.interface_out += 1;
+            }
+        }
+        per_group.push(term);
+    }
+    let loads: u64 = per_group.iter().map(|t| t.forced_loads).sum();
+    let stores: u64 = per_group.iter().map(|t| t.forced_stores).sum();
+    let computed: u64 = per_group.iter().map(|t| t.computed).sum();
+    FractionalBound {
+        cost: solve_lp(instance, loads, stores, computed),
+        forced_loads: loads,
+        forced_stores: stores,
+        computed_nodes: computed,
+        red_capacity: instance.red_limit() as u64 * instance.procs() as u64,
+        per_group,
+    }
+}
+
+/// Whether `v` contributes a forced load (an initially-blue source
+/// with a consumer) — exposed for solvers stitching interface loads.
+pub fn is_forced_load(instance: &Instance, v: NodeId) -> bool {
+    instance.source_convention() == SourceConvention::InitiallyBlue
+        && instance.dag().is_source(v)
+        && instance.dag().outdegree(v) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{best_lower_bound, trivial_lower_bound};
+    use crate::engine::simulate;
+    use crate::model::CostModel;
+    use rbp_graph::{generate, partition, DagBuilder};
+
+    fn chain_inst(n: usize, r: usize, model: CostModel) -> Instance {
+        Instance::new(generate::chain(n), r, model)
+    }
+
+    #[test]
+    fn free_compute_any_pebble_matches_trivial() {
+        for kind in ModelKind::ALL {
+            let inst = chain_inst(10, 2, CostModel::of_kind(kind));
+            let f = bound(&inst);
+            assert_eq!(f.cost.transfers, trivial_lower_bound(&inst).transfers);
+            assert_eq!(f.computed_nodes, 10);
+        }
+    }
+
+    #[test]
+    fn initially_blue_sources_force_loads() {
+        let inst = chain_inst(10, 2, CostModel::oneshot())
+            .with_source_convention(SourceConvention::InitiallyBlue);
+        let f = bound(&inst);
+        assert_eq!(f.forced_loads, 1);
+        assert_eq!(f.cost.transfers, 1);
+        assert_eq!(trivial_lower_bound(&inst).transfers, 0);
+    }
+
+    #[test]
+    fn require_blue_sinks_force_stores() {
+        let inst =
+            chain_inst(10, 2, CostModel::base()).with_sink_convention(SinkConvention::RequireBlue);
+        let f = bound(&inst);
+        assert_eq!(f.forced_stores, 1);
+        assert_eq!(f.cost.transfers, 1);
+    }
+
+    #[test]
+    fn nodel_conservation_includes_forced_loads() {
+        // 10-chain, R = 2, IB: 9 computes + 1 forced load drain through
+        // at most 2 resident reds -> at least 8 stores, 9 transfers.
+        let inst = chain_inst(10, 2, CostModel::nodel())
+            .with_source_convention(SourceConvention::InitiallyBlue);
+        let f = bound(&inst);
+        assert_eq!(f.cost.transfers, 1 + (9 + 1 - 2));
+        // trivial only sees the computes: (10 - 1) - 2 = 7
+        assert_eq!(trivial_lower_bound(&inst).transfers, 7);
+    }
+
+    #[test]
+    fn isolated_initially_blue_nodes_force_nothing() {
+        let dag = DagBuilder::new(3).build().unwrap();
+        let inst = Instance::new(dag, 1, CostModel::nodel())
+            .with_source_convention(SourceConvention::InitiallyBlue)
+            .with_sink_convention(SinkConvention::RequireBlue);
+        let f = bound(&inst);
+        assert_eq!(f.cost, Cost::ZERO);
+        assert_eq!(f.computed_nodes, 0);
+    }
+
+    #[test]
+    fn group_rows_compose_to_the_global_bound() {
+        let dag = generate::chain(12);
+        let inst = Instance::new(dag, 2, CostModel::nodel())
+            .with_source_convention(SourceConvention::InitiallyBlue)
+            .with_sink_convention(SinkConvention::RequireBlue);
+        let p = partition::partition(inst.dag(), 3);
+        let f = bound_with(&inst, &p);
+        assert_eq!(f.cost, bound(&inst).cost);
+        assert_eq!(f.per_group.len(), 3);
+        let loads: u64 = f.per_group.iter().map(|t| t.forced_loads).sum();
+        let computed: u64 = f.per_group.iter().map(|t| t.computed).sum();
+        assert_eq!(loads, f.forced_loads);
+        assert_eq!(computed, f.computed_nodes);
+        // a 3-way chain split has one value crossing each boundary
+        assert_eq!(f.per_group[1].interface_in, 1);
+        assert_eq!(f.per_group[1].interface_out, 1);
+    }
+
+    #[test]
+    fn fractional_never_below_trivial_and_respects_a_real_trace() {
+        // canonical pebbling realizes a complete trace in all models;
+        // the bound must sit below its cost and above trivial
+        let mut rng = rand::thread_rng();
+        for kind in ModelKind::ALL {
+            for (src, sink) in [
+                (SourceConvention::FreeCompute, SinkConvention::AnyPebble),
+                (SourceConvention::InitiallyBlue, SinkConvention::RequireBlue),
+                (SourceConvention::InitiallyBlue, SinkConvention::AnyPebble),
+                (SourceConvention::FreeCompute, SinkConvention::RequireBlue),
+            ] {
+                let dag = generate::layered(3, 4, 3, &mut rng);
+                let r = dag.max_indegree() + 1;
+                let inst = Instance::new(dag, r, CostModel::of_kind(kind))
+                    .with_source_convention(src)
+                    .with_sink_convention(sink);
+                let eps = inst.model().epsilon();
+                let f = bound(&inst);
+                let triv = trivial_lower_bound(&inst);
+                assert!(
+                    f.cost.transfers >= triv.transfers,
+                    "{kind} {src:?} {sink:?}"
+                );
+                assert!(f.cost.computes >= triv.computes);
+                let best = best_lower_bound(&inst);
+                assert!(best.scaled(eps) >= triv.scaled(eps));
+                // soundness against a concrete complete pebbling: the
+                // canonical one leaves the board all-blue, satisfying
+                // both sink conventions
+                let trace = crate::bounds::canonical_pebbling(&inst).unwrap();
+                let rep = simulate(&inst, &trace).unwrap();
+                assert!(
+                    best.scaled(eps) <= rep.cost.scaled(eps),
+                    "bound exceeds a realized complete trace under {kind} {src:?} {sink:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_load_predicate_matches_terms() {
+        let dag = generate::chain(4);
+        let inst = Instance::new(dag, 2, CostModel::base())
+            .with_source_convention(SourceConvention::InitiallyBlue);
+        assert!(is_forced_load(&inst, NodeId::new(0)));
+        assert!(!is_forced_load(&inst, NodeId::new(1)));
+    }
+}

@@ -18,11 +18,13 @@ pub mod dot;
 pub mod generate;
 pub mod hash;
 pub mod io;
+pub mod partition;
 pub mod topo;
 pub mod undirected;
 
 pub use bitset::{words_for, BitSet, WORD_BITS};
 pub use builder::DagBuilder;
 pub use dag::{Dag, GraphError, NodeId};
+pub use partition::{partition, partition_by_size, Partition};
 pub use topo::{is_topological_order, levels, longest_path_len, topological_order};
 pub use undirected::Graph;

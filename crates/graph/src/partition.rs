@@ -1,0 +1,396 @@
+//! K-way acyclic partitioning for hierarchical (coarsened) pebbling.
+//!
+//! A [`Partition`] splits a [`Dag`] into `k` non-empty groups such that
+//! every edge goes from a group to the same or a later group
+//! (`group(u) <= group(v)` for every edge `u -> v`). That monotonicity
+//! invariant makes the *quotient* graph — one supernode per group, one
+//! edge per pair of groups connected by at least one crossing edge —
+//! acyclic by construction, so groups can be solved independently in
+//! quotient topological order and stitched back together.
+//!
+//! Construction is level-banded: nodes are arranged in a
+//! level-then-index topological order (the DAG's longest-path levels,
+//! [`crate::topo::levels`]) and cut into `k` contiguous, size-balanced
+//! bands. A local refinement pass then shifts nodes across adjacent
+//! band boundaries whenever the move strictly reduces the number of
+//! crossing edges without violating monotonicity or emptying a group —
+//! a min-cut-flavoured cleanup, not a global optimum.
+
+use crate::builder::DagBuilder;
+use crate::dag::{Dag, NodeId};
+use crate::topo::levels;
+
+/// An assignment of every node to exactly one of `k` acyclic groups.
+///
+/// Invariants (established by [`partition`] and preserved by
+/// refinement, property-tested downstream):
+/// - every node belongs to exactly one group;
+/// - every group is non-empty (so `k <= n` for non-empty DAGs);
+/// - `group_of(u) <= group_of(v)` for every edge `u -> v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    group_of: Vec<u32>,
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of groups.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group index of `v`.
+    #[inline]
+    pub fn group_of(&self, v: NodeId) -> usize {
+        self.group_of[v.index()] as usize
+    }
+
+    /// The nodes of group `g`, in index order.
+    #[inline]
+    pub fn group(&self, g: usize) -> &[NodeId] {
+        &self.groups[g]
+    }
+
+    /// All groups in order, as slices of node ids.
+    pub fn groups(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.groups.iter().map(|g| g.as_slice())
+    }
+
+    /// Size of the largest group.
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).max().unwrap_or(0)
+    }
+
+    /// Whether `group_of(u) <= group_of(v)` holds for every edge — the
+    /// invariant that makes the quotient acyclic.
+    pub fn is_monotone(&self, dag: &Dag) -> bool {
+        dag.edges()
+            .all(|(u, v)| self.group_of(u) <= self.group_of(v))
+    }
+
+    /// Number of edges crossing a group boundary.
+    pub fn cut_size(&self, dag: &Dag) -> usize {
+        dag.edges()
+            .filter(|&(u, v)| self.group_of(u) != self.group_of(v))
+            .count()
+    }
+
+    /// All crossing edges `(u, v)` with `group_of(u) < group_of(v)` —
+    /// the values that must travel through slow memory when groups are
+    /// pebbled independently.
+    pub fn interface_edges<'a>(
+        &'a self,
+        dag: &'a Dag,
+    ) -> impl Iterator<Item = (NodeId, NodeId)> + 'a {
+        dag.edges()
+            .filter(move |&(u, v)| self.group_of(u) != self.group_of(v))
+    }
+
+    /// The external inputs of group `g`: nodes outside `g` with at
+    /// least one successor inside `g`, in index order, deduplicated. By
+    /// monotonicity they all live in strictly earlier groups.
+    pub fn external_inputs(&self, dag: &Dag, g: usize) -> Vec<NodeId> {
+        let mut ext: Vec<NodeId> = self.groups[g]
+            .iter()
+            .flat_map(|&v| dag.preds(v).iter().copied())
+            .filter(|&u| self.group_of(u) != g)
+            .collect();
+        ext.sort_unstable();
+        ext.dedup();
+        ext
+    }
+
+    /// The quotient graph: one node per group, labelled `g0, g1, …`,
+    /// one edge per ordered pair of groups joined by a crossing edge.
+    /// Monotonicity means every quotient edge goes from a lower to a
+    /// strictly higher group index, so the builder's cycle check can
+    /// never fire.
+    pub fn quotient(&self, dag: &Dag) -> Dag {
+        let mut b = DagBuilder::new(0);
+        for g in 0..self.k() {
+            b.add_labeled_node(format!("g{g}"));
+        }
+        for (u, v) in self.interface_edges(dag) {
+            b.add_edge(self.group_of(u), self.group_of(v));
+        }
+        b.build()
+            .expect("monotone partitions quotient to a DAG by construction")
+    }
+
+    fn rebuild_groups(group_of: &[u32], k: usize) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); k];
+        for (i, &g) in group_of.iter().enumerate() {
+            groups[g as usize].push(NodeId::new(i));
+        }
+        groups
+    }
+}
+
+/// Partitions `dag` into (at most) `k` groups. `k` is clamped to
+/// `[1, n]` for non-empty DAGs; an empty DAG yields zero groups.
+///
+/// The split is level-banded and size-balanced, followed by
+/// [`REFINEMENT_SWEEPS`] local boundary-refinement sweeps that shift
+/// nodes between adjacent groups when that strictly reduces the cut.
+pub fn partition(dag: &Dag, k: usize) -> Partition {
+    let n = dag.n();
+    if n == 0 {
+        return Partition {
+            group_of: Vec::new(),
+            groups: Vec::new(),
+        };
+    }
+    let k = k.clamp(1, n);
+
+    // Level-then-index order is topological: every edge raises the level.
+    let level = levels(dag);
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    order.sort_by_key(|&v| (level[v.index()], v.index()));
+
+    // Contiguous size-balanced bands over that order: the first `n % k`
+    // groups get one extra node. Contiguity in a topological order is
+    // exactly the monotonicity invariant.
+    let mut group_of = vec![0u32; n];
+    let (base, extra) = (n / k, n % k);
+    let mut pos = 0;
+    for g in 0..k {
+        let size = base + usize::from(g < extra);
+        for &v in &order[pos..pos + size] {
+            group_of[v.index()] = g as u32;
+        }
+        pos += size;
+    }
+
+    refine(dag, &mut group_of, k);
+
+    let groups = Partition::rebuild_groups(&group_of, k);
+    Partition { group_of, groups }
+}
+
+/// Partitions `dag` so no group exceeds `target_size` nodes (the knob
+/// hierarchical solvers use: pick the largest group size an inner
+/// solver handles comfortably).
+pub fn partition_by_size(dag: &Dag, target_size: usize) -> Partition {
+    let target = target_size.max(1);
+    partition(dag, dag.n().div_ceil(target))
+}
+
+/// Boundary-refinement sweeps performed by [`partition`].
+pub const REFINEMENT_SWEEPS: usize = 2;
+
+/// Local refinement: forward then backward passes trying to move each
+/// node one group up or down. A move is accepted only when it strictly
+/// reduces the cut, keeps the partition monotone, and keeps both the
+/// source group non-empty and the target group within a 25% size slack
+/// of the balanced size (so refinement cannot collapse the banding).
+fn refine(dag: &Dag, group_of: &mut [u32], k: usize) {
+    if k <= 1 {
+        return;
+    }
+    let n = dag.n();
+    let max_size = n.div_ceil(k) + n.div_ceil(k * 4).max(1);
+    let mut sizes = vec![0usize; k];
+    for &g in group_of.iter() {
+        sizes[g as usize] += 1;
+    }
+
+    // Cut-delta of reassigning v to g_new: each incident edge flips
+    // between internal and crossing depending only on whether the
+    // endpoint groups match.
+    let delta = |group_of: &[u32], v: NodeId, g_new: u32| -> i64 {
+        let g_old = group_of[v.index()];
+        let mut d = 0i64;
+        for &u in dag.preds(v).iter().chain(dag.succs(v).iter()) {
+            let gu = group_of[u.index()];
+            d += i64::from(gu != g_new) - i64::from(gu != g_old);
+        }
+        d
+    };
+
+    for sweep in 0..REFINEMENT_SWEEPS {
+        let mut moved = false;
+        let ids: Box<dyn Iterator<Item = usize>> = if sweep % 2 == 0 {
+            Box::new(0..n)
+        } else {
+            Box::new((0..n).rev())
+        };
+        for i in ids {
+            let v = NodeId::new(i);
+            let g = group_of[i];
+            for g_new in [g.checked_sub(1), (g + 1 < k as u32).then_some(g + 1)]
+                .into_iter()
+                .flatten()
+            {
+                if sizes[g as usize] <= 1 || sizes[g_new as usize] >= max_size {
+                    continue;
+                }
+                // Monotonicity: moving down needs all preds at or below
+                // the new group; moving up needs all succs at or above.
+                let legal = if g_new < g {
+                    dag.preds(v).iter().all(|&u| group_of[u.index()] <= g_new)
+                } else {
+                    dag.succs(v).iter().all(|&u| group_of[u.index()] >= g_new)
+                };
+                if legal && delta(group_of, v, g_new) < 0 {
+                    group_of[i] = g_new;
+                    sizes[g as usize] -= 1;
+                    sizes[g_new as usize] += 1;
+                    moved = true;
+                    break;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layered_seeded(layers: usize, width: usize, max_indeg: usize, seed: u64) -> Dag {
+        generate::layered(layers, width, max_indeg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn gnp_seeded(n: usize, p: f64, max_indeg: usize, seed: u64) -> Dag {
+        generate::gnp_dag(n, p, max_indeg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn k1_is_the_identity_partition() {
+        let d = diamond();
+        let p = partition(&d, 1);
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.group(0).len(), 4);
+        assert_eq!(p.cut_size(&d), 0);
+        assert_eq!(p.quotient(&d).n(), 1);
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_group() {
+        let d = layered_seeded(5, 4, 3, 42);
+        for k in 1..=d.n() {
+            let p = partition(&d, k);
+            let mut seen = vec![0usize; d.n()];
+            for (g, nodes) in p.groups().enumerate() {
+                assert!(!nodes.is_empty(), "group {g} of k={k} is empty");
+                for &v in nodes {
+                    seen[v.index()] += 1;
+                    assert_eq!(p.group_of(v), g);
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "k={k}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn partitions_are_monotone_and_quotients_acyclic() {
+        let d = layered_seeded(6, 5, 3, 7);
+        for k in [1, 2, 3, 5, 8, d.n()] {
+            let p = partition(&d, k);
+            assert!(p.is_monotone(&d), "k={k}");
+            let q = p.quotient(&d); // DagBuilder::build panics on cycles
+            assert_eq!(q.n(), p.k());
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_node_count() {
+        let d = diamond();
+        let p = partition(&d, 100);
+        assert_eq!(p.k(), 4);
+        assert!(p.groups().all(|g| g.len() == 1));
+        assert_eq!(partition(&d, 0).k(), 1, "k=0 clamps to a single group");
+    }
+
+    #[test]
+    fn empty_dag_partitions_to_zero_groups() {
+        let d = DagBuilder::new(0).build().unwrap();
+        let p = partition(&d, 3);
+        assert_eq!(p.k(), 0);
+        assert_eq!(p.cut_size(&d), 0);
+    }
+
+    #[test]
+    fn groups_are_size_balanced() {
+        let d = generate::chain(10);
+        let p = partition(&d, 3);
+        let sizes: Vec<usize> = p.groups().map(|g| g.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        // banding gives 4/3/3; refinement cannot empty or overfill
+        assert!(sizes.iter().all(|&s| (1..=5).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn chain_partition_cuts_exactly_k_minus_1_edges() {
+        let d = generate::chain(12);
+        let p = partition(&d, 4);
+        assert_eq!(p.cut_size(&d), 3);
+        let q = p.quotient(&d);
+        assert_eq!(q.num_edges(), 3);
+    }
+
+    #[test]
+    fn external_inputs_are_cross_group_preds() {
+        let d = diamond();
+        let p = partition(&d, 2);
+        // groups: {0,1,2} then {3} under level banding (levels 0,1,1,2)
+        let ext = p.external_inputs(&d, 1);
+        for u in &ext {
+            assert_ne!(p.group_of(*u), 1);
+            assert!(d.succs(*u).iter().any(|&v| p.group_of(v) == 1));
+        }
+        assert!(!ext.is_empty());
+        assert!(p.external_inputs(&d, 0).is_empty());
+    }
+
+    #[test]
+    fn partition_by_size_bounds_group_sizes() {
+        let d = layered_seeded(8, 6, 2, 3);
+        let p = partition_by_size(&d, 7);
+        assert!(p.max_group_size() <= 7 + 2, "balanced banding + slack");
+        assert!(p.is_monotone(&d));
+    }
+
+    #[test]
+    fn refinement_never_increases_the_cut() {
+        for seed in 0..20u64 {
+            let d = gnp_seeded(24, 0.15, 4, seed);
+            let p = partition(&d, 4);
+            // recompute the unrefined banding for comparison
+            let level = levels(&d);
+            let mut order: Vec<NodeId> = d.nodes().collect();
+            order.sort_by_key(|&v| (level[v.index()], v.index()));
+            let mut banded = vec![0u32; d.n()];
+            let (base, extra) = (d.n() / 4, d.n() % 4);
+            let mut pos = 0;
+            for g in 0..4 {
+                let size = base + usize::from(g < extra);
+                for &v in &order[pos..pos + size] {
+                    banded[v.index()] = g as u32;
+                }
+                pos += size;
+            }
+            let banded_cut = d
+                .edges()
+                .filter(|&(u, v)| banded[u.index()] != banded[v.index()])
+                .count();
+            assert!(p.cut_size(&d) <= banded_cut, "seed {seed}");
+        }
+    }
+}

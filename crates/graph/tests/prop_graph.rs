@@ -1,8 +1,9 @@
 //! Property tests for the graph substrate: bitset algebra, CSR
-//! consistency, topological-order laws, reachability relations.
+//! consistency, topological-order laws, reachability relations, and
+//! the acyclic-partition invariants the coarse solver builds on.
 
 use proptest::prelude::*;
-use rbp_graph::{algo, topo, BitSet, DagBuilder, Graph, NodeId};
+use rbp_graph::{algo, partition, topo, BitSet, DagBuilder, Graph, NodeId};
 
 fn arb_edge_coins(max_n: usize) -> impl Strategy<Value = (usize, Vec<bool>)> {
     (2..=max_n).prop_flat_map(|n| {
@@ -136,6 +137,59 @@ proptest! {
         // full set is always a cover; empty set only for empty graphs
         prop_assert!(g.is_vertex_cover(&BitSet::full(6)));
         prop_assert_eq!(g.is_vertex_cover(&BitSet::new(6)), g.m() == 0);
+    }
+
+    #[test]
+    fn partition_covers_every_node_exactly_once(
+        (n, coins) in arb_edge_coins(16),
+        k in 1usize..8,
+    ) {
+        let dag = build_dag(n, &coins);
+        let p = partition::partition(&dag, k);
+        prop_assert_eq!(p.k(), k.min(n));
+        let mut owner = vec![None; n];
+        for (g, nodes) in p.groups().enumerate() {
+            prop_assert!(!nodes.is_empty(), "group {} empty", g);
+            for &v in nodes {
+                prop_assert_eq!(owner[v.index()], None, "node in two groups");
+                owner[v.index()] = Some(g);
+                prop_assert_eq!(p.group_of(v), g);
+            }
+        }
+        prop_assert!(owner.iter().all(|o| o.is_some()), "uncovered node");
+    }
+
+    #[test]
+    fn partition_is_monotone_and_quotient_acyclic(
+        (n, coins) in arb_edge_coins(16),
+        k in 1usize..8,
+    ) {
+        let dag = build_dag(n, &coins);
+        let p = partition::partition(&dag, k);
+        prop_assert!(p.is_monotone(&dag));
+        // quotient construction itself cycle-checks via DagBuilder;
+        // additionally every quotient edge must rise strictly
+        let q = p.quotient(&dag);
+        prop_assert_eq!(q.n(), p.k());
+        for (gu, gv) in q.edges() {
+            prop_assert!(gu.index() < gv.index());
+        }
+        // external inputs of g live strictly before g
+        for g in 0..p.k() {
+            for u in p.external_inputs(&dag, g) {
+                prop_assert!(p.group_of(u) < g);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_k1_is_identity((n, coins) in arb_edge_coins(14)) {
+        let dag = build_dag(n, &coins);
+        let p = partition::partition(&dag, 1);
+        prop_assert_eq!(p.k(), 1);
+        prop_assert_eq!(p.group(0).len(), n);
+        prop_assert_eq!(p.cut_size(&dag), 0);
+        prop_assert_eq!(p.quotient(&dag).num_edges(), 0);
     }
 
     #[test]

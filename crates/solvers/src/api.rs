@@ -25,7 +25,7 @@
 //! they return the best incumbent known at that point — the cheapest
 //! goal configuration discovered, or failing that the greedy seed — as
 //! [`Quality::UpperBound`] with a `lower_bound` from
-//! [`bounds::trivial_lower_bound`]. Only a budgeted solve that holds no
+//! [`bounds::best_lower_bound`]. Only a budgeted solve that holds no
 //! incumbent at all (seeding disabled, no goal reached) reports
 //! [`SolveError::Interrupted`]. The same degradation covers the
 //! [`ExactConfig::max_states`] memory guard when a seed exists.
@@ -220,7 +220,7 @@ pub enum Quality {
     /// `[lower_bound, cost]` (both scaled by the model's ε denominator).
     UpperBound {
         /// A proved lower bound on the optimal scaled cost
-        /// ([`bounds::trivial_lower_bound`]).
+        /// ([`bounds::best_lower_bound`]).
         lower_bound: u128,
     },
     /// No pebbling exists (R ≤ Δ). Produced only by
@@ -373,12 +373,12 @@ impl Solution {
 /// cost meets the structural lower bound (then the heuristic *proved*
 /// optimality), otherwise an upper bound carrying that lower bound.
 pub(crate) fn upper_bound_quality(instance: &Instance, cost: Cost) -> Quality {
-    let lb = instance.scaled_cost(&bounds::trivial_lower_bound(instance));
+    let lb = instance.scaled_cost(&bounds::best_lower_bound(instance));
     let scaled = instance.scaled_cost(&cost);
     debug_assert!(
         lb <= scaled,
         "structural lower bound {lb} exceeds a realized cost {scaled} — \
-         bounds::trivial_lower_bound is unsound"
+         bounds::best_lower_bound is unsound"
     );
     if scaled == lb {
         Quality::Optimal

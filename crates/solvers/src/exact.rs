@@ -268,6 +268,12 @@ struct Search<'a> {
     /// seed externally, the goal by its own parent chain), so at least
     /// one optimal path always stays strictly below it.
     cutoff: u64,
+    /// The structural floor ([`bounds::best_lower_bound`], scaled): a
+    /// *discovered* goal at this distance is already provably optimal,
+    /// so the search may return it without draining the heap to settle
+    /// it. Only consulted under `prune`; the brute-force reference runs
+    /// to settlement.
+    floor: u128,
     /// `(dist, id)` of the cheapest goal *discovered* (relaxed, not yet
     /// necessarily settled). This is what a budget-expired solve returns
     /// as its incumbent.
@@ -288,6 +294,7 @@ impl<'a> Search<'a> {
             nodes: NodeTable::new(),
             heap: BinaryHeap::new(),
             cutoff,
+            floor: instance.scaled_cost(&bounds::best_lower_bound(instance)),
             best_goal: (u64::MAX, NO_STATE),
         }
     }
@@ -361,6 +368,7 @@ impl<'a> Search<'a> {
                 cutoff,
                 cfg,
                 best_goal,
+                ..
             } = &mut self;
             exp.expand(&key_buf, meta, |succ, mv, cost, child| {
                 let nd = d + cost;
@@ -398,6 +406,17 @@ impl<'a> Search<'a> {
                 }
                 Ok(())
             })?;
+            // a discovered goal that meets the structural floor is
+            // already provably optimal: floor ≤ optimum ≤ any realized
+            // goal distance, so equality pins it — return without
+            // draining the heap to settle it
+            if self.cfg.prune
+                && self.best_goal.1 != NO_STATE
+                && u128::from(self.best_goal.0) <= self.floor
+            {
+                let (_, goal) = self.best_goal;
+                return Ok((self.report_for(goal, expanded), true));
+            }
         }
         Err(SolveError::NoPebblingFound)
     }

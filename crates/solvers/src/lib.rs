@@ -55,6 +55,11 @@
 //!   scheduler (`exact@mpp[:P]` / `greedy@mpp[:P]`);
 //! - [`beam`]: beam search over first-computation orderings;
 //! - [`portfolio`]: parallel best-of-greedy (also the incumbent seed);
+//! - [`coarse`]: hierarchical scale-out — partition the DAG into K
+//!   acyclic groups ([`rbp_graph::partition`]), solve each with any
+//!   inner registry spec, stitch the traces through blue interface
+//!   values, and report a fractional-lower-bound bracket
+//!   (`coarse[:K[/INNER]]`);
 //! - [`visit`]: visit-order solvers for the paper's input-group
 //!   constructions (deterministic scheduler, exhaustive
 //!   branch-and-bound, Held–Karp DP);
@@ -69,6 +74,7 @@
 pub mod api;
 pub mod arena;
 pub mod beam;
+pub mod coarse;
 pub mod error;
 pub mod exact;
 pub mod expand;
@@ -89,6 +95,7 @@ pub use api::{
 };
 pub use arena::{global_id, split_id, NodeTable, StateArena, NO_STATE};
 pub use beam::BeamConfig;
+pub use coarse::{CoarseConfig, CoarseSolver};
 pub use error::SolveError;
 pub use exact::{ExactConfig, ExactReport};
 pub use expand::{Expander, Meta};

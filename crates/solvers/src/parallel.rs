@@ -180,7 +180,7 @@ pub(crate) fn solve_parallel_budgeted(
 /// Cost-staged: the single default greedy runs first, and the full
 /// portfolio only when that bound could still improve — i.e. when it
 /// sits above the model's provable floor
-/// ([`bounds::trivial_lower_bound`]). On instances whose default greedy
+/// ([`bounds::best_lower_bound`]). On instances whose default greedy
 /// is already optimal (chains, most zero-cost cells) seeding costs one
 /// microsecond-scale greedy solve instead of nine, which keeps the
 /// seeded sequential path competitive even on solves that finish in
@@ -188,7 +188,7 @@ pub(crate) fn solve_parallel_budgeted(
 pub(crate) fn greedy_incumbent(instance: &Instance) -> Option<(u64, GreedyReport)> {
     let eps = instance.model().epsilon();
     let clamp = |scaled: u128| u64::try_from(scaled).unwrap_or(u64::MAX);
-    let floor = bounds::trivial_lower_bound(instance).scaled(eps);
+    let floor = bounds::best_lower_bound(instance).scaled(eps);
     let first = crate::greedy::solve_greedy(instance).ok();
     if let Some(rep) = &first {
         if rep.cost.scaled(eps) <= floor {

@@ -25,6 +25,11 @@
 //!                               the product state space); P ≥ 1 overrides the
 //!                               instance's processor count
 //! greedy@mpp[:P]                greedy multiprocessor list scheduling
+//! coarse[:K[/INNER]]            hierarchical coarsening: partition into K
+//!                               acyclic groups (default: ⌈n/12⌉; K may be
+//!                               'auto'), solve each with INNER (any spec in
+//!                               this grammar; default portfolio), stitch the
+//!                               traces with boundary stores/loads
 //! ```
 //!
 //! Degenerate numeric arguments (`exact-parallel:0`, `beam:0`) parse
@@ -52,6 +57,7 @@ use crate::api::{
     SolveCtx, Solver,
 };
 use crate::beam::BeamConfig;
+use crate::coarse::{CoarseConfig, CoarseSolver};
 use crate::error::SolveError;
 use crate::greedy::{EvictionPolicy, GreedyConfig, SelectionRule};
 use crate::mpp::{ExactMppSolver, GreedyMppSolver};
@@ -177,6 +183,15 @@ impl Registry {
                 }))
             },
         );
+        r.register(
+            "coarse",
+            "hierarchical coarsening; arg = K[/INNER] (K ≥ 1 or 'auto', INNER any spec)",
+            |a| {
+                Ok(Box::new(CoarseSolver {
+                    cfg: parse_coarse_args(a)?,
+                }))
+            },
+        );
         r
     }
 
@@ -245,6 +260,38 @@ fn parse_procs(family: &'static str, a: Option<&str>) -> Result<Option<u32>, Sol
             Ok(Some(procs))
         }
     }
+}
+
+fn parse_coarse_args(a: Option<&str>) -> Result<CoarseConfig, SolveError> {
+    let Some(args) = a else {
+        return Ok(CoarseConfig::default());
+    };
+    let (k_s, inner_s) = match args.split_once('/') {
+        Some((k, inner)) => (k, Some(inner)),
+        None => (args, None),
+    };
+    let k = match k_s {
+        "auto" => None,
+        other => {
+            let k: usize = other.parse().map_err(|_| {
+                bad_args("coarse", other, "group count must be an integer or 'auto'")
+            })?;
+            if k == 0 {
+                return Err(bad_args("coarse", other, "group count must be >= 1"));
+            }
+            Some(k)
+        }
+    };
+    let inner = match inner_s {
+        None => CoarseConfig::default().inner,
+        Some(spec) => {
+            // eager validation: a bad inner spec should fail at parse
+            // time, like every other malformed spec
+            Registry::with_builtins().parse(spec)?;
+            spec.to_string()
+        }
+    };
+    Ok(CoarseConfig { k, inner })
 }
 
 fn parse_greedy_args(args: &str) -> Result<GreedyConfig, SolveError> {
@@ -335,6 +382,9 @@ mod tests {
             "exact@mpp:2",
             "greedy@mpp",
             "greedy@mpp:2",
+            "coarse",
+            "coarse:1/exact",
+            "coarse:auto/greedy",
         ] {
             let sol = solve(spec, &inst).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(sol.cost.transfers, 0, "{spec}");
@@ -364,6 +414,10 @@ mod tests {
             "exact@mpp:2",
             "greedy@mpp",
             "greedy@mpp:4",
+            "coarse",
+            "coarse:4",
+            "coarse:4/greedy",
+            "coarse:auto/exact",
         ] {
             let canonical = solver(spec).unwrap().spec();
             let reparsed = solver(&canonical)
@@ -418,6 +472,10 @@ mod tests {
             "exact@mpp:zero",
             "exact@mpp:0",
             "greedy@mpp:-1",
+            "coarse:0",
+            "coarse:two",
+            "coarse:4/exat",
+            "coarse:4/greedy:topo",
         ] {
             assert!(
                 matches!(solver(spec), Err(SolveError::BadSpec { .. })),

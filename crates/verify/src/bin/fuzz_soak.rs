@@ -248,18 +248,46 @@ fn run_chunk(
     // every fourth draw is lifted to the multiprocessor game, rotating
     // p through {1, 2, 4} by index, so each soak also exercises the
     // cross-p lattice on instances that carry the mpp dimension
-    for g in (offset..offset + count).map(|i| {
-        if i % 4 == 3 {
+    for i in offset..offset + count {
+        let g = if i % 4 == 3 {
             ensemble::mpp_instance_at(seed, i as u64, ensemble_cfg)
         } else {
             ensemble::instance_at(seed, i as u64, ensemble_cfg)
-        }
-    }) {
+        };
         if !g.instance.is_feasible() {
             report.skipped_infeasible += 1;
             continue;
         }
-        let outcome = check_instance(&g.instance, harness_cfg);
+        let mut outcome = check_instance(&g.instance, harness_cfg);
+        // rotate deeper coarse partitionings through the soak: K cycles
+        // 2..=5 by index, hitting stitch boundaries the fixed harness
+        // specs (coarse:2, coarse:3/greedy) never reach; the stitched
+        // trace must certify at exactly the claimed cost
+        let spec = format!("coarse:{}", 2 + i % 4);
+        outcome.solves += 1;
+        match rbp_solvers::registry::solve(&spec, &g.instance) {
+            Ok(sol) => match rbp_core::certify::certify(&g.instance, &sol.trace) {
+                Ok(cert) if cert.matches(&sol.cost) => outcome.certified += 1,
+                Ok(cert) => outcome.violations.push(rbp_verify::Violation {
+                    invariant: rbp_verify::Invariant::Certification,
+                    spec,
+                    detail: format!(
+                        "certifier recomputed (t={}, c={}) but solver claimed (t={}, c={})",
+                        cert.transfers, cert.computes, sol.cost.transfers, sol.cost.computes
+                    ),
+                }),
+                Err(e) => outcome.violations.push(rbp_verify::Violation {
+                    invariant: rbp_verify::Invariant::Certification,
+                    spec,
+                    detail: format!("certifier rejected the stitched trace: {e}"),
+                }),
+            },
+            Err(e) => outcome.violations.push(rbp_verify::Violation {
+                invariant: rbp_verify::Invariant::SolverError,
+                spec,
+                detail: format!("errored on a feasible instance: {e}"),
+            }),
+        }
         if !outcome.clean() {
             handle_violation(&g.name, &g.instance, &outcome.violations);
         }

@@ -16,6 +16,7 @@
 //! | [`Invariant::SolutionRoundTrip`] | `write ∘ parse ∘ write` is identity for `solution v1` |
 //! | [`Invariant::Certification`] | the independent certifier accepts every returned trace at the exact claimed cost |
 //! | [`Invariant::MppMonotone`] | `exact@mpp:1 == exact`, and the multiprocessor optimum never rises with p |
+//! | [`Invariant::CoarseBracket`] | every `coarse` `UpperBound` bracket contains the exact optimum: `lower_bound ≤ optimum ≤ cost` |
 //!
 //! The optimum itself is anchored by the sequential `exact` solver;
 //! everything else is measured against it. A violation of *any* row is
@@ -42,6 +43,8 @@ pub const SPECS: &[&str] = &[
     "beam:1",
     "beam:8",
     "portfolio",
+    "coarse:2",
+    "coarse:3/greedy",
 ];
 
 /// The exact-family specs whose costs must all equal the anchor
@@ -74,6 +77,11 @@ pub enum Invariant {
     /// the classic optimum, or the optimum rose when processors were
     /// added (more private memory can never hurt).
     MppMonotone,
+    /// A hierarchical `coarse` solve returned an `UpperBound` bracket
+    /// that does not contain the exact optimum (`lower_bound ≤ optimum
+    /// ≤ cost` failed), so either its stitched trace undercut the
+    /// optimum or its fractional lower bound is unsound.
+    CoarseBracket,
 }
 
 impl Invariant {
@@ -90,6 +98,7 @@ impl Invariant {
             Invariant::SolutionRoundTrip => "solution-round-trip",
             Invariant::Certification => "certification",
             Invariant::MppMonotone => "mpp-monotone",
+            Invariant::CoarseBracket => "coarse-bracket",
         }
     }
 }
@@ -246,11 +255,11 @@ pub fn check_instance(instance: &Instance, cfg: &HarnessConfig) -> InstanceOutco
     let opt = anchor.cost.scaled(eps);
 
     // -- the structural lower bound must not exceed the optimum ---------
-    let structural_lb = bounds::trivial_lower_bound(instance).scaled(eps);
+    let structural_lb = bounds::best_lower_bound(instance).scaled(eps);
     if anchored && structural_lb > opt {
         out.violations.push(Violation {
             invariant: Invariant::DegradedBracket,
-            spec: "bounds::trivial_lower_bound".to_string(),
+            spec: "bounds::best_lower_bound".to_string(),
             detail: format!("structural lower bound {structural_lb} exceeds optimum {opt}"),
         });
     }
@@ -293,6 +302,17 @@ pub fn check_instance(instance: &Instance, cfg: &HarnessConfig) -> InstanceOutco
                 spec: spec.to_string(),
                 detail: format!("heuristic cost {cost} beats the proved optimum {opt}"),
             });
+        }
+        if let rbp_solvers::Quality::UpperBound { lower_bound } = sol.quality {
+            if anchored && spec.starts_with("coarse") && !(lower_bound <= opt && opt <= cost) {
+                out.violations.push(Violation {
+                    invariant: Invariant::CoarseBracket,
+                    spec: spec.to_string(),
+                    detail: format!(
+                        "bracket [{lower_bound}, {cost}] does not contain optimum {opt}"
+                    ),
+                });
+            }
         }
         if anchored
             && sol.is_optimal()

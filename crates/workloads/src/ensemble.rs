@@ -192,6 +192,74 @@ pub fn mpp_stream(base_seed: u64, cfg: EnsembleConfig) -> impl Iterator<Item = G
     (0u64..).map(move |i| mpp_instance_at(base_seed, i, &cfg))
 }
 
+/// Size bounds for the large layered ensemble ([`large_layered_at`]).
+///
+/// These instances are hundreds of nodes — far beyond the exact
+/// frontier — so they only make sense for the scale-out line: the
+/// `coarse[:K]` solver's upper bounds against the fractional
+/// lower-bound engine (`bounds::best_lower_bound`), the gap atlas'
+/// coarse-vs-bound ratios, and throughput benchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeConfig {
+    /// Smallest DAG, in nodes (approximate lower edge of the draw).
+    pub min_nodes: usize,
+    /// Largest DAG, in nodes (inclusive upper edge of the draw).
+    pub max_nodes: usize,
+    /// Indegree cap Δ handed to the generator.
+    pub max_indegree: usize,
+    /// Red budgets are drawn from `min_feasible_r()` to
+    /// `min_feasible_r() + r_slack` inclusive.
+    pub r_slack: usize,
+}
+
+impl Default for LargeConfig {
+    fn default() -> Self {
+        LargeConfig {
+            min_nodes: 150,
+            max_nodes: 600,
+            max_indegree: 3,
+            r_slack: 2,
+        }
+    }
+}
+
+/// Deterministically generates the `index`-th *large* layered instance
+/// of the ensemble rooted at `base_seed`: a staged layered DAG of
+/// `min_nodes..=max_nodes` nodes under the Hong–Kung conventions
+/// (`InitiallyBlue` sources, `RequireBlue` sinks), where both the
+/// forced-load and forced-store terms of the fractional bound engine
+/// are active. Cost models rotate through [`ModelKind::ALL`] by index.
+pub fn large_layered_at(base_seed: u64, index: u64, cfg: &LargeConfig) -> GeneratedInstance {
+    let mut rng = StdRng::seed_from_u64(base_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let min_n = cfg.min_nodes.max(16);
+    let max_n = cfg.max_nodes.max(min_n);
+    let target = rng.gen_range(min_n..=max_n);
+    let layers = rng.gen_range(6..=16usize).min(target / 2);
+    let width = (target / layers).max(2);
+    let max_d = cfg.max_indegree.max(1);
+    let dag = generate::layered(layers, width, max_d, &mut rng);
+    let kind = ModelKind::ALL[(index % ModelKind::ALL.len() as u64) as usize];
+    let n = dag.n();
+    let base = Instance::new(dag, 1, CostModel::of_kind(kind));
+    let r = rng.gen_range(base.min_feasible_r()..=base.min_feasible_r() + cfg.r_slack);
+    let instance = base
+        .with_red_limit(r)
+        .with_source_convention(SourceConvention::InitiallyBlue)
+        .with_sink_convention(SinkConvention::RequireBlue);
+    GeneratedInstance {
+        name: format!("large-layered-n{n}-i{index}"),
+        family: Family::Layered,
+        index,
+        instance,
+    }
+}
+
+/// An endless deterministic stream of large layered instances (the
+/// [`stream`] analogue of [`large_layered_at`]).
+pub fn large_layered(base_seed: u64, cfg: LargeConfig) -> impl Iterator<Item = GeneratedInstance> {
+    (0u64..).map(move |i| large_layered_at(base_seed, i, &cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +331,40 @@ mod tests {
             lifted.instance.without_mpp().canonical_key(),
             "lifting must only change the processor dimension"
         );
+    }
+
+    #[test]
+    fn large_layered_sizes_and_conventions() {
+        let cfg = LargeConfig::default();
+        for g in large_layered(9, cfg).take(12) {
+            let n = g.instance.dag().n();
+            assert!(
+                (100..=700).contains(&n),
+                "{}: {} nodes outside the large band",
+                g.name,
+                n
+            );
+            assert!(g.instance.is_feasible(), "{} must be feasible", g.name);
+            assert_eq!(
+                g.instance.source_convention(),
+                SourceConvention::InitiallyBlue
+            );
+            assert_eq!(g.instance.sink_convention(), SinkConvention::RequireBlue);
+            assert!(g.name.starts_with("large-layered-n"));
+        }
+        // deterministic regeneration, like the small ensembles
+        let a = large_layered_at(9, 3, &cfg);
+        let b = large_layered_at(9, 3, &cfg);
+        assert_eq!(a.instance.canonical_key(), b.instance.canonical_key());
+        // models rotate
+        for kind in ModelKind::ALL {
+            assert!(
+                large_layered(9, cfg)
+                    .take(8)
+                    .any(|g| g.instance.model().kind() == kind),
+                "model {kind:?} never drawn in the large ensemble"
+            );
+        }
     }
 
     #[test]

@@ -93,6 +93,20 @@ mod tests {
     }
 
     #[test]
+    fn large_builds_scale_exactly() {
+        // n lanes × (log n + 1) stages
+        for log_n in [6u32, 7] {
+            let f = build(log_n);
+            let n = 1usize << log_n;
+            assert_eq!(f.n, n);
+            assert_eq!(f.dag.n(), n * (log_n as usize + 1), "log_n={log_n}");
+            assert_eq!(f.dag.sources().len(), n);
+            assert_eq!(f.dag.sinks().len(), n);
+            assert_eq!(f.dag.max_indegree(), 2);
+        }
+    }
+
+    #[test]
     fn io_cost_shrinks_with_cache() {
         let f = build(3);
         let cost = |r: usize| {

@@ -126,6 +126,18 @@ mod tests {
     }
 
     #[test]
+    fn large_builds_scale_exactly() {
+        // 2n² inputs, n³ multiplies, n²(n−1) accumulation adds
+        for n in [8usize, 12, 16] {
+            let m = build(n);
+            assert_eq!(m.dag.n(), 2 * n * n + n * n * n + n * n * (n - 1), "n={n}");
+            assert_eq!(m.dag.sources().len(), 2 * n * n);
+            assert_eq!(m.dag.sinks().len(), n * n);
+            assert_eq!(m.dag.max_indegree(), 2, "pebblable from R = 3 at any n");
+        }
+    }
+
+    #[test]
     fn hong_kung_shape() {
         // quadrupling the cache halves the bound
         let b1 = hong_kung_bound(16, 4);

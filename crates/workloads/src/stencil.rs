@@ -82,6 +82,18 @@ mod tests {
     }
 
     #[test]
+    fn large_builds_scale_exactly() {
+        // width × (steps + 1) cells; Δ = 2·radius + 1 away from boundaries
+        for (w, t, r) in [(64usize, 16usize, 1usize), (48, 24, 2)] {
+            let s = build(w, t, r);
+            assert_eq!(s.dag.n(), w * (t + 1), "width={w} steps={t}");
+            assert_eq!(s.dag.sources().len(), w);
+            assert_eq!(s.dag.sinks().len(), w);
+            assert_eq!(s.dag.max_indegree(), 2 * r + 1);
+        }
+    }
+
+    #[test]
     fn stencil_pebbles_free_with_two_rows_of_cache() {
         // R = 2·width is enough to keep two full rows resident
         let s = build(4, 3, 1);

@@ -53,7 +53,8 @@ pub use rbp_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rbp_core::{
-        bounds, engine, Cost, CostModel, Instance, ModelKind, Move, Pebbling, Ratio, State,
+        bounds, certify, engine, Cost, CostModel, Instance, ModelKind, Move, Pebbling, Ratio,
+        SinkConvention, SourceConvention, State,
     };
     pub use rbp_graph::{Dag, DagBuilder, Graph, NodeId};
     pub use rbp_solvers::api::{

@@ -162,6 +162,67 @@ fn readme_mpp_session_replays() {
     }
 }
 
+/// Public-API smoke test for the "Scaling" section: replays the
+/// documented matmul(16) session verbatim — the stitched `coarse`
+/// schedule certifies at the claimed cost and carries a fractional
+/// lower bound strictly above the trivial one — then parses the
+/// section's grammar table and solves every `coarse` row on a small
+/// butterfly, pinning `coarse:1/exact` to the exact optimum.
+#[test]
+fn readme_scaling_session_replays() {
+    let readme = include_str!("../README.md");
+    let section = readme
+        .split("## Scaling")
+        .nth(1)
+        .expect("README must keep a 'Scaling' section");
+    let section = section.split("\n## ").next().unwrap();
+
+    // the documented session
+    let mm = red_blue_pebbling::workloads::matmul::build(16);
+    let inst = Instance::new(mm.dag.clone(), 4, CostModel::oneshot())
+        .with_source_convention(SourceConvention::InitiallyBlue)
+        .with_sink_convention(SinkConvention::RequireBlue);
+    let sol = registry::solve("coarse", &inst).expect("coarse scales to matmul(16)");
+    let cert = certify::certify(&inst, &sol.trace).expect("stitched trace certifies");
+    assert!(cert.matches(&sol.cost));
+    let Quality::UpperBound { lower_bound } = sol.quality else {
+        panic!("8448 nodes will not hit the bound exactly")
+    };
+    let eps = inst.model().epsilon();
+    assert!(lower_bound <= sol.cost.scaled(eps));
+    assert!(
+        lower_bound > bounds::trivial_lower_bound(&inst).scaled(eps),
+        "the README claims a strictly stronger bound here"
+    );
+
+    // every `coarse` spec in the section's grammar table parses and
+    // solves a small butterfly, and K = 1 with an exact inner solver
+    // reproduces the exact optimum
+    let specs: Vec<&str> = section
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("| `"))
+        .map(|rest| rest.split('`').next().unwrap())
+        .filter(|s| s.starts_with("coarse"))
+        .collect();
+    assert_eq!(specs.len(), 4, "grammar table lists the coarse variants");
+    let small = red_blue_pebbling::workloads::fft::build(2);
+    let small_inst = Instance::new(small.dag.clone(), 4, CostModel::oneshot());
+    let opt = registry::solve("exact", &small_inst).expect("feasible");
+    assert!(opt.is_optimal());
+    for spec in specs {
+        let sol = registry::solve(spec, &small_inst)
+            .unwrap_or_else(|e| panic!("README scaling spec `{spec}` failed: {e}"));
+        let report = engine::simulate(&small_inst, &sol.trace)
+            .unwrap_or_else(|e| panic!("spec `{spec}` produced an invalid trace: {e:?}"));
+        assert_eq!(report.cost, sol.cost);
+        assert!(sol.scaled_cost(&small_inst) >= opt.scaled_cost(&small_inst));
+        if spec == "coarse:1/exact" {
+            assert!(sol.is_optimal(), "pure delegation must stay exact");
+            assert_eq!(sol.scaled_cost(&small_inst), opt.scaled_cost(&small_inst));
+        }
+    }
+}
+
 /// Public-API smoke test for the "Serving" section: the exact protocol
 /// session printed in the README is fed to an in-process server, and
 /// the solution document it streams back must replay on the engine.
